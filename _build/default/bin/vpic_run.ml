@@ -1,0 +1,236 @@
+(* vpic_run: command-line deck runner.
+
+     vpic_run langmuir    [--nx 32] [--ppc 64] [--steps 400]
+     vpic_run two-stream  [--u0 0.1] [--ppc 256] [--t-end 12]
+     vpic_run srs         [--a0 0.09] [--nr 0.1] [--te 2.5] [--nx 192]
+                          [--ppc 32] [--steps N] [--checkpoint FILE]
+     vpic_run sweep       [--a0s 0.02,0.04,...] [--ppc 32] [--with-noise-run]
+     vpic_run model       [--cus 17] [--particles 1e12] [--voxels 1.36e8]
+*)
+
+module Grid = Vpic_grid.Grid
+module Bc = Vpic_grid.Bc
+module Sf = Vpic_grid.Scalar_field
+module Simulation = Vpic.Simulation
+module Coupler = Vpic.Coupler
+module Checkpoint = Vpic.Checkpoint
+module Loader = Vpic_particle.Loader
+module Species = Vpic_particle.Species
+module Particle = Vpic_particle.Particle
+module Rng = Vpic_util.Rng
+module Table = Vpic_util.Table
+module Deck = Vpic_lpi.Deck
+module Sweep = Vpic_lpi.Sweep
+module Trapping = Vpic_lpi.Trapping
+module Srs_theory = Vpic_lpi.Srs_theory
+module Perf_model = Vpic_cell.Perf_model
+module Roadrunner = Vpic_cell.Roadrunner
+open Cmdliner
+
+(* ------------------------------------------------------------- langmuir *)
+
+let run_langmuir nx ppc steps =
+  let lx = 2. *. Float.pi in
+  let dx = lx /. float_of_int nx in
+  let dt = Grid.courant_dt ~dx ~dy:0.5 ~dz:0.5 () in
+  let grid = Grid.make ~nx ~ny:2 ~nz:2 ~lx ~ly:1. ~lz:1. ~dt () in
+  let sim =
+    Simulation.make ~grid ~coupler:(Coupler.local Bc.periodic)
+      ~clean_div_interval:0 ()
+  in
+  let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
+  ignore (Loader.maxwellian (Rng.of_int 1) e ~ppc ~uth:1e-4 ());
+  Species.iter e (fun n ->
+      let p = Species.get e n in
+      let x, _, _ = Particle.position grid p in
+      e.Species.ux.(n) <- e.Species.ux.(n) +. (0.01 *. sin x));
+  let probe = ref [] in
+  for _ = 1 to steps do
+    Simulation.step sim;
+    probe := Sf.get sim.Simulation.fields.Vpic_field.Em_field.ex 2 1 1 :: !probe
+  done;
+  let omega =
+    Vpic_diag.Spectrum.zero_crossing_omega ~dt
+      (Array.of_list (List.rev !probe))
+  in
+  Printf.printf "langmuir: omega = %.4f omega_pe (theory 1.0) after %d steps\n"
+    omega steps
+
+let langmuir_cmd =
+  let nx =
+    Arg.(value & opt int 32 & info [ "nx" ] ~doc:"Cells along x.")
+  in
+  let ppc = Arg.(value & opt int 64 & info [ "ppc" ] ~doc:"Particles per cell.") in
+  let steps = Arg.(value & opt int 400 & info [ "steps" ] ~doc:"Steps to run.") in
+  Cmd.v
+    (Cmd.info "langmuir" ~doc:"Cold Langmuir oscillation (frequency check)")
+    Term.(const run_langmuir $ nx $ ppc $ steps)
+
+(* ----------------------------------------------------------- two-stream *)
+
+let run_two_stream u0 ppc t_end =
+  let k = sqrt (3. /. 8.) /. u0 in
+  let nx = 64 in
+  let lx = 2. *. Float.pi /. k in
+  let dx = lx /. float_of_int nx in
+  let dt = Grid.courant_dt ~dx ~dy:0.5 ~dz:0.5 () in
+  let grid = Grid.make ~nx ~ny:2 ~nz:2 ~lx ~ly:1. ~lz:1. ~dt () in
+  let sim =
+    Simulation.make ~grid ~coupler:(Coupler.local Bc.periodic)
+      ~clean_div_interval:0 ~sort_interval:0 ()
+  in
+  let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
+  ignore (Loader.two_stream (Rng.of_int 9) e ~ppc ~u0 ~uth:1e-4 ());
+  Species.iter e (fun n ->
+      let p = Species.get e n in
+      let x, _, _ = Particle.position grid p in
+      let sign = if p.Particle.ux > 0. then 1. else -1. in
+      e.Species.ux.(n) <- e.Species.ux.(n) +. (sign *. 2e-5 *. sin (k *. x)));
+  let fe () =
+    fst (Vpic_field.Diagnostics.field_energy sim.Simulation.fields)
+  in
+  let steps = int_of_float (t_end /. dt) in
+  let report = max 1 (steps / 20) in
+  for step = 1 to steps do
+    Simulation.step sim;
+    if step mod report = 0 then
+      Printf.printf "t=%6.2f  field E energy = %.4e\n" (Simulation.time sim)
+        (fe ())
+  done;
+  Printf.printf "(theory: energy e-folds at 2 gamma = %.3f omega_pe)\n"
+    (2. /. sqrt 8.)
+
+let two_stream_cmd =
+  let u0 = Arg.(value & opt float 0.1 & info [ "u0" ] ~doc:"Beam momentum / mc.") in
+  let ppc = Arg.(value & opt int 256 & info [ "ppc" ] ~doc:"Particles per cell.") in
+  let t_end =
+    Arg.(value & opt float 12. & info [ "t-end" ] ~doc:"End time (1/omega_pe).")
+  in
+  Cmd.v
+    (Cmd.info "two-stream" ~doc:"Two-stream instability deck")
+    Term.(const run_two_stream $ u0 $ ppc $ t_end)
+
+(* ------------------------------------------------------------------ srs *)
+
+let run_srs a0 nr te nx ppc steps checkpoint =
+  let config = { Deck.default with a0; nr; te_kev = te; nx; ppc } in
+  let setup = Deck.build config in
+  let steps =
+    match steps with Some s -> s | None -> Deck.suggested_steps config
+  in
+  Printf.printf "SRS deck: a0=%.3f nr=%.2f Te=%.1f keV, %d particles, %d steps\n%!"
+    a0 nr te
+    (Simulation.total_particles setup.Deck.sim)
+    steps;
+  let r = Deck.run setup ~steps in
+  let electrons = Simulation.find_species setup.Deck.sim "electron" in
+  let fv = Trapping.distribution electrons in
+  Printf.printf "reflectivity = %.4e\n" r;
+  Printf.printf "hot fraction (>3Te) = %.3e\n"
+    (Trapping.hot_fraction electrons ~threshold_kev:(3. *. te));
+  Printf.printf "f(v) flattening at v_phase = %.2f\n"
+    (Trapping.flattening fv ~v_phase:setup.Deck.matching.Srs_theory.v_phase
+       ~uth:setup.Deck.plasma.Srs_theory.uth ~width:0.05);
+  match checkpoint with
+  | Some path ->
+      Checkpoint.save setup.Deck.sim path;
+      Printf.printf "checkpoint written to %s\n" path
+  | None -> ()
+
+let srs_cmd =
+  let a0 = Arg.(value & opt float 0.09 & info [ "a0" ] ~doc:"Pump amplitude.") in
+  let nr = Arg.(value & opt float 0.1 & info [ "nr" ] ~doc:"n_e / n_cr.") in
+  let te = Arg.(value & opt float 2.5 & info [ "te" ] ~doc:"Te in keV.") in
+  let nx = Arg.(value & opt int 192 & info [ "nx" ] ~doc:"Cells along x.") in
+  let ppc = Arg.(value & opt int 32 & info [ "ppc" ] ~doc:"Particles per cell.") in
+  let steps =
+    Arg.(value & opt (some int) None & info [ "steps" ] ~doc:"Override step count.")
+  in
+  let ckpt =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~doc:"Write a checkpoint at the end.")
+  in
+  Cmd.v
+    (Cmd.info "srs" ~doc:"Laser-plasma SRS deck (one parameter-study point)")
+    Term.(const run_srs $ a0 $ nr $ te $ nx $ ppc $ steps $ ckpt)
+
+(* ---------------------------------------------------------------- sweep *)
+
+let run_sweep a0s ppc with_noise =
+  let base = { Deck.default with ppc } in
+  let points =
+    Sweep.reflectivity_vs_intensity ~base ~with_noise_run:with_noise ~a0s ()
+  in
+  let t =
+    Table.create
+      [ "a0"; "I(W/cm^2)"; "R seeded"; "R peak"; "R noise-seeded"; "R theory";
+        "hot frac" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [ Table.cell_f p.Sweep.a0;
+          Printf.sprintf "%.2e" p.Sweep.intensity_w_cm2;
+          Printf.sprintf "%.3e" p.Sweep.r_measured;
+          Printf.sprintf "%.3e" p.Sweep.r_peak;
+          Printf.sprintf "%.3e" p.Sweep.r_noise;
+          Printf.sprintf "%.3e" p.Sweep.r_theory;
+          Printf.sprintf "%.2e" p.Sweep.hot_fraction ])
+    points;
+  Table.print ~title:"reflectivity vs intensity" t
+
+let sweep_cmd =
+  let a0s =
+    Arg.(value
+         & opt (list float) Sweep.default_a0s
+         & info [ "a0s" ] ~doc:"Comma-separated pump amplitudes.")
+  in
+  let ppc = Arg.(value & opt int 32 & info [ "ppc" ] ~doc:"Particles per cell.") in
+  let sub =
+    Arg.(value & flag
+         & info [ "with-noise-run" ]
+             ~doc:"Also run each point with the seed off (noise-seeded SRS).")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Reflectivity-vs-intensity parameter study (E3)")
+    Term.(const run_sweep $ a0s $ ppc $ sub)
+
+(* ---------------------------------------------------------------- model *)
+
+let run_model cus particles voxels =
+  let machine = Roadrunner.with_cus cus in
+  let w =
+    { Perf_model.paper_workload with particles; voxels;
+      ppc_effective = particles /. voxels }
+  in
+  let b = Perf_model.model machine w Perf_model.default_calibration in
+  Printf.printf "%s: %d nodes, peak %.3f Pflop/s s.p.\n"
+    machine.Roadrunner.name machine.Roadrunner.nodes
+    (Roadrunner.peak_sp_flops machine /. 1e15);
+  Printf.printf "workload: %.3g particles on %.3g voxels\n" particles voxels;
+  Printf.printf "  t_step      = %.4f s\n" b.Perf_model.t_step;
+  Printf.printf "  sustained   = %.4f Pflop/s (%.1f%% of peak)\n"
+    (b.Perf_model.sustained_flops /. 1e15)
+    (100. *. b.Perf_model.efficiency_vs_peak);
+  Printf.printf "  inner loop  = %.4f Pflop/s\n" (b.Perf_model.inner_flops /. 1e15);
+  Printf.printf "  rate        = %.3g particle-steps/s\n" b.Perf_model.particle_rate
+
+let model_cmd =
+  let cus = Arg.(value & opt int 17 & info [ "cus" ] ~doc:"Connected units (1-17).") in
+  let particles =
+    Arg.(value & opt float 1e12 & info [ "particles" ] ~doc:"Total particles.")
+  in
+  let voxels =
+    Arg.(value & opt float 1.36e8 & info [ "voxels" ] ~doc:"Total voxels.")
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Roadrunner performance model (E1/E2)")
+    Term.(const run_model $ cus $ particles $ voxels)
+
+let () =
+  let doc = "VPIC reproduction: kinetic plasma simulation decks" in
+  let info = Cmd.info "vpic_run" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ langmuir_cmd; two_stream_cmd; srs_cmd; sweep_cmd; model_cmd ]))

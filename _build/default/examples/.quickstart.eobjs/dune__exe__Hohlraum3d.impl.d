@@ -1,0 +1,1 @@
+examples/hohlraum3d.ml: List Printf Unix Vpic Vpic_field Vpic_grid Vpic_lpi Vpic_particle Vpic_util

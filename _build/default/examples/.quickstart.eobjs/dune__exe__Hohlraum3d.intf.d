@@ -1,0 +1,1 @@
+examples/hohlraum3d.mli:

@@ -1,0 +1,1 @@
+examples/laser_srs.ml: Array Float Printf Sys Vpic Vpic_lpi Vpic_util

@@ -1,0 +1,1 @@
+examples/laser_srs.mli:

@@ -1,0 +1,1 @@
+examples/reconnection.ml: Float List Printf Vpic Vpic_field Vpic_grid Vpic_particle Vpic_util

@@ -1,0 +1,1 @@
+examples/trapping.ml: List Printf Vpic Vpic_lpi Vpic_util

@@ -1,0 +1,1 @@
+examples/two_stream.mli:

@@ -1,0 +1,1 @@
+examples/weak_scaling.ml: List Printf Vpic Vpic_cell Vpic_grid Vpic_parallel Vpic_particle Vpic_util

@@ -1,0 +1,1 @@
+examples/weak_scaling.mli:

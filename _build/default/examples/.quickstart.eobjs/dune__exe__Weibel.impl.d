@@ -1,0 +1,1 @@
+examples/weibel.ml: Array Float List Printf Vpic Vpic_diag Vpic_field Vpic_grid Vpic_particle Vpic_util

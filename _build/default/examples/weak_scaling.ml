@@ -1,0 +1,86 @@
+(* Weak scaling, two ways (experiment E2):
+
+   1. Measured: the same per-rank workload run on 1, 2 and 4 local ranks
+      (OCaml domains standing in for MPI ranks), reporting wall-clock time
+      per step and parallel efficiency of this implementation.
+   2. Modelled: the Roadrunner performance model extrapolated from 1 to 17
+      connected units with the paper's per-node workload, reproducing the
+      near-linear Pflop/s scaling the paper demonstrates.
+
+     dune exec examples/weak_scaling.exe
+*)
+
+module Grid = Vpic_grid.Grid
+module Bc = Vpic_grid.Bc
+module Decomp = Vpic_grid.Decomp
+module Comm = Vpic_parallel.Comm
+module Simulation = Vpic.Simulation
+module Coupler = Vpic.Coupler
+module Loader = Vpic_particle.Loader
+module Rng = Vpic_util.Rng
+module Table = Vpic_util.Table
+module Perf_model = Vpic_cell.Perf_model
+
+let steps = 40
+let cells_per_rank = 8 (* along x *)
+let ppc = 48
+
+let run_ranks ranks =
+  let gnx = cells_per_rank * ranks in
+  let d =
+    Decomp.make ~px:ranks ~py:1 ~pz:1 ~gnx ~gny:4 ~gnz:4
+      ~lx:(0.5 *. float_of_int gnx) ~ly:2. ~lz:2.
+  in
+  let dt = Grid.courant_dt ~dx:0.5 ~dy:0.5 ~dz:0.5 () in
+  let (), elapsed =
+    Vpic_util.Perf.timed (fun () ->
+        ignore
+          (Comm.run ~ranks (fun c ->
+               let rank = Comm.rank c in
+               let grid = Decomp.local_grid d ~dt ~rank in
+               let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
+               let sim =
+                 Simulation.make ~grid ~coupler:(Coupler.parallel c bc) ()
+               in
+               let e =
+                 Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1.
+               in
+               ignore
+                 (Loader.maxwellian (Rng.of_int (7 + rank)) e ~ppc ~uth:0.08 ());
+               Simulation.run sim ~steps ())))
+  in
+  elapsed /. float_of_int steps
+
+let () =
+  print_endline "== measured: local domains, fixed work per rank ==";
+  let t1 = run_ranks 1 in
+  let table = Table.create [ "ranks"; "s/step"; "efficiency" ] in
+  List.iter
+    (fun ranks ->
+      let t = if ranks = 1 then t1 else run_ranks ranks in
+      Table.add_row table
+        [ Table.cell_i ranks;
+          Printf.sprintf "%.4f" t;
+          Printf.sprintf "%.2f" (t1 /. t) ])
+    [ 1; 2; 4 ];
+  Table.print
+    ~title:
+      "local weak scaling (upper-bounded by the host's effective cores and \
+       the OCaml stop-the-world minor GC; the Roadrunner model below is \
+       the paper's E2 reproduction)"
+    table;
+
+  print_endline "\n== modelled: VPIC on Roadrunner, paper workload per node ==";
+  let rows = Perf_model.weak_scaling [ 1; 2; 4; 8; 12; 17 ] in
+  let table = Table.create [ "CUs"; "nodes"; "Pflop/s sustained"; "Pflop/s inner"; "s/step" ] in
+  List.iter
+    (fun (cu, nodes, b) ->
+      Table.add_row table
+        [ Table.cell_i cu;
+          Table.cell_i nodes;
+          Printf.sprintf "%.4f" (b.Perf_model.sustained_flops /. 1e15);
+          Printf.sprintf "%.4f" (b.Perf_model.inner_flops /. 1e15);
+          Printf.sprintf "%.3f" b.Perf_model.t_step ])
+    rows;
+  Table.print ~title:"Roadrunner weak scaling (paper: 0.374 Pflop/s at 17 CUs)"
+    table

@@ -1,0 +1,1 @@
+lib/cell/perf_model.ml: Float List Roadrunner Spe_pipeline Vpic_particle

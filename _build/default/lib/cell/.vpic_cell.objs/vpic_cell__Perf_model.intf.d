@@ -1,0 +1,1 @@
+lib/cell/perf_model.mli: Roadrunner

@@ -1,0 +1,1 @@
+lib/cell/roadrunner.ml: Printf

@@ -1,0 +1,1 @@
+lib/cell/spe_pipeline.ml: Array Float Hashtbl List Roadrunner Vpic_grid Vpic_particle Vpic_util

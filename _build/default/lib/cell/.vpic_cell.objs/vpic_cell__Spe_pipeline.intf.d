@@ -1,0 +1,1 @@
+lib/cell/spe_pipeline.mli: Roadrunner Vpic_field Vpic_grid Vpic_particle Vpic_util

@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  nodes : int;
+  cells_per_node : int;
+  spes_per_cell : int;
+  spe_clock_hz : float;
+  spe_flops_per_cycle_sp : float;
+  spe_flops_per_cycle_dp : float;
+  cell_mem_bw : float;
+  opteron_cores_per_node : int;
+  opteron_flops_sp : float;
+  nic_bw : float;
+  nic_latency : float;
+}
+
+let nodes_per_cu = 180
+
+let with_cus cus =
+  assert (cus >= 1);
+  { name = Printf.sprintf "Roadrunner(%d CU)" cus;
+    nodes = cus * nodes_per_cu;
+    cells_per_node = 4;
+    spes_per_cell = 8;
+    spe_clock_hz = 3.2e9;
+    spe_flops_per_cycle_sp = 8.;
+    spe_flops_per_cycle_dp = 4.;
+    cell_mem_bw = 25.6e9;
+    opteron_cores_per_node = 4;
+    opteron_flops_sp = 9.2e9;
+    nic_bw = 2.0e9;
+    nic_latency = 2.0e-6 }
+
+let full = { (with_cus 17) with name = "Roadrunner" }
+let total_cells m = m.nodes * m.cells_per_node
+let total_spes m = total_cells m * m.spes_per_cell
+
+let peak_sp_flops m =
+  float_of_int (total_spes m) *. m.spe_clock_hz *. m.spe_flops_per_cycle_sp
+
+let peak_dp_flops m =
+  float_of_int (total_spes m) *. m.spe_clock_hz *. m.spe_flops_per_cycle_dp
+
+let bw_per_spe m = m.cell_mem_bw /. float_of_int m.spes_per_cell

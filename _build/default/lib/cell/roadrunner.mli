@@ -1,0 +1,38 @@
+(** Hardware description of LANL's Roadrunner as fielded for the paper's
+    runs (2008): 17 connected units (CUs) of 180 hybrid "triblade" nodes;
+    each node pairs two dual-core Opterons with four PowerXCell 8i chips
+    (8 SPEs each, 3.2 GHz, 8 single-precision flops/cycle/SPE). *)
+
+type t = {
+  name : string;
+  nodes : int;              (** compute nodes (3060 full system) *)
+  cells_per_node : int;     (** PowerXCell 8i chips per node (4) *)
+  spes_per_cell : int;      (** 8 *)
+  spe_clock_hz : float;     (** 3.2e9 *)
+  spe_flops_per_cycle_sp : float;  (** 8 (4-wide SIMD FMA) *)
+  spe_flops_per_cycle_dp : float;  (** 4 on PowerXCell 8i *)
+  cell_mem_bw : float;      (** bytes/s XDR local store DMA bandwidth, 25.6e9 *)
+  opteron_cores_per_node : int;    (** 4 *)
+  opteron_flops_sp : float; (** per core, ~ 9.2e9 (2.2 GHz, 4-wide SSE) *)
+  nic_bw : float;           (** bytes/s per node per direction (IB 4x DDR ~ 2e9) *)
+  nic_latency : float;      (** seconds (~ 2e-6) *)
+}
+
+(** The full 17-CU machine of the paper. *)
+val full : t
+
+(** A partial machine of [cus] connected units (180 nodes each). *)
+val with_cus : int -> t
+
+val total_cells : t -> int
+val total_spes : t -> int
+
+(** Peak single-precision flop/s of the Cell SPEs (the paper's yardstick:
+    2.507e15 for the full system). *)
+val peak_sp_flops : t -> float
+
+val peak_dp_flops : t -> float
+
+(** Aggregate DMA bandwidth available to one SPE (cell_mem_bw shared by
+    the 8 SPEs of a chip). *)
+val bw_per_spe : t -> float

@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Array Bigarray Fun List Marshal Printf Simulation Vpic_field Vpic_grid Vpic_particle

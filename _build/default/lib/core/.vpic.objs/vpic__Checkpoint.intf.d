@@ -1,0 +1,1 @@
+lib/core/checkpoint.mli: Coupler Simulation

@@ -1,0 +1,1 @@
+lib/core/coupler.ml: Vpic_field Vpic_grid Vpic_parallel Vpic_particle Vpic_util

@@ -1,0 +1,1 @@
+lib/core/coupler.mli: Vpic_field Vpic_grid Vpic_parallel Vpic_particle

@@ -1,0 +1,1 @@
+lib/core/simulation.ml: Coupler List Vpic_field Vpic_grid Vpic_particle Vpic_util

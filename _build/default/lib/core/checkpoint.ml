@@ -1,0 +1,152 @@
+module Grid = Vpic_grid.Grid
+module Sf = Vpic_grid.Scalar_field
+module Em_field = Vpic_field.Em_field
+module Species = Vpic_particle.Species
+
+let format_version = 2
+
+type grid_snap = {
+  nx : int;
+  ny : int;
+  nz : int;
+  lx : float;
+  ly : float;
+  lz : float;
+  dt : float;
+  x0 : float;
+  y0 : float;
+  z0 : float;
+}
+
+type species_snap = {
+  sname : string;
+  q : float;
+  m : float;
+  ci : int array;
+  cj : int array;
+  ck : int array;
+  fx : float array;
+  fy : float array;
+  fz : float array;
+  ux : float array;
+  uy : float array;
+  uz : float array;
+  w : float array;
+}
+
+type snap = {
+  version : int;
+  nstep : int;
+  grid : grid_snap;
+  sort_interval : int;
+  clean_div_interval : int;
+  marder_passes : int;
+  current_filter_passes : int;
+  field_data : (string * float array) list;
+  species : species_snap list;
+}
+
+let floats_of_sf sf =
+  let d = Sf.data sf in
+  Array.init (Bigarray.Array1.dim d) (Bigarray.Array1.get d)
+
+let floats_into_sf arr sf =
+  let d = Sf.data sf in
+  assert (Array.length arr = Bigarray.Array1.dim d);
+  Array.iteri (Bigarray.Array1.set d) arr
+
+let snap_species (s : Species.t) =
+  let np = Species.count s in
+  { sname = s.Species.name;
+    q = s.Species.q;
+    m = s.Species.m;
+    ci = Array.sub s.Species.ci 0 np;
+    cj = Array.sub s.Species.cj 0 np;
+    ck = Array.sub s.Species.ck 0 np;
+    fx = Array.sub s.Species.fx 0 np;
+    fy = Array.sub s.Species.fy 0 np;
+    fz = Array.sub s.Species.fz 0 np;
+    ux = Array.sub s.Species.ux 0 np;
+    uy = Array.sub s.Species.uy 0 np;
+    uz = Array.sub s.Species.uz 0 np;
+    w = Array.sub s.Species.w 0 np }
+
+let save (t : Simulation.t) path =
+  let g = t.Simulation.grid in
+  let lx, ly, lz = Grid.extent g in
+  let snap =
+    { version = format_version;
+      nstep = t.Simulation.nstep;
+      grid =
+        { nx = g.Grid.nx;
+          ny = g.Grid.ny;
+          nz = g.Grid.nz;
+          lx;
+          ly;
+          lz;
+          dt = g.Grid.dt;
+          x0 = g.Grid.x0;
+          y0 = g.Grid.y0;
+          z0 = g.Grid.z0 };
+      sort_interval = t.Simulation.sort_interval;
+      clean_div_interval = t.Simulation.clean_div_interval;
+      marder_passes = t.Simulation.marder_passes;
+      current_filter_passes = t.Simulation.current_filter_passes;
+      field_data =
+        List.map
+          (fun (name, sf) -> (name, floats_of_sf sf))
+          (Em_field.named_components t.Simulation.fields);
+      species = List.map snap_species t.Simulation.species }
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Marshal.to_channel oc snap [])
+
+let load ~coupler path =
+  let ic = open_in_bin path in
+  let snap : snap =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Marshal.from_channel ic)
+  in
+  if snap.version <> format_version then
+    failwith
+      (Printf.sprintf "Checkpoint.load: format version %d, expected %d"
+         snap.version format_version);
+  let gs = snap.grid in
+  let grid =
+    Grid.make ~nx:gs.nx ~ny:gs.ny ~nz:gs.nz ~lx:gs.lx ~ly:gs.ly ~lz:gs.lz
+      ~dt:gs.dt ~x0:gs.x0 ~y0:gs.y0 ~z0:gs.z0 ()
+  in
+  let t =
+    Simulation.make ~sort_interval:snap.sort_interval
+      ~clean_div_interval:snap.clean_div_interval
+      ~marder_passes:snap.marder_passes
+      ~current_filter_passes:snap.current_filter_passes ~grid ~coupler ()
+  in
+  t.Simulation.nstep <- snap.nstep;
+  List.iter
+    (fun (name, data) ->
+      match List.assoc_opt name (Em_field.named_components t.Simulation.fields) with
+      | Some sf -> floats_into_sf data sf
+      | None -> failwith ("Checkpoint.load: unknown field component " ^ name))
+    snap.field_data;
+  List.iter
+    (fun ss ->
+      let s = Simulation.add_species t ~name:ss.sname ~q:ss.q ~m:ss.m in
+      let np = Array.length ss.w in
+      Species.reserve s np;
+      for n = 0 to np - 1 do
+        Species.append s
+          { i = ss.ci.(n);
+            j = ss.cj.(n);
+            k = ss.ck.(n);
+            fx = ss.fx.(n);
+            fy = ss.fy.(n);
+            fz = ss.fz.(n);
+            ux = ss.ux.(n);
+            uy = ss.uy.(n);
+            uz = ss.uz.(n);
+            w = ss.w.(n) }
+      done)
+    snap.species;
+  t

@@ -1,0 +1,23 @@
+(** Checkpoint / restart.
+
+    Serialises the full simulation state (step counter, every field
+    component, every species) to a single file.  Bigarrays cannot be
+    marshalled, so field data is copied through plain float arrays into a
+    versioned snapshot record.
+
+    Limitations (stated, not hidden): laser antennas are closures and are
+    not saved — re-attach them after {!load}; the coupler is
+    reconstructed by the caller (it embeds runtime handles); the
+    refluxing-wall RNG stream restarts from its seed, so runs with
+    [Refluxing] faces resume statistically, not bitwise. *)
+
+val format_version : int
+
+(** Write a checkpoint.  In a multi-rank run each rank saves its own file
+    (append the rank to the path). *)
+val save : Simulation.t -> string -> unit
+
+(** Restore.  [coupler] must describe the same topology/boundaries the
+    checkpoint was taken with; the grid is rebuilt from the snapshot.
+    Raises [Failure] on version mismatch. *)
+val load : coupler:Coupler.t -> string -> Simulation.t

@@ -1,0 +1,62 @@
+module Sf = Vpic_grid.Scalar_field
+module Bc = Vpic_grid.Bc
+module Em_field = Vpic_field.Em_field
+module Boundary = Vpic_field.Boundary
+module Species = Vpic_particle.Species
+
+type t = {
+  bc : Bc.t;
+  fill_em : Em_field.t -> unit;
+  fill_e : Em_field.t -> unit;
+  fill_scalar : Sf.t -> unit;
+  fill_list : Sf.t list -> unit;
+  fold_currents : Em_field.t -> unit;
+  fold_rho : Em_field.t -> unit;
+  migrate : Species.t -> Em_field.t -> Vpic_particle.Push.mover list -> unit;
+  reduce_sum : float -> float;
+  reduce_max : float -> float;
+  barrier : unit -> unit;
+  rank : int;
+  nranks : int;
+}
+
+let local bc =
+  { bc;
+    fill_em = (fun f -> Boundary.fill_em bc f);
+    fill_e = (fun f -> Boundary.fill_scalars bc (Em_field.e_components f));
+    fill_scalar = (fun s -> Boundary.fill_scalars bc [ s ]);
+    fill_list = (fun ss -> Boundary.fill_scalars bc ss);
+    fold_currents = (fun f -> Boundary.fold_currents bc f);
+    fold_rho = (fun f -> Boundary.fold_rho bc f);
+    migrate = (fun _ _ movers -> assert (movers = []));
+    reduce_sum = (fun x -> x);
+    reduce_max = (fun x -> x);
+    barrier = (fun () -> ());
+    rank = 0;
+    nranks = 1 }
+
+let parallel comm bc =
+  let module Comm = Vpic_parallel.Comm in
+  let module Exchange = Vpic_parallel.Exchange in
+  let module Migrate = Vpic_parallel.Migrate in
+  { bc;
+    fill_em = (fun f -> Exchange.fill_ghosts comm bc (Em_field.em_components f));
+    fill_e = (fun f -> Exchange.fill_ghosts comm bc (Em_field.e_components f));
+    fill_scalar = (fun s -> Exchange.fill_ghosts comm bc [ s ]);
+    fill_list = (fun ss -> Exchange.fill_ghosts comm bc ss);
+    fold_currents =
+      (fun f -> Exchange.fold_ghosts comm bc (Em_field.j_components f));
+    fold_rho = (fun f -> Exchange.fold_ghosts comm bc [ f.Em_field.rho ]);
+    migrate =
+      (let rng = Vpic_util.Rng.of_int (0x5EED + Comm.rank comm) in
+       fun s f movers ->
+         ignore (Migrate.exchange ~rng comm bc s f movers));
+    reduce_sum = (fun x -> Comm.allreduce_sum comm x);
+    reduce_max = (fun x -> Comm.allreduce_max comm x);
+    barrier = (fun () -> Comm.barrier comm);
+    rank = Comm.rank comm;
+    nranks = Comm.size comm }
+
+let marder_hooks t f =
+  { Vpic_field.Marder.fill_e = (fun () -> t.fill_e f);
+    fill_scalar = (fun s -> t.fill_scalar s) }

@@ -1,0 +1,39 @@
+(** The seam between the physics loop and the outside world: ghost
+    consistency, current folding, particle migration and reductions.
+    A [local] coupler serves single-rank runs (boundary conditions applied
+    in place); a [parallel] coupler routes [Domain] faces through the
+    message-passing runtime.  The simulation loop is identical either
+    way. *)
+
+module Sf = Vpic_grid.Scalar_field
+module Bc = Vpic_grid.Bc
+module Em_field = Vpic_field.Em_field
+module Species = Vpic_particle.Species
+
+type t = {
+  bc : Bc.t;
+  fill_em : Em_field.t -> unit;      (** all six EM component ghosts *)
+  fill_e : Em_field.t -> unit;       (** E-component ghosts only *)
+  fill_scalar : Sf.t -> unit;        (** ghosts of a node scalar *)
+  fill_list : Sf.t list -> unit;     (** ghosts of several scalars (batched) *)
+  fold_currents : Em_field.t -> unit;
+  fold_rho : Em_field.t -> unit;
+  migrate :
+    Species.t -> Em_field.t -> Vpic_particle.Push.mover list -> unit;
+      (** ship movers, finish their moves (depositing remaining current);
+          collective; asserts no movers when serial *)
+  reduce_sum : float -> float;
+  reduce_max : float -> float;
+  barrier : unit -> unit;
+  rank : int;
+  nranks : int;
+}
+
+(** Single-rank coupler for the given boundary conditions. *)
+val local : Bc.t -> t
+
+(** Multi-rank coupler; [bc] must come from [Decomp.local_bc]. *)
+val parallel : Vpic_parallel.Comm.t -> Bc.t -> t
+
+(** Marder hooks wired through a coupler. *)
+val marder_hooks : t -> Em_field.t -> Vpic_field.Marder.hooks

@@ -1,0 +1,250 @@
+module Grid = Vpic_grid.Grid
+module Bc = Vpic_grid.Bc
+module Em_field = Vpic_field.Em_field
+module Maxwell = Vpic_field.Maxwell
+module Boundary = Vpic_field.Boundary
+module Marder = Vpic_field.Marder
+module Laser = Vpic_field.Laser
+module Diagnostics = Vpic_field.Diagnostics
+module Species = Vpic_particle.Species
+module Push = Vpic_particle.Push
+module Sort = Vpic_particle.Sort
+module Moments = Vpic_particle.Moments
+module Perf = Vpic_util.Perf
+
+type phase_timers = {
+  push : Perf.timer;
+  field : Perf.timer;
+  exchange : Perf.timer;
+  sort : Perf.timer;
+  clean : Perf.timer;
+}
+
+type t = {
+  grid : Grid.t;
+  fields : Em_field.t;
+  coupler : Coupler.t;
+  mutable species : Species.t list;
+  mutable lasers : Laser.t list;
+  absorber : Boundary.Absorber.t;
+  sort_interval : int;
+  clean_div_interval : int;
+  marder_passes : int;
+  current_filter_passes : int;
+  pusher : Push.kind;
+  smoothed : Em_field.t option;  (* gather copy when filtering *)
+  push_rng : Vpic_util.Rng.t;  (* refluxing-wall re-emission stream *)
+  mutable nstep : int;
+  mutable push_stats : Push.stats;
+  perf : Perf.counters;
+  timers : phase_timers;
+}
+
+let zero_stats : Push.stats =
+  { advanced = 0; segments = 0; absorbed = 0; reflected = 0; refluxed = 0;
+    outbound = 0 }
+
+let add_stats (a : Push.stats) (b : Push.stats) : Push.stats =
+  { advanced = a.advanced + b.advanced;
+    segments = a.segments + b.segments;
+    absorbed = a.absorbed + b.absorbed;
+    reflected = a.reflected + b.reflected;
+    refluxed = a.refluxed + b.refluxed;
+    outbound = a.outbound + b.outbound }
+
+let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
+    ?(absorber_thickness = 8) ?(absorber_strength = 0.15)
+    ?(current_filter_passes = 0) ?(pusher = Push.Boris) ~grid ~coupler () =
+  assert (current_filter_passes = 0 || clean_div_interval > 0);
+  { grid;
+    fields = Em_field.create grid;
+    coupler;
+    species = [];
+    lasers = [];
+    absorber =
+      Boundary.Absorber.create grid coupler.Coupler.bc
+        ~thickness:absorber_thickness ~strength:absorber_strength;
+    sort_interval;
+    clean_div_interval;
+    marder_passes;
+    current_filter_passes;
+    pusher;
+    smoothed =
+      (if current_filter_passes > 0 then Some (Em_field.create grid) else None);
+    push_rng = Vpic_util.Rng.of_int (0x7EED1 + (31 * coupler.Coupler.rank));
+    nstep = 0;
+    push_stats = zero_stats;
+    perf = Perf.create ();
+    timers =
+      { push = Perf.timer_create ();
+        field = Perf.timer_create ();
+        exchange = Perf.timer_create ();
+        sort = Perf.timer_create ();
+        clean = Perf.timer_create () } }
+
+let add_species t ~name ~q ~m =
+  assert (not (List.exists (fun s -> s.Species.name = name) t.species));
+  let s = Species.create ~name ~q ~m t.grid in
+  t.species <- t.species @ [ s ];
+  s
+
+let find_species t name =
+  match List.find_opt (fun s -> s.Species.name = name) t.species with
+  | Some s -> s
+  | None -> invalid_arg ("Simulation.find_species: no species " ^ name)
+
+let add_laser t l = t.lasers <- t.lasers @ [ l ]
+let time t = float_of_int t.nstep *. t.grid.Grid.dt
+
+let deposit_rho t =
+  Em_field.clear_rho t.fields;
+  List.iter
+    (fun s -> Moments.deposit_rho ~perf:t.perf s ~rho:t.fields.Em_field.rho)
+    t.species;
+  t.coupler.Coupler.fold_rho t.fields;
+  (* With current filtering on, filter rho identically: the smoothed
+     system satisfies continuity exactly, so the Marder clean is not
+     fighting the filter. *)
+  for _ = 1 to t.current_filter_passes do
+    Vpic_field.Filter.binomial_pass ~fill:t.coupler.Coupler.fill_list
+      [ t.fields.Em_field.rho ]
+  done
+
+let interval_due t interval = interval > 0 && (t.nstep + 1) mod interval = 0
+
+let step t =
+  let c = t.coupler in
+  let tm = t.timers in
+  (* Ghost consistency for the gather and the first B half-advance. *)
+  Perf.timer_start tm.exchange;
+  c.Coupler.fill_em t.fields;
+  ignore (Perf.timer_stop tm.exchange);
+  Em_field.clear_currents t.fields;
+  (* When filtering, particles gather from a binomially smoothed copy of
+     E and B: the same symmetric kernel later applied to J makes the
+     force/current coupling adjoint, avoiding secular self-heating. *)
+  let gather_from =
+    match t.smoothed with
+    | None -> None
+    | Some sm ->
+        List.iter2
+          (fun src dst -> Vpic_grid.Scalar_field.blit ~src ~dst)
+          (Em_field.em_components t.fields)
+          (Em_field.em_components sm);
+        for _ = 1 to t.current_filter_passes do
+          Vpic_field.Filter.binomial_pass ~fill:c.Coupler.fill_list
+            (Em_field.em_components sm)
+        done;
+        Some sm
+  in
+  (* Particle advance: inner loop of the paper. *)
+  Perf.timer_start tm.push;
+  let species_movers =
+    List.map
+      (fun s ->
+        let movers = ref [] in
+        let st =
+          Push.advance ~perf:t.perf ~movers ?gather_from ~rng:t.push_rng
+            ~pusher:t.pusher s t.fields c.Coupler.bc
+        in
+        t.push_stats <- add_stats t.push_stats st;
+        (s, !movers))
+      t.species
+  in
+  ignore (Perf.timer_stop tm.push);
+  List.iter (fun l -> Laser.drive l t.fields ~time:(time t)) t.lasers;
+  (* Migration must precede the current fold: finished movers deposit
+     their remaining segments (including into ghost slots). *)
+  Perf.timer_start tm.exchange;
+  List.iter
+    (fun (s, movers) -> c.Coupler.migrate s t.fields movers)
+    species_movers;
+  c.Coupler.fold_currents t.fields;
+  if t.current_filter_passes > 0 then
+    Vpic_field.Filter.smooth_currents ~passes:t.current_filter_passes
+      ~fill:c.Coupler.fill_list t.fields;
+  ignore (Perf.timer_stop tm.exchange);
+  (* Field advance. *)
+  Perf.timer_start tm.field;
+  Maxwell.advance_b ~perf:t.perf t.fields ~frac:0.5;
+  ignore (Perf.timer_stop tm.field);
+  Perf.timer_start tm.exchange;
+  c.Coupler.fill_em t.fields;
+  ignore (Perf.timer_stop tm.exchange);
+  Perf.timer_start tm.field;
+  Maxwell.advance_e ~perf:t.perf t.fields;
+  Boundary.enforce_pec c.Coupler.bc t.fields;
+  ignore (Perf.timer_stop tm.field);
+  if interval_due t t.clean_div_interval then begin
+    Perf.timer_start tm.clean;
+    deposit_rho t;
+    ignore
+      (Marder.clean ~perf:t.perf ~passes:t.marder_passes
+         ~hooks:(Coupler.marder_hooks c t.fields)
+         t.fields);
+    ignore (Perf.timer_stop tm.clean)
+  end;
+  Perf.timer_start tm.exchange;
+  c.Coupler.fill_em t.fields;
+  ignore (Perf.timer_stop tm.exchange);
+  Perf.timer_start tm.field;
+  Maxwell.advance_b ~perf:t.perf t.fields ~frac:0.5;
+  Boundary.Absorber.apply t.absorber t.fields;
+  ignore (Perf.timer_stop tm.field);
+  if interval_due t t.sort_interval then begin
+    Perf.timer_start tm.sort;
+    List.iter (fun s -> Sort.by_voxel ~perf:t.perf s) t.species;
+    ignore (Perf.timer_stop tm.sort)
+  end;
+  t.nstep <- t.nstep + 1
+
+let run t ~steps ?(every = 0) ?diag () =
+  for _ = 1 to steps do
+    step t;
+    match diag with
+    | Some f when every > 0 && t.nstep mod every = 0 -> f t
+    | _ -> ()
+  done
+
+type energies = {
+  field_e : float;
+  field_b : float;
+  particles : (string * float) list;
+  total : float;
+}
+
+let energies t =
+  let c = t.coupler in
+  let fe, fb = Diagnostics.field_energy t.fields in
+  let fe = c.Coupler.reduce_sum fe and fb = c.Coupler.reduce_sum fb in
+  let parts =
+    List.map
+      (fun s ->
+        (s.Species.name, c.Coupler.reduce_sum (Species.kinetic_energy s)))
+      t.species
+  in
+  { field_e = fe;
+    field_b = fb;
+    particles = parts;
+    total = fe +. fb +. List.fold_left (fun acc (_, e) -> acc +. e) 0. parts }
+
+let total_particles t =
+  let local = List.fold_left (fun acc s -> acc + Species.count s) 0 t.species in
+  int_of_float (t.coupler.Coupler.reduce_sum (float_of_int local))
+
+let gauss_residual t =
+  deposit_rho t;
+  t.coupler.Coupler.fill_e t.fields;
+  t.coupler.Coupler.reduce_max (Diagnostics.gauss_residual t.fields)
+
+let div_b_max t =
+  t.coupler.Coupler.fill_em t.fields;
+  t.coupler.Coupler.reduce_max (Diagnostics.div_b_max t.fields)
+
+let settle_fields t ~passes =
+  deposit_rho t;
+  ignore
+    (Marder.clean ~perf:t.perf ~passes
+       ~hooks:(Coupler.marder_hooks t.coupler t.fields)
+       t.fields);
+  t.coupler.Coupler.fill_em t.fields

@@ -1,0 +1,113 @@
+(** The simulation driver: owns the field state, the species list and the
+    step loop, in VPIC's order of operations:
+
+    + make ghosts consistent, clear current accumulators;
+    + advance every particle (gather, Boris, move + current scatter),
+      drive laser antennas, fold ghost currents, migrate movers;
+    + half B advance, full E advance (with J), half B advance;
+    + periodically: Marder divergence clean and voxel sort;
+    + apply the sponge absorber on absorbing boundaries.
+
+    Works identically on one rank ([Coupler.local]) or many
+    ([Coupler.parallel]); in the latter case, every rank steps its own
+    [t] collectively. *)
+
+module Grid = Vpic_grid.Grid
+module Bc = Vpic_grid.Bc
+module Em_field = Vpic_field.Em_field
+module Species = Vpic_particle.Species
+
+type phase_timers = {
+  push : Vpic_util.Perf.timer;
+  field : Vpic_util.Perf.timer;
+  exchange : Vpic_util.Perf.timer;
+  sort : Vpic_util.Perf.timer;
+  clean : Vpic_util.Perf.timer;
+}
+
+type t = {
+  grid : Grid.t;
+  fields : Em_field.t;
+  coupler : Coupler.t;
+  mutable species : Species.t list;
+  mutable lasers : Vpic_field.Laser.t list;
+  absorber : Vpic_field.Boundary.Absorber.t;
+  sort_interval : int;
+  clean_div_interval : int;
+  marder_passes : int;
+  current_filter_passes : int;
+  pusher : Vpic_particle.Push.kind;
+  smoothed : Em_field.t option;
+  push_rng : Vpic_util.Rng.t;
+  mutable nstep : int;
+  mutable push_stats : Vpic_particle.Push.stats;
+  perf : Vpic_util.Perf.counters;
+  timers : phase_timers;
+}
+
+(** [make ~grid ~coupler ()] builds an empty simulation.
+    [sort_interval] (default 25) and [clean_div_interval] (default 50)
+    may be 0 to disable.  The absorber acts only on [Absorbing] faces.
+    [current_filter_passes] (default 0) applies that many binomial
+    smoothing passes to the deposited J {e and} to the E/B fields the
+    particles gather — VPIC's optional noise filter; matched (symmetric)
+    smoothing of force and current keeps the coupling energy-consistent.
+    Filtered J breaks discrete continuity at the grid scale, so keep the
+    Marder clean enabled when using it. *)
+val make :
+  ?sort_interval:int ->
+  ?clean_div_interval:int ->
+  ?marder_passes:int ->
+  ?absorber_thickness:int ->
+  ?absorber_strength:float ->
+  ?current_filter_passes:int ->
+  ?pusher:Vpic_particle.Push.kind ->
+  grid:Grid.t ->
+  coupler:Coupler.t ->
+  unit ->
+  t
+
+(** Create, register and return a new species on this simulation's grid. *)
+val add_species : t -> name:string -> q:float -> m:float -> Species.t
+
+val find_species : t -> string -> Species.t
+val add_laser : t -> Vpic_field.Laser.t -> unit
+
+(** Physical time = nstep * dt. *)
+val time : t -> float
+
+(** Advance one full step. *)
+val step : t -> unit
+
+(** [run t ~steps ?every ?diag ()] steps [steps] times, invoking [diag]
+    every [every] steps (default: never). *)
+val run : t -> steps:int -> ?every:int -> ?diag:(t -> unit) -> unit -> unit
+
+(** {1 Diagnostics} (reduced across ranks; collective) *)
+
+type energies = {
+  field_e : float;
+  field_b : float;
+  particles : (string * float) list;
+  total : float;
+}
+
+val energies : t -> energies
+
+(** Total particle count over all species and ranks. *)
+val total_particles : t -> int
+
+(** Deposit rho from scratch and return the max Gauss-law residual
+    |div E - rho|. *)
+val gauss_residual : t -> float
+
+(** Max |div B| over the global interior (ghosts refreshed first);
+    machine-level forever under the Yee update. *)
+val div_b_max : t -> float
+
+(** Run [passes] Marder passes against the current charge distribution —
+    used to make an initially non-neutral load field-consistent. *)
+val settle_fields : t -> passes:int -> unit
+
+(** Deposit and fold rho from all species into [t.fields.rho]. *)
+val deposit_rho : t -> unit

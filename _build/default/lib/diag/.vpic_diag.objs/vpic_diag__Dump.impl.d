@@ -1,0 +1,1 @@
+lib/diag/dump.ml: Fun List Printf String Vpic_grid Vpic_particle

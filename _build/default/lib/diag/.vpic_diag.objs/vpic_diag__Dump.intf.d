@@ -1,0 +1,1 @@
+lib/diag/dump.mli: Vpic_grid Vpic_particle

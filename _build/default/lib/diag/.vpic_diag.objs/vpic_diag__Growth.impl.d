@@ -1,0 +1,1 @@
+lib/diag/growth.ml: Array Float Vpic_util

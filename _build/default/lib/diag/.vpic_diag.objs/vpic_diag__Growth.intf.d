@@ -1,0 +1,1 @@
+lib/diag/growth.mli:

@@ -1,0 +1,1 @@
+lib/diag/history.ml: Array Float List Vpic_util

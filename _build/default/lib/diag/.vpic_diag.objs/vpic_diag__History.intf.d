@@ -1,0 +1,1 @@
+lib/diag/history.mli: Vpic_util

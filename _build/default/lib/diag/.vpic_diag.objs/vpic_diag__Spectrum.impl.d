@@ -1,0 +1,1 @@
+lib/diag/spectrum.ml: Array Float List

@@ -1,0 +1,113 @@
+module Grid = Vpic_grid.Grid
+module Sf = Vpic_grid.Scalar_field
+module Species = Vpic_particle.Species
+module Particle = Vpic_particle.Particle
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let line_x_csv ~path ~j ~k named =
+  match named with
+  | [] -> invalid_arg "Dump.line_x_csv: no fields"
+  | (_, first) :: _ ->
+      let g = Sf.grid first in
+      assert (j >= 1 && j <= g.Grid.ny && k >= 1 && k <= g.Grid.nz);
+      with_out path (fun oc ->
+          output_string oc
+            ("x," ^ String.concat "," (List.map fst named) ^ "\n");
+          for i = 1 to g.Grid.nx do
+            let x = g.Grid.x0 +. ((float_of_int (i - 1) +. 0.5) *. g.Grid.dx) in
+            output_string oc (Printf.sprintf "%.9g" x);
+            List.iter
+              (fun (_, f) ->
+                output_string oc (Printf.sprintf ",%.9g" (Sf.get f i j k)))
+              named;
+            output_char oc '\n'
+          done)
+
+let plane_xy_csv ~path ~k f =
+  let g = Sf.grid f in
+  assert (k >= 1 && k <= g.Grid.nz);
+  with_out path (fun oc ->
+      output_string oc "x\\y";
+      for j = 1 to g.Grid.ny do
+        output_string oc
+          (Printf.sprintf ",%.9g"
+             (g.Grid.y0 +. ((float_of_int (j - 1) +. 0.5) *. g.Grid.dy)))
+      done;
+      output_char oc '\n';
+      for i = 1 to g.Grid.nx do
+        output_string oc
+          (Printf.sprintf "%.9g"
+             (g.Grid.x0 +. ((float_of_int (i - 1) +. 0.5) *. g.Grid.dx)));
+        for j = 1 to g.Grid.ny do
+          output_string oc (Printf.sprintf ",%.9g" (Sf.get f i j k))
+        done;
+        output_char oc '\n'
+      done)
+
+let fields_vtk ~path named =
+  match named with
+  | [] -> invalid_arg "Dump.fields_vtk: no fields"
+  | (_, first) :: _ ->
+      let g = Sf.grid first in
+      with_out path (fun oc ->
+          output_string oc "# vtk DataFile Version 3.0\n";
+          output_string oc "vpic-ocaml field dump\nASCII\n";
+          output_string oc "DATASET STRUCTURED_POINTS\n";
+          output_string oc
+            (Printf.sprintf "DIMENSIONS %d %d %d\n" g.Grid.nx g.Grid.ny
+               g.Grid.nz);
+          output_string oc
+            (Printf.sprintf "ORIGIN %.9g %.9g %.9g\n" g.Grid.x0 g.Grid.y0
+               g.Grid.z0);
+          output_string oc
+            (Printf.sprintf "SPACING %.9g %.9g %.9g\n" g.Grid.dx g.Grid.dy
+               g.Grid.dz);
+          output_string oc
+            (Printf.sprintf "POINT_DATA %d\n" (Grid.interior_count g));
+          List.iter
+            (fun (name, f) ->
+              output_string oc
+                (Printf.sprintf "SCALARS %s double 1\nLOOKUP_TABLE default\n"
+                   name);
+              Grid.iter_interior g (fun i j k ->
+                  output_string oc (Printf.sprintf "%.9g\n" (Sf.get f i j k))))
+            named)
+
+let particles_csv ~path ?(max_particles = 100000) s =
+  let np = Species.count s in
+  let stride = max 1 ((np + max_particles - 1) / max_particles) in
+  let g = s.Species.grid in
+  with_out path (fun oc ->
+      output_string oc "x,y,z,ux,uy,uz,w\n";
+      let n = ref 0 in
+      while !n < np do
+        let p = Species.get s !n in
+        let x, y, z = Particle.position g p in
+        output_string oc
+          (Printf.sprintf "%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n" x y z
+             p.Particle.ux p.Particle.uy p.Particle.uz p.Particle.w);
+        n := !n + stride
+      done)
+
+let read_csv path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        String.split_on_char ',' (input_line ic) |> List.map String.trim
+      in
+      let rows = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             rows :=
+               (String.split_on_char ',' line |> List.map float_of_string)
+               :: !rows
+         done
+       with End_of_file -> ());
+      (header, List.rev !rows))

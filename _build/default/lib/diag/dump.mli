@@ -1,0 +1,31 @@
+(** Simulation output: field slices and volumes, particle samples.
+
+    VPIC's dump machinery writes binary field/hydro/particle files per
+    rank; here we provide the analogous (plain-text) writers sized for
+    the scaled-down runs: CSV slices for line plots, legacy-VTK
+    structured-points volumes loadable by ParaView/VisIt, and CSV
+    particle samples.  All writers are deterministic and round-trip
+    tested. *)
+
+module Sf = Vpic_grid.Scalar_field
+
+(** Write one x-line (fixed j,k) of each named scalar as CSV columns:
+    header [x,<name1>,<name2>,...], one row per interior i. *)
+val line_x_csv :
+  path:string -> j:int -> k:int -> (string * Sf.t) list -> unit
+
+(** Write an x-y plane (fixed k) of one scalar as CSV (header row of y
+    coordinates, then one row per x with leading x coordinate). *)
+val plane_xy_csv : path:string -> k:int -> Sf.t -> unit
+
+(** Legacy-VTK STRUCTURED_POINTS volume of the named scalars (interior
+    cells only, ASCII). *)
+val fields_vtk : path:string -> (string * Sf.t) list -> unit
+
+(** CSV sample of up to [max_particles] particles (stride-sampled):
+    columns x,y,z,ux,uy,uz,w. *)
+val particles_csv :
+  path:string -> ?max_particles:int -> Vpic_particle.Species.t -> unit
+
+(** Parse back a {!line_x_csv} file: (header, rows). *)
+val read_csv : string -> string list * float list list

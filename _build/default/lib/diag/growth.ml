@@ -1,0 +1,29 @@
+let rate_in_window ~times ~amps ~i_lo ~i_hi =
+  assert (0 <= i_lo && i_lo < i_hi && i_hi <= Array.length times);
+  let ts = Array.sub times i_lo (i_hi - i_lo) in
+  let xs = Array.sub amps i_lo (i_hi - i_lo) in
+  let _, gamma, r2 = Vpic_util.Stats.log_linear_fit ts xs in
+  (gamma, r2)
+
+let rate_auto ?(lo_frac = 1e-3) ?(hi_frac = 0.3) ~times ~amps () =
+  let n = Array.length amps in
+  assert (n = Array.length times && n >= 4);
+  let peak = Array.fold_left Float.max neg_infinity amps in
+  if peak <= 0. then (0., 0.)
+  else begin
+    let i_peak = ref 0 in
+    for i = 0 to n - 1 do
+      if amps.(i) = peak && !i_peak = 0 then i_peak := i
+    done;
+    (* Walk back from the peak to the growth span. *)
+    let i_hi = ref !i_peak in
+    while !i_hi > 0 && amps.(!i_hi) > hi_frac *. peak do
+      decr i_hi
+    done;
+    let i_lo = ref !i_hi in
+    while !i_lo > 0 && amps.(!i_lo) > lo_frac *. peak do
+      decr i_lo
+    done;
+    if !i_hi - !i_lo < 4 then (0., 0.)
+    else rate_in_window ~times ~amps ~i_lo:!i_lo ~i_hi:!i_hi
+  end

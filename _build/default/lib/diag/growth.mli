@@ -1,0 +1,19 @@
+(** Exponential-growth-rate measurement for instability validation (the
+    two-stream and SRS growth phases). *)
+
+(** Fit amplitude ~ exp(gamma t) over the sample window [i_lo, i_hi)
+    (log-linear least squares; non-positive samples skipped).
+    Returns (gamma, r2). *)
+val rate_in_window :
+  times:float array -> amps:float array -> i_lo:int -> i_hi:int -> float * float
+
+(** Automatic window: fit over the span where the amplitude climbs from
+    [lo_frac] to [hi_frac] of its peak (defaults 1e-3 .. 0.3).  Returns
+    (gamma, r2); gamma = 0 when no growth window exists. *)
+val rate_auto :
+  ?lo_frac:float ->
+  ?hi_frac:float ->
+  times:float array ->
+  amps:float array ->
+  unit ->
+  float * float

@@ -1,0 +1,52 @@
+type t = {
+  names : string list;
+  mutable times_rev : float list;
+  mutable rows_rev : float list list;
+  mutable n : int;
+}
+
+let create names =
+  assert (names <> []);
+  { names; times_rev = []; rows_rev = []; n = 0 }
+
+let channels t = t.names
+
+let record t ~time ~values =
+  assert (List.length values = List.length t.names);
+  t.times_rev <- time :: t.times_rev;
+  t.rows_rev <- values :: t.rows_rev;
+  t.n <- t.n + 1
+
+let length t = t.n
+let times t = Array.of_list (List.rev t.times_rev)
+
+let index_of t name =
+  let rec find i = function
+    | [] -> invalid_arg ("History.series: no channel " ^ name)
+    | x :: rest -> if x = name then i else find (i + 1) rest
+  in
+  find 0 t.names
+
+let series t name =
+  let idx = index_of t name in
+  Array.of_list (List.rev_map (fun row -> List.nth row idx) t.rows_rev)
+
+let relative_drift t name =
+  let xs = series t name in
+  if Array.length xs = 0 then 0.
+  else begin
+    let x0 = xs.(0) in
+    let denom = Float.max (Float.abs x0) 1e-300 in
+    Array.fold_left (fun acc x -> Float.max acc (Float.abs (x -. x0) /. denom)) 0. xs
+  end
+
+let to_table t =
+  let tbl = Vpic_util.Table.create ("time" :: t.names) in
+  List.iter2
+    (fun time row ->
+      Vpic_util.Table.add_row tbl
+        (Vpic_util.Table.cell_f time :: List.map Vpic_util.Table.cell_f row))
+    (List.rev t.times_rev) (List.rev t.rows_rev);
+  tbl
+
+let save_csv t path = Vpic_util.Table.save_csv (to_table t) path

@@ -1,0 +1,24 @@
+(** Time-series recorder shared by examples, tests and the bench harness:
+    named channels sampled at (step, time). *)
+
+type t
+
+val create : string list -> t
+val channels : t -> string list
+
+(** Append one sample; [values] must match the channel arity. *)
+val record : t -> time:float -> values:float list -> unit
+
+val length : t -> int
+val times : t -> float array
+
+(** Series of one named channel. *)
+val series : t -> string -> float array
+
+(** Relative drift of a channel: max |x - x0| / |x0|. *)
+val relative_drift : t -> string -> float
+
+(** Render as an aligned table (for small histories). *)
+val to_table : t -> Vpic_util.Table.t
+
+val save_csv : t -> string -> unit

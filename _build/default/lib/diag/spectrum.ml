@@ -1,0 +1,63 @@
+let remove_mean xs =
+  let n = Array.length xs in
+  let mu = Array.fold_left ( +. ) 0. xs /. float_of_int (max 1 n) in
+  Array.map (fun x -> x -. mu) xs
+
+let periodogram ~dt xs =
+  let xs = remove_mean xs in
+  let n = Array.length xs in
+  assert (n >= 2);
+  let nfreq = n / 2 in
+  let omegas = Array.make nfreq 0. in
+  let power = Array.make nfreq 0. in
+  for m = 0 to nfreq - 1 do
+    let omega = 2. *. Float.pi *. float_of_int m /. (float_of_int n *. dt) in
+    let re = ref 0. and im = ref 0. in
+    for i = 0 to n - 1 do
+      let phase = omega *. (float_of_int i *. dt) in
+      re := !re +. (xs.(i) *. cos phase);
+      im := !im -. (xs.(i) *. sin phase)
+    done;
+    omegas.(m) <- omega;
+    power.(m) <- ((!re *. !re) +. (!im *. !im)) /. float_of_int n
+  done;
+  (omegas, power)
+
+let dominant_omega ~dt xs =
+  assert (Array.length xs >= 8);
+  let omegas, power = periodogram ~dt xs in
+  let best = ref 1 in
+  for m = 2 to Array.length power - 1 do
+    if power.(m) > power.(!best) then best := m
+  done;
+  let m = !best in
+  if m <= 0 || m >= Array.length power - 1 then omegas.(m)
+  else begin
+    (* Parabolic interpolation of log power around the peak. *)
+    let l = log (Float.max 1e-300 power.(m - 1)) in
+    let c = log (Float.max 1e-300 power.(m)) in
+    let r = log (Float.max 1e-300 power.(m + 1)) in
+    let denom = l -. (2. *. c) +. r in
+    let delta = if denom = 0. then 0. else 0.5 *. (l -. r) /. denom in
+    let domega = omegas.(1) -. omegas.(0) in
+    omegas.(m) +. (delta *. domega)
+  end
+
+let zero_crossing_omega ~dt xs =
+  let xs = remove_mean xs in
+  let n = Array.length xs in
+  assert (n >= 4);
+  (* Interpolated positions of upward zero crossings. *)
+  let crossings = ref [] in
+  for i = 0 to n - 2 do
+    if xs.(i) <= 0. && xs.(i + 1) > 0. then begin
+      let frac = -.xs.(i) /. (xs.(i + 1) -. xs.(i)) in
+      crossings := ((float_of_int i +. frac) *. dt) :: !crossings
+    end
+  done;
+  match List.rev !crossings with
+  | first :: _ :: _ as all ->
+      let last = List.nth all (List.length all - 1) in
+      let periods = float_of_int (List.length all - 1) in
+      2. *. Float.pi *. periods /. (last -. first)
+  | _ -> 0.

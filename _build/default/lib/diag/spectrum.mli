@@ -1,0 +1,16 @@
+(** Frequency analysis of recorded time series: a direct DFT (test-size
+    signals) and a dominant-frequency estimator with parabolic peak
+    interpolation — used to measure plasma-oscillation and EM dispersion
+    frequencies against theory. *)
+
+(** Power |X(f)|^2 at [nfreq] frequencies up to Nyquist; returns
+    (omegas, power) for a signal sampled every [dt]. *)
+val periodogram : dt:float -> float array -> float array * float array
+
+(** Angular frequency of the strongest spectral peak (mean removed),
+    refined by parabolic interpolation.  Requires >= 8 samples. *)
+val dominant_omega : dt:float -> float array -> float
+
+(** Count-based estimate: mean angular frequency from zero crossings of
+    the mean-removed signal — robust for short, clean oscillations. *)
+val zero_crossing_omega : dt:float -> float array -> float

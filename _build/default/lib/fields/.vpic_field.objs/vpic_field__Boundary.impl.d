@@ -1,0 +1,1 @@
+lib/fields/boundary.ml: Array Bigarray Em_field Float List Vpic_grid

@@ -1,0 +1,1 @@
+lib/fields/boundary.mli: Em_field Vpic_grid

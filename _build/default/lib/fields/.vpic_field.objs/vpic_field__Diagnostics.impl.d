@@ -1,0 +1,1 @@
+lib/fields/diagnostics.ml: Em_field Float List String Vpic_grid

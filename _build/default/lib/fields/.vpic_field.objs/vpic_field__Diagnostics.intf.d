@@ -1,0 +1,1 @@
+lib/fields/diagnostics.mli: Em_field Vpic_grid

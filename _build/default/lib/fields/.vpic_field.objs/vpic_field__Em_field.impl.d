@@ -1,0 +1,1 @@
+lib/fields/em_field.ml: Float List Vpic_grid

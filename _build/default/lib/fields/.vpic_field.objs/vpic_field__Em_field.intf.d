@@ -1,0 +1,1 @@
+lib/fields/em_field.mli: Vpic_grid

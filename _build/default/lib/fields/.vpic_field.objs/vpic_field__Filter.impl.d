@@ -1,0 +1,1 @@
+lib/fields/filter.ml: Bigarray Em_field List Vpic_grid

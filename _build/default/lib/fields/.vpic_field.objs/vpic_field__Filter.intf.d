@@ -1,0 +1,1 @@
+lib/fields/filter.mli: Em_field Vpic_grid

@@ -1,0 +1,1 @@
+lib/fields/laser.ml: Em_field Float Vpic_grid

@@ -1,0 +1,1 @@
+lib/fields/laser.mli: Em_field

@@ -1,0 +1,1 @@
+lib/fields/marder.ml: Boundary Em_field Vpic_grid Vpic_util

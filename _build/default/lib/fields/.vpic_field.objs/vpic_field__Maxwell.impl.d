@@ -1,0 +1,1 @@
+lib/fields/maxwell.ml: Bigarray Em_field Float Vpic_grid Vpic_util

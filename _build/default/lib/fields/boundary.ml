@@ -1,0 +1,150 @@
+module Grid = Vpic_grid.Grid
+module Sf = Vpic_grid.Scalar_field
+module Bc = Vpic_grid.Bc
+module Axis = Vpic_grid.Axis
+
+let interior_extent g axis =
+  match axis with
+  | Axis.X -> g.Grid.nx
+  | Axis.Y -> g.Grid.ny
+  | Axis.Z -> g.Grid.nz
+
+(* Ghost plane index and the interior planes it wraps to / copies from. *)
+let ghost_index g axis side =
+  match side with `Lo -> 0 | `Hi -> interior_extent g axis + 1
+
+let wrap_source g axis side =
+  match side with `Lo -> interior_extent g axis | `Hi -> 1
+
+let adjacent_interior g axis side =
+  match side with `Lo -> 1 | `Hi -> interior_extent g axis
+
+let fill_face kind f ~axis ~side =
+  let g = Sf.grid f in
+  let ghost = ghost_index g axis side in
+  match kind with
+  | Bc.Periodic -> Sf.copy_plane f ~axis ~src:(wrap_source g axis side) ~dst:ghost
+  | Bc.Conducting ->
+      Sf.set_plane f ~axis ~index:ghost
+        (Array.make (Sf.plane_size g ~axis) 0.)
+  | Bc.Absorbing | Bc.Refluxing _ ->
+      Sf.copy_plane f ~axis ~src:(adjacent_interior g axis side) ~dst:ghost
+  | Bc.Domain _ -> () (* handled by the parallel exchanger *)
+
+let fold_face kind f ~axis ~side =
+  let g = Sf.grid f in
+  let ghost = ghost_index g axis side in
+  match kind with
+  | Bc.Periodic ->
+      Sf.accumulate_plane f ~axis ~src:ghost ~dst:(wrap_source g axis side)
+  | Bc.Conducting | Bc.Absorbing | Bc.Refluxing _ -> ()
+  | Bc.Domain _ -> ()
+
+let faces = [ (Axis.X, `Lo); (Axis.X, `Hi); (Axis.Y, `Lo); (Axis.Y, `Hi);
+              (Axis.Z, `Lo); (Axis.Z, `Hi) ]
+
+let fill_scalars bc fs =
+  List.iter
+    (fun (axis, side) ->
+      let kind = Bc.face bc axis side in
+      List.iter (fun f -> fill_face kind f ~axis ~side) fs)
+    faces
+
+let fill_em bc f = fill_scalars bc (Em_field.em_components f)
+
+let fold_scalars bc fs =
+  List.iter
+    (fun (axis, side) ->
+      let kind = Bc.face bc axis side in
+      List.iter (fun f -> fold_face kind f ~axis ~side) fs)
+    faces
+
+let fold_currents bc f = fold_scalars bc (Em_field.j_components f)
+let fold_rho bc f = fold_scalars bc [ f.Em_field.rho ]
+
+(* Zero wall-tangential E.  The low wall plane is interior slot 1 of the
+   components with an integer coordinate along [axis]; the high wall lives
+   in ghost slot n+1 and is already zeroed by the conducting ghost fill. *)
+let enforce_pec bc f =
+  let g = f.Em_field.grid in
+  let zero_plane sf axis index =
+    Sf.set_plane sf ~axis ~index (Array.make (Sf.plane_size g ~axis) 0.)
+  in
+  List.iter
+    (fun (axis, side) ->
+      match Bc.face bc axis side with
+      | Bc.Conducting ->
+          let idx =
+            match side with `Lo -> 1 | `Hi -> interior_extent g axis + 1
+          in
+          let tangential =
+            match axis with
+            | Axis.X -> [ f.Em_field.ey; f.Em_field.ez ]
+            | Axis.Y -> [ f.Em_field.ex; f.Em_field.ez ]
+            | Axis.Z -> [ f.Em_field.ex; f.Em_field.ey ]
+          in
+          List.iter (fun sf -> zero_plane sf axis idx) tangential
+      | Bc.Periodic | Bc.Absorbing | Bc.Refluxing _ | Bc.Domain _ -> ())
+    faces
+
+module Absorber = struct
+  type t = { mask : Sf.t option }
+
+  let create g bc ~thickness ~strength =
+    assert (thickness >= 1 && strength > 0. && strength < 1.);
+    let absorbs k = match k with Bc.Absorbing | Bc.Refluxing _ -> true | _ -> false in
+    let has_absorbing =
+      List.exists (fun (a, s) -> absorbs (Bc.face bc a s)) faces
+    in
+    if not has_absorbing then { mask = None }
+    else begin
+      let mask = Sf.create g in
+      Sf.fill mask 1.;
+      let th = float_of_int thickness in
+      let damp depth =
+        (* cubic ramp: 1 at the inner edge of the layer, 1-strength at wall *)
+        let u = (th -. depth) /. th in
+        if u <= 0. then 1. else 1. -. (strength *. u *. u *. u)
+      in
+      let extent axis = interior_extent g axis in
+      let coord axis i j k =
+        match axis with Axis.X -> i | Axis.Y -> j | Axis.Z -> k
+      in
+      Sf.set_all mask (fun i j k ->
+          List.fold_left
+            (fun acc (axis, side) ->
+              let absorbs =
+                match Bc.face bc axis side with
+                | Bc.Absorbing | Bc.Refluxing _ -> true
+                | _ -> false
+              in
+              if not absorbs then acc
+              else begin
+                let c = coord axis i j k in
+                let depth =
+                  match side with
+                  | `Lo -> float_of_int (c - 1)
+                  | `Hi -> float_of_int (extent axis - c)
+                in
+                acc *. damp (Float.max 0. depth)
+              end)
+            1. faces);
+      { mask = Some mask }
+    end
+
+  let is_trivial t = t.mask = None
+
+  let apply t f =
+    match t.mask with
+    | None -> ()
+    | Some mask ->
+        let m = Sf.data mask in
+        List.iter
+          (fun sf ->
+            let d = Sf.data sf in
+            for v = 0 to Bigarray.Array1.dim d - 1 do
+              Bigarray.Array1.unsafe_set d v
+                (Bigarray.Array1.unsafe_get d v *. Bigarray.Array1.unsafe_get m v)
+            done)
+          (Em_field.em_components f)
+end

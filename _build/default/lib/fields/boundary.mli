@@ -1,0 +1,51 @@
+(** Local (single-rank) ghost handling for the six box faces.
+
+    [Domain] faces are skipped here — they belong to the parallel
+    exchanger, which calls back into these primitives for every
+    non-domain face. *)
+
+module Sf = Vpic_grid.Scalar_field
+module Bc = Vpic_grid.Bc
+module Axis = Vpic_grid.Axis
+
+(** Fill both ghost planes of one scalar along [axis] for a non-domain
+    face kind: periodic wraps, conducting zeroes, absorbing copies the
+    adjacent interior plane (zero-gradient). *)
+val fill_face : Bc.kind -> Sf.t -> axis:Axis.t -> side:[ `Lo | `Hi ] -> unit
+
+(** Fold a ghost plane of an accumulated quantity (current, rho) back into
+    the interior: periodic wraps and adds; other kinds discard. *)
+val fold_face : Bc.kind -> Sf.t -> axis:Axis.t -> side:[ `Lo | `Hi ] -> unit
+
+(** Fill ghosts of the given scalars on every non-domain face. *)
+val fill_scalars : Bc.t -> Sf.t list -> unit
+
+(** Fill ghosts of all six EM components on every non-domain face. *)
+val fill_em : Bc.t -> Em_field.t -> unit
+
+(** Fold ghost currents (jx,jy,jz) on every non-domain face. *)
+val fold_currents : Bc.t -> Em_field.t -> unit
+
+(** Fold ghost rho on every non-domain face. *)
+val fold_rho : Bc.t -> Em_field.t -> unit
+
+(** Zero wall-tangential E on conducting faces (call after advance_e). *)
+val enforce_pec : Bc.t -> Em_field.t -> unit
+
+(** {1 Sponge absorber}
+
+    Fields within [thickness] cells of an absorbing face are multiplied
+    each step by a mask ramping from 1 down to [1 - strength] at the wall,
+    absorbing outgoing waves with little reflection. *)
+
+module Absorber : sig
+  type t
+
+  val create :
+    Vpic_grid.Grid.t -> Bc.t -> thickness:int -> strength:float -> t
+
+  (** Identity mask when no face is absorbing. *)
+  val is_trivial : t -> bool
+
+  val apply : t -> Em_field.t -> unit
+end

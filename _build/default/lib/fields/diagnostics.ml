@@ -1,0 +1,86 @@
+module Grid = Vpic_grid.Grid
+module Sf = Vpic_grid.Scalar_field
+
+let div_e f ~out =
+  let g = f.Em_field.grid in
+  let rx = 1. /. g.Grid.dx and ry = 1. /. g.Grid.dy and rz = 1. /. g.Grid.dz in
+  Grid.iter_interior g (fun i j k ->
+      let d =
+        ((Sf.get f.ex i j k -. Sf.get f.ex (i - 1) j k) *. rx)
+        +. ((Sf.get f.ey i j k -. Sf.get f.ey i (j - 1) k) *. ry)
+        +. ((Sf.get f.ez i j k -. Sf.get f.ez i j (k - 1)) *. rz)
+      in
+      Sf.set out i j k d)
+
+let div_b f ~out =
+  let g = f.Em_field.grid in
+  let rx = 1. /. g.Grid.dx and ry = 1. /. g.Grid.dy and rz = 1. /. g.Grid.dz in
+  Grid.iter_interior g (fun i j k ->
+      let d =
+        ((Sf.get f.bx (i + 1) j k -. Sf.get f.bx i j k) *. rx)
+        +. ((Sf.get f.by i (j + 1) k -. Sf.get f.by i j k) *. ry)
+        +. ((Sf.get f.bz i j (k + 1) -. Sf.get f.bz i j k) *. rz)
+      in
+      Sf.set out i j k d)
+
+let gauss_residual f =
+  let g = f.Em_field.grid in
+  let tmp = Sf.create g in
+  div_e f ~out:tmp;
+  let m = ref 0. in
+  Grid.iter_interior g (fun i j k ->
+      m := Float.max !m (Float.abs (Sf.get tmp i j k -. Sf.get f.rho i j k)));
+  !m
+
+let div_b_max f =
+  let tmp = Sf.create f.Em_field.grid in
+  div_b f ~out:tmp;
+  Sf.max_abs_interior tmp
+
+let field_energy f =
+  let dv = Grid.cell_volume f.Em_field.grid in
+  let half_sq c = 0.5 *. dv *. Sf.sum_sq_interior c in
+  let e =
+    half_sq f.Em_field.ex +. half_sq f.Em_field.ey +. half_sq f.Em_field.ez
+  in
+  let b =
+    half_sq f.Em_field.bx +. half_sq f.Em_field.by +. half_sq f.Em_field.bz
+  in
+  (e, b)
+
+let energy_by_component f =
+  let dv = Grid.cell_volume f.Em_field.grid in
+  List.map
+    (fun (name, c) -> (name, 0.5 *. dv *. Sf.sum_sq_interior c))
+    (List.filter
+       (fun (n, _) -> String.length n = 2)
+       (Em_field.named_components f))
+
+let poynting_flux_x f ~i =
+  let g = f.Em_field.grid in
+  let da = g.Grid.dy *. g.Grid.dz in
+  let acc = ref 0. in
+  for k = 1 to g.Grid.nz do
+    for j = 1 to g.Grid.ny do
+      let sx =
+        (Sf.get f.Em_field.ey i j k *. Sf.get f.Em_field.bz i j k)
+        -. (Sf.get f.Em_field.ez i j k *. Sf.get f.Em_field.by i j k)
+      in
+      acc := !acc +. (sx *. da)
+    done
+  done;
+  !acc
+
+let plane_mean c ~i =
+  let g = Sf.grid c in
+  let acc = ref 0. in
+  for k = 1 to g.Grid.nz do
+    for j = 1 to g.Grid.ny do
+      acc := !acc +. Sf.get c i j k
+    done
+  done;
+  !acc /. float_of_int (g.Grid.ny * g.Grid.nz)
+
+let rms c =
+  let g = Sf.grid c in
+  sqrt (Sf.sum_sq_interior c /. float_of_int (Grid.interior_count g))

@@ -1,0 +1,36 @@
+(** Field diagnostics: divergence errors, energies, Poynting flux. *)
+
+module Sf = Vpic_grid.Scalar_field
+
+(** div E on integer nodes, written into [out] over interior nodes.
+    Requires valid low-side E ghosts. *)
+val div_e : Em_field.t -> out:Sf.t -> unit
+
+(** div B on cell centres, written into [out] over interior cells.
+    Requires valid high-side B ghosts.  Exactly conserved (to roundoff)
+    by the Yee update. *)
+val div_b : Em_field.t -> out:Sf.t -> unit
+
+(** Max |div E - rho| over interior nodes (Gauss-law residual).
+    Requires E ghosts and deposited/folded rho. *)
+val gauss_residual : Em_field.t -> float
+
+(** Max |div B| over interior cells. *)
+val div_b_max : Em_field.t -> float
+
+(** (electric, magnetic) field energy: 1/2 sum comp^2 dV. *)
+val field_energy : Em_field.t -> float * float
+
+val energy_by_component : Em_field.t -> (string * float) list
+
+(** Poynting flux integral through the x-plane at slot [i]:
+    int (Ey Bz - Ez By) dy dz, positive toward +x.  Component values are
+    taken at slot [i] (half-cell staggering ignored — adequate for the
+    reflectivity diagnostic). *)
+val poynting_flux_x : Em_field.t -> i:int -> float
+
+(** Mean of a component over a given x-plane (interior j,k). *)
+val plane_mean : Sf.t -> i:int -> float
+
+(** RMS of a component over the interior. *)
+val rms : Sf.t -> float

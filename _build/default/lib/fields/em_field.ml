@@ -1,0 +1,61 @@
+module Sf = Vpic_grid.Scalar_field
+
+type t = {
+  grid : Vpic_grid.Grid.t;
+  ex : Sf.t;
+  ey : Sf.t;
+  ez : Sf.t;
+  bx : Sf.t;
+  by : Sf.t;
+  bz : Sf.t;
+  jx : Sf.t;
+  jy : Sf.t;
+  jz : Sf.t;
+  rho : Sf.t;
+}
+
+let create grid =
+  { grid;
+    ex = Sf.create grid;
+    ey = Sf.create grid;
+    ez = Sf.create grid;
+    bx = Sf.create grid;
+    by = Sf.create grid;
+    bz = Sf.create grid;
+    jx = Sf.create grid;
+    jy = Sf.create grid;
+    jz = Sf.create grid;
+    rho = Sf.create grid }
+
+let clear_currents f =
+  Sf.fill f.jx 0.;
+  Sf.fill f.jy 0.;
+  Sf.fill f.jz 0.
+
+let clear_rho f = Sf.fill f.rho 0.
+let e_components f = [ f.ex; f.ey; f.ez ]
+let b_components f = [ f.bx; f.by; f.bz ]
+let j_components f = [ f.jx; f.jy; f.jz ]
+let em_components f = e_components f @ b_components f
+
+let named_components f =
+  [ ("ex", f.ex); ("ey", f.ey); ("ez", f.ez); ("bx", f.bx); ("by", f.by);
+    ("bz", f.bz); ("jx", f.jx); ("jy", f.jy); ("jz", f.jz); ("rho", f.rho) ]
+
+let copy f =
+  { grid = f.grid;
+    ex = Sf.copy f.ex;
+    ey = Sf.copy f.ey;
+    ez = Sf.copy f.ez;
+    bx = Sf.copy f.bx;
+    by = Sf.copy f.by;
+    bz = Sf.copy f.bz;
+    jx = Sf.copy f.jx;
+    jy = Sf.copy f.jy;
+    jz = Sf.copy f.jz;
+    rho = Sf.copy f.rho }
+
+let max_component_diff a b =
+  List.fold_left2
+    (fun acc fa fb -> Float.max acc (Sf.max_abs_diff_interior fa fb))
+    0. (em_components a) (em_components b)

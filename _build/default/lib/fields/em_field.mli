@@ -1,0 +1,46 @@
+(** Electromagnetic field state on a Yee mesh.
+
+    Component staggering (array slot [i,j,k] holds the value at):
+    - ex: (i+1/2, j, k)      ey: (i, j+1/2, k)      ez: (i, j, k+1/2)
+    - bx: (i, j+1/2, k+1/2)  by: (i+1/2, j, k+1/2)  bz: (i+1/2, j+1/2, k)
+    - jx/jy/jz are co-located with ex/ey/ez.
+    - rho and derived scalars (div error) live on integer nodes (i, j, k).
+
+    Units: c = 1, eps0 = mu0 = 1 (so B here is really c*B). *)
+
+type t = {
+  grid : Vpic_grid.Grid.t;
+  ex : Vpic_grid.Scalar_field.t;
+  ey : Vpic_grid.Scalar_field.t;
+  ez : Vpic_grid.Scalar_field.t;
+  bx : Vpic_grid.Scalar_field.t;
+  by : Vpic_grid.Scalar_field.t;
+  bz : Vpic_grid.Scalar_field.t;
+  jx : Vpic_grid.Scalar_field.t;
+  jy : Vpic_grid.Scalar_field.t;
+  jz : Vpic_grid.Scalar_field.t;
+  rho : Vpic_grid.Scalar_field.t;
+}
+
+val create : Vpic_grid.Grid.t -> t
+
+(** Zero the current accumulators (start of every step). *)
+val clear_currents : t -> unit
+
+val clear_rho : t -> unit
+
+(** All six EM components, for bulk ghost operations. *)
+val em_components : t -> Vpic_grid.Scalar_field.t list
+
+val e_components : t -> Vpic_grid.Scalar_field.t list
+val b_components : t -> Vpic_grid.Scalar_field.t list
+val j_components : t -> Vpic_grid.Scalar_field.t list
+
+(** Named components, for serialisation and debug dumps. *)
+val named_components : t -> (string * Vpic_grid.Scalar_field.t) list
+
+(** Deep copy (grids shared, data duplicated). *)
+val copy : t -> t
+
+(** Max |a - b| over interior voxels across all EM components. *)
+val max_component_diff : t -> t -> float

@@ -1,0 +1,51 @@
+module Grid = Vpic_grid.Grid
+module Sf = Vpic_grid.Scalar_field
+
+type polarization = Pol_y | Pol_z
+
+type t = {
+  omega : float;
+  e0 : float;
+  plane_i : int;
+  t_rise : float;
+  polarization : polarization;
+  phase : float;
+  transverse : (float -> float -> float) option;
+}
+
+let make ~omega ~e0 ~plane_i ?(t_rise = 10.) ?(polarization = Pol_y)
+    ?(phase = 0.) ?transverse () =
+  assert (omega > 0. && e0 >= 0. && plane_i >= 1);
+  { omega; e0; plane_i; t_rise; polarization; phase; transverse }
+
+let envelope t time =
+  if time <= 0. then 0.
+  else if time >= t.t_rise then 1.
+  else begin
+    let s = sin (Float.pi /. 2. *. time /. t.t_rise) in
+    s *. s
+  end
+
+let drive t f ~time =
+  let g = f.Em_field.grid in
+  assert (t.plane_i <= g.Grid.nx);
+  (* Sheet current K = 2 e0 spread over one cell emits |E| = e0 each way. *)
+  let amp =
+    2. *. t.e0 /. g.Grid.dx *. envelope t time
+    *. sin ((t.omega *. time) +. t.phase)
+  in
+  let target =
+    match t.polarization with Pol_y -> f.Em_field.jy | Pol_z -> f.Em_field.jz
+  in
+  for k = 1 to g.Grid.nz do
+    for j = 1 to g.Grid.ny do
+      let w =
+        match t.transverse with
+        | None -> 1.
+        | Some profile ->
+            let _, y, z = Grid.cell_origin g t.plane_i j k in
+            profile y z
+      in
+      Sf.add target t.plane_i j k (amp *. w)
+    done
+  done

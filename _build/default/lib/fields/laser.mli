@@ -1,0 +1,39 @@
+(** Laser injection: a soft current-sheet antenna in an x-plane.
+
+    A surface current K(t) radiates plane waves of amplitude K/2 in +x and
+    -x; with an absorbing layer behind the antenna only the forward wave
+    survives.  Amplitudes are normalised E (m_e c omega_pe / e units): for
+    a laser of normalised vector potential a0 and frequency omega (in
+    omega_pe), the peak field is [e0 = a0 * omega]. *)
+
+type polarization = Pol_y | Pol_z
+
+type t = {
+  omega : float;        (** laser frequency, units of omega_pe *)
+  e0 : float;           (** peak normalised E field of the emitted wave *)
+  plane_i : int;        (** interior x-slot of the antenna *)
+  t_rise : float;       (** sin^2 turn-on time, units of 1/omega_pe *)
+  polarization : polarization;
+  phase : float;
+  transverse : (float -> float -> float) option;
+      (** profile(y,z) in physical coordinates; None = plane wave *)
+}
+
+val make :
+  omega:float ->
+  e0:float ->
+  plane_i:int ->
+  ?t_rise:float ->
+  ?polarization:polarization ->
+  ?phase:float ->
+  ?transverse:(float -> float -> float) ->
+  unit ->
+  t
+
+(** sin^2 envelope, 0 at t=0 rising to 1 at [t_rise]. *)
+val envelope : t -> float -> float
+
+(** Add the antenna current into the field's J accumulators for the step
+    starting at [time].  Call after [clear_currents] and before
+    [advance_e]. *)
+val drive : t -> Em_field.t -> time:float -> unit

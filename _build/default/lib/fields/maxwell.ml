@@ -1,0 +1,106 @@
+module Grid = Vpic_grid.Grid
+module Sf = Vpic_grid.Scalar_field
+module Perf = Vpic_util.Perf
+
+(* Per interior voxel: three components, each one curl (2 diffs, 2 scales),
+   current subtraction and the dt scale-add. *)
+let flops_per_voxel_e = 27.
+let flops_per_voxel_b = 24.
+
+let advance_b ?(perf = Perf.global) f ~frac =
+  let g = f.Em_field.grid in
+  let dt = frac *. g.Grid.dt in
+  let cx = dt /. g.Grid.dx and cy = dt /. g.Grid.dy and cz = dt /. g.Grid.dz in
+  let ex = Sf.data f.ex and ey = Sf.data f.ey and ez = Sf.data f.ez in
+  let bx = Sf.data f.bx and by = Sf.data f.by and bz = Sf.data f.bz in
+  let gxs = g.Grid.gx in
+  let gys = g.Grid.gy in
+  let open Bigarray.Array1 in
+  for k = 1 to g.Grid.nz do
+    for j = 1 to g.Grid.ny do
+      let row = gxs * (j + (gys * k)) in
+      let row_jp = gxs * (j + 1 + (gys * k)) in
+      let row_kp = gxs * (j + (gys * (k + 1))) in
+      for i = 1 to g.Grid.nx do
+        let v = i + row in
+        let v_ip = v + 1 in
+        let v_jp = i + row_jp in
+        let v_kp = i + row_kp in
+        (* bx -= cy*(ez[j+1]-ez) - cz*(ey[k+1]-ey) *)
+        unsafe_set bx v
+          (unsafe_get bx v
+          -. ((cy *. (unsafe_get ez v_jp -. unsafe_get ez v))
+             -. (cz *. (unsafe_get ey v_kp -. unsafe_get ey v))));
+        (* by -= cz*(ex[k+1]-ex) - cx*(ez[i+1]-ez) *)
+        unsafe_set by v
+          (unsafe_get by v
+          -. ((cz *. (unsafe_get ex v_kp -. unsafe_get ex v))
+             -. (cx *. (unsafe_get ez v_ip -. unsafe_get ez v))));
+        (* bz -= cx*(ey[i+1]-ey) - cy*(ex[j+1]-ex) *)
+        unsafe_set bz v
+          (unsafe_get bz v
+          -. ((cx *. (unsafe_get ey v_ip -. unsafe_get ey v))
+             -. (cy *. (unsafe_get ex v_jp -. unsafe_get ex v))))
+      done
+    done
+  done;
+  let nvox = float_of_int (Grid.interior_count g) in
+  Perf.add_flops perf (flops_per_voxel_b *. nvox);
+  Perf.add_voxel_updates perf nvox;
+  Perf.add_bytes perf (nvox *. 8. *. 12.)
+
+let advance_e ?(perf = Perf.global) f =
+  let g = f.Em_field.grid in
+  let dt = g.Grid.dt in
+  let cx = dt /. g.Grid.dx and cy = dt /. g.Grid.dy and cz = dt /. g.Grid.dz in
+  let ex = Sf.data f.ex and ey = Sf.data f.ey and ez = Sf.data f.ez in
+  let bx = Sf.data f.bx and by = Sf.data f.by and bz = Sf.data f.bz in
+  let jx = Sf.data f.jx and jy = Sf.data f.jy and jz = Sf.data f.jz in
+  let gxs = g.Grid.gx in
+  let gys = g.Grid.gy in
+  let open Bigarray.Array1 in
+  for k = 1 to g.Grid.nz do
+    for j = 1 to g.Grid.ny do
+      let row = gxs * (j + (gys * k)) in
+      let row_jm = gxs * (j - 1 + (gys * k)) in
+      let row_km = gxs * (j + (gys * (k - 1))) in
+      for i = 1 to g.Grid.nx do
+        let v = i + row in
+        let v_im = v - 1 in
+        let v_jm = i + row_jm in
+        let v_km = i + row_km in
+        (* ex += cy*(bz - bz[j-1]) - cz*(by - by[k-1]) - dt*jx *)
+        unsafe_set ex v
+          (unsafe_get ex v
+          +. (cy *. (unsafe_get bz v -. unsafe_get bz v_jm))
+          -. (cz *. (unsafe_get by v -. unsafe_get by v_km))
+          -. (dt *. unsafe_get jx v));
+        (* ey += cz*(bx - bx[k-1]) - cx*(bz - bz[i-1]) - dt*jy *)
+        unsafe_set ey v
+          (unsafe_get ey v
+          +. (cz *. (unsafe_get bx v -. unsafe_get bx v_km))
+          -. (cx *. (unsafe_get bz v -. unsafe_get bz v_im))
+          -. (dt *. unsafe_get jy v));
+        (* ez += cx*(by - by[i-1]) - cy*(bx - bx[j-1]) - dt*jz *)
+        unsafe_set ez v
+          (unsafe_get ez v
+          +. (cx *. (unsafe_get by v -. unsafe_get by v_im))
+          -. (cy *. (unsafe_get bx v -. unsafe_get bx v_jm))
+          -. (dt *. unsafe_get jz v))
+      done
+    done
+  done;
+  let nvox = float_of_int (Grid.interior_count g) in
+  Perf.add_flops perf (flops_per_voxel_e *. nvox);
+  Perf.add_voxel_updates perf nvox;
+  Perf.add_bytes perf (nvox *. 8. *. 15.)
+
+let numerical_omega g ~kx ~ky ~kz =
+  let term k d =
+    let s = sin (k *. d /. 2.) /. d in
+    s *. s
+  in
+  let s2 =
+    term kx g.Grid.dx +. term ky g.Grid.dy +. term kz g.Grid.dz
+  in
+  2. /. g.Grid.dt *. asin (Float.min 1. (g.Grid.dt *. sqrt s2))

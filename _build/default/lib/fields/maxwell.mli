@@ -1,0 +1,28 @@
+(** Leapfrogged FDTD Maxwell solver on the Yee mesh.
+
+    The caller is responsible for ghost consistency: the low-side B ghosts
+    must be valid before {!advance_e} and the high-side E ghosts before
+    {!advance_b} (use [Boundary.fill_em] or the parallel exchanger).
+
+    Update scheme per step (c = 1, eps0 = mu0 = 1):
+    - B <- B - (frac dt) curl E   (called with frac = 0.5, twice)
+    - E <- E + dt (curl B - J) *)
+
+(** Analytic flop counts per interior voxel, used by the perf ledger and
+    the Roadrunner model. *)
+val flops_per_voxel_e : float
+
+val flops_per_voxel_b : float
+
+(** Half (or [frac]) magnetic-field advance. *)
+val advance_b :
+  ?perf:Vpic_util.Perf.counters -> Em_field.t -> frac:float -> unit
+
+(** Full electric-field advance using the accumulated current density. *)
+val advance_e : ?perf:Vpic_util.Perf.counters -> Em_field.t -> unit
+
+(** Vacuum numerical dispersion: exact angular frequency of a plane wave
+    with wavevector (kx,ky,kz) on this mesh,
+    sin^2(w dt/2)/dt^2 = sum sin^2(k d/2)/d^2. *)
+val numerical_omega :
+  Vpic_grid.Grid.t -> kx:float -> ky:float -> kz:float -> float

@@ -1,0 +1,1 @@
+lib/grid/decomp.ml: Axis Bc Grid Printf

@@ -1,0 +1,1 @@
+lib/grid/decomp.mli: Axis Bc Grid

@@ -1,0 +1,1 @@
+lib/grid/grid.ml: Float Format

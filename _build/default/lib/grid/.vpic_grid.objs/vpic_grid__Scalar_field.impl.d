@@ -1,0 +1,1 @@
+lib/grid/scalar_field.ml: Array Axis Bigarray Float Grid

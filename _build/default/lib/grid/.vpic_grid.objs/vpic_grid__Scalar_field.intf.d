@@ -1,0 +1,1 @@
+lib/grid/scalar_field.mli: Axis Bigarray Grid

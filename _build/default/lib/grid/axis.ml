@@ -1,0 +1,5 @@
+type t = X | Y | Z
+
+let all = [ X; Y; Z ]
+let to_string = function X -> "x" | Y -> "y" | Z -> "z"
+let index = function X -> 0 | Y -> 1 | Z -> 2

@@ -1,0 +1,8 @@
+(** Coordinate axes, shared by plane extraction, boundary conditions and
+    the domain-decomposition exchange. *)
+
+type t = X | Y | Z
+
+val all : t list
+val to_string : t -> string
+val index : t -> int

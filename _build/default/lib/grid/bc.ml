@@ -1,0 +1,43 @@
+type kind =
+  | Periodic
+  | Conducting
+  | Absorbing
+  | Refluxing of float
+  | Domain of int
+
+type t = {
+  xlo : kind;
+  xhi : kind;
+  ylo : kind;
+  yhi : kind;
+  zlo : kind;
+  zhi : kind;
+}
+
+let uniform k = { xlo = k; xhi = k; ylo = k; yhi = k; zlo = k; zhi = k }
+let periodic = uniform Periodic
+
+let face t axis side =
+  match (axis, side) with
+  | Axis.X, `Lo -> t.xlo
+  | Axis.X, `Hi -> t.xhi
+  | Axis.Y, `Lo -> t.ylo
+  | Axis.Y, `Hi -> t.yhi
+  | Axis.Z, `Lo -> t.zlo
+  | Axis.Z, `Hi -> t.zhi
+
+let with_face t axis side k =
+  match (axis, side) with
+  | Axis.X, `Lo -> { t with xlo = k }
+  | Axis.X, `Hi -> { t with xhi = k }
+  | Axis.Y, `Lo -> { t with ylo = k }
+  | Axis.Y, `Hi -> { t with yhi = k }
+  | Axis.Z, `Lo -> { t with zlo = k }
+  | Axis.Z, `Hi -> { t with zhi = k }
+
+let kind_to_string = function
+  | Periodic -> "periodic"
+  | Conducting -> "conducting"
+  | Absorbing -> "absorbing"
+  | Refluxing uth -> Printf.sprintf "refluxing(%g)" uth
+  | Domain r -> Printf.sprintf "domain(%d)" r

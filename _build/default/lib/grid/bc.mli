@@ -1,0 +1,37 @@
+(** Boundary-condition descriptors for the six faces of the local box.
+
+    [Periodic] wraps fields and particles; [Conducting] is a perfect
+    electric conductor (tangential E = 0, reflecting particles);
+    [Absorbing] damps outgoing fields in a boundary layer and removes
+    particles that leave; [Refluxing uth] absorbs fields like [Absorbing]
+    but re-emits each departing particle from the wall as if from a
+    thermal bath of momentum spread [uth] (VPIC's maxwellian reflux);
+    [Domain r] marks an internal face shared with neighbouring rank [r]
+    (handled by the parallel exchange). *)
+
+type kind =
+  | Periodic
+  | Conducting
+  | Absorbing
+  | Refluxing of float
+  | Domain of int
+
+type t = {
+  xlo : kind;
+  xhi : kind;
+  ylo : kind;
+  yhi : kind;
+  zlo : kind;
+  zhi : kind;
+}
+
+val periodic : t
+val uniform : kind -> t
+
+(** Face lookup by axis/side. *)
+val face : t -> Axis.t -> [ `Lo | `Hi ] -> kind
+
+(** Functional face update. *)
+val with_face : t -> Axis.t -> [ `Lo | `Hi ] -> kind -> t
+
+val kind_to_string : kind -> string

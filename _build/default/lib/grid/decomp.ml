@@ -1,0 +1,87 @@
+type t = {
+  px : int;
+  py : int;
+  pz : int;
+  gnx : int;
+  gny : int;
+  gnz : int;
+  lx : float;
+  ly : float;
+  lz : float;
+}
+
+let make ~px ~py ~pz ~gnx ~gny ~gnz ~lx ~ly ~lz =
+  let check p g name =
+    if p < 1 then invalid_arg (Printf.sprintf "Decomp.make: p%s < 1" name);
+    if g mod p <> 0 then
+      invalid_arg
+        (Printf.sprintf "Decomp.make: p%s=%d does not divide gn%s=%d" name p
+           name g)
+  in
+  check px gnx "x";
+  check py gny "y";
+  check pz gnz "z";
+  { px; py; pz; gnx; gny; gnz; lx; ly; lz }
+
+let size t = t.px * t.py * t.pz
+
+let coords_of_rank t r =
+  assert (r >= 0 && r < size t);
+  (r mod t.px, r / t.px mod t.py, r / (t.px * t.py))
+
+let rank_of_coords t cx cy cz =
+  let wrap c p = ((c mod p) + p) mod p in
+  let cx = wrap cx t.px and cy = wrap cy t.py and cz = wrap cz t.pz in
+  cx + (t.px * (cy + (t.py * cz)))
+
+let step side = match side with `Lo -> -1 | `Hi -> 1
+
+let neighbor t ~rank ~axis ~side =
+  let cx, cy, cz = coords_of_rank t rank in
+  let d = step side in
+  match axis with
+  | Axis.X -> rank_of_coords t (cx + d) cy cz
+  | Axis.Y -> rank_of_coords t cx (cy + d) cz
+  | Axis.Z -> rank_of_coords t cx cy (cz + d)
+
+let neighbor_wraps t ~rank ~axis ~side =
+  let cx, cy, cz = coords_of_rank t rank in
+  let at_edge c p = match side with `Lo -> c = 0 | `Hi -> c = p - 1 in
+  match axis with
+  | Axis.X -> at_edge cx t.px
+  | Axis.Y -> at_edge cy t.py
+  | Axis.Z -> at_edge cz t.pz
+
+let local_dims t = (t.gnx / t.px, t.gny / t.py, t.gnz / t.pz)
+
+let local_grid t ~dt ~rank =
+  let nx, ny, nz = local_dims t in
+  let cx, cy, cz = coords_of_rank t rank in
+  let llx = t.lx /. float_of_int t.px in
+  let lly = t.ly /. float_of_int t.py in
+  let llz = t.lz /. float_of_int t.pz in
+  Grid.make ~nx ~ny ~nz ~lx:llx ~ly:lly ~lz:llz ~dt
+    ~x0:(float_of_int cx *. llx)
+    ~y0:(float_of_int cy *. lly)
+    ~z0:(float_of_int cz *. llz)
+    ()
+
+let local_bc t ~global ~rank =
+  let face axis side =
+    let p =
+      match axis with Axis.X -> t.px | Axis.Y -> t.py | Axis.Z -> t.pz
+    in
+    let at_global_edge = neighbor_wraps t ~rank ~axis ~side in
+    let global_kind = Bc.face global axis side in
+    if p = 1 then global_kind
+    else if at_global_edge && global_kind <> Bc.Periodic then global_kind
+    else Bc.Domain (neighbor t ~rank ~axis ~side)
+  in
+  { Bc.xlo = face Axis.X `Lo;
+    xhi = face Axis.X `Hi;
+    ylo = face Axis.Y `Lo;
+    yhi = face Axis.Y `Hi;
+    zlo = face Axis.Z `Lo;
+    zhi = face Axis.Z `Hi }
+
+let global_extent t = (t.lx, t.ly, t.lz)

@@ -1,0 +1,48 @@
+(** 3D Cartesian domain decomposition geometry.
+
+    A global grid of [gnx * gny * gnz] cells over a box [lx * ly * lz] is
+    split into [px * py * pz] equal bricks, one per rank.  Rank order is
+    x-fastest, like VPIC's topology.  This module is pure geometry; the
+    runtime messaging lives in [vpic_parallel]. *)
+
+type t = private {
+  px : int;
+  py : int;
+  pz : int;
+  gnx : int;
+  gny : int;
+  gnz : int;
+  lx : float;
+  ly : float;
+  lz : float;
+}
+
+(** Raises [Invalid_argument] unless each pn divides gn. *)
+val make :
+  px:int -> py:int -> pz:int -> gnx:int -> gny:int -> gnz:int ->
+  lx:float -> ly:float -> lz:float -> t
+
+val size : t -> int
+val coords_of_rank : t -> int -> int * int * int
+val rank_of_coords : t -> int -> int -> int -> int
+
+(** Neighbour rank across a face, with periodic wrap. *)
+val neighbor : t -> rank:int -> axis:Axis.t -> side:[ `Lo | `Hi ] -> int
+
+(** Whether moving across this face wraps around the global box. *)
+val neighbor_wraps : t -> rank:int -> axis:Axis.t -> side:[ `Lo | `Hi ] -> bool
+
+(** Local interior dimensions (identical for all ranks). *)
+val local_dims : t -> int * int * int
+
+(** Local grid for [rank], with the correct physical origin. *)
+val local_grid : t -> dt:float -> rank:int -> Grid.t
+
+(** Boundary conditions for [rank]: faces shared with a neighbouring brick
+    become [Bc.Domain neighbour]; true global boundaries take their kind
+    from [global] (faces with px=1 on a periodic axis stay [Periodic] and
+    are handled locally). *)
+val local_bc : t -> global:Bc.t -> rank:int -> Bc.t
+
+(** Global physical box. *)
+val global_extent : t -> float * float * float

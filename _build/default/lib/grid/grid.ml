@@ -1,0 +1,90 @@
+type t = {
+  nx : int;
+  ny : int;
+  nz : int;
+  dx : float;
+  dy : float;
+  dz : float;
+  dt : float;
+  x0 : float;
+  y0 : float;
+  z0 : float;
+  gx : int;
+  gy : int;
+  gz : int;
+  nv : int;
+}
+
+let make ~nx ~ny ~nz ~lx ~ly ~lz ~dt ?(x0 = 0.) ?(y0 = 0.) ?(z0 = 0.) () =
+  assert (nx >= 1 && ny >= 1 && nz >= 1);
+  assert (lx > 0. && ly > 0. && lz > 0. && dt > 0.);
+  let gx = nx + 2 and gy = ny + 2 and gz = nz + 2 in
+  { nx;
+    ny;
+    nz;
+    dx = lx /. float_of_int nx;
+    dy = ly /. float_of_int ny;
+    dz = lz /. float_of_int nz;
+    dt;
+    x0;
+    y0;
+    z0;
+    gx;
+    gy;
+    gz;
+    nv = gx * gy * gz }
+
+let courant_dt ?(safety = 0.95) ~dx ~dy ~dz () =
+  safety /. sqrt ((1. /. (dx *. dx)) +. (1. /. (dy *. dy)) +. (1. /. (dz *. dz)))
+
+let voxel g i j k = i + (g.gx * (j + (g.gy * k)))
+
+let cell_of_voxel g v =
+  let i = v mod g.gx in
+  let r = v / g.gx in
+  (i, r mod g.gy, r / g.gy)
+
+let is_interior g i j k =
+  i >= 1 && i <= g.nx && j >= 1 && j <= g.ny && k >= 1 && k <= g.nz
+
+let cell_origin g i j k =
+  ( g.x0 +. (float_of_int (i - 1) *. g.dx),
+    g.y0 +. (float_of_int (j - 1) *. g.dy),
+    g.z0 +. (float_of_int (k - 1) *. g.dz) )
+
+let locate g x y z =
+  let axis pos p0 d n =
+    let u = (pos -. p0) /. d in
+    let c = int_of_float (Float.floor u) in
+    let c = if c < 0 then 0 else if c > n - 1 then n - 1 else c in
+    let frac = u -. float_of_int c in
+    let frac = if frac < 0. then 0. else if frac >= 1. then Float.pred 1. else frac in
+    (c + 1, frac)
+  in
+  let i, fx = axis x g.x0 g.dx g.nx in
+  let j, fy = axis y g.y0 g.dy g.ny in
+  let k, fz = axis z g.z0 g.dz g.nz in
+  ((i, j, k), (fx, fy, fz))
+
+let iter_interior g f =
+  for k = 1 to g.nz do
+    for j = 1 to g.ny do
+      for i = 1 to g.nx do
+        f i j k
+      done
+    done
+  done
+
+let interior_count g = g.nx * g.ny * g.nz
+
+let extent g =
+  ( float_of_int g.nx *. g.dx,
+    float_of_int g.ny *. g.dy,
+    float_of_int g.nz *. g.dz )
+
+let cell_volume g = g.dx *. g.dy *. g.dz
+let volume g = cell_volume g *. float_of_int (interior_count g)
+
+let pp ppf g =
+  Format.fprintf ppf "grid %dx%dx%d d=(%g,%g,%g) dt=%g origin=(%g,%g,%g)"
+    g.nx g.ny g.nz g.dx g.dy g.dz g.dt g.x0 g.y0 g.z0

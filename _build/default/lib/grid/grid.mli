@@ -1,0 +1,77 @@
+(** Yee-grid geometry and voxel indexing.
+
+    A grid covers a box of [nx * ny * nz] interior cells plus one ghost
+    layer on every side.  Local cell indices run 1..n on each axis
+    (0 and n+1 are ghosts), matching VPIC's VOXEL convention.  All grid
+    quantities are stored flat, indexed by {!voxel}. *)
+
+type t = private {
+  nx : int;  (** interior cells along x *)
+  ny : int;
+  nz : int;
+  dx : float;  (** cell size (normalised units, c/omega_pe) *)
+  dy : float;
+  dz : float;
+  dt : float;  (** time step (1/omega_pe) *)
+  x0 : float;  (** coordinate of the low-x interior face *)
+  y0 : float;
+  z0 : float;
+  gx : int;  (** allocated extent along x = nx+2 *)
+  gy : int;
+  gz : int;
+  nv : int;  (** total allocated voxels = gx*gy*gz *)
+}
+
+(** [make ~nx ~ny ~nz ~lx ~ly ~lz ~dt ()] builds a grid over a box of
+    physical size lx*ly*lz with origin (0,0,0) unless overridden. *)
+val make :
+  nx:int ->
+  ny:int ->
+  nz:int ->
+  lx:float ->
+  ly:float ->
+  lz:float ->
+  dt:float ->
+  ?x0:float ->
+  ?y0:float ->
+  ?z0:float ->
+  unit ->
+  t
+
+(** Largest stable FDTD time step times [safety] (default 0.95):
+    dt < 1/sqrt(dx^-2 + dy^-2 + dz^-2) with c = 1. *)
+val courant_dt :
+  ?safety:float -> dx:float -> dy:float -> dz:float -> unit -> float
+
+(** Flat index of cell (i,j,k); i in [0, nx+1] etc. *)
+val voxel : t -> int -> int -> int -> int
+
+(** Inverse of {!voxel}. *)
+val cell_of_voxel : t -> int -> int * int * int
+
+(** True when (i,j,k) is an interior (non-ghost) cell. *)
+val is_interior : t -> int -> int -> int -> bool
+
+(** Physical coordinate of the low corner of interior cell (i,j,k). *)
+val cell_origin : t -> int -> int -> int -> float * float * float
+
+(** Locate a physical point: interior cell indices and in-cell fractions in
+    [0,1).  Points outside the interior are clamped to the nearest interior
+    cell. *)
+val locate : t -> float -> float -> float -> (int * int * int) * (float * float * float)
+
+(** Iterate f i j k over all interior cells, x fastest. *)
+val iter_interior : t -> (int -> int -> int -> unit) -> unit
+
+(** Number of interior cells. *)
+val interior_count : t -> int
+
+(** Physical box extents (interior). *)
+val extent : t -> float * float * float
+
+val cell_volume : t -> float
+
+(** Total interior volume. *)
+val volume : t -> float
+
+val pp : Format.formatter -> t -> unit

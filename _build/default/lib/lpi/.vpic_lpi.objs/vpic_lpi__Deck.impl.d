@@ -1,0 +1,1 @@
+lib/lpi/deck.ml: Float Reflectivity Srs_theory Vpic Vpic_field Vpic_grid Vpic_particle Vpic_util

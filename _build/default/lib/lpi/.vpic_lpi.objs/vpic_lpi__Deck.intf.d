@@ -1,0 +1,1 @@
+lib/lpi/deck.mli: Reflectivity Srs_theory Vpic

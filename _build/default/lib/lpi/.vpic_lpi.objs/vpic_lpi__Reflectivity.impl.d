@@ -1,0 +1,1 @@
+lib/lpi/reflectivity.ml: Float Queue Vpic_field Vpic_grid

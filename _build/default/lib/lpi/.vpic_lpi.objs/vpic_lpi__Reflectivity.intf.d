@@ -1,0 +1,1 @@
+lib/lpi/reflectivity.mli: Vpic_field

@@ -1,0 +1,1 @@
+lib/lpi/srs_theory.ml: Float Vpic_util

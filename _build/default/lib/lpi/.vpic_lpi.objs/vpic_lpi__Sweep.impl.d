@@ -1,0 +1,1 @@
+lib/lpi/sweep.ml: Deck List Reflectivity Srs_theory Trapping Vpic Vpic_util

@@ -1,0 +1,1 @@
+lib/lpi/sweep.mli: Deck

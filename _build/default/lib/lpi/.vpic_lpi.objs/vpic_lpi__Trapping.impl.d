@@ -1,0 +1,1 @@
+lib/lpi/trapping.ml: Array Float Vpic_grid Vpic_particle Vpic_util

@@ -1,0 +1,1 @@
+lib/lpi/trapping.mli: Vpic_particle

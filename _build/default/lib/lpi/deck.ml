@@ -1,0 +1,175 @@
+module Grid = Vpic_grid.Grid
+module Bc = Vpic_grid.Bc
+module Laser = Vpic_field.Laser
+module Species = Vpic_particle.Species
+module Loader = Vpic_particle.Loader
+module Rng = Vpic_util.Rng
+module Simulation = Vpic.Simulation
+module Coupler = Vpic.Coupler
+
+type config = {
+  nr : float;
+  te_kev : float;
+  ti_over_te : float;
+  a0 : float;
+  r_seed : float;
+  nx : int;
+  ny : int;
+  nz : int;
+  dx : float;
+  l_transverse : float;
+  vacuum : float;
+  ppc : int;
+  ion_mass : float;
+  filter_passes : int;
+  t_rise : float;
+  rng_seed : int;
+}
+
+let default =
+  { nr = 0.10;
+    te_kev = 2.5;
+    ti_over_te = 0.3;
+    a0 = 0.06;
+    r_seed = 1e-3;
+    nx = 256;
+    ny = 2;
+    nz = 2;
+    dx = 0.10;
+    l_transverse = 2.0;
+    vacuum = 5.0;
+    ppc = 64;
+    ion_mass = 1836.;
+    filter_passes = 0;
+    t_rise = 15.;
+    rng_seed = 2008 }
+
+let electron_rest_kev = 510.99895
+
+let e0_of c = c.a0 /. sqrt c.nr
+
+type setup = {
+  sim : Simulation.t;
+  refl : Reflectivity.t;
+  plasma : Srs_theory.plasma;
+  matching : Srs_theory.matching;
+  plasma_x_lo : float;
+  plasma_x_hi : float;
+  e0 : float;
+  config : config;
+}
+
+(* Load ions at the electrons' positions (co-located quiet start: the
+   plasma starts exactly neutral node by node, so the only initial E is
+   zero and Gauss's law holds from step 0). *)
+let load_colocated_ions rng (electrons : Species.t) (ions : Species.t) ~uth_i =
+  Species.reserve ions (Species.count electrons);
+  Species.iter electrons (fun n ->
+      let p = Species.get electrons n in
+      Species.append ions
+        { p with
+          ux = uth_i *. Rng.normal rng;
+          uy = uth_i *. Rng.normal rng;
+          uz = uth_i *. Rng.normal rng })
+
+let build c =
+  assert (c.vacuum >= 2. && float_of_int c.nx *. c.dx > 2. *. c.vacuum +. 2.);
+  let lx = float_of_int c.nx *. c.dx in
+  let dy = c.l_transverse /. float_of_int c.ny in
+  let dz = c.l_transverse /. float_of_int c.nz in
+  let dt = Grid.courant_dt ~dx:c.dx ~dy ~dz () in
+  let grid =
+    Grid.make ~nx:c.nx ~ny:c.ny ~nz:c.nz ~lx ~ly:c.l_transverse
+      ~lz:c.l_transverse ~dt ()
+  in
+  let bc =
+    { Bc.xlo = Bc.Absorbing;
+      xhi = Bc.Absorbing;
+      ylo = Bc.Periodic;
+      yhi = Bc.Periodic;
+      zlo = Bc.Periodic;
+      zhi = Bc.Periodic }
+  in
+  let coupler = Coupler.local bc in
+  let clean_div_interval = if c.ion_mass > 0. then 50 else 0 in
+  (* Layout of the vacuum buffer (in cells): the sponge absorber takes the
+     outer third, the antenna sits just inside it, the reflectivity probe
+     halfway between antenna and plasma. *)
+  let vac_cells = int_of_float (c.vacuum /. c.dx) in
+  let absorber_thickness = max 4 (vac_cells / 3) in
+  let clean_div_interval =
+    if c.filter_passes > 0 && clean_div_interval = 0 then 50
+    else clean_div_interval
+  in
+  let sim =
+    Simulation.make ~grid ~coupler ~clean_div_interval ~absorber_thickness
+      ~absorber_strength:0.6 ~current_filter_passes:c.filter_passes ()
+  in
+  let plasma =
+    { Srs_theory.nr = c.nr;
+      uth = sqrt (c.te_kev /. electron_rest_kev) }
+  in
+  let matching = Srs_theory.matching plasma in
+  let plasma_x_lo = c.vacuum and plasma_x_hi = lx -. c.vacuum in
+  (* Trapezoidal profile: ~1 c/omega_pe entrance/exit ramps suppress the
+     Fresnel reflection a sharp slab edge would add to the backscatter. *)
+  let ramp = Float.min 1. ((plasma_x_hi -. plasma_x_lo) /. 6.) in
+  let slab ~x ~y:_ ~z:_ =
+    if x < plasma_x_lo || x > plasma_x_hi then 0.
+    else if x < plasma_x_lo +. ramp then (x -. plasma_x_lo) /. ramp
+    else if x > plasma_x_hi -. ramp then (plasma_x_hi -. x) /. ramp
+    else 1.0
+  in
+  let rng = Rng.of_int c.rng_seed in
+  let electrons = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
+  ignore
+    (Loader.maxwellian (Rng.split rng 1) electrons ~ppc:c.ppc ~uth:plasma.uth
+       ~density:slab ());
+  if c.ion_mass > 0. then begin
+    let ions =
+      Simulation.add_species sim ~name:"ion" ~q:1. ~m:c.ion_mass
+    in
+    let uth_i =
+      sqrt (c.te_kev *. c.ti_over_te /. electron_rest_kev /. c.ion_mass)
+    in
+    load_colocated_ions (Rng.split rng 2) electrons ions ~uth_i
+  end;
+  let e0 = e0_of c in
+  let antenna_i = absorber_thickness + 3 in
+  let seed_i = c.nx - antenna_i in
+  let probe_i = antenna_i + max 2 ((vac_cells - antenna_i) / 2) in
+  assert (probe_i < vac_cells && seed_i > antenna_i);
+  Simulation.add_laser sim
+    (Laser.make ~omega:matching.Srs_theory.omega0 ~e0 ~plane_i:antenna_i
+       ~t_rise:c.t_rise ());
+  if c.r_seed > 0. then
+    Simulation.add_laser sim
+      (Laser.make ~omega:matching.Srs_theory.omega_s
+         ~e0:(sqrt c.r_seed *. e0)
+         ~plane_i:seed_i ~t_rise:c.t_rise ());
+  let refl = Reflectivity.create ~plane_i:probe_i ~e0 () in
+  { sim;
+    refl;
+    plasma;
+    matching;
+    plasma_x_lo;
+    plasma_x_hi;
+    e0;
+    config = c }
+
+let run setup ~steps =
+  for _ = 1 to steps do
+    Simulation.step setup.sim;
+    Reflectivity.sample setup.refl setup.sim.Simulation.fields
+  done;
+  Reflectivity.reflectivity setup.refl
+
+let suggested_steps c =
+  let lx = float_of_int c.nx *. c.dx in
+  let dy = c.l_transverse /. float_of_int c.ny in
+  let dz = c.l_transverse /. float_of_int c.nz in
+  let dt = Grid.courant_dt ~dx:c.dx ~dy ~dz () in
+  (* turn-on + three light transits + the damped-EPW response time
+     (~2.5/nu_ek ~ 60/omega_pe in the default hohlraum regime): the
+     reflectivity estimate converges on this timescale (see DESIGN.md). *)
+  int_of_float (((3. *. lx) +. 60.) /. dt)

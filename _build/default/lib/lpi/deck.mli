@@ -1,0 +1,63 @@
+(** Input decks for the paper's laser-plasma-interaction workload: a
+    quasi-1D hohlraum-fill slab irradiated by a pump laser, with a
+    counter-propagating seed at the Raman-backscatter frequency so that
+    short runs measure a well-defined amplification (see DESIGN.md
+    substitutions; SRS from thermal noise needs trillions of particles —
+    that is the paper's point — so scaled-down runs are seeded).
+
+    Geometry (x is the laser axis, transverse periodic):
+
+    {v
+      |absorb|..vacuum..|A|..|M|######## plasma ########|..vacuum..|S|absorb|
+    v}
+    A = pump antenna, M = reflectivity measurement plane, S = seed antenna. *)
+
+type config = {
+  nr : float;        (** n_e/n_cr, e.g. 0.10 (hohlraum fill) *)
+  te_kev : float;    (** electron temperature, keV *)
+  ti_over_te : float;
+  a0 : float;        (** pump normalised amplitude *)
+  r_seed : float;    (** seed intensity / pump intensity *)
+  nx : int;
+  ny : int;
+  nz : int;
+  dx : float;        (** cell size along x, c/omega_pe *)
+  l_transverse : float; (** box size along y and z *)
+  vacuum : float;    (** vacuum buffer on each side, c/omega_pe *)
+  ppc : int;         (** electron macro-particles per cell *)
+  ion_mass : float;  (** m_i/m_e; <= 0 loads no ions (immobile background,
+                         divergence cleaning disabled) *)
+  filter_passes : int; (** binomial current/force smoothing passes (noise
+                           control; see Vpic.Simulation) *)
+  t_rise : float;
+  rng_seed : int;
+}
+
+val default : config
+
+(** Derived: pump field amplitude e0 = a0 * omega0. *)
+val e0_of : config -> float
+
+type setup = {
+  sim : Vpic.Simulation.t;
+  refl : Reflectivity.t;
+  plasma : Srs_theory.plasma;
+  matching : Srs_theory.matching;
+  plasma_x_lo : float;
+  plasma_x_hi : float;  (** slab extent, for gain-length computations *)
+  e0 : float;
+  config : config;
+}
+
+(** Build the full simulation: grid, boundary conditions + absorber,
+    electron (and ion) loading, pump and seed antennas, reflectivity
+    probe. *)
+val build : config -> setup
+
+(** Step the setup [steps] times, sampling the reflectivity probe each
+    step.  Returns the final reflectivity estimate. *)
+val run : setup -> steps:int -> float
+
+(** Suggested number of steps for a converged reflectivity measurement
+    (a few light transits of the box). *)
+val suggested_steps : config -> int

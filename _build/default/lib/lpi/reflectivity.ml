@@ -1,0 +1,74 @@
+module Sf = Vpic_grid.Scalar_field
+module Grid = Vpic_grid.Grid
+module Em_field = Vpic_field.Em_field
+
+type t = {
+  plane_i : int;
+  e0 : float;
+  window : int;
+  back : float Queue.t;
+  fwd : float Queue.t;
+  mutable back_sum : float;
+  mutable fwd_sum : float;
+  mutable count : int;
+  mutable peak_back : float;
+}
+
+let create ?(window = 400) ~plane_i ~e0 () =
+  assert (window > 0 && plane_i >= 1 && e0 > 0.);
+  { plane_i;
+    e0;
+    window;
+    back = Queue.create ();
+    fwd = Queue.create ();
+    back_sum = 0.;
+    fwd_sum = 0.;
+    count = 0;
+    peak_back = 0. }
+
+let plane_avg_characteristics f ~i =
+  let g = f.Em_field.grid in
+  let acc_b = ref 0. and acc_f = ref 0. in
+  for k = 1 to g.Grid.nz do
+    for j = 1 to g.Grid.ny do
+      let ey = Sf.get f.Em_field.ey i j k in
+      (* bz lives at i+1/2: centre it onto the ey node, otherwise the
+         half-cell phase offset leaks O(k dx / 2) of the forward wave
+         into the backward characteristic *)
+      let bz =
+        0.5 *. (Sf.get f.Em_field.bz (i - 1) j k +. Sf.get f.Em_field.bz i j k)
+      in
+      let fm = 0.5 *. (ey -. bz) in
+      let fp = 0.5 *. (ey +. bz) in
+      acc_b := !acc_b +. (fm *. fm);
+      acc_f := !acc_f +. (fp *. fp)
+    done
+  done;
+  let n = float_of_int (g.Grid.ny * g.Grid.nz) in
+  (!acc_b /. n, !acc_f /. n)
+
+let sample t f =
+  let b, fw = plane_avg_characteristics f ~i:t.plane_i in
+  Queue.push b t.back;
+  Queue.push fw t.fwd;
+  t.back_sum <- t.back_sum +. b;
+  t.fwd_sum <- t.fwd_sum +. fw;
+  t.count <- t.count + 1;
+  if Queue.length t.back > t.window then begin
+    t.back_sum <- t.back_sum -. Queue.pop t.back;
+    t.fwd_sum <- t.fwd_sum -. Queue.pop t.fwd;
+    (* track the burst peak once the window is full *)
+    t.peak_back <- Float.max t.peak_back (t.back_sum /. float_of_int t.window)
+  end
+
+let n_avg t = Queue.length t.back
+
+let backscatter_intensity t =
+  if n_avg t = 0 then 0. else t.back_sum /. float_of_int (n_avg t)
+
+let forward_intensity t =
+  if n_avg t = 0 then 0. else t.fwd_sum /. float_of_int (n_avg t)
+
+let reflectivity t = backscatter_intensity t /. (0.5 *. t.e0 *. t.e0)
+let peak_reflectivity t = t.peak_back /. (0.5 *. t.e0 *. t.e0)
+let samples t = t.count

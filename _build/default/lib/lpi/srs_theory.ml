@@ -1,0 +1,64 @@
+module Specfun = Vpic_util.Specfun
+
+type plasma = { nr : float; uth : float }
+
+type matching = {
+  omega0 : float;
+  k0 : float;
+  omega_s : float;
+  k_s : float;
+  omega_ek : float;
+  k_ek : float;
+  k_lambda_d : float;
+  v_phase : float;
+  nu_ek : float;
+}
+
+let matching p =
+  assert (p.nr > 0. && p.nr < 0.25 && p.uth > 0.);
+  (* nr < 1/4: backscatter needs the scattered wave to propagate too. *)
+  let omega0 = 1. /. sqrt p.nr in
+  let k0 = sqrt ((omega0 *. omega0) -. 1.) in
+  let rec iterate omega_ek n =
+    let omega_s = omega0 -. omega_ek in
+    let k_s = -.sqrt (Float.max 0. ((omega_s *. omega_s) -. 1.)) in
+    let k_ek = k0 -. k_s in
+    let kld = k_ek *. p.uth in
+    let omega_ek' = Specfun.bohm_gross_omega ~k_lambda_d:kld in
+    if n = 0 || Float.abs (omega_ek' -. omega_ek) < 1e-12 then
+      (omega_ek', omega_s, k_s, k_ek, kld)
+    else iterate omega_ek' (n - 1)
+  in
+  let omega_ek, omega_s, k_s, k_ek, kld = iterate 1. 100 in
+  { omega0;
+    k0;
+    omega_s;
+    k_s;
+    omega_ek;
+    k_ek;
+    k_lambda_d = kld;
+    v_phase = omega_ek /. k_ek;
+    nu_ek = Specfun.landau_damping_exact ~k_lambda_d:kld }
+
+let growth_rate p ~a0 =
+  let m = matching p in
+  (* gamma0 = (k_ek v_os / 4) sqrt(omega_pe^2 / (omega_ek omega_s)),
+     v_os/c = a0 for a non-relativistic quiver. *)
+  m.k_ek *. a0 /. 4. *. sqrt (1. /. (m.omega_ek *. m.omega_s))
+
+let convective_gain p ~a0 ~l =
+  let m = matching p in
+  let g0 = growth_rate p ~a0 in
+  let vg_s = Float.abs m.k_s /. m.omega_s in
+  if m.nu_ek <= 0. then infinity else 2. *. g0 *. g0 *. l /. (m.nu_ek *. vg_s)
+
+let seeded_reflectivity p ~a0 ~l ~r_seed ?(r_max = 0.5) () =
+  let g = convective_gain p ~a0 ~l in
+  let amplified = r_seed *. exp g in
+  (* Logistic cap: pump depletion / trapping saturation. *)
+  amplified /. (1. +. (amplified /. r_max))
+
+let threshold_a0 p ~l =
+  (* Solve convective_gain = 1 analytically: G scales as a0^2. *)
+  let g1 = convective_gain p ~a0:1. ~l in
+  1. /. sqrt g1

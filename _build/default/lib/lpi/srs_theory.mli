@@ -1,0 +1,41 @@
+(** Linear theory of stimulated Raman backscatter, used to predict and to
+    cross-check the reflectivity-vs-intensity parameter study (E3).
+
+    Normalised units: frequencies in omega_pe, wavenumbers in omega_pe/c,
+    lengths in c/omega_pe.  The plasma is characterised by
+    nr = n_e/n_cr (so the pump frequency is 1/sqrt(nr)) and the electron
+    thermal spread uth = v_th/c (so lambda_De = uth in these units). *)
+
+type plasma = { nr : float; uth : float }
+
+type matching = {
+  omega0 : float;  (** pump frequency *)
+  k0 : float;      (** pump wavenumber *)
+  omega_s : float; (** backscattered EM frequency *)
+  k_s : float;     (** backscattered wavenumber (negative: backward) *)
+  omega_ek : float; (** electron plasma wave frequency *)
+  k_ek : float;    (** EPW wavenumber *)
+  k_lambda_d : float; (** k_ek lambda_De — Landau damping parameter *)
+  v_phase : float; (** EPW phase velocity / c — trapping region *)
+  nu_ek : float;   (** EPW Landau damping rate *)
+}
+
+(** Solve the three-wave backscatter matching conditions (Bohm–Gross EPW,
+    light-wave dispersion) by fixed-point iteration. *)
+val matching : plasma -> matching
+
+(** Homogeneous SRS growth rate gamma0 for pump amplitude a0 (undamped). *)
+val growth_rate : plasma -> a0:float -> float
+
+(** Intensity gain exponent for a seed traversing a homogeneous slab of
+    length [l] in the strongly-damped convective regime:
+    G = 2 gamma0^2 L / (nu_ek |v_g,s|). *)
+val convective_gain : plasma -> a0:float -> l:float -> float
+
+(** Seeded reflectivity prediction: R = R_seed exp(G), capped by pump
+    depletion at [r_max] (logistic saturation). *)
+val seeded_reflectivity :
+  plasma -> a0:float -> l:float -> r_seed:float -> ?r_max:float -> unit -> float
+
+(** Threshold pump amplitude where G = 1 (onset of noticeable gain). *)
+val threshold_a0 : plasma -> l:float -> float

@@ -1,0 +1,41 @@
+(** The paper's parameter study (E3): laser reflectivity as a function of
+    laser intensity under hohlraum conditions.  Each point runs a full
+    seeded SRS simulation and is compared with the linear-theory
+    prediction; the shape to reproduce is threshold, then steep
+    (exponential-gain) rise, then saturation at tens of percent. *)
+
+type point = {
+  a0 : float;
+  intensity_w_cm2 : float;  (** for a 351 nm (3-omega NIF) pump *)
+  gain_theory : float;
+  r_theory : float;
+  r_measured : float;       (** time-averaged reflectivity of the seeded run *)
+  r_noise : float;          (** seed-off reflectivity: below threshold the
+                                PIC thermal-noise floor, above it genuine
+                                noise-seeded SRS (0 if not run) *)
+  r_peak : float;           (** peak windowed reflectivity (SRS is bursty
+                                once trapping saturates) *)
+  hot_fraction : float;     (** electrons above 3 x Te after the run *)
+  flattening : float;       (** f(v) slope ratio at v_phase (1 = untouched) *)
+}
+
+(** Laser wavelength used to translate a0 to W/cm^2 (NIF 3-omega). *)
+val lambda_nif : float
+
+val intensity_of_a0 : float -> float
+
+(** Run the sweep.  [base] defaults to [Deck.default]; [steps] per point
+    defaults to [Deck.suggested_steps].  With [with_noise_run] (default
+    false; doubles the cost) each point also runs with the seed off,
+    recording the noise-seeded reflectivity in [r_noise]. *)
+val reflectivity_vs_intensity :
+  ?base:Deck.config ->
+  ?steps:int ->
+  ?with_noise_run:bool ->
+  a0s:float list ->
+  unit ->
+  point list
+
+(** Default intensity scan of the study (6 points spanning the SRS
+    threshold for the default plasma). *)
+val default_a0s : float list

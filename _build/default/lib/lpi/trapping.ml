@@ -1,0 +1,39 @@
+module Species = Vpic_particle.Species
+module Moments = Vpic_particle.Moments
+module Axis = Vpic_grid.Axis
+
+type fv = { centers : float array; f : float array }
+
+let distribution ?(lo = -0.6) ?(hi = 0.6) ?(bins = 240) s =
+  let h = Moments.velocity_histogram s ~component:Axis.X ~lo ~hi ~bins in
+  let total = Array.fold_left ( +. ) 0. h in
+  let f = if total > 0. then Array.map (fun x -> x /. total) h else h in
+  let db = (hi -. lo) /. float_of_int bins in
+  let centers =
+    Array.init bins (fun b -> lo +. ((float_of_int b +. 0.5) *. db))
+  in
+  { centers; f }
+
+let slope_at fv ~v ~width =
+  (* least-squares slope of ln f over the window; empty bins skipped *)
+  let xs = ref [] and ys = ref [] in
+  Array.iteri
+    (fun i c ->
+      if Float.abs (c -. v) <= width && fv.f.(i) > 0. then begin
+        xs := c :: !xs;
+        ys := log fv.f.(i) :: !ys
+      end)
+    fv.centers;
+  let xs = Array.of_list !xs and ys = Array.of_list !ys in
+  if Array.length xs < 3 then 0.
+  else begin
+    let _, slope, _ = Vpic_util.Stats.linear_fit xs ys in
+    slope
+  end
+
+let flattening fv ~v_phase ~uth ~width =
+  let measured = slope_at fv ~v:v_phase ~width in
+  let maxwellian = -.v_phase /. (uth *. uth) in
+  if maxwellian = 0. then 1. else measured /. maxwellian
+
+let hot_fraction s ~threshold_kev = Moments.hot_fraction s ~threshold_kev

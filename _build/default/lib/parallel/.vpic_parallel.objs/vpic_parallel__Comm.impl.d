@@ -1,0 +1,1 @@
+lib/parallel/comm.ml: Array Condition Domain Float Hashtbl Mutex Queue

@@ -1,0 +1,1 @@
+lib/parallel/exchange.ml: Array Comm List Vpic_field Vpic_grid

@@ -1,0 +1,1 @@
+lib/parallel/exchange.mli: Comm Vpic_grid

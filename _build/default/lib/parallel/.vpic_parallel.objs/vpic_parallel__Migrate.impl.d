@@ -1,0 +1,1 @@
+lib/parallel/migrate.ml: Array Comm List Vpic_grid Vpic_particle

@@ -1,0 +1,1 @@
+lib/parallel/migrate.mli: Comm Vpic_field Vpic_grid Vpic_particle Vpic_util

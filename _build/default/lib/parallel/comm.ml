@@ -1,0 +1,195 @@
+type inbox = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  queues : (int * int, float array Queue.t) Hashtbl.t;
+}
+
+type world = {
+  nranks : int;
+  inboxes : inbox array;
+  bar_mu : Mutex.t;
+  bar_cv : Condition.t;
+  mutable bar_count : int;
+  mutable bar_gen : int;
+}
+
+type t = { world : world; my_rank : int }
+
+let make_world nranks =
+  { nranks;
+    inboxes =
+      Array.init nranks (fun _ ->
+          { mu = Mutex.create ();
+            cv = Condition.create ();
+            queues = Hashtbl.create 64 });
+    bar_mu = Mutex.create ();
+    bar_cv = Condition.create ();
+    bar_count = 0;
+    bar_gen = 0 }
+
+let rank t = t.my_rank
+let size t = t.world.nranks
+
+(* Reserved tag space for collectives; user tags are >= 0. *)
+let tag_reduce = -1
+let tag_bcast = -2
+let tag_gather = -3
+
+let send_internal t ~dst ~tag payload =
+  assert (dst >= 0 && dst < t.world.nranks);
+  let ib = t.world.inboxes.(dst) in
+  Mutex.lock ib.mu;
+  let key = (t.my_rank, tag) in
+  let q =
+    match Hashtbl.find_opt ib.queues key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add ib.queues key q;
+        q
+  in
+  Queue.push payload q;
+  Condition.broadcast ib.cv;
+  Mutex.unlock ib.mu
+
+let recv_internal t ~src ~tag =
+  assert (src >= 0 && src < t.world.nranks);
+  let ib = t.world.inboxes.(t.my_rank) in
+  let key = (src, tag) in
+  let try_pop () =
+    Mutex.lock ib.mu;
+    let r =
+      match Hashtbl.find_opt ib.queues key with
+      | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+      | _ -> None
+    in
+    Mutex.unlock ib.mu;
+    r
+  in
+  (* Spin briefly first: when ranks run in lockstep the message is usually
+     in flight, and a futex sleep/wake costs tens of microseconds here. *)
+  let rec spin n =
+    match try_pop () with
+    | Some p -> Some p
+    | None ->
+        if n = 0 then None
+        else begin
+          Domain.cpu_relax ();
+          spin (n - 1)
+        end
+  in
+  match spin 5000 with
+  | Some p -> p
+  | None ->
+      Mutex.lock ib.mu;
+      let rec wait () =
+        match Hashtbl.find_opt ib.queues key with
+        | Some q when not (Queue.is_empty q) -> Queue.pop q
+        | _ ->
+            Condition.wait ib.cv ib.mu;
+            wait ()
+      in
+      let payload = wait () in
+      Mutex.unlock ib.mu;
+      payload
+
+let send t ~dst ~tag payload =
+  assert (tag >= 0);
+  send_internal t ~dst ~tag payload
+
+let recv t ~src ~tag =
+  assert (tag >= 0);
+  recv_internal t ~src ~tag
+
+let barrier t =
+  let w = t.world in
+  Mutex.lock w.bar_mu;
+  let gen = w.bar_gen in
+  w.bar_count <- w.bar_count + 1;
+  if w.bar_count = w.nranks then begin
+    w.bar_count <- 0;
+    w.bar_gen <- gen + 1;
+    Condition.broadcast w.bar_cv
+  end
+  else begin
+    while w.bar_gen = gen do
+      Condition.wait w.bar_cv w.bar_mu
+    done
+  end;
+  Mutex.unlock w.bar_mu
+
+let reduce_with t combine x =
+  (* Root accumulates, then broadcasts.  O(P) messages: fine for the rank
+     counts a 2-core host can exercise; the perf model, not this runtime,
+     captures large-P communication costs. *)
+  if t.my_rank = 0 then begin
+    let acc = ref x in
+    for src = 1 to t.world.nranks - 1 do
+      let v = recv_internal t ~src ~tag:tag_reduce in
+      acc := combine !acc v.(0)
+    done;
+    for dst = 1 to t.world.nranks - 1 do
+      send_internal t ~dst ~tag:tag_reduce [| !acc |]
+    done;
+    !acc
+  end
+  else begin
+    send_internal t ~dst:0 ~tag:tag_reduce [| x |];
+    (recv_internal t ~src:0 ~tag:tag_reduce).(0)
+  end
+
+let allreduce_sum t x = reduce_with t ( +. ) x
+let allreduce_min t x = reduce_with t Float.min x
+let allreduce_max t x = reduce_with t Float.max x
+
+let allreduce_sum_array t xs =
+  if t.world.nranks = 1 then Array.copy xs
+  else if t.my_rank = 0 then begin
+    let acc = Array.copy xs in
+    for src = 1 to t.world.nranks - 1 do
+      let v = recv_internal t ~src ~tag:tag_reduce in
+      assert (Array.length v = Array.length acc);
+      Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x) v
+    done;
+    for dst = 1 to t.world.nranks - 1 do
+      send_internal t ~dst ~tag:tag_reduce acc
+    done;
+    acc
+  end
+  else begin
+    send_internal t ~dst:0 ~tag:tag_reduce xs;
+    recv_internal t ~src:0 ~tag:tag_reduce
+  end
+
+let bcast t ~root x =
+  if t.world.nranks = 1 then x
+  else if t.my_rank = root then begin
+    for dst = 0 to t.world.nranks - 1 do
+      if dst <> root then send_internal t ~dst ~tag:tag_bcast x
+    done;
+    x
+  end
+  else recv_internal t ~src:root ~tag:tag_bcast
+
+let gather t ~root x =
+  if t.my_rank = root then begin
+    let out = Array.make t.world.nranks [||] in
+    out.(root) <- x;
+    for src = 0 to t.world.nranks - 1 do
+      if src <> root then out.(src) <- recv_internal t ~src ~tag:tag_gather
+    done;
+    Some out
+  end
+  else begin
+    send_internal t ~dst:root ~tag:tag_gather x;
+    None
+  end
+
+let run ~ranks f =
+  assert (ranks >= 1);
+  let world = make_world ranks in
+  let domains =
+    Array.init ranks (fun r ->
+        Domain.spawn (fun () -> f { world; my_rank = r }))
+  in
+  Array.map Domain.join domains

@@ -1,0 +1,40 @@
+(** Message-passing runtime: the role MPI plays in the paper, implemented
+    over OCaml 5 domains.  Ranks are spawned by {!run}; each gets a handle
+    carrying its rank and the shared world.  Point-to-point messages are
+    float arrays (buffered, non-blocking sends; blocking receives matched
+    on (source, tag) in FIFO order per pair). *)
+
+type t
+
+(** [run ~ranks f] spawns [ranks] domains, runs [f handle] on each and
+    returns the per-rank results (index = rank).  An exception in any rank
+    is re-raised after all domains are joined. *)
+val run : ranks:int -> (t -> 'a) -> 'a array
+
+val rank : t -> int
+val size : t -> int
+
+(** {1 Point-to-point} *)
+
+(** Non-blocking buffered send.  [tag] must be non-negative; negative tags
+    are reserved for collectives. *)
+val send : t -> dst:int -> tag:int -> float array -> unit
+
+(** Blocking receive of the oldest message from [src] with [tag]. *)
+val recv : t -> src:int -> tag:int -> float array
+
+(** {1 Collectives} (every rank must participate) *)
+
+val barrier : t -> unit
+val allreduce_sum : t -> float -> float
+val allreduce_min : t -> float -> float
+val allreduce_max : t -> float -> float
+
+(** Element-wise sum of equal-length arrays. *)
+val allreduce_sum_array : t -> float array -> float array
+
+(** [bcast t ~root x] returns root's [x] on every rank. *)
+val bcast : t -> root:int -> float array -> float array
+
+(** Gather each rank's array at the root (None elsewhere). *)
+val gather : t -> root:int -> float array -> float array array option

@@ -1,0 +1,139 @@
+module Grid = Vpic_grid.Grid
+module Sf = Vpic_grid.Scalar_field
+module Bc = Vpic_grid.Bc
+module Axis = Vpic_grid.Axis
+module Boundary = Vpic_field.Boundary
+
+let interior_extent g axis =
+  match axis with
+  | Axis.X -> g.Grid.nx
+  | Axis.Y -> g.Grid.ny
+  | Axis.Z -> g.Grid.nz
+
+(* Tag layout: purpose (fill=0 / fold=1), axis, direction of travel
+   (0 = toward lo neighbour, 1 = toward hi).  All scalars travelling
+   through one face share one message (latency dominates here). *)
+let tag ~purpose ~axis ~dir =
+  (purpose * 100000) + (Axis.index axis * 10) + dir
+
+let sides = [ `Lo; `Hi ]
+
+(* Concatenate one plane per scalar into a single payload. *)
+let pack scalars ~axis ~index =
+  match scalars with
+  | [] -> [||]
+  | first :: _ ->
+      let psize = Sf.plane_size (Sf.grid first) ~axis in
+      let out = Array.make (List.length scalars * psize) 0. in
+      List.iteri
+        (fun slot f ->
+          let p = Sf.extract_plane f ~axis ~index in
+          Array.blit p 0 out (slot * psize) psize)
+        scalars;
+      out
+
+let unpack scalars ~axis ~index ~accumulate payload =
+  match scalars with
+  | [] -> ()
+  | first :: _ ->
+      let psize = Sf.plane_size (Sf.grid first) ~axis in
+      assert (Array.length payload = List.length scalars * psize);
+      List.iteri
+        (fun slot f ->
+          let p = Array.sub payload (slot * psize) psize in
+          if accumulate then Sf.add_plane f ~axis ~index p
+          else Sf.set_plane f ~axis ~index p)
+        scalars
+
+(* For each axis in order: post sends for both domain faces, then receive
+   both, then apply local BCs to non-domain faces.  Sends are buffered so
+   there is no deadlock regardless of topology; processing the axes
+   sequentially with full-extent planes transports edge and corner ghosts
+   in up to three hops. *)
+let fill_ghosts comm bc scalars =
+  match scalars with
+  | [] -> ()
+  | first :: _ ->
+      let g = Sf.grid first in
+      List.iter
+        (fun axis ->
+          let n = interior_extent g axis in
+          List.iter
+            (fun side ->
+              match Bc.face bc axis side with
+              | Bc.Domain nbr ->
+                  (* hi neighbour needs my interior hi plane for its lo
+                     ghost; lo neighbour needs my interior lo plane. *)
+                  let src_plane, dir =
+                    match side with `Hi -> (n, 1) | `Lo -> (1, 0)
+                  in
+                  Comm.send comm ~dst:nbr
+                    ~tag:(tag ~purpose:0 ~axis ~dir)
+                    (pack scalars ~axis ~index:src_plane)
+              | _ -> ())
+            sides;
+          List.iter
+            (fun side ->
+              match Bc.face bc axis side with
+              | Bc.Domain nbr ->
+                  (* My lo ghost was sent by my lo neighbour travelling
+                     toward hi (dir=1); my hi ghost travels toward lo. *)
+                  let ghost_plane, dir =
+                    match side with `Lo -> (0, 1) | `Hi -> (n + 1, 0)
+                  in
+                  let data =
+                    Comm.recv comm ~src:nbr ~tag:(tag ~purpose:0 ~axis ~dir)
+                  in
+                  unpack scalars ~axis ~index:ghost_plane ~accumulate:false data
+              | kind ->
+                  List.iter
+                    (fun f -> Boundary.fill_face kind f ~axis ~side)
+                    scalars)
+            sides)
+        Axis.all
+
+let fold_ghosts comm bc scalars =
+  match scalars with
+  | [] -> ()
+  | first :: _ ->
+      let g = Sf.grid first in
+      List.iter
+        (fun axis ->
+          let n = interior_extent g axis in
+          let psize = Sf.plane_size g ~axis in
+          List.iter
+            (fun side ->
+              match Bc.face bc axis side with
+              | Bc.Domain nbr ->
+                  let ghost_plane, dir =
+                    match side with `Lo -> (0, 0) | `Hi -> (n + 1, 1)
+                  in
+                  Comm.send comm ~dst:nbr
+                    ~tag:(tag ~purpose:1 ~axis ~dir)
+                    (pack scalars ~axis ~index:ghost_plane);
+                  (* Zero the shipped planes so nothing is counted twice. *)
+                  let zeros = Array.make psize 0. in
+                  List.iter
+                    (fun f -> Sf.set_plane f ~axis ~index:ghost_plane zeros)
+                    scalars
+              | _ -> ())
+            sides;
+          List.iter
+            (fun side ->
+              match Bc.face bc axis side with
+              | Bc.Domain nbr ->
+                  (* Data arriving from my hi neighbour was its lo ghost
+                     (dir=0): it lands in my interior hi plane. *)
+                  let dst_plane, dir =
+                    match side with `Hi -> (n, 0) | `Lo -> (1, 1)
+                  in
+                  let data =
+                    Comm.recv comm ~src:nbr ~tag:(tag ~purpose:1 ~axis ~dir)
+                  in
+                  unpack scalars ~axis ~index:dst_plane ~accumulate:true data
+              | kind ->
+                  List.iter
+                    (fun f -> Boundary.fold_face kind f ~axis ~side)
+                    scalars)
+            sides)
+        Axis.all

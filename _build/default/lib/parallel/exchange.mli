@@ -1,0 +1,23 @@
+(** Ghost-plane exchange across the domain decomposition.
+
+    Planes span the full allocated extent (ghosts included) of the two
+    transverse axes, and the three axes are processed sequentially (x, y,
+    z), so edge and corner ghosts are transported correctly in two/three
+    hops — the standard trick that avoids 26-neighbour messaging.
+
+    Non-[Domain] faces fall back to the local boundary handling of
+    [Vpic_field.Boundary], making these functions the single entry point
+    for both serial and parallel runs. *)
+
+module Sf = Vpic_grid.Scalar_field
+module Bc = Vpic_grid.Bc
+
+(** Copy ghost planes of each scalar from neighbouring ranks (and apply
+    local BCs on non-domain faces).  Every rank of the communicator must
+    call this with the same scalar count. *)
+val fill_ghosts : Comm.t -> Bc.t -> Sf.t list -> unit
+
+(** Add ghost-plane accumulations (currents, rho) into the neighbouring
+    rank's interior (and fold locally on non-domain faces), then zero the
+    shipped ghost planes. *)
+val fold_ghosts : Comm.t -> Bc.t -> Sf.t list -> unit

@@ -1,0 +1,33 @@
+(** Particle migration between ranks.
+
+    After [Push.advance], particles that hit a [Domain] face have been
+    turned into movers: stopped at the face (first ghost layer) with their
+    unconsumed displacement.  Migration proceeds axis by axis (x, then y,
+    then z): movers in the axis ghost are shipped (cell indices re-based
+    to the receiver, whose local dimensions are identical), and the
+    receiver immediately finishes their moves — depositing the remaining
+    current segments — which may re-emit movers toward a later axis,
+    picked up by the next phase.  Three phases suffice because a particle
+    can cross each axis at most once per step (Courant bound); the same
+    scheme VPIC uses.
+
+    Must run {e before} the ghost-current fold (finished moves deposit
+    into ghost slots of the receiving rank).  Every rank must call this
+    collectively, even with no outbound movers. *)
+
+type stats = {
+  sent : int;
+  received : int;
+  settled : int;   (** finished and appended locally *)
+  absorbed : int;  (** finished into an absorbing wall *)
+}
+
+(** [rng] is needed only when some face is [Refluxing]. *)
+val exchange :
+  ?rng:Vpic_util.Rng.t ->
+  Comm.t ->
+  Vpic_grid.Bc.t ->
+  Vpic_particle.Species.t ->
+  Vpic_field.Em_field.t ->
+  Vpic_particle.Push.mover list ->
+  stats

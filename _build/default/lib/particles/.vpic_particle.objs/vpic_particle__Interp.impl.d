@@ -1,0 +1,1 @@
+lib/particles/interp.ml: Array Bigarray Vpic_field Vpic_grid

@@ -1,0 +1,1 @@
+lib/particles/interp.mli: Vpic_field

@@ -1,0 +1,1 @@
+lib/particles/loader.ml: Float Particle Species Vpic_grid Vpic_util

@@ -1,0 +1,1 @@
+lib/particles/loader.mli: Species Vpic_util

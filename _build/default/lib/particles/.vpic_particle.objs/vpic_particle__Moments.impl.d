@@ -1,0 +1,1 @@
+lib/particles/moments.ml: Array Bigarray Float Species Vpic_grid Vpic_util

@@ -1,0 +1,1 @@
+lib/particles/moments.mli: Species Vpic_grid Vpic_util

@@ -1,0 +1,1 @@
+lib/particles/particle.ml: Format Vpic_grid Vpic_util

@@ -1,0 +1,1 @@
+lib/particles/particle.mli: Format Vpic_grid Vpic_util

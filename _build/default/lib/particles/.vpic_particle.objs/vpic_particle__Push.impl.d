@@ -1,0 +1,1 @@
+lib/particles/push.ml: Array Bigarray Float Interp List Species Vpic_field Vpic_grid Vpic_util

@@ -1,0 +1,1 @@
+lib/particles/push.mli: Species Vpic_field Vpic_grid Vpic_util

@@ -1,0 +1,1 @@
+lib/particles/sort.ml: Array Species Vpic_grid Vpic_util

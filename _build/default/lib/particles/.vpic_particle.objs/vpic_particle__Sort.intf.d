@@ -1,0 +1,1 @@
+lib/particles/sort.mli: Species Vpic_util

@@ -1,0 +1,1 @@
+lib/particles/species.ml: Array List Particle Vpic_grid Vpic_util

@@ -1,0 +1,1 @@
+lib/particles/species.mli: Particle Vpic_grid Vpic_util

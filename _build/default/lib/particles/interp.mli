@@ -1,0 +1,22 @@
+(** Field gather: staggered (Yee-aware) trilinear interpolation of E and B
+    to a particle position.  Requires all EM ghosts valid (both sides).
+
+    Slots of [out] after {!gather_into}: ex ey ez bx by bz. *)
+
+val flops_per_gather : float
+
+(** [gather_into f ~i ~j ~k ~fx ~fy ~fz ~out] writes the six interpolated
+    components into [out] (length >= 6) without allocating. *)
+val gather_into :
+  Vpic_field.Em_field.t ->
+  i:int -> j:int -> k:int ->
+  fx:float -> fy:float -> fz:float ->
+  out:float array ->
+  unit
+
+(** Allocating convenience wrapper for tests. *)
+val gather :
+  Vpic_field.Em_field.t ->
+  i:int -> j:int -> k:int ->
+  fx:float -> fy:float -> fz:float ->
+  float * float * float * float * float * float

@@ -1,0 +1,67 @@
+module Grid = Vpic_grid.Grid
+module Rng = Vpic_util.Rng
+module Vec3 = Vpic_util.Vec3
+
+type profile = x:float -> y:float -> z:float -> float
+
+let uniform_profile n ~x:_ ~y:_ ~z:_ = n
+
+let linear_ramp_x ~x_lo ~n_lo ~x_hi ~n_hi ~x ~y:_ ~z:_ =
+  if x <= x_lo then n_lo
+  else if x >= x_hi then n_hi
+  else n_lo +. ((n_hi -. n_lo) *. (x -. x_lo) /. (x_hi -. x_lo))
+
+let cosine_perturbation_x ~n0 ~amplitude ~mode ~lx ~x ~y:_ ~z:_ =
+  n0 *. (1. +. (amplitude *. cos (2. *. Float.pi *. float_of_int mode *. x /. lx)))
+
+let maxwellian rng (s : Species.t) ~ppc ~uth ?(drift = Vec3.zero)
+    ?(density = uniform_profile 1.) () =
+  assert (ppc > 0 && uth >= 0.);
+  let g = s.Species.grid in
+  let dv = Grid.cell_volume g in
+  let loaded = ref 0 in
+  Species.reserve s (ppc * Grid.interior_count g);
+  Grid.iter_interior g (fun i j k ->
+      let x0, y0, z0 = Grid.cell_origin g i j k in
+      (* Sample the profile at the cell centre; adequate for smooth n. *)
+      let xc = x0 +. (0.5 *. g.Grid.dx)
+      and yc = y0 +. (0.5 *. g.Grid.dy)
+      and zc = z0 +. (0.5 *. g.Grid.dz) in
+      let n = density ~x:xc ~y:yc ~z:zc in
+      if n > 0. then begin
+        let w = n *. dv /. float_of_int ppc in
+        for _ = 1 to ppc do
+          let p : Particle.t =
+            { i;
+              j;
+              k;
+              fx = Rng.uniform rng;
+              fy = Rng.uniform rng;
+              fz = Rng.uniform rng;
+              ux = drift.Vec3.x +. (if uth > 0. then uth *. Rng.normal rng else 0.);
+              uy = drift.Vec3.y +. (if uth > 0. then uth *. Rng.normal rng else 0.);
+              uz = drift.Vec3.z +. (if uth > 0. then uth *. Rng.normal rng else 0.);
+              w }
+          in
+          Species.append s p;
+          incr loaded
+        done
+      end);
+  !loaded
+
+let two_stream rng s ~ppc ~u0 ?(uth = 0.) ?(density = 1.) () =
+  assert (ppc mod 2 = 0);
+  let half = ppc / 2 in
+  let a =
+    maxwellian rng s ~ppc:half ~uth
+      ~drift:(Vec3.make u0 0. 0.)
+      ~density:(uniform_profile (density /. 2.))
+      ()
+  in
+  let b =
+    maxwellian rng s ~ppc:half ~uth
+      ~drift:(Vec3.make (-.u0) 0. 0.)
+      ~density:(uniform_profile (density /. 2.))
+      ()
+  in
+  a + b

@@ -1,0 +1,50 @@
+(** Particle loading: fill a species with macro-particles sampling a
+    prescribed density and (possibly drifting) Maxwellian momentum
+    distribution.
+
+    Densities are in units of the reference density (n = 1 gives
+    omega_pe = 1 in normalised units).  Each cell receives [ppc]
+    particles of weight n(x) dV / ppc, so weights track the local
+    density. *)
+
+type profile = x:float -> y:float -> z:float -> float
+
+val uniform_profile : float -> profile
+
+(** Linear ramp of density along x between (x_lo, n_lo) and (x_hi, n_hi),
+    clamped outside. *)
+val linear_ramp_x : x_lo:float -> n_lo:float -> x_hi:float -> n_hi:float -> profile
+
+(** [maxwellian rng species ~ppc ~uth ?drift ?density ()] loads [ppc]
+    particles per interior cell at uniformly random in-cell positions with
+    normal momentum spread [uth] per axis (u units, = v_th/c for
+    non-relativistic temperatures) around [drift] (default zero).
+    [density] defaults to uniform 1.  Cells where the profile is <= 0 get
+    no particles.  Returns the number of particles loaded. *)
+val maxwellian :
+  Vpic_util.Rng.t ->
+  Species.t ->
+  ppc:int ->
+  uth:float ->
+  ?drift:Vpic_util.Vec3.t ->
+  ?density:profile ->
+  unit ->
+  int
+
+(** Two counter-streaming cold beams along x (the classic two-stream
+    setup): half the particles drift at +u0, half at -u0, with optional
+    small thermal spread.  Returns particles loaded. *)
+val two_stream :
+  Vpic_util.Rng.t ->
+  Species.t ->
+  ppc:int ->
+  u0:float ->
+  ?uth:float ->
+  ?density:float ->
+  unit ->
+  int
+
+(** A sinusoidal density perturbation n(x) = n0 (1 + amp cos(2 pi m x/Lx))
+    useful for exciting Langmuir oscillations. *)
+val cosine_perturbation_x :
+  n0:float -> amplitude:float -> mode:int -> lx:float -> profile

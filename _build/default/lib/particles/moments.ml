@@ -1,0 +1,155 @@
+module Grid = Vpic_grid.Grid
+module Sf = Vpic_grid.Scalar_field
+module Axis = Vpic_grid.Axis
+module Vec3 = Vpic_util.Vec3
+module Perf = Vpic_util.Perf
+
+let deposit_rho ?(perf = Vpic_util.Perf.global) (s : Species.t) ~rho =
+  let g = s.Species.grid in
+  assert (g == Sf.grid rho);
+  let inv_dv = 1. /. Grid.cell_volume g in
+  let gx = g.Grid.gx in
+  let gxy = g.Grid.gx * g.Grid.gy in
+  let a = Sf.data rho in
+  let open Bigarray.Array1 in
+  let add idx v = unsafe_set a idx (unsafe_get a idx +. v) in
+  for n = 0 to Species.count s - 1 do
+    let v = Grid.voxel g s.Species.ci.(n) s.Species.cj.(n) s.Species.ck.(n) in
+    let fx = s.Species.fx.(n) and fy = s.Species.fy.(n) and fz = s.Species.fz.(n) in
+    let q = s.Species.q *. s.Species.w.(n) *. inv_dv in
+    let mx = 1. -. fx and my = 1. -. fy and mz = 1. -. fz in
+    add v (q *. mx *. my *. mz);
+    add (v + 1) (q *. fx *. my *. mz);
+    add (v + gx) (q *. mx *. fy *. mz);
+    add (v + gx + 1) (q *. fx *. fy *. mz);
+    add (v + gxy) (q *. mx *. my *. fz);
+    add (v + gxy + 1) (q *. fx *. my *. fz);
+    add (v + gxy + gx) (q *. mx *. fy *. fz);
+    add (v + gxy + gx + 1) (q *. fx *. fy *. fz)
+  done;
+  Perf.add_flops perf (float_of_int (Species.count s) *. 30.)
+
+let total_current (s : Species.t) =
+  let jx = ref 0. and jy = ref 0. and jz = ref 0. in
+  for n = 0 to Species.count s - 1 do
+    let ux = s.Species.ux.(n) and uy = s.Species.uy.(n) and uz = s.Species.uz.(n) in
+    let inv_g = 1. /. sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
+    let qw = s.Species.q *. s.Species.w.(n) in
+    jx := !jx +. (qw *. ux *. inv_g);
+    jy := !jy +. (qw *. uy *. inv_g);
+    jz := !jz +. (qw *. uz *. inv_g)
+  done;
+  Vec3.make !jx !jy !jz
+
+let velocity_histogram (s : Species.t) ~component ~lo ~hi ~bins =
+  assert (bins > 0 && hi > lo);
+  let h = Array.make bins 0. in
+  let scale = float_of_int bins /. (hi -. lo) in
+  for n = 0 to Species.count s - 1 do
+    let ux = s.Species.ux.(n) and uy = s.Species.uy.(n) and uz = s.Species.uz.(n) in
+    let inv_g = 1. /. sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
+    let v =
+      match component with
+      | Axis.X -> ux *. inv_g
+      | Axis.Y -> uy *. inv_g
+      | Axis.Z -> uz *. inv_g
+    in
+    let b = int_of_float (Float.floor ((v -. lo) *. scale)) in
+    if b >= 0 && b < bins then h.(b) <- h.(b) +. s.Species.w.(n)
+  done;
+  h
+
+let electron_rest_kev = 510.99895
+
+let hot_fraction (s : Species.t) ~threshold_kev =
+  let wtot = ref 0. and whot = ref 0. in
+  let thresh = threshold_kev /. electron_rest_kev in
+  for n = 0 to Species.count s - 1 do
+    let ux = s.Species.ux.(n) and uy = s.Species.uy.(n) and uz = s.Species.uz.(n) in
+    let u2 = (ux *. ux) +. (uy *. uy) +. (uz *. uz) in
+    let gamma = sqrt (1. +. u2) in
+    let ke = s.Species.m *. u2 /. (gamma +. 1.) in
+    wtot := !wtot +. s.Species.w.(n);
+    if ke > thresh then whot := !whot +. s.Species.w.(n)
+  done;
+  if !wtot = 0. then 0. else !whot /. !wtot
+
+let mean_velocity (s : Species.t) =
+  let wtot = ref 0. and vx = ref 0. and vy = ref 0. and vz = ref 0. in
+  for n = 0 to Species.count s - 1 do
+    let ux = s.Species.ux.(n) and uy = s.Species.uy.(n) and uz = s.Species.uz.(n) in
+    let inv_g = 1. /. sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
+    let w = s.Species.w.(n) in
+    wtot := !wtot +. w;
+    vx := !vx +. (w *. ux *. inv_g);
+    vy := !vy +. (w *. uy *. inv_g);
+    vz := !vz +. (w *. uz *. inv_g)
+  done;
+  if !wtot = 0. then Vec3.zero
+  else Vec3.make (!vx /. !wtot) (!vy /. !wtot) (!vz /. !wtot)
+
+let thermal_spread (s : Species.t) =
+  let wtot = ref 0. in
+  let m1 = Array.make 3 0. and m2 = Array.make 3 0. in
+  for n = 0 to Species.count s - 1 do
+    let w = s.Species.w.(n) in
+    let us = [| s.Species.ux.(n); s.Species.uy.(n); s.Species.uz.(n) |] in
+    wtot := !wtot +. w;
+    for a = 0 to 2 do
+      m1.(a) <- m1.(a) +. (w *. us.(a));
+      m2.(a) <- m2.(a) +. (w *. us.(a) *. us.(a))
+    done
+  done;
+  if !wtot = 0. then Vec3.zero
+  else begin
+    let sig_ a =
+      let mu = m1.(a) /. !wtot in
+      sqrt (Float.max 0. ((m2.(a) /. !wtot) -. (mu *. mu)))
+    in
+    Vec3.make (sig_ 0) (sig_ 1) (sig_ 2)
+  end
+
+let deposit_density (s : Species.t) ~out =
+  let g = s.Species.grid in
+  assert (g == Sf.grid out);
+  let inv_dv = 1. /. Grid.cell_volume g in
+  let gx = g.Grid.gx in
+  let gxy = g.Grid.gx * g.Grid.gy in
+  let a = Sf.data out in
+  let open Bigarray.Array1 in
+  let add idx v = unsafe_set a idx (unsafe_get a idx +. v) in
+  for n = 0 to Species.count s - 1 do
+    let v = Grid.voxel g s.Species.ci.(n) s.Species.cj.(n) s.Species.ck.(n) in
+    let fx = s.Species.fx.(n) and fy = s.Species.fy.(n) and fz = s.Species.fz.(n) in
+    let w = s.Species.w.(n) *. inv_dv in
+    let mx = 1. -. fx and my = 1. -. fy and mz = 1. -. fz in
+    add v (w *. mx *. my *. mz);
+    add (v + 1) (w *. fx *. my *. mz);
+    add (v + gx) (w *. mx *. fy *. mz);
+    add (v + gx + 1) (w *. fx *. fy *. mz);
+    add (v + gxy) (w *. mx *. my *. fz);
+    add (v + gxy + 1) (w *. fx *. my *. fz);
+    add (v + gxy + gx) (w *. mx *. fy *. fz);
+    add (v + gxy + gx + 1) (w *. fx *. fy *. fz)
+  done
+
+let energy_spectrum (s : Species.t) ~e_min_kev ~e_max_kev ~bins =
+  assert (bins > 0 && e_max_kev > e_min_kev && e_min_kev > 0.);
+  let log_lo = log e_min_kev and log_hi = log e_max_kev in
+  let scale = float_of_int bins /. (log_hi -. log_lo) in
+  let h = Array.make bins 0. in
+  for n = 0 to Species.count s - 1 do
+    let ux = s.Species.ux.(n) and uy = s.Species.uy.(n) and uz = s.Species.uz.(n) in
+    let u2 = (ux *. ux) +. (uy *. uy) +. (uz *. uz) in
+    let gamma = sqrt (1. +. u2) in
+    let ke_kev = s.Species.m *. u2 /. (gamma +. 1.) *. electron_rest_kev in
+    if ke_kev > 0. then begin
+      let b = int_of_float (Float.floor ((log ke_kev -. log_lo) *. scale)) in
+      if b >= 0 && b < bins then h.(b) <- h.(b) +. s.Species.w.(n)
+    end
+  done;
+  let centers =
+    Array.init bins (fun b ->
+        exp (log_lo +. ((float_of_int b +. 0.5) /. scale)))
+  in
+  (centers, h)

@@ -1,0 +1,35 @@
+module Grid = Vpic_grid.Grid
+
+type t = {
+  i : int;
+  j : int;
+  k : int;
+  fx : float;
+  fy : float;
+  fz : float;
+  ux : float;
+  uy : float;
+  uz : float;
+  w : float;
+}
+
+let gamma p =
+  sqrt (1. +. (p.ux *. p.ux) +. (p.uy *. p.uy) +. (p.uz *. p.uz))
+
+let velocity p =
+  let g = gamma p in
+  Vpic_util.Vec3.make (p.ux /. g) (p.uy /. g) (p.uz /. g)
+
+let position g p =
+  let x0, y0, z0 = Grid.cell_origin g p.i p.j p.k in
+  ( x0 +. (p.fx *. g.Grid.dx),
+    y0 +. (p.fy *. g.Grid.dy),
+    z0 +. (p.fz *. g.Grid.dz) )
+
+let at g ~x ~y ~z ~ux ~uy ~uz ~w =
+  let (i, j, k), (fx, fy, fz) = Grid.locate g x y z in
+  { i; j; k; fx; fy; fz; ux; uy; uz; w }
+
+let pp ppf p =
+  Format.fprintf ppf "cell(%d,%d,%d)+(%.3f,%.3f,%.3f) u=(%g,%g,%g) w=%g" p.i
+    p.j p.k p.fx p.fy p.fz p.ux p.uy p.uz p.w

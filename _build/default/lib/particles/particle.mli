@@ -1,0 +1,38 @@
+(** A single macro-particle in boxed form, used for loading, migration
+    between ranks and tests.  Hot loops use the SoA storage in {!Species}
+    instead.
+
+    Position is stored VPIC-style: owning cell (interior indices, or first
+    ghost layer for outbound particles) plus in-cell fractional offsets in
+    [0,1).  Momentum is u = gamma v in units of c. *)
+
+type t = {
+  i : int;
+  j : int;
+  k : int;
+  fx : float;
+  fy : float;
+  fz : float;
+  ux : float;
+  uy : float;
+  uz : float;
+  w : float;  (** statistical weight (physical particles represented) *)
+}
+
+val gamma : t -> float
+
+(** Velocity vector v = u/gamma. *)
+val velocity : t -> Vpic_util.Vec3.t
+
+(** Physical position on [grid]. *)
+val position : Vpic_grid.Grid.t -> t -> float * float * float
+
+(** Build from a physical position (must lie inside the grid interior). *)
+val at :
+  Vpic_grid.Grid.t ->
+  x:float -> y:float -> z:float ->
+  ux:float -> uy:float -> uz:float ->
+  w:float ->
+  t
+
+val pp : Format.formatter -> t -> unit

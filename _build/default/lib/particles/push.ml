@@ -1,0 +1,513 @@
+module Grid = Vpic_grid.Grid
+module Sf = Vpic_grid.Scalar_field
+module Bc = Vpic_grid.Bc
+module Perf = Vpic_util.Perf
+
+let flops_per_push = 70.
+let flops_per_segment = 57.
+
+type mover = {
+  mi : int;
+  mj : int;
+  mk : int;
+  mfx : float;
+  mfy : float;
+  mfz : float;
+  mux : float;
+  muy : float;
+  muz : float;
+  mw : float;
+  mrx : float;
+  mry : float;
+  mrz : float;
+}
+
+type stats = {
+  advanced : int;
+  segments : int;
+  absorbed : int;
+  reflected : int;
+  refluxed : int;
+  outbound : int;
+}
+
+type kind = Boris | Vay | Higuera_cary
+
+let kind_to_string = function
+  | Boris -> "boris"
+  | Vay -> "vay"
+  | Higuera_cary -> "higuera-cary"
+
+let boris ~u ~ex ~ey ~ez ~bx ~by ~bz ~qdt_2m =
+  let ux = u.(0) +. (qdt_2m *. ex) in
+  let uy = u.(1) +. (qdt_2m *. ey) in
+  let uz = u.(2) +. (qdt_2m *. ez) in
+  let gamma_m = sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
+  let f = qdt_2m /. gamma_m in
+  let tx = f *. bx and ty = f *. by and tz = f *. bz in
+  let t2 = (tx *. tx) +. (ty *. ty) +. (tz *. tz) in
+  let sx = 2. *. tx /. (1. +. t2) in
+  let sy = 2. *. ty /. (1. +. t2) in
+  let sz = 2. *. tz /. (1. +. t2) in
+  (* u' = u- + u- x t *)
+  let px = ux +. ((uy *. tz) -. (uz *. ty)) in
+  let py = uy +. ((uz *. tx) -. (ux *. tz)) in
+  let pz = uz +. ((ux *. ty) -. (uy *. tx)) in
+  (* u+ = u- + u' x s *)
+  let ux = ux +. ((py *. sz) -. (pz *. sy)) in
+  let uy = uy +. ((pz *. sx) -. (px *. sz)) in
+  let uz = uz +. ((px *. sy) -. (py *. sx)) in
+  u.(0) <- ux +. (qdt_2m *. ex);
+  u.(1) <- uy +. (qdt_2m *. ey);
+  u.(2) <- uz +. (qdt_2m *. ez)
+
+(* Shared tail of the Vay/Higuera-Cary updates: given the effective
+   momentum [px,py,pz], the new-gamma solution of
+   g^2 = (sigma + sqrt(sigma^2 + 4 (tau^2 + w^2)))/2 with w = p.tau,
+   apply the t = tau/g rotation-projection. *)
+let drift_preserving_tail ~u ~px ~py ~pz ~tx ~ty ~tz =
+  let tau2 = (tx *. tx) +. (ty *. ty) +. (tz *. tz) in
+  let w = (px *. tx) +. (py *. ty) +. (pz *. tz) in
+  let gamma_p2 = 1. +. (px *. px) +. (py *. py) +. (pz *. pz) in
+  let sigma = gamma_p2 -. tau2 in
+  let gamma_new =
+    sqrt (0.5 *. (sigma +. sqrt ((sigma *. sigma) +. (4. *. (tau2 +. (w *. w))))))
+  in
+  let tx = tx /. gamma_new and ty = ty /. gamma_new and tz = tz /. gamma_new in
+  let s = 1. /. (1. +. ((tx *. tx) +. (ty *. ty) +. (tz *. tz))) in
+  let pdt = (px *. tx) +. (py *. ty) +. (pz *. tz) in
+  u.(0) <- s *. (px +. (pdt *. tx) +. ((py *. tz) -. (pz *. ty)));
+  u.(1) <- s *. (py +. (pdt *. ty) +. ((pz *. tx) -. (px *. tz)));
+  u.(2) <- s *. (pz +. (pdt *. tz) +. ((px *. ty) -. (py *. tx)))
+
+let vay ~u ~ex ~ey ~ez ~bx ~by ~bz ~qdt_2m =
+  (* Vay (2008): full-E kick plus half v x B using the OLD velocity, then
+     the drift-preserving gamma solve and rotation. *)
+  let ux = u.(0) and uy = u.(1) and uz = u.(2) in
+  let gamma = sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
+  let vx = ux /. gamma and vy = uy /. gamma and vz = uz /. gamma in
+  let px =
+    ux +. (2. *. qdt_2m *. ex) +. (qdt_2m *. ((vy *. bz) -. (vz *. by)))
+  in
+  let py =
+    uy +. (2. *. qdt_2m *. ey) +. (qdt_2m *. ((vz *. bx) -. (vx *. bz)))
+  in
+  let pz =
+    uz +. (2. *. qdt_2m *. ez) +. (qdt_2m *. ((vx *. by) -. (vy *. bx)))
+  in
+  drift_preserving_tail ~u ~px ~py ~pz ~tx:(qdt_2m *. bx) ~ty:(qdt_2m *. by)
+    ~tz:(qdt_2m *. bz)
+
+let higuera_cary ~u ~ex ~ey ~ez ~bx ~by ~bz ~qdt_2m =
+  (* Higuera & Cary (2017): half-E kick, drift-preserving rotation with
+     gamma from the implicit mid-step solve, rotation applied twice via
+     the closing u+ x t term, then the second half-E kick. *)
+  let px = u.(0) +. (qdt_2m *. ex) in
+  let py = u.(1) +. (qdt_2m *. ey) in
+  let pz = u.(2) +. (qdt_2m *. ez) in
+  drift_preserving_tail ~u ~px ~py ~pz ~tx:(qdt_2m *. bx) ~ty:(qdt_2m *. by)
+    ~tz:(qdt_2m *. bz);
+  (* after the tail, u holds u+ (the half-rotated momentum); close with
+     the u+ x t term at the same mid-step gamma, then the final E
+     half-kick (the published HC2017 update) *)
+  let upx = u.(0) and upy = u.(1) and upz = u.(2) in
+  let tau2 =
+    (qdt_2m *. bx *. qdt_2m *. bx) +. (qdt_2m *. by *. qdt_2m *. by)
+    +. (qdt_2m *. bz *. qdt_2m *. bz)
+  in
+  let w = (px *. qdt_2m *. bx) +. (py *. qdt_2m *. by) +. (pz *. qdt_2m *. bz) in
+  let gamma_m2 = 1. +. (px *. px) +. (py *. py) +. (pz *. pz) in
+  let sigma = gamma_m2 -. tau2 in
+  let gamma_new =
+    sqrt (0.5 *. (sigma +. sqrt ((sigma *. sigma) +. (4. *. (tau2 +. (w *. w))))))
+  in
+  let tx = qdt_2m *. bx /. gamma_new
+  and ty = qdt_2m *. by /. gamma_new
+  and tz = qdt_2m *. bz /. gamma_new in
+  u.(0) <- upx +. (qdt_2m *. ex) +. ((upy *. tz) -. (upz *. ty));
+  u.(1) <- upy +. (qdt_2m *. ey) +. ((upz *. tx) -. (upx *. tz));
+  u.(2) <- upz +. (qdt_2m *. ez) +. ((upx *. ty) -. (upy *. tx))
+
+(* Deposit one straight segment (x1..x2 etc, in-cell coordinates in [0,1])
+   of a particle with per-axis current coefficients (cx,cy,cz) into the
+   J accumulators of the cell at flat voxel [v].  Villasenor-Buneman
+   first-order, charge-conserving form. *)
+let deposit_segment (jx : Sf.data) (jy : Sf.data) (jz : Sf.data) gx gxy v ~x1
+    ~y1 ~z1 ~x2 ~y2 ~z2 ~cx ~cy ~cz =
+  let open Bigarray.Array1 in
+  let dx = x2 -. x1 and dy = y2 -. y1 and dz = z2 -. z1 in
+  let xb = 0.5 *. (x1 +. x2) in
+  let yb = 0.5 *. (y1 +. y2) in
+  let zb = 0.5 *. (z1 +. z2) in
+  let add a idx v' = unsafe_set a idx (unsafe_get a idx +. v') in
+  (* Jx: transverse (y,z) *)
+  let qx = cx *. dx in
+  if qx <> 0. then begin
+    let corr = dy *. dz /. 12. in
+    add jx v (qx *. (((1. -. yb) *. (1. -. zb)) +. corr));
+    add jx (v + gx) (qx *. ((yb *. (1. -. zb)) -. corr));
+    add jx (v + gxy) (qx *. (((1. -. yb) *. zb) -. corr));
+    add jx (v + gx + gxy) (qx *. ((yb *. zb) +. corr))
+  end;
+  (* Jy: transverse (z,x) *)
+  let qy = cy *. dy in
+  if qy <> 0. then begin
+    let corr = dz *. dx /. 12. in
+    add jy v (qy *. (((1. -. zb) *. (1. -. xb)) +. corr));
+    add jy (v + gxy) (qy *. ((zb *. (1. -. xb)) -. corr));
+    add jy (v + 1) (qy *. (((1. -. zb) *. xb) -. corr));
+    add jy (v + gxy + 1) (qy *. ((zb *. xb) +. corr))
+  end;
+  (* Jz: transverse (x,y) *)
+  let qz = cz *. dz in
+  if qz <> 0. then begin
+    let corr = dx *. dy /. 12. in
+    add jz v (qz *. (((1. -. xb) *. (1. -. yb)) +. corr));
+    add jz (v + 1) (qz *. ((xb *. (1. -. yb)) -. corr));
+    add jz (v + gx) (qz *. (((1. -. xb) *. yb) -. corr));
+    add jz (v + gx + 1) (qz *. ((xb *. yb) +. corr))
+  end
+
+type face_action = Wrap | Reflect | Absorb | Reflux of float | Stop
+
+let face_action = function
+  | Bc.Periodic -> Wrap
+  | Bc.Conducting -> Reflect
+  | Bc.Absorbing -> Absorb
+  | Bc.Refluxing uth -> Reflux uth
+  | Bc.Domain _ -> Stop
+
+(* Everything the walk needs, prepared once per species push. *)
+type walk_env = {
+  g : Grid.t;
+  jxa : Sf.data;
+  jya : Sf.data;
+  jza : Sf.data;
+  gx : int;
+  gxy : int;
+  actions : face_action array; (* indexed 2*axis + (1 if hi side) *)
+  extents : int array;
+  segments : int ref;
+  reflected : int ref;
+  refluxed : int ref;
+  rng : Vpic_util.Rng.t option; (* required for Refluxing faces *)
+}
+
+let make_env ?rng g f bc ~segments ~reflected ~refluxed =
+  { g;
+    jxa = Sf.data f.Vpic_field.Em_field.jx;
+    jya = Sf.data f.Vpic_field.Em_field.jy;
+    jza = Sf.data f.Vpic_field.Em_field.jz;
+    gx = g.Grid.gx;
+    gxy = g.Grid.gx * g.Grid.gy;
+    actions =
+      [| face_action bc.Bc.xlo; face_action bc.Bc.xhi;
+         face_action bc.Bc.ylo; face_action bc.Bc.yhi;
+         face_action bc.Bc.zlo; face_action bc.Bc.zhi |];
+    extents = [| g.Grid.nx; g.Grid.ny; g.Grid.nz |];
+    segments;
+    reflected;
+    refluxed;
+    rng }
+
+type walk_status = Settled | Absorbed | Outbound
+
+(* Walk a particle through its remaining displacement, splitting at face
+   crossings and depositing each segment.  State arrays:
+   wk.(0..2) in-cell position, wk.(3..5) remaining displacement (cell
+   units, < 1 per axis), cell.(0..2) owning cell, u.(0..2) momentum
+   (mutated by reflections).  On [Outbound], the cell sits in the first
+   ghost layer at the entry face and wk.(3..5) holds what is left of the
+   move -- the receiving rank completes it. *)
+let walk env ~wk ~cell ~u ~cxc ~cyc ~czc =
+  let status = ref Settled in
+  let moving = ref true in
+  let guard = ref 0 in
+  while !moving && !status = Settled do
+    incr guard;
+    assert (!guard <= 12);
+    (* Fraction [smin] of the remaining displacement until the first face
+       crossing (crossing code: 2*axis + hi, or -1 for none); ties resolve
+       to the later axis, the remainder handled next iteration as
+       zero-length steps. *)
+    let smin = ref 1.0 in
+    let cross = ref (-1) in
+    for a = 0 to 2 do
+      let r = Array.unsafe_get wk (3 + a) in
+      if r > 0. then begin
+        let t = (1. -. Array.unsafe_get wk a) /. r in
+        if t <= !smin then begin
+          smin := (if t < 0. then 0. else t);
+          cross := (2 * a) + 1
+        end
+      end
+      else if r < 0. then begin
+        let t = Array.unsafe_get wk a /. -.r in
+        if t <= !smin then begin
+          smin := (if t < 0. then 0. else t);
+          cross := 2 * a
+        end
+      end
+    done;
+    let sfrac = !smin in
+    let x1 = wk.(0) and y1 = wk.(1) and z1 = wk.(2) in
+    let x2 = x1 +. (sfrac *. wk.(3)) in
+    let y2 = y1 +. (sfrac *. wk.(4)) in
+    let z2 = z1 +. (sfrac *. wk.(5)) in
+    let v = Grid.voxel env.g cell.(0) cell.(1) cell.(2) in
+    deposit_segment env.jxa env.jya env.jza env.gx env.gxy v ~x1 ~y1 ~z1 ~x2
+      ~y2 ~z2 ~cx:cxc ~cy:cyc ~cz:czc;
+    incr env.segments;
+    wk.(0) <- x2;
+    wk.(1) <- y2;
+    wk.(2) <- z2;
+    wk.(3) <- (1. -. sfrac) *. wk.(3);
+    wk.(4) <- (1. -. sfrac) *. wk.(4);
+    wk.(5) <- (1. -. sfrac) *. wk.(5);
+    if !cross < 0 then moving := false
+    else begin
+      let a = !cross / 2 in
+      let hi = !cross land 1 = 1 in
+      let n_axis = Array.unsafe_get env.extents a in
+      let leaving = if hi then cell.(a) = n_axis else cell.(a) = 1 in
+      let action = if leaving then env.actions.(!cross) else Wrap in
+      match action with
+      | Wrap ->
+          cell.(a) <-
+            (if not leaving then cell.(a) + (if hi then 1 else -1)
+             else if hi then 1
+             else n_axis);
+          wk.(a) <- (if hi then 0. else 1.)
+      | Stop ->
+          (* Step into the ghost layer and stop: the neighbour finishes
+             the move (keeps deposition within one ghost layer). *)
+          cell.(a) <- (if hi then n_axis + 1 else 0);
+          wk.(a) <- (if hi then 0. else 1.);
+          status := Outbound
+      | Reflect ->
+          wk.(a) <- (if hi then 1. else 0.);
+          wk.(3 + a) <- -.wk.(3 + a);
+          u.(a) <- -.u.(a);
+          incr env.reflected
+      | Reflux uth -> begin
+          match env.rng with
+          | None ->
+              invalid_arg
+                "Push: refluxing face crossed without an rng (pass ~rng)"
+          | Some rng ->
+              (* Re-emit from a thermal bath at the wall: inward normal
+                 momentum is flux-weighted (Rayleigh), tangentials are
+                 Maxwellian; the rest of the step is forfeited (the wall
+                 swallowed the outgoing particle). *)
+              let inward = if hi then -1. else 1. in
+              let un =
+                inward *. uth
+                *. sqrt (-2. *. log (Float.max 1e-300 (Vpic_util.Rng.uniform rng)))
+              in
+              wk.(a) <- (if hi then 1. else 0.);
+              for b = 0 to 2 do
+                if b = a then u.(b) <- un
+                else u.(b) <- uth *. Vpic_util.Rng.normal rng;
+                wk.(3 + b) <- 0.
+              done;
+              incr env.refluxed
+        end
+      | Absorb -> status := Absorbed
+    end
+  done;
+  if !status = Settled then
+    for a = 0 to 2 do
+      (* Guard against landing exactly on a face in floating point. *)
+      if wk.(a) >= 1. then wk.(a) <- Float.pred 1.
+      else if wk.(a) < 0. then wk.(a) <- 0.
+    done;
+  !status
+
+let mover_of ~cell ~wk ~u ~w =
+  { mi = cell.(0);
+    mj = cell.(1);
+    mk = cell.(2);
+    mfx = wk.(0);
+    mfy = wk.(1);
+    mfz = wk.(2);
+    mux = u.(0);
+    muy = u.(1);
+    muz = u.(2);
+    mw = w;
+    mrx = wk.(3);
+    mry = wk.(4);
+    mrz = wk.(5) }
+
+let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
+    ?rng ?(pusher = Boris) (s : Species.t) f bc =
+  let g = s.Species.grid in
+  assert (g == f.Vpic_field.Em_field.grid);
+  let gf = match gather_from with Some gf -> gf | None -> f in
+  assert (g == gf.Vpic_field.Em_field.grid);
+  let dt = g.Grid.dt in
+  let qdt_2m = 0.5 *. s.Species.q *. dt /. s.Species.m in
+  let inv_dx = 1. /. g.Grid.dx
+  and inv_dy = 1. /. g.Grid.dy
+  and inv_dz = 1. /. g.Grid.dz in
+  (* Per-axis current coefficients modulo the particle's q*w factor. *)
+  let kx = inv_dy *. inv_dz /. dt in
+  let ky = inv_dz *. inv_dx /. dt in
+  let kz = inv_dx *. inv_dy /. dt in
+  let segments = ref 0 in
+  let reflected = ref 0 in
+  let refluxed = ref 0 in
+  let env = make_env ?rng g f bc ~segments ~reflected ~refluxed in
+  let fields = Array.make 6 0. in
+  let u = Array.make 3 0. in
+  let wk = Array.make 6 0. in
+  let cell = Array.make 3 0 in
+  let absorbed = ref 0 in
+  let outbound = ref 0 in
+  let dead = ref [] in
+  let np0 = Species.count s in
+  let last =
+    match count with
+    | None -> np0 - 1
+    | Some c ->
+        assert (first >= 0 && first + c <= np0);
+        first + c - 1
+  in
+  let sci = s.Species.ci and scj = s.Species.cj and sck = s.Species.ck in
+  let sfx = s.Species.fx and sfy = s.Species.fy and sfz = s.Species.fz in
+  let sux = s.Species.ux and suy = s.Species.uy and suz = s.Species.uz in
+  let sw = s.Species.w in
+  for n = first to last do
+    cell.(0) <- Array.unsafe_get sci n;
+    cell.(1) <- Array.unsafe_get scj n;
+    cell.(2) <- Array.unsafe_get sck n;
+    Interp.gather_into gf ~i:cell.(0) ~j:cell.(1) ~k:cell.(2)
+      ~fx:(Array.unsafe_get sfx n) ~fy:(Array.unsafe_get sfy n)
+      ~fz:(Array.unsafe_get sfz n) ~out:fields;
+    u.(0) <- Array.unsafe_get sux n;
+    u.(1) <- Array.unsafe_get suy n;
+    u.(2) <- Array.unsafe_get suz n;
+    (match pusher with
+    | Boris ->
+        boris ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2) ~bx:fields.(3)
+          ~by:fields.(4) ~bz:fields.(5) ~qdt_2m
+    | Vay ->
+        vay ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2) ~bx:fields.(3)
+          ~by:fields.(4) ~bz:fields.(5) ~qdt_2m
+    | Higuera_cary ->
+        higuera_cary ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2)
+          ~bx:fields.(3) ~by:fields.(4) ~bz:fields.(5) ~qdt_2m);
+    let inv_gamma =
+      1. /. sqrt (1. +. (u.(0) *. u.(0)) +. (u.(1) *. u.(1)) +. (u.(2) *. u.(2)))
+    in
+    (* Remaining displacement in cell units; < 1 per axis under CFL. *)
+    wk.(0) <- Array.unsafe_get sfx n;
+    wk.(1) <- Array.unsafe_get sfy n;
+    wk.(2) <- Array.unsafe_get sfz n;
+    wk.(3) <- u.(0) *. inv_gamma *. dt *. inv_dx;
+    wk.(4) <- u.(1) *. inv_gamma *. dt *. inv_dy;
+    wk.(5) <- u.(2) *. inv_gamma *. dt *. inv_dz;
+    let w = Array.unsafe_get sw n in
+    let qw = s.Species.q *. w in
+    let cxc = qw *. kx and cyc = qw *. ky and czc = qw *. kz in
+    match walk env ~wk ~cell ~u ~cxc ~cyc ~czc with
+    | Settled ->
+        Array.unsafe_set sci n cell.(0);
+        Array.unsafe_set scj n cell.(1);
+        Array.unsafe_set sck n cell.(2);
+        Array.unsafe_set sfx n wk.(0);
+        Array.unsafe_set sfy n wk.(1);
+        Array.unsafe_set sfz n wk.(2);
+        Array.unsafe_set sux n u.(0);
+        Array.unsafe_set suy n u.(1);
+        Array.unsafe_set suz n u.(2)
+    | Absorbed ->
+        incr absorbed;
+        dead := n :: !dead
+    | Outbound -> begin
+        match movers with
+        | None ->
+            invalid_arg
+              "Push.advance: domain face crossed without a movers buffer"
+        | Some buf ->
+            buf := mover_of ~cell ~wk ~u ~w :: !buf;
+            incr outbound;
+            dead := n :: !dead
+      end
+  done;
+  (* Remove absorbed/outbound particles, highest index first so the
+     swap-with-last removals stay valid (dead is in descending order). *)
+  List.iter (fun n -> Species.remove s n) !dead;
+  let advanced = last - first + 1 in
+  Perf.add_particle_steps perf (float_of_int advanced);
+  Perf.add_flops perf
+    ((float_of_int advanced *. (Interp.flops_per_gather +. flops_per_push))
+    +. (float_of_int !segments *. flops_per_segment));
+  Perf.add_bytes perf (float_of_int advanced *. (64. +. 192. +. 96.));
+  { advanced;
+    segments = !segments;
+    absorbed = !absorbed;
+    reflected = !reflected;
+    refluxed = !refluxed;
+    outbound = !outbound }
+
+let finish_movers ?(perf = Perf.global) ?movers_out ?rng (s : Species.t) f bc
+    incoming =
+  let g = s.Species.grid in
+  assert (g == f.Vpic_field.Em_field.grid);
+  let dt = g.Grid.dt in
+  let kx = 1. /. (g.Grid.dy *. g.Grid.dz *. dt) in
+  let ky = 1. /. (g.Grid.dz *. g.Grid.dx *. dt) in
+  let kz = 1. /. (g.Grid.dx *. g.Grid.dy *. dt) in
+  let segments = ref 0 in
+  let reflected = ref 0 in
+  let refluxed = ref 0 in
+  let env = make_env ?rng g f bc ~segments ~reflected ~refluxed in
+  let u = Array.make 3 0. in
+  let wk = Array.make 6 0. in
+  let cell = Array.make 3 0 in
+  let settled = ref 0 and absorbed = ref 0 and reemitted = ref 0 in
+  List.iter
+    (fun m ->
+      cell.(0) <- m.mi;
+      cell.(1) <- m.mj;
+      cell.(2) <- m.mk;
+      assert (Grid.is_interior g m.mi m.mj m.mk);
+      wk.(0) <- m.mfx;
+      wk.(1) <- m.mfy;
+      wk.(2) <- m.mfz;
+      wk.(3) <- m.mrx;
+      wk.(4) <- m.mry;
+      wk.(5) <- m.mrz;
+      u.(0) <- m.mux;
+      u.(1) <- m.muy;
+      u.(2) <- m.muz;
+      let qw = s.Species.q *. m.mw in
+      match
+        walk env ~wk ~cell ~u ~cxc:(qw *. kx) ~cyc:(qw *. ky) ~czc:(qw *. kz)
+      with
+      | Settled ->
+          incr settled;
+          Species.append s
+            { i = cell.(0);
+              j = cell.(1);
+              k = cell.(2);
+              fx = wk.(0);
+              fy = wk.(1);
+              fz = wk.(2);
+              ux = u.(0);
+              uy = u.(1);
+              uz = u.(2);
+              w = m.mw }
+      | Absorbed -> incr absorbed
+      | Outbound -> begin
+          match movers_out with
+          | None ->
+              invalid_arg
+                "Push.finish_movers: further domain crossing without a buffer"
+          | Some buf ->
+              incr reemitted;
+              buf := mover_of ~cell ~wk ~u ~w:m.mw :: !buf
+        end)
+    incoming;
+  Perf.add_flops perf (float_of_int !segments *. flops_per_segment);
+  (!settled, !absorbed, !reemitted)

@@ -1,0 +1,135 @@
+(** The PIC inner loop (VPIC's hot kernel): for every particle of a
+    species, gather E and B, apply the relativistic Boris rotation, move
+    the particle — splitting its trajectory at every cell-face crossing —
+    and scatter charge-conserving Villasenor–Buneman currents into the
+    field's J accumulators.
+
+    Boundary handling during the move:
+    - [Periodic] faces wrap the particle;
+    - [Conducting] faces reflect it (specularly);
+    - [Absorbing] faces delete it (currents up to the wall are kept);
+    - [Refluxing uth] faces re-emit it from a thermal bath at the wall
+      (flux-weighted normal momentum, Maxwellian tangentials; requires
+      [rng]); the remainder of the step is forfeited;
+    - [Domain] faces stop the walk {e at the face}: the particle becomes a
+      {!mover} — removed from the species, carrying its remaining
+      displacement — to be shipped by [Vpic_parallel.Migrate] and finished
+      on the neighbouring rank with {!finish_movers}.  (This is VPIC's
+      scheme; it also guarantees deposition never reaches past the single
+      ghost layer.)
+
+    Requires valid EM ghosts (both sides) before the call.  Currents are
+    deposited into interior and first-ghost-layer slots; fold them {e
+    after} migration completes (the neighbour's finished movers deposit
+    into its ghost slots too).
+
+    Stability: per-axis displacement must stay below one cell per step,
+    guaranteed by the Courant limit since |v| < c = 1. *)
+
+(** Analytic flop counts for the perf ledger. *)
+val flops_per_push : float
+(** Boris + move, excluding gather and deposition. *)
+
+val flops_per_segment : float
+(** one Villasenor–Buneman segment deposition *)
+
+(** A particle stopped at a [Domain] face: position sits in the first
+    ghost layer at the entry face, with the unconsumed displacement in
+    cell units. *)
+type mover = {
+  mi : int;
+  mj : int;
+  mk : int;
+  mfx : float;
+  mfy : float;
+  mfz : float;
+  mux : float;
+  muy : float;
+  muz : float;
+  mw : float;
+  mrx : float;  (** remaining displacement, cell units *)
+  mry : float;
+  mrz : float;
+}
+
+(** Momentum-update kernel selection (see the kernel docs below). *)
+type kind = Boris | Vay | Higuera_cary
+
+type stats = {
+  advanced : int;   (** particles pushed *)
+  segments : int;   (** deposition segments (>= advanced) *)
+  absorbed : int;   (** deleted at absorbing walls *)
+  reflected : int;  (** specular reflections at conducting walls *)
+  refluxed : int;   (** re-emitted thermally at refluxing walls *)
+  outbound : int;   (** became movers (removed, waiting to migrate) *)
+}
+
+(** [advance ?first ?count ?movers species fields bc] pushes the whole
+    species by default, or the index block [first, first+count) — the
+    interface the simulated SPE pipeline streams blocks through (block
+    mode must not delete particles: no absorbing or domain faces there).
+    Outbound particles are appended to [movers]; raises
+    [Invalid_argument] if a domain face is crossed with no [movers]
+    buffer. *)
+val advance :
+  ?perf:Vpic_util.Perf.counters ->
+  ?first:int ->
+  ?count:int ->
+  ?movers:mover list ref ->
+  ?gather_from:Vpic_field.Em_field.t ->
+  ?rng:Vpic_util.Rng.t ->
+  ?pusher:kind ->
+  Species.t ->
+  Vpic_field.Em_field.t ->
+  Vpic_grid.Bc.t ->
+  stats
+(** [gather_from] (default: the scatter field itself) supplies the E and B
+    the particles feel — used with binomially smoothed interpolation
+    fields so that force smoothing matches current smoothing (the
+    symmetric kernel makes the coupling energy-consistent). *)
+
+(** Complete the moves of movers arriving from a neighbouring rank (cell
+    indices already rebased to this rank, interior at the entry face).
+    Settled particles are appended to the species; movers that stop at a
+    further domain face go to [movers_out]; absorbed ones are dropped.
+    Returns (settled, absorbed, re-emitted). *)
+val finish_movers :
+  ?perf:Vpic_util.Perf.counters ->
+  ?movers_out:mover list ref ->
+  ?rng:Vpic_util.Rng.t ->
+  Species.t ->
+  Vpic_field.Em_field.t ->
+  Vpic_grid.Bc.t ->
+  mover list ->
+  int * int * int
+
+(** {1 Momentum-update kernels}
+
+    All three update (ux,uy,uz) in [u] (length 3) in place given the local
+    fields and the half-step coefficient qdt_2m = q dt / 2m.
+    [boris] is VPIC's pusher (volume-preserving rotation); [vay] (2008)
+    and [higuera_cary] (2017) additionally preserve the relativistic
+    E x B drift velocity exactly at any time step. *)
+
+val kind_to_string : kind -> string
+
+val boris :
+  u:float array ->
+  ex:float -> ey:float -> ez:float ->
+  bx:float -> by:float -> bz:float ->
+  qdt_2m:float ->
+  unit
+
+val vay :
+  u:float array ->
+  ex:float -> ey:float -> ez:float ->
+  bx:float -> by:float -> bz:float ->
+  qdt_2m:float ->
+  unit
+
+val higuera_cary :
+  u:float array ->
+  ex:float -> ey:float -> ez:float ->
+  bx:float -> by:float -> bz:float ->
+  qdt_2m:float ->
+  unit

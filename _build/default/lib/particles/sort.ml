@@ -1,0 +1,79 @@
+module Grid = Vpic_grid.Grid
+module Perf = Vpic_util.Perf
+
+let voxel_of (s : Species.t) n =
+  Grid.voxel s.Species.grid s.Species.ci.(n) s.Species.cj.(n) s.Species.ck.(n)
+
+let by_voxel ?(perf = Perf.global) (s : Species.t) =
+  let np = Species.count s in
+  if np > 1 then begin
+    let nv = s.Species.grid.Grid.nv in
+    let counts = Array.make (nv + 1) 0 in
+    for n = 0 to np - 1 do
+      let v = voxel_of s n in
+      counts.(v + 1) <- counts.(v + 1) + 1
+    done;
+    for v = 1 to nv do
+      counts.(v) <- counts.(v) + counts.(v - 1)
+    done;
+    let permute_float (a : float array) =
+      let out = Array.make np 0. in
+      let offs = Array.copy counts in
+      for n = 0 to np - 1 do
+        let v = voxel_of s n in
+        out.(offs.(v)) <- a.(n);
+        offs.(v) <- offs.(v) + 1
+      done;
+      out
+    in
+    let permute_int (a : int array) =
+      let out = Array.make np 0 in
+      let offs = Array.copy counts in
+      for n = 0 to np - 1 do
+        let v = voxel_of s n in
+        out.(offs.(v)) <- a.(n);
+        offs.(v) <- offs.(v) + 1
+      done;
+      out
+    in
+    (* Permute position-independent attributes first, then the cell
+       indices themselves (which define the permutation). *)
+    let fx = permute_float s.Species.fx in
+    let fy = permute_float s.Species.fy in
+    let fz = permute_float s.Species.fz in
+    let ux = permute_float s.Species.ux in
+    let uy = permute_float s.Species.uy in
+    let uz = permute_float s.Species.uz in
+    let w = permute_float s.Species.w in
+    let ci = permute_int s.Species.ci in
+    let cj = permute_int s.Species.cj in
+    let ck = permute_int s.Species.ck in
+    s.Species.fx <- fx;
+    s.Species.fy <- fy;
+    s.Species.fz <- fz;
+    s.Species.ux <- ux;
+    s.Species.uy <- uy;
+    s.Species.uz <- uz;
+    s.Species.w <- w;
+    s.Species.ci <- ci;
+    s.Species.cj <- cj;
+    s.Species.ck <- ck;
+    s.Species.cap <- np;
+    Perf.add_bytes perf (float_of_int np *. 80. *. 2.)
+  end
+
+let is_sorted s =
+  let np = Species.count s in
+  let rec check n = n >= np || (voxel_of s (n - 1) <= voxel_of s n && check (n + 1)) in
+  check 1
+
+let locality_score s =
+  let np = Species.count s in
+  if np < 2 then 1.
+  else begin
+    let near = ref 0 in
+    for n = 1 to np - 1 do
+      if abs (voxel_of s n - voxel_of s (n - 1)) <= 1 then incr near
+    done;
+    float_of_int !near /. float_of_int (np - 1)
+  end

@@ -1,0 +1,17 @@
+(** In-place counting sort of a species by owning voxel.
+
+    VPIC sorts particles periodically so that the gather/scatter of
+    consecutive particles touches consecutive field memory — essential for
+    the Cell SPE streaming in the paper and still a large cache win on
+    conventional CPUs (benchmarked in bench/main.ml, experiment E5). *)
+
+(** Sort ascending by flat voxel index.  O(np + nv) time, O(np + nv)
+    scratch.  Stable within a voxel. *)
+val by_voxel : ?perf:Vpic_util.Perf.counters -> Species.t -> unit
+
+(** True when the species is voxel-sorted (for tests/benches). *)
+val is_sorted : Species.t -> bool
+
+(** Fraction of consecutive particle pairs in the same or adjacent voxel —
+    a locality score in [0,1] used by the E5 bench narrative. *)
+val locality_score : Species.t -> float

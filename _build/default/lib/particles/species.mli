@@ -1,0 +1,57 @@
+(** A particle species: SoA storage (separate unboxed float arrays per
+    attribute, VPIC layout) plus charge/mass in normalised units
+    (electrons: q = -1, m = 1). *)
+
+type t = {
+  name : string;
+  q : float;
+  m : float;
+  grid : Vpic_grid.Grid.t;
+  mutable np : int;
+  mutable cap : int;
+  mutable ci : int array;  (** owning cell index along x *)
+  mutable cj : int array;
+  mutable ck : int array;
+  mutable fx : float array;  (** in-cell offsets, [0,1) *)
+  mutable fy : float array;
+  mutable fz : float array;
+  mutable ux : float array;  (** gamma v / c *)
+  mutable uy : float array;
+  mutable uz : float array;
+  mutable w : float array;
+}
+
+val create :
+  ?initial_capacity:int ->
+  name:string -> q:float -> m:float -> Vpic_grid.Grid.t -> t
+
+val count : t -> int
+
+(** Ensure room for [n] more particles (amortised doubling). *)
+val reserve : t -> int -> unit
+
+val append : t -> Particle.t -> unit
+val get : t -> int -> Particle.t
+val set : t -> int -> Particle.t -> unit
+
+(** Remove particle [n] by swapping in the last one (O(1); order changes). *)
+val remove : t -> int -> unit
+
+val clear : t -> unit
+val iter : t -> (int -> unit) -> unit
+val to_list : t -> Particle.t list
+
+(** Remove and return every particle satisfying [pred] (by index). *)
+val extract_if : t -> (int -> bool) -> Particle.t list
+
+(** Total charge q * sum w. *)
+val total_charge : t -> float
+
+(** Total kinetic energy sum w m (gamma - 1), normalised units. *)
+val kinetic_energy : t -> float
+
+(** Total momentum sum w m u. *)
+val momentum : t -> Vpic_util.Vec3.t
+
+(** True when particle [n] sits in a ghost cell (outbound after a push). *)
+val in_ghost : t -> int -> bool

@@ -1,0 +1,1 @@
+lib/util/approx.ml: Float Printf

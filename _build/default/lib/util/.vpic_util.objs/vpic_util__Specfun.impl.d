@@ -1,0 +1,1 @@
+lib/util/specfun.ml: Array Complex Float Stdlib

@@ -1,0 +1,1 @@
+lib/util/vec3.ml: Float Format

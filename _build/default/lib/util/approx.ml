@@ -1,0 +1,12 @@
+let close ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let rel_err ?(floor = 1e-300) a b =
+  Float.abs (a -. b) /. Float.max (Float.abs b) floor
+
+exception Check_failed of string
+
+let check_close ?rtol ?atol label a b =
+  if not (close ?rtol ?atol a b) then
+    raise
+      (Check_failed (Printf.sprintf "%s: %.17g not close to %.17g" label a b))

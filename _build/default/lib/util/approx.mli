@@ -1,0 +1,14 @@
+(** Floating-point comparison helpers for tests and diagnostics. *)
+
+(** [close ~rtol ~atol a b] is true when |a-b| <= atol + rtol*max(|a|,|b|).
+    Defaults: rtol = 1e-9, atol = 1e-12. *)
+val close : ?rtol:float -> ?atol:float -> float -> float -> bool
+
+(** Relative error |a-b| / max(|b|, floor); [floor] defaults to 1e-300. *)
+val rel_err : ?floor:float -> float -> float -> float
+
+(** Alcotest-style testable built on [close]. *)
+val check_close :
+  ?rtol:float -> ?atol:float -> string -> float -> float -> unit
+
+exception Check_failed of string

@@ -1,0 +1,38 @@
+let c_si = 2.99792458e8
+let e_si = 1.602176634e-19
+let m_e_si = 9.1093837015e-31
+let eps0_si = 8.8541878128e-12
+let k_b_si = 1.380649e-23
+let ev_to_joule = e_si
+
+let plasma_frequency n_e = sqrt (n_e *. e_si *. e_si /. (eps0_si *. m_e_si))
+
+let critical_density ~lambda =
+  let omega0 = 2. *. Float.pi *. c_si /. lambda in
+  eps0_si *. m_e_si *. omega0 *. omega0 /. (e_si *. e_si)
+
+let thermal_speed ~t_ev = sqrt (t_ev *. ev_to_joule /. m_e_si)
+let debye_length ~n_e ~t_ev = thermal_speed ~t_ev /. plasma_frequency n_e
+
+let a0_of_intensity ~intensity_w_cm2 ~lambda =
+  (* a0 = 0.8549 * lambda[um] * sqrt(I[10^18 W/cm^2]) (linear polarisation) *)
+  let lambda_um = lambda *. 1e6 in
+  let i18 = intensity_w_cm2 /. 1e18 in
+  0.8549 *. lambda_um *. sqrt i18
+
+let intensity_of_a0 ~a0 ~lambda =
+  let lambda_um = lambda *. 1e6 in
+  let r = a0 /. (0.8549 *. lambda_um) in
+  r *. r *. 1e18
+
+type norm = { n_ref : float; omega_pe : float; skin_depth : float }
+
+let make_norm ~n_ref =
+  let omega_pe = plasma_frequency n_ref in
+  { n_ref; omega_pe; skin_depth = c_si /. omega_pe }
+
+let uth_of_temperature ~t_ev = thermal_speed ~t_ev /. c_si
+
+let laser_omega norm ~lambda =
+  let n_cr = critical_density ~lambda in
+  sqrt (n_cr /. norm.n_ref)

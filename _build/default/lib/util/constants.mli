@@ -1,0 +1,59 @@
+(** Physical constants (SI) and the normalised unit system used throughout.
+
+    The simulation works in VPIC-style normalised units: c = 1,
+    eps0 = mu0 = 1, lengths in c/omega_pe of a reference electron density,
+    times in 1/omega_pe, momenta u = gamma v in units of c, and fields in
+    m_e c omega_pe / e.  This module converts between SI laser/plasma
+    parameters and those units. *)
+
+(** {1 SI constants} *)
+
+val c_si : float (** speed of light, m/s *)
+
+val e_si : float (** elementary charge, C *)
+
+val m_e_si : float (** electron mass, kg *)
+
+val eps0_si : float (** vacuum permittivity, F/m *)
+
+val k_b_si : float (** Boltzmann constant, J/K *)
+
+val ev_to_joule : float
+
+(** {1 Derived plasma quantities (SI in, SI out)} *)
+
+(** [plasma_frequency n_e] for electron density n_e in m^-3, rad/s. *)
+val plasma_frequency : float -> float
+
+(** Critical density (m^-3) for laser wavelength [lambda] in metres. *)
+val critical_density : lambda:float -> float
+
+(** Electron thermal speed sqrt(T/m) in m/s for temperature in eV. *)
+val thermal_speed : t_ev:float -> float
+
+(** Debye length in metres. *)
+val debye_length : n_e:float -> t_ev:float -> float
+
+(** Normalised laser amplitude a0 = e E / (m_e c omega_0) from intensity
+    (W/cm^2) and wavelength (m). *)
+val a0_of_intensity : intensity_w_cm2:float -> lambda:float -> float
+
+(** Inverse of {!a0_of_intensity}. *)
+val intensity_of_a0 : a0:float -> lambda:float -> float
+
+(** {1 Normalisation relative to a reference density} *)
+
+type norm = {
+  n_ref : float;      (** reference electron density, m^-3 *)
+  omega_pe : float;   (** reference plasma frequency, rad/s *)
+  skin_depth : float; (** c/omega_pe, metres *)
+}
+
+val make_norm : n_ref:float -> norm
+
+(** Thermal momentum spread u_th = v_th/c (non-relativistic T) for T in eV. *)
+val uth_of_temperature : t_ev:float -> float
+
+(** Laser frequency in units of the reference omega_pe:
+    omega0/omega_pe = sqrt(n_cr / n_ref). *)
+val laser_omega : norm -> lambda:float -> float

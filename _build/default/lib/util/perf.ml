@@ -1,0 +1,57 @@
+type counters = {
+  mutable flops : float;
+  mutable bytes_moved : float;
+  mutable particle_steps : float;
+  mutable voxel_updates : float;
+}
+
+let create () =
+  { flops = 0.; bytes_moved = 0.; particle_steps = 0.; voxel_updates = 0. }
+
+let reset c =
+  c.flops <- 0.;
+  c.bytes_moved <- 0.;
+  c.particle_steps <- 0.;
+  c.voxel_updates <- 0.
+
+let merge_into ~dst c =
+  dst.flops <- dst.flops +. c.flops;
+  dst.bytes_moved <- dst.bytes_moved +. c.bytes_moved;
+  dst.particle_steps <- dst.particle_steps +. c.particle_steps;
+  dst.voxel_updates <- dst.voxel_updates +. c.voxel_updates
+
+let add_flops c n = c.flops <- c.flops +. n
+let add_bytes c n = c.bytes_moved <- c.bytes_moved +. n
+let add_particle_steps c n = c.particle_steps <- c.particle_steps +. n
+let add_voxel_updates c n = c.voxel_updates <- c.voxel_updates +. n
+let global = create ()
+
+type timer = {
+  mutable t0 : float;
+  mutable running : bool;
+  mutable total : float;
+  mutable count : int;
+}
+
+let now () = Unix.gettimeofday ()
+let timer_create () = { t0 = 0.; running = false; total = 0.; count = 0 }
+
+let timer_start t =
+  t.t0 <- now ();
+  t.running <- true
+
+let timer_stop t =
+  assert t.running;
+  let dt = now () -. t.t0 in
+  t.running <- false;
+  t.total <- t.total +. dt;
+  t.count <- t.count + 1;
+  dt
+
+let timer_total t = t.total
+let timer_count t = t.count
+
+let timed f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)

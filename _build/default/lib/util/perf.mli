@@ -1,0 +1,39 @@
+(** Performance accounting: flop / byte / particle-step ledgers and wall
+    timers.  The kernels in [vpic_particle] and [vpic_field] report their
+    analytic operation counts here; the Roadrunner performance model in
+    [vpic_cell] consumes the resulting per-particle and per-voxel costs. *)
+
+type counters = {
+  mutable flops : float;          (** floating-point operations *)
+  mutable bytes_moved : float;    (** main-memory traffic modelled *)
+  mutable particle_steps : float; (** particles advanced x steps *)
+  mutable voxel_updates : float;  (** field voxels updated x steps *)
+}
+
+val create : unit -> counters
+val reset : counters -> unit
+val merge_into : dst:counters -> counters -> unit
+
+val add_flops : counters -> float -> unit
+val add_bytes : counters -> float -> unit
+val add_particle_steps : counters -> float -> unit
+val add_voxel_updates : counters -> float -> unit
+
+(** Global default ledger used when a caller does not thread its own. *)
+val global : counters
+
+(** {1 Wall-clock timing} *)
+
+type timer
+
+val timer_create : unit -> timer
+val timer_start : timer -> unit
+
+(** Stop and accumulate; returns the elapsed interval in seconds. *)
+val timer_stop : timer -> float
+
+val timer_total : timer -> float
+val timer_count : timer -> int
+
+(** Time a thunk, returning its result and the elapsed seconds. *)
+val timed : (unit -> 'a) -> 'a * float

@@ -1,0 +1,41 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    SplitMix64 core: fast, high quality for simulation seeding, and fully
+    reproducible across runs and platforms (no dependence on the stdlib
+    [Random] global state).  Each rank/species gets its own stream via
+    [split], mirroring how VPIC seeds per-pipeline generators. *)
+
+type t
+
+(** Fresh generator from a 64-bit seed. *)
+val create : int64 -> t
+
+(** Convenience: seed from an int. *)
+val of_int : int -> t
+
+(** Derive an independent stream; deterministic in [t]'s state and [i]. *)
+val split : t -> int -> t
+
+(** Next raw 64 bits. *)
+val bits64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val uniform : t -> float
+
+(** Uniform float in [a, b). *)
+val uniform_in : t -> float -> float -> float
+
+(** Uniform int in [0, n). Requires n > 0. *)
+val int : t -> int -> int
+
+(** Standard normal deviate (Box–Muller, cached spare). *)
+val normal : t -> float
+
+(** Normal with given mean and standard deviation. *)
+val gaussian : t -> mean:float -> sigma:float -> float
+
+(** Exponential deviate with unit mean. *)
+val exponential : t -> float
+
+(** Fisher–Yates shuffle of an array, in place. *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,45 @@
+(** Special functions needed by kinetic plasma theory: error function,
+    Dawson integral and the (real-argument) plasma dispersion function. *)
+
+(** Error function, |error| < 1.2e-7 (Abramowitz–Stegun 7.1.26 refined by
+    series/continued-fraction switching). *)
+val erf : float -> float
+
+val erfc : float -> float
+
+(** Dawson integral F(x) = exp(-x^2) int_0^x exp(t^2) dt. *)
+val dawson : float -> float
+
+(** Plasma dispersion function Z(zeta) for real zeta:
+    Z(x) = -2 F(x) + i sqrt(pi) exp(-x^2).  Returns (re, im). *)
+val plasma_z : float -> float * float
+
+(** Derivative Z'(x) = -2 (1 + x Z(x)); returns (re, im). *)
+val plasma_z_prime : float -> float * float
+
+(** Electron-plasma-wave Landau damping rate (gamma/omega_pe, positive =
+    damping) for wavenumber [k_lambda_d] = k lambda_De, from the textbook
+    weak-damping asymptotic formula (overestimates beyond
+    k lambda_D ~ 0.25; see {!landau_damping_exact}). *)
+val landau_damping_rate : k_lambda_d:float -> float
+
+(** Faddeeva function w(z) = exp(-z^2) erfc(-iz) for complex argument
+    (Humlicek's w4 rational approximation, ~1e-4 relative accuracy,
+    extended to the lower half plane via w(z) = 2 exp(-z^2) - w(-z)). *)
+val faddeeva : Complex.t -> Complex.t
+
+(** Z(zeta) = i sqrt(pi) w(zeta), the plasma dispersion function for
+    complex argument (analytic continuation included). *)
+val plasma_z_complex : Complex.t -> Complex.t
+
+(** Landau damping from the full kinetic dispersion relation for a
+    Maxwellian: complex Newton iteration on
+    eps(zeta) = 1 + (1 + zeta Z(zeta))/(k lambda_D)^2 = 0.
+    Returns (omega/omega_pe, gamma/omega_pe), gamma > 0 for damping;
+    e.g. (1.1598, 0.0126) at k lambda_D = 0.3 and (1.4156, 0.153) at 0.5. *)
+val landau_root : k_lambda_d:float -> float * float
+
+val landau_damping_exact : k_lambda_d:float -> float
+
+(** Bohm–Gross real frequency omega/omega_pe for k lambda_De. *)
+val bohm_gross_omega : k_lambda_d:float -> float

@@ -1,0 +1,96 @@
+type t = {
+  mutable n : int;
+  mutable mu : float;
+  mutable m2 : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable sum : float;
+}
+
+let create () =
+  { n = 0; mu = 0.; m2 = 0.; mn = infinity; mx = neg_infinity; sum = 0. }
+
+let add t x =
+  t.n <- t.n + 1;
+  let d = x -. t.mu in
+  t.mu <- t.mu +. (d /. float_of_int t.n);
+  t.m2 <- t.m2 +. (d *. (x -. t.mu));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  t.sum <- t.sum +. x
+
+let count t = t.n
+let mean t = t.mu
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.mn
+let max t = t.mx
+let total t = t.sum
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let d = b.mu -. a.mu in
+    let mu = a.mu +. (d *. float_of_int b.n /. float_of_int n) in
+    let m2 =
+      a.m2 +. b.m2 +. (d *. d *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+    in
+    { n;
+      mu;
+      m2;
+      mn = Float.min a.mn b.mn;
+      mx = Float.max a.mx b.mx;
+      sum = a.sum +. b.sum }
+  end
+
+let mean_of xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  mean t
+
+let stddev_of xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  stddev t
+
+let percentile p xs =
+  assert (Array.length xs > 0 && p >= 0. && p <= 100.);
+  let ys = Array.copy xs in
+  Array.sort Float.compare ys;
+  let n = Array.length ys in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  ((1. -. frac) *. ys.(lo)) +. (frac *. ys.(hi))
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n >= 2);
+  let fn = float_of_int n in
+  let sx = Array.fold_left ( +. ) 0. xs and sy = Array.fold_left ( +. ) 0. ys in
+  let mx = sx /. fn and my = sy /. fn in
+  let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  let b = if !sxx = 0. then 0. else !sxy /. !sxx in
+  let a = my -. (b *. mx) in
+  let r2 =
+    if !sxx = 0. || !syy = 0. then 1. else !sxy *. !sxy /. (!sxx *. !syy)
+  in
+  (a, b, r2)
+
+let log_linear_fit xs ys =
+  let pairs =
+    Array.to_list (Array.mapi (fun i x -> (x, ys.(i))) xs)
+    |> List.filter (fun (_, y) -> y > 0.)
+  in
+  let xs' = Array.of_list (List.map fst pairs) in
+  let ys' = Array.of_list (List.map (fun (_, y) -> log y) pairs) in
+  linear_fit xs' ys'

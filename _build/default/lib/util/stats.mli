@@ -1,0 +1,35 @@
+(** Running statistics (Welford) and small fitting helpers used by
+    diagnostics and benchmarks. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+(** Sample variance (n-1 denominator); 0 for fewer than two samples. *)
+val variance : t -> float
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+(** Merge two accumulators (parallel Welford combination). *)
+val merge : t -> t -> t
+
+(** {1 Array helpers} *)
+
+val mean_of : float array -> float
+val stddev_of : float array -> float
+
+(** [percentile p xs] for p in [0,100]; linear interpolation; sorts a copy. *)
+val percentile : float -> float array -> float
+
+(** Least-squares fit y = a + b x; returns (a, b, r2). *)
+val linear_fit : float array -> float array -> float * float * float
+
+(** Fit log y = a + b x (exponential growth rate b); ignores y <= 0 points.
+    Returns (log_a, b, r2). *)
+val log_linear_fit : float array -> float array -> float * float * float

@@ -1,0 +1,50 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  assert (List.length row = List.length t.headers);
+  t.rows <- row :: t.rows
+
+let cell_f x = Printf.sprintf "%.4g" x
+let cell_i = string_of_int
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let line row = String.concat "  " (List.map2 pad widths row) in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (line r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ~title t =
+  Printf.printf "\n== %s ==\n%s%!" title (render t)
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let emit row = Buffer.add_string buf (String.concat "," row ^ "\n") in
+  emit t.headers;
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let save_csv t path =
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc

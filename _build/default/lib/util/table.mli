@@ -1,0 +1,25 @@
+(** Aligned text tables and CSV emission for the benchmark harness. *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** Append a row (stringified cells); arity must match the header. *)
+val add_row : t -> string list -> unit
+
+(** Convenience: format floats with [%.4g] and ints directly. *)
+val cell_f : float -> string
+
+val cell_i : int -> string
+
+(** Render with aligned columns, a rule under the header. *)
+val render : t -> string
+
+(** Print to stdout with a title line. *)
+val print : title:string -> t -> unit
+
+(** CSV text (no quoting needed for our numeric tables). *)
+val to_csv : t -> string
+
+val save_csv : t -> string -> unit

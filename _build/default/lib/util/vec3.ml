@@ -1,0 +1,27 @@
+type t = { x : float; y : float; z : float }
+
+let zero = { x = 0.; y = 0.; z = 0. }
+let make x y z = { x; y; z }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+let scale s a = { x = s *. a.x; y = s *. a.y; z = s *. a.z }
+let neg a = scale (-1.) a
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let cross a b =
+  { x = (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.z *. b.x) -. (a.x *. b.z);
+    z = (a.x *. b.y) -. (a.y *. b.x) }
+
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+let axpy a x y = add (scale a x) y
+let hadamard a b = { x = a.x *. b.x; y = a.y *. b.y; z = a.z *. b.z }
+let lerp t a b = add (scale (1. -. t) a) (scale t b)
+
+let equal ?(eps = 0.) a b =
+  let close u v = Float.abs (u -. v) <= eps in
+  close a.x b.x && close a.y b.y && close a.z b.z
+
+let pp ppf a = Format.fprintf ppf "(%g, %g, %g)" a.x a.y a.z
+let to_string a = Format.asprintf "%a" pp a

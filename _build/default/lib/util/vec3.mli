@@ -1,0 +1,29 @@
+(** Small 3-vector of floats, used for momenta, fields and geometry. *)
+
+type t = { x : float; y : float; z : float }
+
+val zero : t
+val make : float -> float -> float -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+val dot : t -> t -> float
+val cross : t -> t -> t
+val norm2 : t -> float
+
+(** Euclidean length. *)
+val norm : t -> float
+
+(** [axpy a x y] is [a*x + y]. *)
+val axpy : float -> t -> t -> t
+
+(** Componentwise multiplication. *)
+val hadamard : t -> t -> t
+
+(** [lerp t a b] linearly interpolates between [a] (t=0) and [b] (t=1). *)
+val lerp : float -> t -> t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

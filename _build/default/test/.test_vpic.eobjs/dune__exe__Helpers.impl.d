@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest List QCheck2 QCheck_alcotest Vpic_field Vpic_grid Vpic_particle Vpic_util

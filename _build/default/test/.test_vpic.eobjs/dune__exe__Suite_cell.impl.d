@@ -1,0 +1,1 @@
+test/suite_cell.ml: Alcotest Bc Boundary Em_field Float Helpers List Loader Printf Push Rng Sf Species Vpic_cell Vpic_particle

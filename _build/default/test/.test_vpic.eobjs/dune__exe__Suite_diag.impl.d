@@ -1,0 +1,1 @@
+test/suite_diag.ml: Alcotest Array Filename Fun Grid Helpers List Rng Sf String Sys Vpic_diag Vpic_particle

@@ -1,0 +1,1 @@
+test/suite_field.ml: Array Bc Boundary Diagnostics Em_field Float Grid Helpers List Loader Printf Rng Sf Species Vpic Vpic_diag Vpic_field

@@ -1,0 +1,1 @@
+test/suite_grid.ml: Alcotest Approx Array Axis Bc Grid Helpers List Particle QCheck2 Rng Sf Vpic_grid

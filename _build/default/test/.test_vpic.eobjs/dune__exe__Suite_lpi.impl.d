@@ -1,0 +1,1 @@
+test/suite_lpi.ml: Alcotest Array Em_field Float Helpers Printf Rng Sf Species Vpic Vpic_field Vpic_lpi Vpic_util

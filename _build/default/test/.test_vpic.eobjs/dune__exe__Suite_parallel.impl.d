@@ -1,0 +1,1 @@
+test/suite_parallel.ml: Alcotest Array Bc Em_field Float Grid Helpers List Loader Rng Sf Species Vec3 Vpic Vpic_grid Vpic_parallel Vpic_particle

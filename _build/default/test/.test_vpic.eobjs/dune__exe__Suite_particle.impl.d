@@ -1,0 +1,1 @@
+test/suite_particle.ml: Alcotest Approx Array Axis Bc Boundary Em_field Float Grid Helpers List Loader Moments Particle Printf Push QCheck2 Rng Sf Species Vec3 Vpic_particle

@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Approx Array Complex Float Fun Helpers List QCheck2 String Vec3 Vpic_util

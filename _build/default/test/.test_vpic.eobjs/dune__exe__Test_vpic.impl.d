@@ -1,0 +1,1 @@
+test/test_vpic.ml: Alcotest Suite_cell Suite_diag Suite_field Suite_grid Suite_lpi Suite_parallel Suite_particle Suite_sim Suite_util

@@ -1,0 +1,49 @@
+(* Shared helpers for the test suites. *)
+
+module Grid = Vpic_grid.Grid
+module Sf = Vpic_grid.Scalar_field
+module Bc = Vpic_grid.Bc
+module Axis = Vpic_grid.Axis
+module Em_field = Vpic_field.Em_field
+module Boundary = Vpic_field.Boundary
+module Maxwell = Vpic_field.Maxwell
+module Diagnostics = Vpic_field.Diagnostics
+module Species = Vpic_particle.Species
+module Particle = Vpic_particle.Particle
+module Push = Vpic_particle.Push
+module Moments = Vpic_particle.Moments
+module Loader = Vpic_particle.Loader
+module Rng = Vpic_util.Rng
+module Approx = Vpic_util.Approx
+module Vec3 = Vpic_util.Vec3
+
+let check_close ?(rtol = 1e-9) ?(atol = 1e-12) label expected actual =
+  if not (Approx.close ~rtol ~atol expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g (rel err %.3g)" label
+      expected actual
+      (Vpic_util.Approx.rel_err actual expected)
+
+let check_true label b = Alcotest.(check bool) label true b
+
+(* A small cubic periodic grid with a CFL-safe dt. *)
+let small_grid ?(n = 8) ?(l = 8.) () =
+  let d = l /. float_of_int n in
+  let dt = Grid.courant_dt ~dx:d ~dy:d ~dz:d () in
+  Grid.make ~nx:n ~ny:n ~nz:n ~lx:l ~ly:l ~lz:l ~dt ()
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)
+
+(* Gauss-law residual drift for a configuration: deposit rho, run [steps]
+   of field+particle evolution, return max |d(divE-rho)| change.  Used by
+   the charge-conservation tests. *)
+let gauss_residual_field fields species_list bc =
+  Em_field.clear_rho fields;
+  List.iter (fun s -> Moments.deposit_rho s ~rho:fields.Em_field.rho) species_list;
+  Boundary.fold_rho bc fields;
+  Boundary.fill_scalars bc (Em_field.e_components fields);
+  Diagnostics.gauss_residual fields

@@ -1,0 +1,193 @@
+open Helpers
+module History = Vpic_diag.History
+module Spectrum = Vpic_diag.Spectrum
+module Growth = Vpic_diag.Growth
+
+let test_history_roundtrip () =
+  let h = History.create [ "a"; "b" ] in
+  for i = 0 to 9 do
+    History.record h ~time:(0.1 *. float_of_int i)
+      ~values:[ float_of_int i; float_of_int (i * i) ]
+  done;
+  Alcotest.(check int) "length" 10 (History.length h);
+  let a = History.series h "a" in
+  check_close "a[3]" 3. a.(3);
+  let b = History.series h "b" in
+  check_close "b[4]" 16. b.(4);
+  check_close "times" 0.5 (History.times h).(5)
+
+let test_history_drift () =
+  let h = History.create [ "e" ] in
+  List.iter (fun v -> History.record h ~time:0. ~values:[ v ]) [ 10.; 10.1; 9.9 ];
+  check_close ~rtol:1e-12 "drift" 0.01 (History.relative_drift h "e")
+
+let test_history_unknown_channel () =
+  let h = History.create [ "a" ] in
+  Alcotest.check_raises "raises"
+    (Invalid_argument "History.series: no channel zz") (fun () ->
+      ignore (History.series h "zz"))
+
+let synthetic_sine ~omega ~dt ~n =
+  Array.init n (fun i -> 3. +. sin (omega *. float_of_int i *. dt))
+
+let test_spectrum_dominant () =
+  let omega = 1.7 and dt = 0.05 in
+  let xs = synthetic_sine ~omega ~dt ~n:2000 in
+  check_close ~rtol:0.01 "dft peak" omega (Spectrum.dominant_omega ~dt xs);
+  check_close ~rtol:0.01 "zero crossings" omega
+    (Spectrum.zero_crossing_omega ~dt xs)
+
+let test_spectrum_two_tone () =
+  (* the stronger tone wins *)
+  let dt = 0.02 in
+  let xs =
+    Array.init 4000 (fun i ->
+        let t = float_of_int i *. dt in
+        (2. *. sin (1.3 *. t)) +. (0.3 *. sin (4.1 *. t)))
+  in
+  check_close ~rtol:0.02 "stronger tone" 1.3 (Spectrum.dominant_omega ~dt xs)
+
+let test_periodogram_parseval_ish () =
+  let dt = 0.1 in
+  let xs = synthetic_sine ~omega:2.0 ~dt ~n:512 in
+  let omegas, power = Spectrum.periodogram ~dt xs in
+  Alcotest.(check int) "nfreq" 256 (Array.length omegas);
+  (* peak should sit near omega=2 *)
+  let best = ref 0 in
+  Array.iteri (fun i p -> if p > power.(!best) then best := i) power;
+  check_close ~rtol:0.05 "peak location" 2.0 omegas.(!best)
+
+let test_growth_in_window () =
+  let dt = 0.05 in
+  let times = Array.init 400 (fun i -> dt *. float_of_int i) in
+  let amps = Array.map (fun t -> 1e-6 *. exp (0.35 *. t)) times in
+  let gamma, r2 = Growth.rate_in_window ~times ~amps ~i_lo:50 ~i_hi:350 in
+  check_close ~rtol:1e-9 "gamma" 0.35 gamma;
+  check_close "r2" 1. r2
+
+let test_growth_auto_with_saturation () =
+  let dt = 0.05 in
+  let times = Array.init 600 (fun i -> dt *. float_of_int i) in
+  let amps =
+    Array.map
+      (fun t ->
+        let raw = 1e-6 *. exp (0.4 *. t) in
+        raw /. (1. +. (raw /. 0.01)) (* logistic saturation at 0.01 *))
+      times
+  in
+  let gamma, r2 = Growth.rate_auto ~times ~amps () in
+  check_close ~rtol:0.05 "gamma through saturation" 0.4 gamma;
+  check_true "good fit" (r2 > 0.98)
+
+let test_growth_no_growth () =
+  let times = Array.init 100 (fun i -> float_of_int i) in
+  let amps = Array.make 100 0. in
+  let gamma, _ = Growth.rate_auto ~times ~amps () in
+  check_close "zero" 0. gamma
+
+module Dump = Vpic_diag.Dump
+module Species = Vpic_particle.Species
+module Loader = Vpic_particle.Loader
+
+let test_dump_line_csv_roundtrip () =
+  let g = small_grid () in
+  let f = Sf.create g in
+  Sf.set_all f (fun i j k -> float_of_int ((i * 100) + (j * 10) + k));
+  let path = Filename.temp_file "vpic_line" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dump.line_x_csv ~path ~j:3 ~k:5 [ ("f", f) ];
+      let header, rows = Dump.read_csv path in
+      Alcotest.(check (list string)) "header" [ "x"; "f" ] header;
+      Alcotest.(check int) "rows" g.Grid.nx (List.length rows);
+      List.iteri
+        (fun idx row ->
+          match row with
+          | [ x; v ] ->
+              check_close ~rtol:1e-9 "x coordinate"
+                ((float_of_int idx +. 0.5) *. g.Grid.dx)
+                x;
+              check_close "value" (float_of_int (((idx + 1) * 100) + 35)) v
+          | _ -> Alcotest.fail "arity")
+        rows)
+
+let test_dump_plane_csv () =
+  let g = small_grid () in
+  let f = Sf.create g in
+  Sf.set_all f (fun i j _ -> float_of_int (i + j));
+  let path = Filename.temp_file "vpic_plane" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dump.plane_xy_csv ~path ~k:2 f;
+      let header, rows = Dump.read_csv path in
+      Alcotest.(check int) "columns" (g.Grid.ny + 1) (List.length header);
+      Alcotest.(check int) "rows" g.Grid.nx (List.length rows);
+      (* value at (i=1, j=1) = 2 *)
+      match rows with
+      | first :: _ -> check_close "corner" 2. (List.nth first 1)
+      | [] -> Alcotest.fail "empty")
+
+let test_dump_vtk_structure () =
+  let g = small_grid ~n:4 ~l:2. () in
+  let f = Sf.create g in
+  Sf.fill f 1.5;
+  let path = Filename.temp_file "vpic_vol" ".vtk" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dump.fields_vtk ~path [ ("ex", f); ("rho", f) ];
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let text = String.concat "\n" (List.rev !lines) in
+      let has sub =
+        let n = String.length sub and m = String.length text in
+        let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+        go 0
+      in
+      check_true "vtk magic" (has "# vtk DataFile");
+      check_true "dims" (has "DIMENSIONS 4 4 4");
+      check_true "both scalars" (has "SCALARS ex" && has "SCALARS rho");
+      check_true "point count" (has "POINT_DATA 64"))
+
+let test_dump_particles_csv () =
+  let g = small_grid () in
+  let s = Species.create ~name:"e" ~q:(-1.) ~m:1. g in
+  ignore (Loader.maxwellian (Rng.of_int 3) s ~ppc:2 ~uth:0.1 ());
+  let path = Filename.temp_file "vpic_parts" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dump.particles_csv ~path ~max_particles:100 s;
+      let header, rows = Dump.read_csv path in
+      Alcotest.(check int) "7 columns" 7 (List.length header);
+      check_true "sampled down" (List.length rows <= 110);
+      List.iter
+        (fun row ->
+          match row with
+          | x :: y :: z :: _ ->
+              check_true "inside box"
+                (x >= 0. && x <= 8. && y >= 0. && y <= 8. && z >= 0. && z <= 8.)
+          | _ -> Alcotest.fail "arity")
+        rows)
+
+let suite =
+  [ case "history: roundtrip" test_history_roundtrip;
+    case "history: drift" test_history_drift;
+    case "history: unknown channel" test_history_unknown_channel;
+    case "spectrum: dominant omega" test_spectrum_dominant;
+    case "spectrum: two tones" test_spectrum_two_tone;
+    case "spectrum: periodogram peak" test_periodogram_parseval_ish;
+    case "growth: fixed window" test_growth_in_window;
+    case "growth: auto window with saturation" test_growth_auto_with_saturation;
+    case "growth: flat signal" test_growth_no_growth;
+    case "dump: line csv roundtrip" test_dump_line_csv_roundtrip;
+    case "dump: plane csv" test_dump_plane_csv;
+    case "dump: vtk structure" test_dump_vtk_structure;
+    case "dump: particle sample" test_dump_particles_csv ]

@@ -1,0 +1,312 @@
+open Helpers
+module Maxwell = Vpic_field.Maxwell
+module Marder = Vpic_field.Marder
+module Laser = Vpic_field.Laser
+module Simulation = Vpic.Simulation
+module Coupler = Vpic.Coupler
+
+(* A field-only stepping helper (no particles): VPIC order without J. *)
+let field_steps f bc n =
+  for _ = 1 to n do
+    Boundary.fill_em bc f;
+    Maxwell.advance_b f ~frac:0.5;
+    Boundary.fill_em bc f;
+    Maxwell.advance_e f;
+    Boundary.enforce_pec bc f;
+    Boundary.fill_em bc f;
+    Maxwell.advance_b f ~frac:0.5
+  done
+
+let grid_1d ?(nx = 64) ?(safety = 0.7) () =
+  let lx = 2. *. Float.pi in
+  let dx = lx /. float_of_int nx in
+  let dt = Grid.courant_dt ~safety ~dx ~dy:1. ~dz:1. () in
+  Grid.make ~nx ~ny:2 ~nz:2 ~lx ~ly:2. ~lz:2. ~dt ()
+
+let test_vacuum_standing_mode_dispersion () =
+  (* Ey = cos(kx), B = 0: a standing wave oscillating at the mesh's exact
+     numerical frequency; compare with Maxwell.numerical_omega. *)
+  let g = grid_1d () in
+  let f = Em_field.create g in
+  let k = 2. (* mode 2 of the 2 pi box *) in
+  Sf.set_all f.Em_field.ey (fun i _ _ ->
+      let x = float_of_int (i - 1) *. g.Grid.dx in
+      cos (k *. x));
+  let bc = Bc.periodic in
+  let probe = ref [] in
+  let steps = 600 in
+  for _ = 1 to steps do
+    field_steps f bc 1;
+    probe := Sf.get f.Em_field.ey 5 1 1 :: !probe
+  done;
+  let xs = Array.of_list (List.rev !probe) in
+  let measured = Vpic_diag.Spectrum.dominant_omega ~dt:g.Grid.dt xs in
+  let expected = Maxwell.numerical_omega g ~kx:k ~ky:0. ~kz:0. in
+  check_close ~rtol:0.01 "standing mode frequency" expected measured;
+  (* and the numerical omega is itself close to ck, slightly below *)
+  check_true "subluminal" (expected < k);
+  check_close ~rtol:0.02 "near continuum" k expected
+
+let test_numerical_omega_limits () =
+  let g = grid_1d ~nx:128 () in
+  let w = Maxwell.numerical_omega g ~kx:0.1 ~ky:0. ~kz:0. in
+  check_close ~rtol:1e-4 "long wavelength -> ck" 0.1 w;
+  (* dispersion along a different axis also approaches ck *)
+  let w2 = Maxwell.numerical_omega g ~kx:0. ~ky:0.1 ~kz:0. in
+  check_close ~rtol:1e-3 "ck along y" 0.1 w2
+
+let test_div_b_invariant () =
+  let g = small_grid () in
+  let f = Em_field.create g in
+  let rng = Rng.of_int 21 in
+  List.iter
+    (fun c -> Sf.map_inplace c (fun _ -> Rng.uniform rng -. 0.5))
+    (Em_field.e_components f);
+  let bc = Bc.periodic in
+  field_steps f bc 100;
+  Boundary.fill_em bc f;
+  check_true "div B stays machine zero"
+    (Diagnostics.div_b_max f < 1e-12)
+
+let test_vacuum_energy_conservation () =
+  (* Smooth (well-resolved) modes: the leapfrog's synchronized-time energy
+     then matches the conserved discrete energy to O((k dx)^2). *)
+  let g = grid_1d ~nx:64 () in
+  let f = Em_field.create g in
+  let rng = Rng.of_int 23 in
+  let modes =
+    List.init 4 (fun m ->
+        (float_of_int (m + 1), Rng.uniform rng, Rng.uniform_in rng 0.5 1.5))
+  in
+  Sf.set_all f.Em_field.ey (fun i _ _ ->
+      let x = float_of_int (i - 1) *. g.Grid.dx in
+      List.fold_left
+        (fun acc (m, ph, a) -> acc +. (a *. cos ((m *. x) +. ph)))
+        0. modes);
+  let bc = Bc.periodic in
+  let e0, b0 = Diagnostics.field_energy f in
+  let tot0 = e0 +. b0 in
+  let drift = ref 0. in
+  for _ = 1 to 300 do
+    field_steps f bc 1;
+    let e, b = Diagnostics.field_energy f in
+    drift := Float.max !drift (Float.abs ((e +. b -. tot0) /. tot0))
+  done;
+  check_true
+    (Printf.sprintf "energy drift %.3e < 2%%" !drift)
+    (!drift < 0.02)
+
+let test_pec_cavity () =
+  (* Conducting box: a cavity mode keeps its energy and the wall
+     tangential E stays zero. *)
+  let g = small_grid () in
+  let f = Em_field.create g in
+  Sf.set_all f.Em_field.ey (fun i _ k ->
+      if Grid.is_interior g i 1 k then
+        let x = (float_of_int (i - 1) +. 0.0) *. g.Grid.dx in
+        sin (Float.pi *. x /. 8.)
+      else 0.);
+  let bc = Bc.uniform Bc.Conducting in
+  Boundary.enforce_pec bc f;
+  let e0, b0 = Diagnostics.field_energy f in
+  field_steps f bc 200;
+  let e1, b1 = Diagnostics.field_energy f in
+  check_close ~rtol:0.05 "cavity energy retained" (e0 +. b0) (e1 +. b1);
+  (* tangential E on the low-x wall plane *)
+  for k = 1 to g.Grid.nz do
+    for j = 1 to g.Grid.ny do
+      check_close ~atol:1e-12 "Ey wall" 0. (Sf.get f.Em_field.ey 1 j k)
+    done
+  done
+
+let test_absorber_damps_outgoing_wave () =
+  (* Launch a rightward pulse toward an absorbing wall; after it hits,
+     remaining energy must be a small fraction. *)
+  let nx = 128 in
+  let lx = 32. in
+  let dx = lx /. float_of_int nx in
+  let dt = Grid.courant_dt ~safety:0.7 ~dx ~dy:1. ~dz:1. () in
+  let g = Grid.make ~nx ~ny:2 ~nz:2 ~lx ~ly:2. ~lz:2. ~dt () in
+  let f = Em_field.create g in
+  let bc =
+    { Bc.xlo = Bc.Absorbing; xhi = Bc.Absorbing; ylo = Bc.Periodic;
+      yhi = Bc.Periodic; zlo = Bc.Periodic; zhi = Bc.Periodic }
+  in
+  let absorber = Boundary.Absorber.create g bc ~thickness:12 ~strength:0.25 in
+  (* Gaussian pulse, rightward: Ey = Bz *)
+  let pulse i =
+    let x = float_of_int (i - 1) *. dx in
+    exp (-.((x -. 10.) *. (x -. 10.)) /. 4.) *. cos (2. *. x)
+  in
+  Sf.set_all f.Em_field.ey (fun i _ _ -> pulse i);
+  Sf.set_all f.Em_field.bz (fun i _ _ -> pulse i);
+  let e0, b0 = Diagnostics.field_energy f in
+  let steps = int_of_float (40. /. dt) in
+  for _ = 1 to steps do
+    field_steps f bc 1;
+    Boundary.Absorber.apply absorber f
+  done;
+  let e1, b1 = Diagnostics.field_energy f in
+  let remaining = (e1 +. b1) /. (e0 +. b0) in
+  check_true
+    (Printf.sprintf "absorbed: %.4f%% remains" (100. *. remaining))
+    (remaining < 0.02)
+
+let test_laser_antenna_amplitude () =
+  (* Drive the antenna in an absorbing box; downstream |Ey| envelope must
+     approach e0. *)
+  let nx = 128 in
+  let lx = 32. in
+  let dx = lx /. float_of_int nx in
+  let dt = Grid.courant_dt ~safety:0.7 ~dx ~dy:1. ~dz:1. () in
+  let g = Grid.make ~nx ~ny:2 ~nz:2 ~lx ~ly:2. ~lz:2. ~dt () in
+  let f = Em_field.create g in
+  let bc =
+    { Bc.xlo = Bc.Absorbing; xhi = Bc.Absorbing; ylo = Bc.Periodic;
+      yhi = Bc.Periodic; zlo = Bc.Periodic; zhi = Bc.Periodic }
+  in
+  let absorber = Boundary.Absorber.create g bc ~thickness:10 ~strength:0.25 in
+  let e0 = 0.25 and omega = 2.0 in
+  let laser = Laser.make ~omega ~e0 ~plane_i:40 ~t_rise:10. () in
+  let steps = int_of_float (60. /. dt) in
+  let peak = ref 0. in
+  for step = 1 to steps do
+    Em_field.clear_currents f;
+    Laser.drive laser f ~time:(float_of_int (step - 1) *. dt);
+    field_steps f bc 1;
+    Boundary.Absorber.apply absorber f;
+    if float_of_int step *. dt > 45. then
+      peak := Float.max !peak (Float.abs (Sf.get f.Em_field.ey 80 1 1))
+  done;
+  check_close ~rtol:0.06 "emitted amplitude = e0" e0 !peak
+
+let test_laser_envelope () =
+  let l = Laser.make ~omega:1. ~e0:1. ~plane_i:2 ~t_rise:10. () in
+  check_close "zero at start" 0. (Laser.envelope l 0.);
+  check_close "full after rise" 1. (Laser.envelope l 11.);
+  check_close ~rtol:1e-12 "half amplitude point" 0.5 (Laser.envelope l 5.)
+
+let test_poynting_flux () =
+  let g = small_grid () in
+  let f = Em_field.create g in
+  Sf.fill f.Em_field.ey 2.;
+  Sf.fill f.Em_field.bz 3.;
+  Sf.fill f.Em_field.ez 1.;
+  Sf.fill f.Em_field.by 0.5;
+  (* S_x = Ey Bz - Ez By = 6 - 0.5 = 5.5 over an 8x8 plane *)
+  check_close "flux" (5.5 *. 64.) (Diagnostics.poynting_flux_x f ~i:4)
+
+let test_field_energy_manual () =
+  let g = small_grid () in
+  let f = Em_field.create g in
+  Sf.set_all f.Em_field.ex (fun _ _ _ -> 2.);
+  let e, b = Diagnostics.field_energy f in
+  check_close "e energy" (0.5 *. 4. *. Grid.volume g) e;
+  check_close "b energy" 0. b
+
+let test_marder_reduces_gauss_error () =
+  let g = small_grid () in
+  let f = Em_field.create g in
+  let rng = Rng.of_int 31 in
+  (* random E with rho = 0: pure divergence error *)
+  List.iter
+    (fun c -> Sf.map_inplace c (fun _ -> Rng.uniform rng -. 0.5))
+    (Em_field.e_components f);
+  let bc = Bc.periodic in
+  let hooks = Marder.local_hooks bc f in
+  Boundary.fill_scalars bc (Em_field.e_components f);
+  let before = Diagnostics.gauss_residual f in
+  let reported = Marder.clean ~passes:60 ~hooks f in
+  check_close ~rtol:1e-9 "reported residual" before reported;
+  let after = Diagnostics.gauss_residual f in
+  check_true
+    (Printf.sprintf "marder shrinks residual: %.3e -> %.3e" before after)
+    (after < 0.25 *. before)
+
+let test_em_field_copy_diff () =
+  let g = small_grid () in
+  let a = Em_field.create g in
+  Sf.fill a.Em_field.ex 1.;
+  let b = Em_field.copy a in
+  check_close "identical" 0. (Em_field.max_component_diff a b);
+  Sf.set b.Em_field.bz 4 4 4 0.25;
+  check_close "differs" 0.25 (Em_field.max_component_diff a b)
+
+module Filter = Vpic_field.Filter
+
+let test_filter_preserves_total () =
+  let g = small_grid () in
+  let f = Sf.create g in
+  let rng = Rng.of_int 19 in
+  Grid.iter_interior g (fun i j k -> Sf.set f i j k (Rng.uniform rng -. 0.5));
+  let total0 = Sf.sum_interior f in
+  let fill ss = Boundary.fill_scalars Bc.periodic ss in
+  Filter.binomial_pass ~fill [ f ];
+  check_close ~rtol:1e-12 ~atol:1e-12 "total preserved (periodic)" total0
+    (Sf.sum_interior f)
+
+let test_filter_response () =
+  (* a pure mode along x should be damped by cos^2(k dx / 2) per pass *)
+  let g = grid_1d ~nx:32 () in
+  let f = Sf.create g in
+  let m = 6. in
+  Sf.set_all f (fun i _ _ ->
+      cos (m *. float_of_int (i - 1) *. g.Grid.dx));
+  let fill ss = Boundary.fill_scalars Bc.periodic ss in
+  let amp0 = Sf.max_abs_interior f in
+  Filter.binomial_pass ~fill [ f ];
+  let expected = Filter.response ~k_dx:(m *. g.Grid.dx) in
+  check_close ~rtol:1e-6 "mode damping" (expected *. amp0)
+    (Sf.max_abs_interior f);
+  check_true "nyquist killed"
+    (Filter.response ~k_dx:Float.pi < 1e-30)
+
+let heating_run ~passes =
+  let g = small_grid ~n:8 ~l:4. () in
+  let sim =
+    Simulation.make ~grid:g ~coupler:(Coupler.local Bc.periodic)
+      ~clean_div_interval:10 ~current_filter_passes:passes ()
+  in
+  let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
+  let rng = Rng.of_int 3 in
+  ignore (Loader.maxwellian (Rng.split rng 1) e ~ppc:16 ~uth:0.08 ());
+  let ions = Simulation.add_species sim ~name:"ion" ~q:1. ~m:100. in
+  Species.iter e (fun n ->
+      let p = Species.get e n in
+      Species.append ions { p with ux = 0.; uy = 0.; uz = 0. });
+  let en0 = Simulation.energies sim in
+  Simulation.run sim ~steps:100 ();
+  let en1 = Simulation.energies sim in
+  ( Float.abs ((en1.Simulation.total /. en0.Simulation.total) -. 1.),
+    fst (Diagnostics.field_energy sim.Simulation.fields) )
+
+let test_filter_in_simulation () =
+  (* Matched smoothing of gather/scatter/rho must suppress, not add,
+     numerical heating, and lower the field noise floor. *)
+  let drift_off, fe_off = heating_run ~passes:0 in
+  let drift_on, fe_on = heating_run ~passes:1 in
+  check_true
+    (Printf.sprintf "filtered drift %.2e <= unfiltered %.2e" drift_on drift_off)
+    (drift_on <= drift_off);
+  check_true (Printf.sprintf "filtered drift %.2e < 1%%" drift_on)
+    (drift_on < 0.01);
+  check_true
+    (Printf.sprintf "noise floor reduced: %.2e < %.2e" fe_on fe_off)
+    (fe_on < 0.5 *. fe_off)
+
+let suite =
+  [ case "fdtd: standing-mode dispersion" test_vacuum_standing_mode_dispersion;
+    case "fdtd: numerical omega limits" test_numerical_omega_limits;
+    case "fdtd: div B invariant" test_div_b_invariant;
+    case "fdtd: vacuum energy conservation" test_vacuum_energy_conservation;
+    case "fdtd: PEC cavity" test_pec_cavity;
+    case "boundary: absorber damps pulse" test_absorber_damps_outgoing_wave;
+    case "laser: antenna amplitude" test_laser_antenna_amplitude;
+    case "laser: envelope" test_laser_envelope;
+    case "diag: poynting flux" test_poynting_flux;
+    case "diag: field energy" test_field_energy_manual;
+    case "marder: reduces gauss error" test_marder_reduces_gauss_error;
+    case "em_field: copy and diff" test_em_field_copy_diff;
+    case "filter: preserves total current" test_filter_preserves_total;
+    case "filter: mode response" test_filter_response;
+    case "filter: stable in full simulation" test_filter_in_simulation ]

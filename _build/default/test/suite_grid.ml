@@ -1,0 +1,261 @@
+open Helpers
+module Decomp = Vpic_grid.Decomp
+
+(* --- Grid geometry -------------------------------------------------------- *)
+
+let test_voxel_roundtrip () =
+  let g = small_grid () in
+  for k = 0 to g.Grid.gz - 1 do
+    for j = 0 to g.Grid.gy - 1 do
+      for i = 0 to g.Grid.gx - 1 do
+        let v = Grid.voxel g i j k in
+        check_true "in range" (v >= 0 && v < g.Grid.nv);
+        let i', j', k' = Grid.cell_of_voxel g v in
+        check_true "roundtrip" (i = i' && j = j' && k = k')
+      done
+    done
+  done
+
+let test_voxel_bijective =
+  qcheck "grid: voxel is injective" ~count:200
+    QCheck2.Gen.(tup2 (tup3 (int_range 0 9) (int_range 0 9) (int_range 0 9))
+                   (tup3 (int_range 0 9) (int_range 0 9) (int_range 0 9)))
+    (fun ((i1, j1, k1), (i2, j2, k2)) ->
+      let g = small_grid () in
+      let v1 = Grid.voxel g i1 j1 k1 and v2 = Grid.voxel g i2 j2 k2 in
+      (v1 = v2) = (i1 = i2 && j1 = j2 && k1 = k2))
+
+let test_courant_dt () =
+  let dt = Grid.courant_dt ~safety:1.0 ~dx:1. ~dy:1. ~dz:1. () in
+  check_close "cubic" (1. /. sqrt 3.) dt;
+  let dt2 = Grid.courant_dt ~safety:1.0 ~dx:0.1 ~dy:1e9 ~dz:1e9 () in
+  check_close ~rtol:1e-9 "quasi-1d limit" 0.1 dt2
+
+let test_locate () =
+  let g = small_grid ~n:8 ~l:8. () in
+  let (i, j, k), (fx, fy, fz) = Grid.locate g 2.5 0.25 7.75 in
+  Alcotest.(check int) "i" 3 i;
+  Alcotest.(check int) "j" 1 j;
+  Alcotest.(check int) "k" 8 k;
+  check_close "fx" 0.5 fx;
+  check_close "fy" 0.25 fy;
+  check_close "fz" 0.75 fz;
+  (* clamping outside the box *)
+  let (i, _, _), (fx, _, _) = Grid.locate g (-1.) 4. 4. in
+  Alcotest.(check int) "clamped lo" 1 i;
+  check_close "clamped frac" 0. fx
+
+let qcheck_locate_roundtrip =
+  qcheck "grid: locate/position roundtrip" ~count:200
+    QCheck2.Gen.(triple (float_range 0. 8.) (float_range 0. 8.) (float_range 0. 8.))
+    (fun (x, y, z) ->
+      let g = small_grid () in
+      let (i, j, k), (fx, fy, fz) = Grid.locate g x y z in
+      let p : Particle.t =
+        { i; j; k; fx; fy; fz; ux = 0.; uy = 0.; uz = 0.; w = 1. }
+      in
+      let x', y', z' = Particle.position g p in
+      Approx.close ~rtol:1e-12 ~atol:1e-12 x x'
+      && Approx.close ~rtol:1e-12 ~atol:1e-12 y y'
+      && Approx.close ~rtol:1e-12 ~atol:1e-12 z z')
+
+let qcheck_plane_roundtrip =
+  qcheck "scalar: random plane set/extract roundtrip" ~count:60
+    QCheck2.Gen.(triple (int_range 0 2) (int_range 0 9) (int_range 1 1000))
+    (fun (axis_i, index, seed) ->
+      let g = small_grid () in
+      let f = Sf.create g in
+      let axis = List.nth Axis.all axis_i in
+      let rng = Rng.of_int seed in
+      let values =
+        Array.init (Sf.plane_size g ~axis) (fun _ -> Rng.uniform rng)
+      in
+      Sf.set_plane f ~axis ~index values;
+      Sf.extract_plane f ~axis ~index = values)
+
+let test_locate_position_roundtrip () =
+  let g = small_grid () in
+  let rng = Rng.of_int 2 in
+  for _ = 1 to 100 do
+    let x = Rng.uniform_in rng 0. 8. in
+    let y = Rng.uniform_in rng 0. 8. in
+    let z = Rng.uniform_in rng 0. 8. in
+    let (i, j, k), (fx, fy, fz) = Grid.locate g x y z in
+    let p : Particle.t =
+      { i; j; k; fx; fy; fz; ux = 0.; uy = 0.; uz = 0.; w = 1. }
+    in
+    let x', y', z' = Particle.position g p in
+    check_close ~rtol:1e-12 ~atol:1e-12 "x" x x';
+    check_close ~rtol:1e-12 ~atol:1e-12 "y" y y';
+    check_close ~rtol:1e-12 ~atol:1e-12 "z" z z'
+  done
+
+let test_iter_interior_count () =
+  let g = small_grid () in
+  let n = ref 0 in
+  Grid.iter_interior g (fun i j k ->
+      check_true "interior" (Grid.is_interior g i j k);
+      incr n);
+  Alcotest.(check int) "count" (Grid.interior_count g) !n
+
+(* --- Scalar field --------------------------------------------------------- *)
+
+let test_scalar_field_get_set () =
+  let g = small_grid () in
+  let f = Sf.create g in
+  Sf.set f 3 4 5 2.5;
+  check_close "get" 2.5 (Sf.get f 3 4 5);
+  Sf.add f 3 4 5 0.5;
+  check_close "add" 3.0 (Sf.get f 3 4 5);
+  check_close "others zero" 0. (Sf.get f 3 4 6)
+
+let test_scalar_field_reductions () =
+  let g = small_grid () in
+  let f = Sf.create g in
+  Sf.set_all f (fun i j k -> if Grid.is_interior g i j k then 2. else 100.);
+  check_close "sum ignores ghosts"
+    (2. *. float_of_int (Grid.interior_count g))
+    (Sf.sum_interior f);
+  check_close "sumsq" (4. *. float_of_int (Grid.interior_count g))
+    (Sf.sum_sq_interior f);
+  check_close "maxabs" 2. (Sf.max_abs_interior f)
+
+let test_scalar_field_axpy () =
+  let g = small_grid () in
+  let x = Sf.create g and y = Sf.create g in
+  Sf.fill x 2.;
+  Sf.fill y 1.;
+  Sf.axpy 3. x y;
+  check_close "axpy" 7. (Sf.get y 4 4 4)
+
+let test_plane_roundtrip () =
+  let g = small_grid () in
+  let f = Sf.create g in
+  Sf.set_all f (fun i j k -> float_of_int ((i * 100) + (j * 10) + k));
+  List.iter
+    (fun axis ->
+      let p = Sf.extract_plane f ~axis ~index:3 in
+      Alcotest.(check int) "plane size" (Sf.plane_size g ~axis) (Array.length p);
+      let f2 = Sf.copy f in
+      Sf.set_plane f2 ~axis ~index:5 p;
+      (* plane 5 of f2 now equals plane 3 of f *)
+      let p5 = Sf.extract_plane f2 ~axis ~index:5 in
+      check_true "roundtrip" (p = p5))
+    Axis.all
+
+let test_plane_copy_accumulate () =
+  let g = small_grid () in
+  let f = Sf.create g in
+  Sf.set_all f (fun i _ _ -> float_of_int i);
+  Sf.copy_plane f ~axis:Axis.X ~src:8 ~dst:0;
+  check_close "copied" 8. (Sf.get f 0 4 4);
+  Sf.accumulate_plane f ~axis:Axis.X ~src:8 ~dst:1;
+  check_close "accumulated" 9. (Sf.get f 1 4 4)
+
+let test_max_abs_diff () =
+  let g = small_grid () in
+  let a = Sf.create g and b = Sf.create g in
+  Sf.fill a 1.;
+  Sf.blit ~src:a ~dst:b;
+  Sf.set b 2 2 2 1.5;
+  check_close "diff" 0.5 (Sf.max_abs_diff_interior a b)
+
+(* --- Bc -------------------------------------------------------------------- *)
+
+let test_bc_faces () =
+  let bc = Bc.periodic in
+  List.iter
+    (fun axis ->
+      check_true "lo periodic" (Bc.face bc axis `Lo = Bc.Periodic);
+      check_true "hi periodic" (Bc.face bc axis `Hi = Bc.Periodic))
+    Axis.all;
+  let bc2 = Bc.with_face bc Axis.Y `Hi Bc.Absorbing in
+  check_true "set one" (Bc.face bc2 Axis.Y `Hi = Bc.Absorbing);
+  check_true "others unchanged" (Bc.face bc2 Axis.Y `Lo = Bc.Periodic)
+
+(* --- Decomp ----------------------------------------------------------------- *)
+
+let mk_decomp ?(px = 2) ?(py = 2) ?(pz = 1) () =
+  Decomp.make ~px ~py ~pz ~gnx:8 ~gny:8 ~gnz:4 ~lx:8. ~ly:8. ~lz:4.
+
+
+let test_decomp_rank_coords_roundtrip () =
+  let d = mk_decomp () in
+  for r = 0 to Decomp.size d - 1 do
+    let cx, cy, cz = Decomp.coords_of_rank d r in
+    Alcotest.(check int) "roundtrip" r (Decomp.rank_of_coords d cx cy cz)
+  done
+
+let test_decomp_rejects_nondivisible () =
+  Alcotest.check_raises "non-divisible"
+    (Invalid_argument "Decomp.make: px=3 does not divide gnx=8")
+    (fun () ->
+      ignore (Decomp.make ~px:3 ~py:1 ~pz:1 ~gnx:8 ~gny:8 ~gnz:8 ~lx:1. ~ly:1. ~lz:1.))
+
+let test_decomp_neighbors_wrap () =
+  let d = mk_decomp () in
+  (* rank 0 at (0,0,0); lo-x neighbour wraps to (1,0,0) = rank 1 *)
+  Alcotest.(check int) "x lo wrap" 1 (Decomp.neighbor d ~rank:0 ~axis:Axis.X ~side:`Lo);
+  check_true "wraps flag" (Decomp.neighbor_wraps d ~rank:0 ~axis:Axis.X ~side:`Lo);
+  Alcotest.(check int) "x hi" 1 (Decomp.neighbor d ~rank:0 ~axis:Axis.X ~side:`Hi);
+  Alcotest.(check int) "y hi of 0" 2 (Decomp.neighbor d ~rank:0 ~axis:Axis.Y ~side:`Hi);
+  check_true "interior not wrap" (not (Decomp.neighbor_wraps d ~rank:0 ~axis:Axis.Y ~side:`Hi))
+
+let test_decomp_local_grids_tile () =
+  let d = mk_decomp () in
+  let dt = 0.05 in
+  (* The local grids must tile the global box exactly. *)
+  let total = ref 0. in
+  for r = 0 to Decomp.size d - 1 do
+    let g = Decomp.local_grid d ~dt ~rank:r in
+    total := !total +. Grid.volume g
+  done;
+  check_close "volumes tile" (8. *. 8. *. 4.) !total;
+  let g1 = Decomp.local_grid d ~dt ~rank:1 in
+  check_close "origin offset" 4. g1.Grid.x0
+
+let test_decomp_local_bc () =
+  let d = mk_decomp () in
+  (* global periodic: all faces along decomposed axes become Domain *)
+  let bc = Decomp.local_bc d ~global:Bc.periodic ~rank:0 in
+  check_true "x lo domain" (bc.Bc.xlo = Bc.Domain 1);
+  check_true "z periodic (pz=1)" (bc.Bc.zlo = Bc.Periodic);
+  (* global absorbing on x: edge ranks keep it, interior faces Domain *)
+  let glob = Bc.with_face (Bc.with_face Bc.periodic Axis.X `Lo Bc.Absorbing) Axis.X `Hi Bc.Absorbing in
+  let bc0 = Decomp.local_bc d ~global:glob ~rank:0 in
+  check_true "edge keeps absorbing" (bc0.Bc.xlo = Bc.Absorbing);
+  check_true "inner face domain" (bc0.Bc.xhi = Bc.Domain 1)
+
+let qcheck_decomp_neighbor_inverse =
+  qcheck "decomp: hi neighbour of lo neighbour is self" ~count:100
+    QCheck2.Gen.(tup2 (int_range 0 7) (int_range 0 2))
+    (fun (rank, axis_i) ->
+      let d = mk_decomp ~px:2 ~py:2 ~pz:2 () in
+      let axis = List.nth Axis.all axis_i in
+      let rank = rank mod Decomp.size d in
+      let lo = Decomp.neighbor d ~rank ~axis ~side:`Lo in
+      Decomp.neighbor d ~rank:lo ~axis ~side:`Hi = rank)
+
+
+let suite =
+  [ case "grid: voxel roundtrip" test_voxel_roundtrip;
+    test_voxel_bijective;
+    qcheck_locate_roundtrip;
+    qcheck_plane_roundtrip;
+    qcheck_decomp_neighbor_inverse;
+    case "grid: courant dt" test_courant_dt;
+    case "grid: locate" test_locate;
+    case "grid: locate/position roundtrip" test_locate_position_roundtrip;
+    case "grid: iter interior" test_iter_interior_count;
+    case "scalar: get/set/add" test_scalar_field_get_set;
+    case "scalar: interior reductions" test_scalar_field_reductions;
+    case "scalar: axpy" test_scalar_field_axpy;
+    case "scalar: plane roundtrip" test_plane_roundtrip;
+    case "scalar: plane copy/accumulate" test_plane_copy_accumulate;
+    case "scalar: max abs diff" test_max_abs_diff;
+    case "bc: face get/set" test_bc_faces;
+    case "decomp: rank/coords roundtrip" test_decomp_rank_coords_roundtrip;
+    case "decomp: rejects non-divisible" test_decomp_rejects_nondivisible;
+    case "decomp: neighbors and wrap" test_decomp_neighbors_wrap;
+    case "decomp: local grids tile box" test_decomp_local_grids_tile;
+    case "decomp: local bc" test_decomp_local_bc ]

@@ -1,0 +1,11 @@
+let () =
+  Alcotest.run "vpic"
+    [ ("util", Suite_util.suite);
+      ("grid", Suite_grid.suite);
+      ("diag", Suite_diag.suite);
+      ("field", Suite_field.suite);
+      ("particle", Suite_particle.suite);
+      ("sim", Suite_sim.suite);
+      ("parallel", Suite_parallel.suite);
+      ("cell", Suite_cell.suite);
+      ("lpi", Suite_lpi.suite) ]
