@@ -17,8 +17,10 @@ module Maxwell = Vpic_field.Maxwell
 module Boundary = Vpic_field.Boundary
 module Diagnostics = Vpic_field.Diagnostics
 module Species = Vpic_particle.Species
+module Store = Vpic_particle.Store
 module Particle = Vpic_particle.Particle
 module Push = Vpic_particle.Push
+module Interp = Vpic_particle.Interp
 module Sort = Vpic_particle.Sort
 module Moments = Vpic_particle.Moments
 module Loader = Vpic_particle.Loader
@@ -246,12 +248,7 @@ let e5_kernels () =
     let rng = Rng.of_int 11 in
     for i = bn - 1 downto 1 do
       let j = Rng.int rng (i + 1) in
-      let swap (a : float array) = let t = a.(i) in a.(i) <- a.(j); a.(j) <- t in
-      let swapi (a : int array) = let t = a.(i) in a.(i) <- a.(j); a.(j) <- t in
-      swapi bs.Species.ci; swapi bs.Species.cj; swapi bs.Species.ck;
-      swap bs.Species.fx; swap bs.Species.fy; swap bs.Species.fz;
-      swap bs.Species.ux; swap bs.Species.uy; swap bs.Species.uz;
-      swap bs.Species.w
+      Species.swap bs i j
     done
   in
   shuffle ();
@@ -270,13 +267,21 @@ let e5_kernels () =
         (d_big_unsorted /. float_of_int bn *. 1e9)
         (d_big_unsorted /. d_big_sorted) ];
   let out = Array.make 6 0. in
+  let st = s.Species.store in
   let _, d_gather =
     Perf.timed (fun () ->
+        let open Bigarray.Array1 in
         for _ = 1 to reps do
-          for i = 0 to np - 1 do
-            Vpic_particle.Interp.gather_into f ~i:s.Species.ci.(i)
-              ~j:s.Species.cj.(i) ~k:s.Species.ck.(i) ~fx:s.Species.fx.(i)
-              ~fy:s.Species.fy.(i) ~fz:s.Species.fz.(i) ~out
+          for n = 0 to np - 1 do
+            let i, j, k =
+              Grid.cell_of_voxel g
+                (Int32.to_int (unsafe_get st.Store.voxel n))
+            in
+            Vpic_particle.Interp.gather_into f ~i ~j ~k
+              ~fx:(unsafe_get st.Store.fx n)
+              ~fy:(unsafe_get st.Store.fy n)
+              ~fz:(unsafe_get st.Store.fz n)
+              ~out
           done
         done)
   in
@@ -286,7 +291,9 @@ let e5_kernels () =
       "ns/particle"; "staggered trilinear, 6 components" ];
   let rng = Rng.of_int 3 in
   let resort () =
-    Species.iter s (fun n -> s.Species.ci.(n) <- 1 + Rng.int rng g.Grid.nx);
+    Species.iter s (fun n ->
+        let _, j, k = Species.cell s n in
+        Species.set_cell s n (1 + Rng.int rng g.Grid.nx) j k);
     Sort.by_voxel s
   in
   let _, d_sort = Perf.timed resort in
@@ -455,7 +462,8 @@ let v1_two_stream () =
       let p = Species.get e n in
       let x, _, _ = Particle.position grid p in
       let sign = if p.Particle.ux > 0. then 1. else -1. in
-      e.Species.ux.(n) <- e.Species.ux.(n) +. (sign *. eps *. sin (k *. x)));
+      Species.set e n
+        { p with ux = p.Particle.ux +. (sign *. eps *. sin (k *. x)) });
   let mode_amp () =
     let re = ref 0. and im = ref 0. in
     for i = 1 to nx do
@@ -502,7 +510,7 @@ let v2_plasma_oscillation () =
   Species.iter e (fun n ->
       let p = Species.get e n in
       let x, _, _ = Particle.position grid p in
-      e.Species.ux.(n) <- e.Species.ux.(n) +. (0.01 *. sin x));
+      Species.set e n { p with ux = p.Particle.ux +. (0.01 *. sin x) });
   let probe = ref [] in
   for _ = 1 to 400 do
     Simulation.step sim;
@@ -513,6 +521,308 @@ let v2_plasma_oscillation () =
       (Array.of_list (List.rev !probe))
   in
   pf "measured omega = %.4f omega_pe | theory 1.0000\n" omega
+
+(* ------------------------------------------- push layout: f32 vs f64 *)
+
+(* The PR's headline claim, measured: the 32-byte Float32 store pushes
+   at least as fast as the 80-byte float64 layout it replaced.  Both
+   layouts run the identical micro-kernel — trilinear gather, Boris
+   kick, periodic streaming (no deposition) — with f64 arithmetic in
+   registers; only the particle loads/stores differ.  Sorted order lets
+   the f32 path amortise its voxel decode over the run of particles
+   sharing a cell, exactly as the SPE pipeline does. *)
+let push_layout_bench () =
+  pf "\n###### push layout: f32 store (32 B) vs f64 arrays (80 B) ######\n";
+  (* The paper's regime is memory-resident: 1e12 particles over 1.36e8
+     voxels (~7350 per voxel), so particle data streams from DRAM while
+     the fields stay cache-hot.  Mirror that balance: a deep-ppc
+     population large enough that both layouts stream from memory. *)
+  let n = 32 in
+  let l = 16. in
+  let dx = l /. float_of_int n in
+  let dt = Grid.courant_dt ~dx ~dy:dx ~dz:dx () in
+  let g = Grid.make ~nx:n ~ny:n ~nz:n ~lx:l ~ly:l ~lz:l ~dt () in
+  let f = Em_field.create g in
+  let rng = Rng.of_int 42 in
+  List.iter
+    (fun sf -> Sf.map_inplace sf (fun _ -> 0.05 *. (Rng.uniform rng -. 0.5)))
+    (Em_field.em_components f);
+  Boundary.fill_em Bc.periodic f;
+  let s = Species.create ~name:"e" ~q:(-1.) ~m:1. g in
+  ignore (Loader.maxwellian rng s ~ppc:384 ~uth:0.08 ());
+  Sort.by_voxel s;
+  let np = Species.count s in
+  let st = s.Species.store in
+  (* mirror into the legacy layout: int cell triple + 7 x float64 *)
+  let ci = Array.make np 0 and cj = Array.make np 0 and ck = Array.make np 0 in
+  let lfx = Array.make np 0. and lfy = Array.make np 0. and lfz = Array.make np 0. in
+  let lux = Array.make np 0. and luy = Array.make np 0. and luz = Array.make np 0. in
+  let lw = Array.make np 0. in
+  let open Bigarray.Array1 in
+  for m = 0 to np - 1 do
+    let i, j, k =
+      Grid.cell_of_voxel g (Int32.to_int (unsafe_get st.Store.voxel m))
+    in
+    ci.(m) <- i; cj.(m) <- j; ck.(m) <- k;
+    lfx.(m) <- unsafe_get st.Store.fx m;
+    lfy.(m) <- unsafe_get st.Store.fy m;
+    lfz.(m) <- unsafe_get st.Store.fz m;
+    lux.(m) <- unsafe_get st.Store.ux m;
+    luy.(m) <- unsafe_get st.Store.uy m;
+    luz.(m) <- unsafe_get st.Store.uz m;
+    lw.(m) <- unsafe_get st.Store.w m
+  done;
+  let qdt_2m = -0.5 *. g.Grid.dt in
+  let move = 0.05 in
+  (* Before/after mirrors of the two pushes this repo has shipped.
+     The f32 pass is the inner loop of this PR's Push.advance fast path:
+     the stored linear voxel indexes the field arrays directly and the
+     staggered trilinear gather (Interp.gather_into's arithmetic) plus
+     the Boris rotation run as one straight-line block per particle --
+     zero calls and zero allocation, the shape of VPIC's unrolled SPE
+     push.  The f64 pass is the seed kernel the 80-byte layout shipped
+     with: per-particle cross-module Interp.gather_into / Push.boris
+     calls with out-array parameters (every float argument is boxed at
+     those call sites on this toolchain) over a three-int cell triple
+     plus seven float64 arrays.  Both passes perform the identical f64
+     gather/Boris/streaming arithmetic on the same particles. *)
+  let dex = Sf.data f.Em_field.ex and dey = Sf.data f.Em_field.ey in
+  let dez = Sf.data f.Em_field.ez and dbx = Sf.data f.Em_field.bx in
+  let dby = Sf.data f.Em_field.by and dbz = Sf.data f.Em_field.bz in
+  let gx = g.Grid.gx and gy = g.Grid.gy in
+  let gxy = gx * gy in
+  let nx = g.Grid.nx and ny = g.Grid.ny and nz = g.Grid.nz in
+  let f32_pass () =
+    (* the stored linear voxel indexes the field arrays directly; offsets
+       are clamped on the f64 side (any double below f32_pred_one rounds
+       to <= it, so the test is exactly the round-then-fixup clamp); the
+       Int32 voxel write happens only on a cell change *)
+    let sv = st.Store.voxel in
+    let sfx = st.Store.fx and sfy = st.Store.fy and sfz = st.Store.fz in
+    let sux = st.Store.ux and suy = st.Store.uy and suz = st.Store.uz in
+    let pred1 = Store.f32_pred_one in
+    (* run-cached cell decode carried in registers: particles are
+       voxel-sorted, so the decode divides run once per run change *)
+    let rec go m last_vox i j k =
+      if m >= np then ()
+      else
+        let v = Int32.to_int (unsafe_get sv m) in
+        if v <> last_vox then
+          let r = v / gx in
+          step m v (v mod gx) (r mod gy) (r / gy)
+        else step m v i j k
+    and step m v i j k =
+      let fx = unsafe_get sfx m
+      and fy = unsafe_get sfy m
+      and fz = unsafe_get sfz m in
+      let ux = unsafe_get sux m
+      and uy = unsafe_get suy m
+      and uz = unsafe_get suz m in
+      (* gather (staggered trilinear, as Interp.gather_into) *)
+      let dxs = if fx >= 0.5 then 0 else -1 in
+      let txs = if fx >= 0.5 then fx -. 0.5 else fx +. 0.5 in
+      let dys = if fy >= 0.5 then 0 else -1 in
+      let tys = if fy >= 0.5 then fy -. 0.5 else fy +. 0.5 in
+      let dzs = if fz >= 0.5 then 0 else -1 in
+      let tzs = if fz >= 0.5 then fz -. 0.5 else fz +. 0.5 in
+      let oy = gx * dys and oz = gxy * dzs in
+      let cxs = 1. -. txs and cx = 1. -. fx in
+      let cys = 1. -. tys and cy = 1. -. fy in
+      let czs = 1. -. tzs and cz = 1. -. fz in
+      let b = v + dxs in
+      let c00 = (cxs *. unsafe_get dex b) +. (txs *. unsafe_get dex (b + 1)) in
+      let c10 = (cxs *. unsafe_get dex (b + gx)) +. (txs *. unsafe_get dex (b + gx + 1)) in
+      let c01 = (cxs *. unsafe_get dex (b + gxy)) +. (txs *. unsafe_get dex (b + gxy + 1)) in
+      let c11 = (cxs *. unsafe_get dex (b + gxy + gx)) +. (txs *. unsafe_get dex (b + gxy + gx + 1)) in
+      let e_x = (cz *. ((cy *. c00) +. (fy *. c10))) +. (fz *. ((cy *. c01) +. (fy *. c11))) in
+      let b = v + oy in
+      let c00 = (cx *. unsafe_get dey b) +. (fx *. unsafe_get dey (b + 1)) in
+      let c10 = (cx *. unsafe_get dey (b + gx)) +. (fx *. unsafe_get dey (b + gx + 1)) in
+      let c01 = (cx *. unsafe_get dey (b + gxy)) +. (fx *. unsafe_get dey (b + gxy + 1)) in
+      let c11 = (cx *. unsafe_get dey (b + gxy + gx)) +. (fx *. unsafe_get dey (b + gxy + gx + 1)) in
+      let e_y = (cz *. ((cys *. c00) +. (tys *. c10))) +. (fz *. ((cys *. c01) +. (tys *. c11))) in
+      let b = v + oz in
+      let c00 = (cx *. unsafe_get dez b) +. (fx *. unsafe_get dez (b + 1)) in
+      let c10 = (cx *. unsafe_get dez (b + gx)) +. (fx *. unsafe_get dez (b + gx + 1)) in
+      let c01 = (cx *. unsafe_get dez (b + gxy)) +. (fx *. unsafe_get dez (b + gxy + 1)) in
+      let c11 = (cx *. unsafe_get dez (b + gxy + gx)) +. (fx *. unsafe_get dez (b + gxy + gx + 1)) in
+      let e_z = (czs *. ((cy *. c00) +. (fy *. c10))) +. (tzs *. ((cy *. c01) +. (fy *. c11))) in
+      let b = v + oy + oz in
+      let c00 = (cx *. unsafe_get dbx b) +. (fx *. unsafe_get dbx (b + 1)) in
+      let c10 = (cx *. unsafe_get dbx (b + gx)) +. (fx *. unsafe_get dbx (b + gx + 1)) in
+      let c01 = (cx *. unsafe_get dbx (b + gxy)) +. (fx *. unsafe_get dbx (b + gxy + 1)) in
+      let c11 = (cx *. unsafe_get dbx (b + gxy + gx)) +. (fx *. unsafe_get dbx (b + gxy + gx + 1)) in
+      let b_x = (czs *. ((cys *. c00) +. (tys *. c10))) +. (tzs *. ((cys *. c01) +. (tys *. c11))) in
+      let b = v + dxs + oz in
+      let c00 = (cxs *. unsafe_get dby b) +. (txs *. unsafe_get dby (b + 1)) in
+      let c10 = (cxs *. unsafe_get dby (b + gx)) +. (txs *. unsafe_get dby (b + gx + 1)) in
+      let c01 = (cxs *. unsafe_get dby (b + gxy)) +. (txs *. unsafe_get dby (b + gxy + 1)) in
+      let c11 = (cxs *. unsafe_get dby (b + gxy + gx)) +. (txs *. unsafe_get dby (b + gxy + gx + 1)) in
+      let b_y = (czs *. ((cy *. c00) +. (fy *. c10))) +. (tzs *. ((cy *. c01) +. (fy *. c11))) in
+      let b = v + dxs + oy in
+      let c00 = (cxs *. unsafe_get dbz b) +. (txs *. unsafe_get dbz (b + 1)) in
+      let c10 = (cxs *. unsafe_get dbz (b + gx)) +. (txs *. unsafe_get dbz (b + gx + 1)) in
+      let c01 = (cxs *. unsafe_get dbz (b + gxy)) +. (txs *. unsafe_get dbz (b + gxy + 1)) in
+      let c11 = (cxs *. unsafe_get dbz (b + gxy + gx)) +. (txs *. unsafe_get dbz (b + gxy + gx + 1)) in
+      let b_z = (cz *. ((cys *. c00) +. (tys *. c10))) +. (fz *. ((cys *. c01) +. (tys *. c11))) in
+      (* Boris kick, as Push.boris *)
+      let ux1 = ux +. (qdt_2m *. e_x) in
+      let uy1 = uy +. (qdt_2m *. e_y) in
+      let uz1 = uz +. (qdt_2m *. e_z) in
+      let gamma_m = sqrt (1. +. (ux1 *. ux1) +. (uy1 *. uy1) +. (uz1 *. uz1)) in
+      let h = qdt_2m /. gamma_m in
+      let tx = h *. b_x and ty = h *. b_y and tz = h *. b_z in
+      let t2 = (tx *. tx) +. (ty *. ty) +. (tz *. tz) in
+      let sx = 2. *. tx /. (1. +. t2) in
+      let sy = 2. *. ty /. (1. +. t2) in
+      let sz = 2. *. tz /. (1. +. t2) in
+      let px = ux1 +. ((uy1 *. tz) -. (uz1 *. ty)) in
+      let py = uy1 +. ((uz1 *. tx) -. (ux1 *. tz)) in
+      let pz = uz1 +. ((ux1 *. ty) -. (uy1 *. tx)) in
+      let ux2 = ux1 +. ((py *. sz) -. (pz *. sy)) +. (qdt_2m *. e_x) in
+      let uy2 = uy1 +. ((pz *. sx) -. (px *. sz)) +. (qdt_2m *. e_y) in
+      let uz2 = uz1 +. ((px *. sy) -. (py *. sx)) +. (qdt_2m *. e_z) in
+      (* periodic streaming *)
+      let fx1 = fx +. (move *. ux2) in
+      let fy1 = fy +. (move *. uy2) in
+      let fz1 = fz +. (move *. uz2) in
+      let fxw = if fx1 >= 1. then fx1 -. 1. else if fx1 < 0. then fx1 +. 1. else fx1 in
+      let fyw = if fy1 >= 1. then fy1 -. 1. else if fy1 < 0. then fy1 +. 1. else fy1 in
+      let fzw = if fz1 >= 1. then fz1 -. 1. else if fz1 < 0. then fz1 +. 1. else fz1 in
+      let i1 =
+        if fx1 >= 1. then (if i = nx then 1 else i + 1)
+        else if fx1 < 0. then (if i = 1 then nx else i - 1)
+        else i
+      in
+      let j1 =
+        if fy1 >= 1. then (if j = ny then 1 else j + 1)
+        else if fy1 < 0. then (if j = 1 then ny else j - 1)
+        else j
+      in
+      let k1 =
+        if fz1 >= 1. then (if k = nz then 1 else k + 1)
+        else if fz1 < 0. then (if k = 1 then nz else k - 1)
+        else k
+      in
+      unsafe_set sfx m (if fxw >= pred1 then pred1 else fxw);
+      unsafe_set sfy m (if fyw >= pred1 then pred1 else fyw);
+      unsafe_set sfz m (if fzw >= pred1 then pred1 else fzw);
+      unsafe_set sux m ux2;
+      unsafe_set suy m uy2;
+      unsafe_set suz m uz2;
+      if (i1 - i) lor (j1 - j) lor (k1 - k) <> 0 then begin
+        let v1 = i1 + (gx * (j1 + (gy * k1))) in
+        unsafe_set sv m (Int32.of_int v1);
+        go (m + 1) v1 i1 j1 k1
+      end
+      else go (m + 1) v i j k
+    in
+    go 0 (-1) 0 0 0
+  in
+  let f64_pass () =
+    (* scratch out-arrays, allocated once per pass as the seed's advance
+       did once per call *)
+    let fields = Array.make 6 0. in
+    let u = Array.make 3 0. in
+    for m = 0 to np - 1 do
+      let i = Array.unsafe_get ci m
+      and j = Array.unsafe_get cj m
+      and k = Array.unsafe_get ck m in
+      let fx = Array.unsafe_get lfx m
+      and fy = Array.unsafe_get lfy m
+      and fz = Array.unsafe_get lfz m in
+      Interp.gather_into f ~i ~j ~k ~fx ~fy ~fz ~out:fields;
+      u.(0) <- Array.unsafe_get lux m;
+      u.(1) <- Array.unsafe_get luy m;
+      u.(2) <- Array.unsafe_get luz m;
+      Push.boris ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2)
+        ~bx:fields.(3) ~by:fields.(4) ~bz:fields.(5) ~qdt_2m;
+      let ux2 = u.(0) and uy2 = u.(1) and uz2 = u.(2) in
+      (* periodic streaming *)
+      let fx1 = fx +. (move *. ux2) in
+      let fy1 = fy +. (move *. uy2) in
+      let fz1 = fz +. (move *. uz2) in
+      let fxw = if fx1 >= 1. then fx1 -. 1. else if fx1 < 0. then fx1 +. 1. else fx1 in
+      let fyw = if fy1 >= 1. then fy1 -. 1. else if fy1 < 0. then fy1 +. 1. else fy1 in
+      let fzw = if fz1 >= 1. then fz1 -. 1. else if fz1 < 0. then fz1 +. 1. else fz1 in
+      let i1 =
+        if fx1 >= 1. then (if i = nx then 1 else i + 1)
+        else if fx1 < 0. then (if i = 1 then nx else i - 1)
+        else i
+      in
+      let j1 =
+        if fy1 >= 1. then (if j = ny then 1 else j + 1)
+        else if fy1 < 0. then (if j = 1 then ny else j - 1)
+        else j
+      in
+      let k1 =
+        if fz1 >= 1. then (if k = nz then 1 else k + 1)
+        else if fz1 < 0. then (if k = 1 then nz else k - 1)
+        else k
+      in
+      Array.unsafe_set lfx m fxw;
+      Array.unsafe_set lfy m fyw;
+      Array.unsafe_set lfz m fzw;
+      Array.unsafe_set lux m ux2;
+      Array.unsafe_set luy m uy2;
+      Array.unsafe_set luz m uz2;
+      Array.unsafe_set ci m i1;
+      Array.unsafe_set cj m j1;
+      Array.unsafe_set ck m k1
+    done
+  in
+  (* warm both paths once, then time interleaved reps so slow clock /
+     thermal drift cancels instead of biasing whichever pass runs last *)
+  f32_pass ();
+  f64_pass ();
+  let reps = 6 in
+  let d32 = ref 0. and d64 = ref 0. in
+  for r = 1 to reps do
+    (* alternate order so slow drift biases neither layout *)
+    if r land 1 = 1 then begin
+      let _, d = Perf.timed f32_pass in
+      d32 := !d32 +. d;
+      let _, d = Perf.timed f64_pass in
+      d64 := !d64 +. d
+    end
+    else begin
+      let _, d = Perf.timed f64_pass in
+      d64 := !d64 +. d;
+      let _, d = Perf.timed f32_pass in
+      d32 := !d32 +. d
+    end
+  done;
+  let d32 = !d32 and d64 = !d64 in
+  let rate d = float_of_int (np * reps) /. d in
+  let r32 = rate d32 and r64 = rate d64 in
+  let bytes32 = Store.bytes_per_particle in
+  let bytes64 = (3 * 8) + (7 * 8) in
+  let t = Table.create [ "layout"; "bytes/particle"; "Mparticles/s"; "ns/particle" ] in
+  Table.add_row t
+    [ "f32 store (this PR)"; string_of_int bytes32;
+      Printf.sprintf "%.2f" (r32 /. 1e6);
+      Printf.sprintf "%.0f" (1e9 /. r32) ];
+  Table.add_row t
+    [ "f64 arrays (old)"; string_of_int bytes64;
+      Printf.sprintf "%.2f" (r64 /. 1e6);
+      Printf.sprintf "%.0f" (1e9 /. r64) ];
+  Table.print
+    ~title:(Printf.sprintf "push micro-kernel, %d sorted particles" np)
+    t;
+  pf "f32/f64 speedup: %.3fx\n" (r32 /. r64);
+  let oc = open_out "BENCH_push.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"push-layout\",\n\
+    \  \"particles\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"f32_store\": { \"bytes_per_particle\": %d, \"particles_per_sec\": %.6e },\n\
+    \  \"f64_legacy\": { \"bytes_per_particle\": %d, \"particles_per_sec\": %.6e },\n\
+    \  \"speedup\": %.4f\n\
+     }\n"
+    np reps bytes32 r32 bytes64 r64 (r32 /. r64);
+  close_out oc;
+  pf "wrote BENCH_push.json\n"
 
 (* ------------------------------------------------------- bechamel mode *)
 
@@ -598,8 +908,12 @@ let () =
     | "e6" -> e6_conservation ()
     | "v1" -> v1_two_stream ()
     | "v2" -> v2_plasma_oscillation ()
-    | "kernels" -> bechamel_kernels ()
-    | other -> pf "unknown section %s (e1..e6, v1, v2, kernels, figures)\n" other
+    | "kernels" ->
+        push_layout_bench ();
+        bechamel_kernels ()
+    | "push" -> push_layout_bench ()
+    | other ->
+        pf "unknown section %s (e1..e6, v1, v2, push, kernels, figures)\n" other
   in
   List.iter run sections;
   if List.mem "kernels" sections then ()

@@ -43,7 +43,7 @@ let run_langmuir nx ppc steps =
   Species.iter e (fun n ->
       let p = Species.get e n in
       let x, _, _ = Particle.position grid p in
-      e.Species.ux.(n) <- e.Species.ux.(n) +. (0.01 *. sin x));
+      Species.set e n { p with ux = p.Particle.ux +. (0.01 *. sin x) });
   let probe = ref [] in
   for _ = 1 to steps do
     Simulation.step sim;
@@ -85,7 +85,8 @@ let run_two_stream u0 ppc t_end =
       let p = Species.get e n in
       let x, _, _ = Particle.position grid p in
       let sign = if p.Particle.ux > 0. then 1. else -1. in
-      e.Species.ux.(n) <- e.Species.ux.(n) +. (sign *. 2e-5 *. sin (k *. x)));
+      Species.set e n
+        { p with ux = p.Particle.ux +. (sign *. 2e-5 *. sin (k *. x)) });
   let fe () =
     fst (Vpic_field.Diagnostics.field_energy sim.Simulation.fields)
   in

@@ -42,7 +42,7 @@ let () =
   Species.iter electrons (fun n ->
       let p = Species.get electrons n in
       let x, _, _ = Particle.position grid p in
-      electrons.Species.ux.(n) <- electrons.Species.ux.(n) +. (v0 *. sin x));
+      Species.set electrons n { p with ux = p.Particle.ux +. (v0 *. sin x) });
 
   (* 3. Step, recording a field probe and the energy budget. *)
   let history = Vpic_diag.History.create [ "field_E"; "field_B"; "kinetic" ] in

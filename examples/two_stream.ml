@@ -54,8 +54,8 @@ let () =
       let p = Species.get electrons n in
       let x, _, _ = Particle.position grid p in
       let sign = if p.Particle.ux > 0. then 1. else -1. in
-      electrons.Species.ux.(n) <-
-        electrons.Species.ux.(n) +. (sign *. eps *. sin (k *. x)));
+      Species.set electrons n
+        { p with ux = p.Particle.ux +. (sign *. eps *. sin (k *. x)) });
 
   let table = Table.create [ "t"; "mode amp"; "field E"; "kinetic" ] in
   let times = ref [] and amps = ref [] in

@@ -53,11 +53,8 @@ let create ?(block_size = 512) machine =
 let ledger t = t.led
 
 let average_ppc s =
-  let g = s.Species.grid in
   let occupied = Hashtbl.create 1024 in
-  Species.iter s (fun n ->
-      let v = Vpic_grid.Grid.voxel g s.Species.ci.(n) s.Species.cj.(n) s.Species.ck.(n) in
-      Hashtbl.replace occupied v ());
+  Species.iter s (fun n -> Hashtbl.replace occupied (Species.voxel s n) ());
   let nvox = Hashtbl.length occupied in
   if nvox = 0 then 1. else float_of_int (Species.count s) /. float_of_int nvox
 

@@ -2,8 +2,9 @@ module Grid = Vpic_grid.Grid
 module Sf = Vpic_grid.Scalar_field
 module Em_field = Vpic_field.Em_field
 module Species = Vpic_particle.Species
+module Store = Vpic_particle.Store
 
-let format_version = 2
+let format_version = 3
 
 type grid_snap = {
   nx : int;
@@ -18,20 +19,22 @@ type grid_snap = {
   z0 : float;
 }
 
+(* Particle data is serialised as the store's own Float32/Int32
+   bigarrays (trimmed to np): Marshal writes bigarray contents through
+   their custom serialiser, so the round-trip is bit-exact and the file
+   carries 32 bytes per particle, like the in-memory layout. *)
 type species_snap = {
   sname : string;
   q : float;
   m : float;
-  ci : int array;
-  cj : int array;
-  ck : int array;
-  fx : float array;
-  fy : float array;
-  fz : float array;
-  ux : float array;
-  uy : float array;
-  uz : float array;
-  w : float array;
+  voxel : Store.i32;
+  fx : Store.f32;
+  fy : Store.f32;
+  fz : Store.f32;
+  ux : Store.f32;
+  uy : Store.f32;
+  uz : Store.f32;
+  w : Store.f32;
 }
 
 type snap = {
@@ -55,21 +58,30 @@ let floats_into_sf arr sf =
   assert (Array.length arr = Bigarray.Array1.dim d);
   Array.iteri (Bigarray.Array1.set d) arr
 
+let trim_f32 (a : Store.f32) np =
+  let out = Store.f32_create np in
+  Bigarray.Array1.(blit (sub a 0 np) out);
+  out
+
+let trim_i32 (a : Store.i32) np =
+  let out = Store.i32_create np in
+  Bigarray.Array1.(blit (sub a 0 np) out);
+  out
+
 let snap_species (s : Species.t) =
-  let np = Species.count s in
+  let st = s.Species.store in
+  let np = Store.count st in
   { sname = s.Species.name;
     q = s.Species.q;
     m = s.Species.m;
-    ci = Array.sub s.Species.ci 0 np;
-    cj = Array.sub s.Species.cj 0 np;
-    ck = Array.sub s.Species.ck 0 np;
-    fx = Array.sub s.Species.fx 0 np;
-    fy = Array.sub s.Species.fy 0 np;
-    fz = Array.sub s.Species.fz 0 np;
-    ux = Array.sub s.Species.ux 0 np;
-    uy = Array.sub s.Species.uy 0 np;
-    uz = Array.sub s.Species.uz 0 np;
-    w = Array.sub s.Species.w 0 np }
+    voxel = trim_i32 st.Store.voxel np;
+    fx = trim_f32 st.Store.fx np;
+    fy = trim_f32 st.Store.fy np;
+    fz = trim_f32 st.Store.fz np;
+    ux = trim_f32 st.Store.ux np;
+    uy = trim_f32 st.Store.uy np;
+    uz = trim_f32 st.Store.uz np;
+    w = trim_f32 st.Store.w np }
 
 let save (t : Simulation.t) path =
   let g = t.Simulation.grid in
@@ -96,7 +108,7 @@ let save (t : Simulation.t) path =
         List.map
           (fun (name, sf) -> (name, floats_of_sf sf))
           (Em_field.named_components t.Simulation.fields);
-      species = List.map snap_species t.Simulation.species }
+      species = List.map snap_species (Simulation.species t) }
   in
   let oc = open_out_bin path in
   Fun.protect
@@ -133,20 +145,20 @@ let load ~coupler path =
   List.iter
     (fun ss ->
       let s = Simulation.add_species t ~name:ss.sname ~q:ss.q ~m:ss.m in
-      let np = Array.length ss.w in
+      let np = Bigarray.Array1.dim ss.w in
       Species.reserve s np;
-      for n = 0 to np - 1 do
-        Species.append s
-          { i = ss.ci.(n);
-            j = ss.cj.(n);
-            k = ss.ck.(n);
-            fx = ss.fx.(n);
-            fy = ss.fy.(n);
-            fz = ss.fz.(n);
-            ux = ss.ux.(n);
-            uy = ss.uy.(n);
-            uz = ss.uz.(n);
-            w = ss.w.(n) }
-      done)
+      (* Blit straight into the store: no float conversion touches the
+         data, so restart is bitwise identical. *)
+      let st = s.Species.store in
+      let open Bigarray.Array1 in
+      blit ss.voxel (sub st.Store.voxel 0 np);
+      blit ss.fx (sub st.Store.fx 0 np);
+      blit ss.fy (sub st.Store.fy 0 np);
+      blit ss.fz (sub st.Store.fz 0 np);
+      blit ss.ux (sub st.Store.ux 0 np);
+      blit ss.uy (sub st.Store.uy 0 np);
+      blit ss.uz (sub st.Store.uz 0 np);
+      blit ss.w (sub st.Store.w 0 np);
+      st.Store.np <- np)
     snap.species;
   t

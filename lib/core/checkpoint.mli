@@ -1,8 +1,11 @@
 (** Checkpoint / restart.
 
     Serialises the full simulation state (step counter, every field
-    component, every species) to a single file.  Bigarrays cannot be
-    marshalled, so field data is copied through plain float arrays into a
+    component, every species) to a single file.  Particle data is
+    written as the store's own Float32/Int32 bigarrays (trimmed to the
+    live count) — 32 bytes per particle on disk, restored by blitting
+    straight back into the store, so the particle round-trip is
+    bit-exact.  Field data goes through plain float arrays in a
     versioned snapshot record.
 
     Limitations (stated, not hidden): laser antennas are closures and are

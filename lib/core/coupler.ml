@@ -12,7 +12,7 @@ type t = {
   fill_list : Sf.t list -> unit;
   fold_currents : Em_field.t -> unit;
   fold_rho : Em_field.t -> unit;
-  migrate : Species.t -> Em_field.t -> Vpic_particle.Push.mover list -> unit;
+  migrate : Species.t -> Em_field.t -> Vpic_particle.Push.Movers.t -> unit;
   reduce_sum : float -> float;
   reduce_max : float -> float;
   barrier : unit -> unit;
@@ -28,7 +28,8 @@ let local bc =
     fill_list = (fun ss -> Boundary.fill_scalars bc ss);
     fold_currents = (fun f -> Boundary.fold_currents bc f);
     fold_rho = (fun f -> Boundary.fold_rho bc f);
-    migrate = (fun _ _ movers -> assert (movers = []));
+    migrate =
+      (fun _ _ movers -> assert (Vpic_particle.Push.Movers.count movers = 0));
     reduce_sum = (fun x -> x);
     reduce_max = (fun x -> x);
     barrier = (fun () -> ());

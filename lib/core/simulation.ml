@@ -24,8 +24,10 @@ type t = {
   grid : Grid.t;
   fields : Em_field.t;
   coupler : Coupler.t;
-  mutable species : Species.t list;
-  mutable lasers : Laser.t list;
+  (* Registration order, reversed: O(1) prepend on add; read through
+     [species]/[lasers] which restore registration order. *)
+  mutable species_rev : Species.t list;
+  mutable lasers_rev : Laser.t list;
   absorber : Boundary.Absorber.t;
   sort_interval : int;
   clean_div_interval : int;
@@ -59,8 +61,8 @@ let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
   { grid;
     fields = Em_field.create grid;
     coupler;
-    species = [];
-    lasers = [];
+    species_rev = [];
+    lasers_rev = [];
     absorber =
       Boundary.Absorber.create grid coupler.Coupler.bc
         ~thickness:absorber_thickness ~strength:absorber_strength;
@@ -82,25 +84,28 @@ let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
         sort = Perf.timer_create ();
         clean = Perf.timer_create () } }
 
+let species t = List.rev t.species_rev
+let lasers t = List.rev t.lasers_rev
+
 let add_species t ~name ~q ~m =
-  assert (not (List.exists (fun s -> s.Species.name = name) t.species));
+  assert (not (List.exists (fun s -> s.Species.name = name) t.species_rev));
   let s = Species.create ~name ~q ~m t.grid in
-  t.species <- t.species @ [ s ];
+  t.species_rev <- s :: t.species_rev;
   s
 
 let find_species t name =
-  match List.find_opt (fun s -> s.Species.name = name) t.species with
+  match List.find_opt (fun s -> s.Species.name = name) t.species_rev with
   | Some s -> s
   | None -> invalid_arg ("Simulation.find_species: no species " ^ name)
 
-let add_laser t l = t.lasers <- t.lasers @ [ l ]
+let add_laser t l = t.lasers_rev <- l :: t.lasers_rev
 let time t = float_of_int t.nstep *. t.grid.Grid.dt
 
 let deposit_rho t =
   Em_field.clear_rho t.fields;
   List.iter
     (fun s -> Moments.deposit_rho ~perf:t.perf s ~rho:t.fields.Em_field.rho)
-    t.species;
+    (species t);
   t.coupler.Coupler.fold_rho t.fields;
   (* With current filtering on, filter rho identically: the smoothed
      system satisfies continuity exactly, so the Marder clean is not
@@ -142,17 +147,17 @@ let step t =
   let species_movers =
     List.map
       (fun s ->
-        let movers = ref [] in
+        let movers = Push.Movers.create () in
         let st =
           Push.advance ~perf:t.perf ~movers ?gather_from ~rng:t.push_rng
             ~pusher:t.pusher s t.fields c.Coupler.bc
         in
         t.push_stats <- add_stats t.push_stats st;
-        (s, !movers))
-      t.species
+        (s, movers))
+      (species t)
   in
   ignore (Perf.timer_stop tm.push);
-  List.iter (fun l -> Laser.drive l t.fields ~time:(time t)) t.lasers;
+  List.iter (fun l -> Laser.drive l t.fields ~time:(time t)) (lasers t);
   (* Migration must precede the current fold: finished movers deposit
      their remaining segments (including into ghost slots). *)
   Perf.timer_start tm.exchange;
@@ -193,7 +198,7 @@ let step t =
   ignore (Perf.timer_stop tm.field);
   if interval_due t t.sort_interval then begin
     Perf.timer_start tm.sort;
-    List.iter (fun s -> Sort.by_voxel ~perf:t.perf s) t.species;
+    List.iter (fun s -> Sort.by_voxel ~perf:t.perf s) (species t);
     ignore (Perf.timer_stop tm.sort)
   end;
   t.nstep <- t.nstep + 1
@@ -221,7 +226,7 @@ let energies t =
     List.map
       (fun s ->
         (s.Species.name, c.Coupler.reduce_sum (Species.kinetic_energy s)))
-      t.species
+      (species t)
   in
   { field_e = fe;
     field_b = fb;
@@ -229,7 +234,9 @@ let energies t =
     total = fe +. fb +. List.fold_left (fun acc (_, e) -> acc +. e) 0. parts }
 
 let total_particles t =
-  let local = List.fold_left (fun acc s -> acc + Species.count s) 0 t.species in
+  let local =
+    List.fold_left (fun acc s -> acc + Species.count s) 0 t.species_rev
+  in
   int_of_float (t.coupler.Coupler.reduce_sum (float_of_int local))
 
 let gauss_residual t =

@@ -29,8 +29,9 @@ type t = {
   grid : Grid.t;
   fields : Em_field.t;
   coupler : Coupler.t;
-  mutable species : Species.t list;
-  mutable lasers : Vpic_field.Laser.t list;
+  mutable species_rev : Species.t list;
+      (** registration order reversed (O(1) add); read via {!species} *)
+  mutable lasers_rev : Vpic_field.Laser.t list;
   absorber : Vpic_field.Boundary.Absorber.t;
   sort_interval : int;
   clean_div_interval : int;
@@ -72,6 +73,11 @@ val add_species : t -> name:string -> q:float -> m:float -> Species.t
 
 val find_species : t -> string -> Species.t
 val add_laser : t -> Vpic_field.Laser.t -> unit
+
+(** Registered species / lasers, in registration order. *)
+val species : t -> Species.t list
+
+val lasers : t -> Vpic_field.Laser.t list
 
 (** Physical time = nstep * dt. *)
 val time : t -> float

@@ -56,11 +56,19 @@ let recv_internal t ~src ~tag =
   assert (src >= 0 && src < t.world.nranks);
   let ib = t.world.inboxes.(t.my_rank) in
   let key = (src, tag) in
+  (* Caller holds ib.mu.  Drop the queue once it drains: long sweeps use
+     many distinct (src, tag) keys and the table would otherwise grow
+     without bound. *)
+  let pop_locked q =
+    let p = Queue.pop q in
+    if Queue.is_empty q then Hashtbl.remove ib.queues key;
+    p
+  in
   let try_pop () =
     Mutex.lock ib.mu;
     let r =
       match Hashtbl.find_opt ib.queues key with
-      | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+      | Some q when not (Queue.is_empty q) -> Some (pop_locked q)
       | _ -> None
     in
     Mutex.unlock ib.mu;
@@ -84,7 +92,7 @@ let recv_internal t ~src ~tag =
       Mutex.lock ib.mu;
       let rec wait () =
         match Hashtbl.find_opt ib.queues key with
-        | Some q when not (Queue.is_empty q) -> Queue.pop q
+        | Some q when not (Queue.is_empty q) -> pop_locked q
         | _ ->
             Condition.wait ib.cv ib.mu;
             wait ()

@@ -3,75 +3,29 @@ module Bc = Vpic_grid.Bc
 module Axis = Vpic_grid.Axis
 module Species = Vpic_particle.Species
 module Push = Vpic_particle.Push
+module Movers = Vpic_particle.Push.Movers
 
 type stats = { sent : int; received : int; settled : int; absorbed : int }
 
-let floats_per_mover = 13
-
-let encode ms =
-  let n = List.length ms in
-  let buf = Array.make (n * floats_per_mover) 0. in
-  List.iteri
-    (fun idx (m : Push.mover) ->
-      let o = idx * floats_per_mover in
-      buf.(o) <- float_of_int m.mi;
-      buf.(o + 1) <- float_of_int m.mj;
-      buf.(o + 2) <- float_of_int m.mk;
-      buf.(o + 3) <- m.mfx;
-      buf.(o + 4) <- m.mfy;
-      buf.(o + 5) <- m.mfz;
-      buf.(o + 6) <- m.mux;
-      buf.(o + 7) <- m.muy;
-      buf.(o + 8) <- m.muz;
-      buf.(o + 9) <- m.mw;
-      buf.(o + 10) <- m.mrx;
-      buf.(o + 11) <- m.mry;
-      buf.(o + 12) <- m.mrz)
-    ms;
-  buf
-
-let decode buf =
-  let n = Array.length buf / floats_per_mover in
-  List.init n (fun idx ->
-      let o = idx * floats_per_mover in
-      { Push.mi = int_of_float buf.(o);
-        mj = int_of_float buf.(o + 1);
-        mk = int_of_float buf.(o + 2);
-        mfx = buf.(o + 3);
-        mfy = buf.(o + 4);
-        mfz = buf.(o + 5);
-        mux = buf.(o + 6);
-        muy = buf.(o + 7);
-        muz = buf.(o + 8);
-        mw = buf.(o + 9);
-        mrx = buf.(o + 10);
-        mry = buf.(o + 11);
-        mrz = buf.(o + 12) })
+let floats_per_mover = Movers.stride
 
 let tag_of ~axis ~dir = 200000 + (Axis.index axis * 10) + dir
 
-let axis_cell axis (m : Push.mover) =
-  match axis with Axis.X -> m.mi | Axis.Y -> m.mj | Axis.Z -> m.mk
-
-let rebase axis (m : Push.mover) value =
-  match axis with
-  | Axis.X -> { m with Push.mi = value }
-  | Axis.Y -> { m with Push.mj = value }
-  | Axis.Z -> { m with Push.mk = value }
-
-let exchange ?rng comm bc s fields movers =
+let exchange ?rng comm bc s fields (movers : Movers.t) =
   let g = s.Species.grid in
   let sent = ref 0 and received = ref 0 in
   let settled = ref 0 and absorbed = ref 0 in
-  let pending = ref movers in
+  let pending = movers in
+  let stride = Movers.stride in
   (* A mover stops at its first Domain face, which can be any axis; after
      finishing on the neighbour it may need an axis the sweep already
      passed.  Each x->y->z sweep completes at least one crossing and a
      particle crosses at most three faces per step, so three sweeps always
-     drain the list (all ranks run the same fixed count: collective). *)
+     drain the buffer (all ranks run the same fixed count: collective). *)
   for _sweep = 1 to 3 do
   List.iter
     (fun axis ->
+      let ax = Axis.index axis in
       let n_axis =
         match axis with
         | Axis.X -> g.Grid.nx
@@ -84,14 +38,36 @@ let exchange ?rng comm bc s fields movers =
             let ghost, rebased =
               match side with `Lo -> (0, n_axis) | `Hi -> (n_axis + 1, 1)
             in
-            let mine, rest =
-              List.partition (fun m -> axis_cell axis m = ghost) !pending
-            in
-            pending := rest;
-            let ms = List.map (fun m -> rebase axis m rebased) mine in
-            sent := !sent + List.length ms;
+            (* Partition the pending buffer in place: movers sitting in
+               this axis ghost are copied to the wire (axis cell rebased
+               to the receiver's frame, which has identical local dims),
+               the rest compact toward the front.  The payload IS the
+               packed mover format — 13 floats each, no boxing. *)
+            let buf = pending.Movers.buf in
+            let nsend = ref 0 in
+            for idx = 0 to pending.Movers.n - 1 do
+              if int_of_float buf.((idx * stride) + ax) = ghost then
+                incr nsend
+            done;
+            let wire = Array.make (!nsend * stride) 0. in
+            let so = ref 0 in
+            let kept = ref 0 in
+            for idx = 0 to pending.Movers.n - 1 do
+              let o = idx * stride in
+              if int_of_float buf.(o + ax) = ghost then begin
+                Array.blit buf o wire !so stride;
+                wire.(!so + ax) <- float_of_int rebased;
+                so := !so + stride
+              end
+              else begin
+                if !kept <> idx then Array.blit buf o buf (!kept * stride) stride;
+                incr kept
+              end
+            done;
+            pending.Movers.n <- !kept;
+            sent := !sent + !nsend;
             let dir = match side with `Lo -> 0 | `Hi -> 1 in
-            Comm.send comm ~dst:nbr ~tag:(tag_of ~axis ~dir) (encode ms)
+            Comm.send comm ~dst:nbr ~tag:(tag_of ~axis ~dir) wire
         | _ -> ()
       in
       ship `Lo;
@@ -102,20 +78,21 @@ let exchange ?rng comm bc s fields movers =
             (* Movers arriving across my lo face were sent by my lo
                neighbour toward its hi side (dir = 1). *)
             let dir = match side with `Lo -> 1 | `Hi -> 0 in
-            let ms = decode (Comm.recv comm ~src:nbr ~tag:(tag_of ~axis ~dir)) in
-            received := !received + List.length ms;
-            let out = ref [] in
+            let ms =
+              Movers.of_wire (Comm.recv comm ~src:nbr ~tag:(tag_of ~axis ~dir))
+            in
+            received := !received + Movers.count ms;
+            (* Re-emitted movers land straight back in [pending]. *)
             let st, ab, _re =
-              Push.finish_movers ~movers_out:out ?rng s fields bc ms
+              Push.finish_movers ~movers_out:pending ?rng s fields bc ms
             in
             settled := !settled + st;
-            absorbed := !absorbed + ab;
-            pending := !out @ !pending
+            absorbed := !absorbed + ab
         | _ -> ()
       in
       arrive `Lo;
       arrive `Hi)
     Axis.all
   done;
-  assert (!pending = []);
+  assert (Movers.count pending = 0);
   { sent = !sent; received = !received; settled = !settled; absorbed = !absorbed }

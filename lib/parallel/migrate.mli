@@ -1,19 +1,26 @@
 (** Particle migration between ranks.
 
     After [Push.advance], particles that hit a [Domain] face have been
-    turned into movers: stopped at the face (first ghost layer) with their
-    unconsumed displacement.  Migration proceeds axis by axis (x, then y,
-    then z): movers in the axis ghost are shipped (cell indices re-based
-    to the receiver, whose local dimensions are identical), and the
-    receiver immediately finishes their moves — depositing the remaining
-    current segments — which may re-emit movers toward a later axis,
-    picked up by the next phase.  Three phases suffice because a particle
-    can cross each axis at most once per step (Courant bound); the same
+    turned into movers: stopped at the face (first ghost layer) with
+    their unconsumed displacement, packed 13 floats each in a
+    [Push.Movers] buffer.  Migration proceeds axis by axis (x, then y,
+    then z): movers in the axis ghost are copied to the wire (cell
+    indices re-based to the receiver, whose local dimensions are
+    identical) while the rest compact in place, and the receiver
+    immediately finishes their moves — depositing the remaining current
+    segments — which may re-emit movers toward a later axis, picked up
+    by the next phase.  The wire payload is the packed mover array
+    itself (no boxing).  Three phases suffice because a particle can
+    cross each axis at most once per step (Courant bound); the same
     scheme VPIC uses.
 
     Must run {e before} the ghost-current fold (finished moves deposit
     into ghost slots of the receiving rank).  Every rank must call this
-    collectively, even with no outbound movers. *)
+    collectively, even with no outbound movers.  The caller's buffer is
+    consumed: it is empty when [exchange] returns. *)
+
+(** = [Push.Movers.stride] (13): the wire stride per mover. *)
+val floats_per_mover : int
 
 type stats = {
   sent : int;
@@ -29,5 +36,5 @@ val exchange :
   Vpic_grid.Bc.t ->
   Vpic_particle.Species.t ->
   Vpic_field.Em_field.t ->
-  Vpic_particle.Push.mover list ->
+  Vpic_particle.Push.Movers.t ->
   stats

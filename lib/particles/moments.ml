@@ -4,6 +4,9 @@ module Axis = Vpic_grid.Axis
 module Vec3 = Vpic_util.Vec3
 module Perf = Vpic_util.Perf
 
+(* All moments read the f32 store into f64 registers and accumulate in
+   f64 (into f64 fields or scalars) — the mixed-precision contract. *)
+
 let deposit_rho ?(perf = Vpic_util.Perf.global) (s : Species.t) ~rho =
   let g = s.Species.grid in
   assert (g == Sf.grid rho);
@@ -11,12 +14,16 @@ let deposit_rho ?(perf = Vpic_util.Perf.global) (s : Species.t) ~rho =
   let gx = g.Grid.gx in
   let gxy = g.Grid.gx * g.Grid.gy in
   let a = Sf.data rho in
+  let st = s.Species.store in
+  let svox = st.Store.voxel in
+  let sfx = st.Store.fx and sfy = st.Store.fy and sfz = st.Store.fz in
+  let sw = st.Store.w in
   let open Bigarray.Array1 in
   let add idx v = unsafe_set a idx (unsafe_get a idx +. v) in
   for n = 0 to Species.count s - 1 do
-    let v = Grid.voxel g s.Species.ci.(n) s.Species.cj.(n) s.Species.ck.(n) in
-    let fx = s.Species.fx.(n) and fy = s.Species.fy.(n) and fz = s.Species.fz.(n) in
-    let q = s.Species.q *. s.Species.w.(n) *. inv_dv in
+    let v = Int32.to_int (unsafe_get svox n) in
+    let fx = unsafe_get sfx n and fy = unsafe_get sfy n and fz = unsafe_get sfz n in
+    let q = s.Species.q *. unsafe_get sw n *. inv_dv in
     let mx = 1. -. fx and my = 1. -. fy and mz = 1. -. fz in
     add v (q *. mx *. my *. mz);
     add (v + 1) (q *. fx *. my *. mz);
@@ -30,11 +37,15 @@ let deposit_rho ?(perf = Vpic_util.Perf.global) (s : Species.t) ~rho =
   Perf.add_flops perf (float_of_int (Species.count s) *. 30.)
 
 let total_current (s : Species.t) =
+  let st = s.Species.store in
+  let sux = st.Store.ux and suy = st.Store.uy and suz = st.Store.uz in
+  let sw = st.Store.w in
   let jx = ref 0. and jy = ref 0. and jz = ref 0. in
+  let open Bigarray.Array1 in
   for n = 0 to Species.count s - 1 do
-    let ux = s.Species.ux.(n) and uy = s.Species.uy.(n) and uz = s.Species.uz.(n) in
+    let ux = unsafe_get sux n and uy = unsafe_get suy n and uz = unsafe_get suz n in
     let inv_g = 1. /. sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
-    let qw = s.Species.q *. s.Species.w.(n) in
+    let qw = s.Species.q *. unsafe_get sw n in
     jx := !jx +. (qw *. ux *. inv_g);
     jy := !jy +. (qw *. uy *. inv_g);
     jz := !jz +. (qw *. uz *. inv_g)
@@ -43,10 +54,14 @@ let total_current (s : Species.t) =
 
 let velocity_histogram (s : Species.t) ~component ~lo ~hi ~bins =
   assert (bins > 0 && hi > lo);
+  let st = s.Species.store in
+  let sux = st.Store.ux and suy = st.Store.uy and suz = st.Store.uz in
+  let sw = st.Store.w in
   let h = Array.make bins 0. in
   let scale = float_of_int bins /. (hi -. lo) in
+  let open Bigarray.Array1 in
   for n = 0 to Species.count s - 1 do
-    let ux = s.Species.ux.(n) and uy = s.Species.uy.(n) and uz = s.Species.uz.(n) in
+    let ux = unsafe_get sux n and uy = unsafe_get suy n and uz = unsafe_get suz n in
     let inv_g = 1. /. sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
     let v =
       match component with
@@ -55,31 +70,40 @@ let velocity_histogram (s : Species.t) ~component ~lo ~hi ~bins =
       | Axis.Z -> uz *. inv_g
     in
     let b = int_of_float (Float.floor ((v -. lo) *. scale)) in
-    if b >= 0 && b < bins then h.(b) <- h.(b) +. s.Species.w.(n)
+    if b >= 0 && b < bins then h.(b) <- h.(b) +. unsafe_get sw n
   done;
   h
 
 let electron_rest_kev = 510.99895
 
 let hot_fraction (s : Species.t) ~threshold_kev =
+  let st = s.Species.store in
+  let sux = st.Store.ux and suy = st.Store.uy and suz = st.Store.uz in
+  let sw = st.Store.w in
   let wtot = ref 0. and whot = ref 0. in
   let thresh = threshold_kev /. electron_rest_kev in
+  let open Bigarray.Array1 in
   for n = 0 to Species.count s - 1 do
-    let ux = s.Species.ux.(n) and uy = s.Species.uy.(n) and uz = s.Species.uz.(n) in
+    let ux = unsafe_get sux n and uy = unsafe_get suy n and uz = unsafe_get suz n in
     let u2 = (ux *. ux) +. (uy *. uy) +. (uz *. uz) in
     let gamma = sqrt (1. +. u2) in
     let ke = s.Species.m *. u2 /. (gamma +. 1.) in
-    wtot := !wtot +. s.Species.w.(n);
-    if ke > thresh then whot := !whot +. s.Species.w.(n)
+    let w = unsafe_get sw n in
+    wtot := !wtot +. w;
+    if ke > thresh then whot := !whot +. w
   done;
   if !wtot = 0. then 0. else !whot /. !wtot
 
 let mean_velocity (s : Species.t) =
+  let st = s.Species.store in
+  let sux = st.Store.ux and suy = st.Store.uy and suz = st.Store.uz in
+  let sw = st.Store.w in
   let wtot = ref 0. and vx = ref 0. and vy = ref 0. and vz = ref 0. in
+  let open Bigarray.Array1 in
   for n = 0 to Species.count s - 1 do
-    let ux = s.Species.ux.(n) and uy = s.Species.uy.(n) and uz = s.Species.uz.(n) in
+    let ux = unsafe_get sux n and uy = unsafe_get suy n and uz = unsafe_get suz n in
     let inv_g = 1. /. sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
-    let w = s.Species.w.(n) in
+    let w = unsafe_get sw n in
     wtot := !wtot +. w;
     vx := !vx +. (w *. ux *. inv_g);
     vy := !vy +. (w *. uy *. inv_g);
@@ -89,11 +113,15 @@ let mean_velocity (s : Species.t) =
   else Vec3.make (!vx /. !wtot) (!vy /. !wtot) (!vz /. !wtot)
 
 let thermal_spread (s : Species.t) =
+  let st = s.Species.store in
+  let sux = st.Store.ux and suy = st.Store.uy and suz = st.Store.uz in
+  let sw = st.Store.w in
   let wtot = ref 0. in
   let m1 = Array.make 3 0. and m2 = Array.make 3 0. in
+  let open Bigarray.Array1 in
   for n = 0 to Species.count s - 1 do
-    let w = s.Species.w.(n) in
-    let us = [| s.Species.ux.(n); s.Species.uy.(n); s.Species.uz.(n) |] in
+    let w = unsafe_get sw n in
+    let us = [| unsafe_get sux n; unsafe_get suy n; unsafe_get suz n |] in
     wtot := !wtot +. w;
     for a = 0 to 2 do
       m1.(a) <- m1.(a) +. (w *. us.(a));
@@ -116,12 +144,16 @@ let deposit_density (s : Species.t) ~out =
   let gx = g.Grid.gx in
   let gxy = g.Grid.gx * g.Grid.gy in
   let a = Sf.data out in
+  let st = s.Species.store in
+  let svox = st.Store.voxel in
+  let sfx = st.Store.fx and sfy = st.Store.fy and sfz = st.Store.fz in
+  let sw = st.Store.w in
   let open Bigarray.Array1 in
   let add idx v = unsafe_set a idx (unsafe_get a idx +. v) in
   for n = 0 to Species.count s - 1 do
-    let v = Grid.voxel g s.Species.ci.(n) s.Species.cj.(n) s.Species.ck.(n) in
-    let fx = s.Species.fx.(n) and fy = s.Species.fy.(n) and fz = s.Species.fz.(n) in
-    let w = s.Species.w.(n) *. inv_dv in
+    let v = Int32.to_int (unsafe_get svox n) in
+    let fx = unsafe_get sfx n and fy = unsafe_get sfy n and fz = unsafe_get sfz n in
+    let w = unsafe_get sw n *. inv_dv in
     let mx = 1. -. fx and my = 1. -. fy and mz = 1. -. fz in
     add v (w *. mx *. my *. mz);
     add (v + 1) (w *. fx *. my *. mz);
@@ -135,17 +167,21 @@ let deposit_density (s : Species.t) ~out =
 
 let energy_spectrum (s : Species.t) ~e_min_kev ~e_max_kev ~bins =
   assert (bins > 0 && e_max_kev > e_min_kev && e_min_kev > 0.);
+  let st = s.Species.store in
+  let sux = st.Store.ux and suy = st.Store.uy and suz = st.Store.uz in
+  let sw = st.Store.w in
   let log_lo = log e_min_kev and log_hi = log e_max_kev in
   let scale = float_of_int bins /. (log_hi -. log_lo) in
   let h = Array.make bins 0. in
+  let open Bigarray.Array1 in
   for n = 0 to Species.count s - 1 do
-    let ux = s.Species.ux.(n) and uy = s.Species.uy.(n) and uz = s.Species.uz.(n) in
+    let ux = unsafe_get sux n and uy = unsafe_get suy n and uz = unsafe_get suz n in
     let u2 = (ux *. ux) +. (uy *. uy) +. (uz *. uz) in
     let gamma = sqrt (1. +. u2) in
     let ke_kev = s.Species.m *. u2 /. (gamma +. 1.) *. electron_rest_kev in
     if ke_kev > 0. then begin
       let b = int_of_float (Float.floor ((log ke_kev -. log_lo) *. scale)) in
-      if b >= 0 && b < bins then h.(b) <- h.(b) +. s.Species.w.(n)
+      if b >= 0 && b < bins then h.(b) <- h.(b) +. unsafe_get sw n
     end
   done;
   let centers =

@@ -6,21 +6,55 @@ module Perf = Vpic_util.Perf
 let flops_per_push = 70.
 let flops_per_segment = 57.
 
-type mover = {
-  mi : int;
-  mj : int;
-  mk : int;
-  mfx : float;
-  mfy : float;
-  mfz : float;
-  mux : float;
-  muy : float;
-  muz : float;
-  mw : float;
-  mrx : float;
-  mry : float;
-  mrz : float;
-}
+(* Particles stopped at a Domain face, packed 13 floats each so the
+   buffer can go on the wire as-is (the 32-byte store has no room for a
+   remaining displacement, and migration traffic should not box).
+   Layout per mover: cell i,j,k (exact small ints), in-cell position
+   fx,fy,fz (f32-representable by construction), momentum ux,uy,uz and
+   weight (kept f64 so finishing a move on the neighbour performs the
+   same f64 arithmetic a serial walk would), remaining displacement
+   rx,ry,rz in cell units. *)
+module Movers = struct
+  type t = { mutable buf : float array; mutable n : int }
+
+  let stride = 13
+
+  let create ?(capacity = 16) () =
+    assert (capacity > 0);
+    { buf = Array.make (capacity * stride) 0.; n = 0 }
+
+  let count t = t.n
+  let clear t = t.n <- 0
+
+  let of_wire buf =
+    assert (Array.length buf mod stride = 0);
+    { buf; n = Array.length buf / stride }
+
+  let wire t = Array.sub t.buf 0 (t.n * stride)
+
+  let push t ~cell ~wk ~u ~w =
+    if (t.n + 1) * stride > Array.length t.buf then begin
+      let nbuf = Array.make (2 * Array.length t.buf) 0. in
+      Array.blit t.buf 0 nbuf 0 (t.n * stride);
+      t.buf <- nbuf
+    end;
+    let o = t.n * stride in
+    let b = t.buf in
+    b.(o) <- float_of_int cell.(0);
+    b.(o + 1) <- float_of_int cell.(1);
+    b.(o + 2) <- float_of_int cell.(2);
+    b.(o + 3) <- wk.(0);
+    b.(o + 4) <- wk.(1);
+    b.(o + 5) <- wk.(2);
+    b.(o + 6) <- u.(0);
+    b.(o + 7) <- u.(1);
+    b.(o + 8) <- u.(2);
+    b.(o + 9) <- w;
+    b.(o + 10) <- wk.(3);
+    b.(o + 11) <- wk.(4);
+    b.(o + 12) <- wk.(5);
+    t.n <- t.n + 1
+end
 
 type stats = {
   advanced : int;
@@ -191,6 +225,7 @@ type walk_env = {
   reflected : int ref;
   refluxed : int ref;
   rng : Vpic_util.Rng.t option; (* required for Refluxing faces *)
+  s32 : Store.f32; (* 1-slot scratch: round to f32 without boxing Int32 *)
 }
 
 let make_env ?rng g f bc ~segments ~reflected ~refluxed =
@@ -208,7 +243,12 @@ let make_env ?rng g f bc ~segments ~reflected ~refluxed =
     segments;
     reflected;
     refluxed;
-    rng }
+    rng;
+    s32 = Store.f32_create 1 }
+
+let round32_env env x =
+  Bigarray.Array1.unsafe_set env.s32 0 x;
+  Bigarray.Array1.unsafe_get env.s32 0
 
 type walk_status = Settled | Absorbed | Outbound
 
@@ -218,14 +258,22 @@ type walk_status = Settled | Absorbed | Outbound
    units, < 1 per axis), cell.(0..2) owning cell, u.(0..2) momentum
    (mutated by reflections).  On [Outbound], the cell sits in the first
    ghost layer at the entry face and wk.(3..5) holds what is left of the
-   move -- the receiving rank completes it. *)
+   move -- the receiving rank completes it.
+
+   f32 consistency: every deposited segment endpoint is a value the f32
+   store can represent, and it is the value carried forward — so the
+   current walked into J agrees bit-for-bit with the position the
+   particle ends up stored at (discrete continuity survives the f32
+   narrowing).  The crossing axis snaps to its exact face value (0.0 and
+   1.0 are f32-exact); transverse axes round to nearest f32; the final
+   segment rounds AND clamps into [0, pred 1.0f32] before depositing. *)
 let walk env ~wk ~cell ~u ~cxc ~cyc ~czc =
   let status = ref Settled in
   let moving = ref true in
   let guard = ref 0 in
   while !moving && !status = Settled do
     incr guard;
-    assert (!guard <= 12);
+    assert (!guard <= 16);
     (* Fraction [smin] of the remaining displacement until the first face
        crossing (crossing code: 2*axis + hi, or -1 for none); ties resolve
        to the later axis, the remainder handled next iteration as
@@ -250,10 +298,17 @@ let walk env ~wk ~cell ~u ~cxc ~cyc ~czc =
       end
     done;
     let sfrac = !smin in
+    let a_cross = if !cross >= 0 then !cross / 2 else -1 in
+    let hi_cross = !cross >= 0 && !cross land 1 = 1 in
+    let endpoint axis x1a r =
+      if axis = a_cross then if hi_cross then 1. else 0.
+      else if !cross >= 0 then round32_env env (x1a +. (sfrac *. r))
+      else Store.clamp_offset (x1a +. (sfrac *. r))
+    in
     let x1 = wk.(0) and y1 = wk.(1) and z1 = wk.(2) in
-    let x2 = x1 +. (sfrac *. wk.(3)) in
-    let y2 = y1 +. (sfrac *. wk.(4)) in
-    let z2 = z1 +. (sfrac *. wk.(5)) in
+    let x2 = endpoint 0 x1 wk.(3) in
+    let y2 = endpoint 1 y1 wk.(4) in
+    let z2 = endpoint 2 z1 wk.(5) in
     let v = Grid.voxel env.g cell.(0) cell.(1) cell.(2) in
     deposit_segment env.jxa env.jya env.jza env.gx env.gxy v ~x1 ~y1 ~z1 ~x2
       ~y2 ~z2 ~cx:cxc ~cy:cyc ~cz:czc;
@@ -315,28 +370,7 @@ let walk env ~wk ~cell ~u ~cxc ~cyc ~czc =
       | Absorb -> status := Absorbed
     end
   done;
-  if !status = Settled then
-    for a = 0 to 2 do
-      (* Guard against landing exactly on a face in floating point. *)
-      if wk.(a) >= 1. then wk.(a) <- Float.pred 1.
-      else if wk.(a) < 0. then wk.(a) <- 0.
-    done;
   !status
-
-let mover_of ~cell ~wk ~u ~w =
-  { mi = cell.(0);
-    mj = cell.(1);
-    mk = cell.(2);
-    mfx = wk.(0);
-    mfy = wk.(1);
-    mfz = wk.(2);
-    mux = u.(0);
-    muy = u.(1);
-    muz = u.(2);
-    mw = w;
-    mrx = wk.(3);
-    mry = wk.(4);
-    mrz = wk.(5) }
 
 let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
     ?rng ?(pusher = Boris) (s : Species.t) f bc =
@@ -372,54 +406,137 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
         assert (first >= 0 && first + c <= np0);
         first + c - 1
   in
-  let sci = s.Species.ci and scj = s.Species.cj and sck = s.Species.ck in
-  let sfx = s.Species.fx and sfy = s.Species.fy and sfz = s.Species.fz in
-  let sux = s.Species.ux and suy = s.Species.uy and suz = s.Species.uz in
-  let sw = s.Species.w in
+  let st = s.Species.store in
+  let svox = st.Store.voxel in
+  let sfx = st.Store.fx and sfy = st.Store.fy and sfz = st.Store.fz in
+  let sux = st.Store.ux and suy = st.Store.uy and suz = st.Store.uz in
+  let sw = st.Store.w in
+  let open Bigarray.Array1 in
+  (* Boris fast path: the gather and the rotation are done with local
+     unboxed arithmetic instead of cross-module calls (which box every
+     float argument on this toolchain).  The formulas below are copied
+     verbatim from Interp.tri / Interp.gather_into / boris, in the same
+     evaluation order, so results are bit-identical to the generic
+     path. *)
+  let dex = Sf.data gf.Vpic_field.Em_field.ex
+  and dey = Sf.data gf.Vpic_field.Em_field.ey
+  and dez = Sf.data gf.Vpic_field.Em_field.ez
+  and dbx = Sf.data gf.Vpic_field.Em_field.bx
+  and dby = Sf.data gf.Vpic_field.Em_field.by
+  and dbz = Sf.data gf.Vpic_field.Em_field.bz in
+  let ggx = env.gx and ggxy = env.gxy in
+  let tri8 (a : Sf.data) v tx ty tz =
+    let sx0 = 1. -. tx and sy0 = 1. -. ty and sz0 = 1. -. tz in
+    let c00 = (sx0 *. unsafe_get a v) +. (tx *. unsafe_get a (v + 1)) in
+    let c10 =
+      (sx0 *. unsafe_get a (v + ggx)) +. (tx *. unsafe_get a (v + ggx + 1))
+    in
+    let c01 =
+      (sx0 *. unsafe_get a (v + ggxy)) +. (tx *. unsafe_get a (v + ggxy + 1))
+    in
+    let c11 =
+      (sx0 *. unsafe_get a (v + ggxy + ggx))
+      +. (tx *. unsafe_get a (v + ggxy + ggx + 1))
+    in
+    (sz0 *. ((sy0 *. c00) +. (ty *. c10)))
+    +. (tz *. ((sy0 *. c01) +. (ty *. c11)))
+  in
+  (* Sorted populations visit long runs of the same voxel: cache the last
+     decode so the two integer divisions in cell_of_voxel are paid once
+     per run, not once per particle. *)
+  let lvox = ref min_int and lci = ref 0 and lcj = ref 0 and lck = ref 0 in
   for n = first to last do
-    cell.(0) <- Array.unsafe_get sci n;
-    cell.(1) <- Array.unsafe_get scj n;
-    cell.(2) <- Array.unsafe_get sck n;
-    Interp.gather_into gf ~i:cell.(0) ~j:cell.(1) ~k:cell.(2)
-      ~fx:(Array.unsafe_get sfx n) ~fy:(Array.unsafe_get sfy n)
-      ~fz:(Array.unsafe_get sfz n) ~out:fields;
-    u.(0) <- Array.unsafe_get sux n;
-    u.(1) <- Array.unsafe_get suy n;
-    u.(2) <- Array.unsafe_get suz n;
+    let vi = Int32.to_int (unsafe_get svox n) in
+    if vi <> !lvox then begin
+      let ci, cj, ck = Grid.cell_of_voxel g vi in
+      lvox := vi;
+      lci := ci;
+      lcj := cj;
+      lck := ck
+    end;
+    let ci = !lci and cj = !lcj and ck = !lck in
+    cell.(0) <- ci;
+    cell.(1) <- cj;
+    cell.(2) <- ck;
+    (* f32 reads widen to f64 losslessly; all arithmetic below is f64. *)
     (match pusher with
     | Boris ->
-        boris ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2) ~bx:fields.(3)
-          ~by:fields.(4) ~bz:fields.(5) ~qdt_2m
+        let fx = unsafe_get sfx n
+        and fy = unsafe_get sfy n
+        and fz = unsafe_get sfz n in
+        let dxs = if fx >= 0.5 then 0 else -1 in
+        let txs = if fx >= 0.5 then fx -. 0.5 else fx +. 0.5 in
+        let dys = if fy >= 0.5 then 0 else -1 in
+        let tys = if fy >= 0.5 then fy -. 0.5 else fy +. 0.5 in
+        let dzs = if fz >= 0.5 then 0 else -1 in
+        let tzs = if fz >= 0.5 then fz -. 0.5 else fz +. 0.5 in
+        let oy = ggx * dys and oz = ggxy * dzs in
+        let ex = tri8 dex (vi + dxs) txs fy fz in
+        let ey = tri8 dey (vi + oy) fx tys fz in
+        let ez = tri8 dez (vi + oz) fx fy tzs in
+        let bx = tri8 dbx (vi + oy + oz) fx tys tzs in
+        let by = tri8 dby (vi + dxs + oz) txs fy tzs in
+        let bz = tri8 dbz (vi + dxs + oy) txs tys fz in
+        let ux = unsafe_get sux n +. (qdt_2m *. ex) in
+        let uy = unsafe_get suy n +. (qdt_2m *. ey) in
+        let uz = unsafe_get suz n +. (qdt_2m *. ez) in
+        let gamma_m = sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
+        let f = qdt_2m /. gamma_m in
+        let tx = f *. bx and ty = f *. by and tz = f *. bz in
+        let t2 = (tx *. tx) +. (ty *. ty) +. (tz *. tz) in
+        let sx = 2. *. tx /. (1. +. t2) in
+        let sy = 2. *. ty /. (1. +. t2) in
+        let sz = 2. *. tz /. (1. +. t2) in
+        let px = ux +. ((uy *. tz) -. (uz *. ty)) in
+        let py = uy +. ((uz *. tx) -. (ux *. tz)) in
+        let pz = uz +. ((ux *. ty) -. (uy *. tx)) in
+        let ux = ux +. ((py *. sz) -. (pz *. sy)) in
+        let uy = uy +. ((pz *. sx) -. (px *. sz)) in
+        let uz = uz +. ((px *. sy) -. (py *. sx)) in
+        u.(0) <- ux +. (qdt_2m *. ex);
+        u.(1) <- uy +. (qdt_2m *. ey);
+        u.(2) <- uz +. (qdt_2m *. ez)
     | Vay ->
+        Interp.gather_into gf ~i:ci ~j:cj ~k:ck ~fx:(unsafe_get sfx n)
+          ~fy:(unsafe_get sfy n) ~fz:(unsafe_get sfz n) ~out:fields;
+        u.(0) <- unsafe_get sux n;
+        u.(1) <- unsafe_get suy n;
+        u.(2) <- unsafe_get suz n;
         vay ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2) ~bx:fields.(3)
           ~by:fields.(4) ~bz:fields.(5) ~qdt_2m
     | Higuera_cary ->
+        Interp.gather_into gf ~i:ci ~j:cj ~k:ck ~fx:(unsafe_get sfx n)
+          ~fy:(unsafe_get sfy n) ~fz:(unsafe_get sfz n) ~out:fields;
+        u.(0) <- unsafe_get sux n;
+        u.(1) <- unsafe_get suy n;
+        u.(2) <- unsafe_get suz n;
         higuera_cary ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2)
           ~bx:fields.(3) ~by:fields.(4) ~bz:fields.(5) ~qdt_2m);
     let inv_gamma =
       1. /. sqrt (1. +. (u.(0) *. u.(0)) +. (u.(1) *. u.(1)) +. (u.(2) *. u.(2)))
     in
     (* Remaining displacement in cell units; < 1 per axis under CFL. *)
-    wk.(0) <- Array.unsafe_get sfx n;
-    wk.(1) <- Array.unsafe_get sfy n;
-    wk.(2) <- Array.unsafe_get sfz n;
+    wk.(0) <- unsafe_get sfx n;
+    wk.(1) <- unsafe_get sfy n;
+    wk.(2) <- unsafe_get sfz n;
     wk.(3) <- u.(0) *. inv_gamma *. dt *. inv_dx;
     wk.(4) <- u.(1) *. inv_gamma *. dt *. inv_dy;
     wk.(5) <- u.(2) *. inv_gamma *. dt *. inv_dz;
-    let w = Array.unsafe_get sw n in
+    let w = unsafe_get sw n in
     let qw = s.Species.q *. w in
     let cxc = qw *. kx and cyc = qw *. ky and czc = qw *. kz in
     match walk env ~wk ~cell ~u ~cxc ~cyc ~czc with
     | Settled ->
-        Array.unsafe_set sci n cell.(0);
-        Array.unsafe_set scj n cell.(1);
-        Array.unsafe_set sck n cell.(2);
-        Array.unsafe_set sfx n wk.(0);
-        Array.unsafe_set sfy n wk.(1);
-        Array.unsafe_set sfz n wk.(2);
-        Array.unsafe_set sux n u.(0);
-        Array.unsafe_set suy n u.(1);
-        Array.unsafe_set suz n u.(2)
+        (* wk holds f32-representable values (the walk rounded them), so
+           these stores are exact; u narrows to f32 here, once. *)
+        unsafe_set svox n
+          (Int32.of_int (Grid.voxel g cell.(0) cell.(1) cell.(2)));
+        unsafe_set sfx n wk.(0);
+        unsafe_set sfy n wk.(1);
+        unsafe_set sfz n wk.(2);
+        unsafe_set sux n u.(0);
+        unsafe_set suy n u.(1);
+        unsafe_set suz n u.(2)
     | Absorbed ->
         incr absorbed;
         dead := n :: !dead
@@ -429,7 +546,7 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
             invalid_arg
               "Push.advance: domain face crossed without a movers buffer"
         | Some buf ->
-            buf := mover_of ~cell ~wk ~u ~w :: !buf;
+            Movers.push buf ~cell ~wk ~u ~w;
             incr outbound;
             dead := n :: !dead
       end
@@ -442,7 +559,11 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
   Perf.add_flops perf
     ((float_of_int advanced *. (Interp.flops_per_gather +. flops_per_push))
     +. (float_of_int !segments *. flops_per_segment));
-  Perf.add_bytes perf (float_of_int advanced *. (64. +. 192. +. 96.));
+  (* Per particle: 32 B read + 32 B written (the store), ~192 B of
+     interpolation stencil, ~96 B of current scatter. *)
+  Perf.add_bytes perf
+    (float_of_int advanced
+    *. ((2. *. float_of_int Store.bytes_per_particle) +. 192. +. 96.));
   { advanced;
     segments = !segments;
     absorbed = !absorbed;
@@ -451,7 +572,7 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
     outbound = !outbound }
 
 let finish_movers ?(perf = Perf.global) ?movers_out ?rng (s : Species.t) f bc
-    incoming =
+    (incoming : Movers.t) =
   let g = s.Species.grid in
   assert (g == f.Vpic_field.Em_field.grid);
   let dt = g.Grid.dt in
@@ -466,48 +587,50 @@ let finish_movers ?(perf = Perf.global) ?movers_out ?rng (s : Species.t) f bc
   let wk = Array.make 6 0. in
   let cell = Array.make 3 0 in
   let settled = ref 0 and absorbed = ref 0 and reemitted = ref 0 in
-  List.iter
-    (fun m ->
-      cell.(0) <- m.mi;
-      cell.(1) <- m.mj;
-      cell.(2) <- m.mk;
-      assert (Grid.is_interior g m.mi m.mj m.mk);
-      wk.(0) <- m.mfx;
-      wk.(1) <- m.mfy;
-      wk.(2) <- m.mfz;
-      wk.(3) <- m.mrx;
-      wk.(4) <- m.mry;
-      wk.(5) <- m.mrz;
-      u.(0) <- m.mux;
-      u.(1) <- m.muy;
-      u.(2) <- m.muz;
-      let qw = s.Species.q *. m.mw in
-      match
-        walk env ~wk ~cell ~u ~cxc:(qw *. kx) ~cyc:(qw *. ky) ~czc:(qw *. kz)
-      with
-      | Settled ->
-          incr settled;
-          Species.append s
-            { i = cell.(0);
-              j = cell.(1);
-              k = cell.(2);
-              fx = wk.(0);
-              fy = wk.(1);
-              fz = wk.(2);
-              ux = u.(0);
-              uy = u.(1);
-              uz = u.(2);
-              w = m.mw }
-      | Absorbed -> incr absorbed
-      | Outbound -> begin
-          match movers_out with
-          | None ->
-              invalid_arg
-                "Push.finish_movers: further domain crossing without a buffer"
-          | Some buf ->
-              incr reemitted;
-              buf := mover_of ~cell ~wk ~u ~w:m.mw :: !buf
-        end)
-    incoming;
+  let b = incoming.Movers.buf in
+  for idx = 0 to incoming.Movers.n - 1 do
+    let o = idx * Movers.stride in
+    cell.(0) <- int_of_float b.(o);
+    cell.(1) <- int_of_float b.(o + 1);
+    cell.(2) <- int_of_float b.(o + 2);
+    assert (Grid.is_interior g cell.(0) cell.(1) cell.(2));
+    wk.(0) <- b.(o + 3);
+    wk.(1) <- b.(o + 4);
+    wk.(2) <- b.(o + 5);
+    wk.(3) <- b.(o + 10);
+    wk.(4) <- b.(o + 11);
+    wk.(5) <- b.(o + 12);
+    u.(0) <- b.(o + 6);
+    u.(1) <- b.(o + 7);
+    u.(2) <- b.(o + 8);
+    let w = b.(o + 9) in
+    let qw = s.Species.q *. w in
+    match
+      walk env ~wk ~cell ~u ~cxc:(qw *. kx) ~cyc:(qw *. ky) ~czc:(qw *. kz)
+    with
+    | Settled ->
+        incr settled;
+        Species.append s
+          { i = cell.(0);
+            j = cell.(1);
+            k = cell.(2);
+            fx = wk.(0);
+            fy = wk.(1);
+            fz = wk.(2);
+            ux = u.(0);
+            uy = u.(1);
+            uz = u.(2);
+            w }
+    | Absorbed -> incr absorbed
+    | Outbound -> begin
+        match movers_out with
+        | None ->
+            invalid_arg
+              "Push.finish_movers: further domain crossing without a buffer"
+        | Some buf ->
+            incr reemitted;
+            Movers.push buf ~cell ~wk ~u ~w
+      end
+  done;
   Perf.add_flops perf (float_of_int !segments *. flops_per_segment);
   (!settled, !absorbed, !reemitted)

@@ -4,6 +4,13 @@
     and scatter charge-conserving Villasenor–Buneman currents into the
     field's J accumulators.
 
+    Mixed precision: particles live in the 32-byte f32 {!Store}; the
+    kernel reads them into f64 registers, computes and deposits in f64,
+    and narrows once on store.  Every deposited segment endpoint is
+    f32-representable and identical to the position carried forward, so
+    discrete charge continuity holds at f64 accuracy despite f32
+    storage.
+
     Boundary handling during the move:
     - [Periodic] faces wrap the particle;
     - [Conducting] faces reflect it (specularly);
@@ -12,11 +19,11 @@
       (flux-weighted normal momentum, Maxwellian tangentials; requires
       [rng]); the remainder of the step is forfeited;
     - [Domain] faces stop the walk {e at the face}: the particle becomes a
-      {!mover} — removed from the species, carrying its remaining
-      displacement — to be shipped by [Vpic_parallel.Migrate] and finished
-      on the neighbouring rank with {!finish_movers}.  (This is VPIC's
-      scheme; it also guarantees deposition never reaches past the single
-      ghost layer.)
+      mover — removed from the species, carrying its remaining
+      displacement in a packed {!Movers} buffer — to be shipped by
+      [Vpic_parallel.Migrate] and finished on the neighbouring rank with
+      {!finish_movers}.  (This is VPIC's scheme; it also guarantees
+      deposition never reaches past the single ghost layer.)
 
     Requires valid EM ghosts (both sides) before the call.  Currents are
     deposited into interior and first-ghost-layer slots; fold them {e
@@ -33,24 +40,28 @@ val flops_per_push : float
 val flops_per_segment : float
 (** one Villasenor–Buneman segment deposition *)
 
-(** A particle stopped at a [Domain] face: position sits in the first
-    ghost layer at the entry face, with the unconsumed displacement in
-    cell units. *)
-type mover = {
-  mi : int;
-  mj : int;
-  mk : int;
-  mfx : float;
-  mfy : float;
-  mfz : float;
-  mux : float;
-  muy : float;
-  muz : float;
-  mw : float;
-  mrx : float;  (** remaining displacement, cell units *)
-  mry : float;
-  mrz : float;
-}
+(** Particles stopped at a [Domain] face, packed {!Movers.stride} floats
+    each: cell (i,j,k as exact integers), in-cell position (f32-exact by
+    construction), momentum + weight (f64: the neighbour must perform
+    the same f64 arithmetic a serial walk would), and the unconsumed
+    displacement in cell units.  [buf] is the wire format — migration
+    sends [wire] verbatim, no boxing. *)
+module Movers : sig
+  type t = { mutable buf : float array; mutable n : int }
+
+  (** Floats per mover: i,j,k, fx,fy,fz, ux,uy,uz, w, rx,ry,rz. *)
+  val stride : int
+
+  val create : ?capacity:int -> unit -> t
+  val count : t -> int
+  val clear : t -> unit
+
+  (** Wrap a received payload (length must be a multiple of [stride]). *)
+  val of_wire : float array -> t
+
+  (** The first [count * stride] floats, freshly copied. *)
+  val wire : t -> float array
+end
 
 (** Momentum-update kernel selection (see the kernel docs below). *)
 type kind = Boris | Vay | Higuera_cary
@@ -75,7 +86,7 @@ val advance :
   ?perf:Vpic_util.Perf.counters ->
   ?first:int ->
   ?count:int ->
-  ?movers:mover list ref ->
+  ?movers:Movers.t ->
   ?gather_from:Vpic_field.Em_field.t ->
   ?rng:Vpic_util.Rng.t ->
   ?pusher:kind ->
@@ -95,12 +106,12 @@ val advance :
     Returns (settled, absorbed, re-emitted). *)
 val finish_movers :
   ?perf:Vpic_util.Perf.counters ->
-  ?movers_out:mover list ref ->
+  ?movers_out:Movers.t ->
   ?rng:Vpic_util.Rng.t ->
   Species.t ->
   Vpic_field.Em_field.t ->
   Vpic_grid.Bc.t ->
-  mover list ->
+  Movers.t ->
   int * int * int
 
 (** {1 Momentum-update kernels}

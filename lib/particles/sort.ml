@@ -2,11 +2,12 @@ module Grid = Vpic_grid.Grid
 module Perf = Vpic_util.Perf
 
 let voxel_of (s : Species.t) n =
-  Grid.voxel s.Species.grid s.Species.ci.(n) s.Species.cj.(n) s.Species.ck.(n)
+  Int32.to_int (Bigarray.Array1.unsafe_get s.Species.store.Store.voxel n)
 
 let by_voxel ?(perf = Perf.global) (s : Species.t) =
   let np = Species.count s in
   if np > 1 then begin
+    let st = s.Species.store in
     let nv = s.Species.grid.Grid.nv in
     let counts = Array.make (nv + 1) 0 in
     for n = 0 to np - 1 do
@@ -16,50 +17,37 @@ let by_voxel ?(perf = Perf.global) (s : Species.t) =
     for v = 1 to nv do
       counts.(v) <- counts.(v) + counts.(v - 1)
     done;
-    let permute_float (a : float array) =
-      let out = Array.make np 0. in
-      let offs = Array.copy counts in
+    (* Destination slot of each particle: one pass over the (linear)
+       voxel buffer, then a gather per attribute into fresh buffers. *)
+    let dst = Array.make np 0 in
+    for n = 0 to np - 1 do
+      let v = voxel_of s n in
+      dst.(n) <- counts.(v);
+      counts.(v) <- counts.(v) + 1
+    done;
+    let open Bigarray.Array1 in
+    let permute_f32 (a : Store.f32) =
+      let out = Store.f32_create np in
       for n = 0 to np - 1 do
-        let v = voxel_of s n in
-        out.(offs.(v)) <- a.(n);
-        offs.(v) <- offs.(v) + 1
+        unsafe_set out (Array.unsafe_get dst n) (unsafe_get a n)
       done;
       out
     in
-    let permute_int (a : int array) =
-      let out = Array.make np 0 in
-      let offs = Array.copy counts in
-      for n = 0 to np - 1 do
-        let v = voxel_of s n in
-        out.(offs.(v)) <- a.(n);
-        offs.(v) <- offs.(v) + 1
-      done;
-      out
-    in
-    (* Permute position-independent attributes first, then the cell
-       indices themselves (which define the permutation). *)
-    let fx = permute_float s.Species.fx in
-    let fy = permute_float s.Species.fy in
-    let fz = permute_float s.Species.fz in
-    let ux = permute_float s.Species.ux in
-    let uy = permute_float s.Species.uy in
-    let uz = permute_float s.Species.uz in
-    let w = permute_float s.Species.w in
-    let ci = permute_int s.Species.ci in
-    let cj = permute_int s.Species.cj in
-    let ck = permute_int s.Species.ck in
-    s.Species.fx <- fx;
-    s.Species.fy <- fy;
-    s.Species.fz <- fz;
-    s.Species.ux <- ux;
-    s.Species.uy <- uy;
-    s.Species.uz <- uz;
-    s.Species.w <- w;
-    s.Species.ci <- ci;
-    s.Species.cj <- cj;
-    s.Species.ck <- ck;
-    s.Species.cap <- np;
-    Perf.add_bytes perf (float_of_int np *. 80. *. 2.)
+    let voxel' = Store.i32_create np in
+    for n = 0 to np - 1 do
+      unsafe_set voxel' (Array.unsafe_get dst n) (unsafe_get st.Store.voxel n)
+    done;
+    st.Store.fx <- permute_f32 st.Store.fx;
+    st.Store.fy <- permute_f32 st.Store.fy;
+    st.Store.fz <- permute_f32 st.Store.fz;
+    st.Store.ux <- permute_f32 st.Store.ux;
+    st.Store.uy <- permute_f32 st.Store.uy;
+    st.Store.uz <- permute_f32 st.Store.uz;
+    st.Store.w <- permute_f32 st.Store.w;
+    st.Store.voxel <- voxel';
+    st.Store.cap <- np;
+    Perf.add_bytes perf
+      (float_of_int np *. float_of_int Store.bytes_per_particle *. 2.)
   end
 
 let is_sorted s =

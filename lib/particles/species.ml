@@ -5,121 +5,68 @@ type t = {
   q : float;
   m : float;
   grid : Grid.t;
-  mutable np : int;
-  mutable cap : int;
-  mutable ci : int array;
-  mutable cj : int array;
-  mutable ck : int array;
-  mutable fx : float array;
-  mutable fy : float array;
-  mutable fz : float array;
-  mutable ux : float array;
-  mutable uy : float array;
-  mutable uz : float array;
-  mutable w : float array;
+  store : Store.t;
 }
 
 let create ?(initial_capacity = 1024) ~name ~q ~m grid =
   assert (m > 0. && initial_capacity > 0);
-  { name;
-    q;
-    m;
-    grid;
-    np = 0;
-    cap = initial_capacity;
-    ci = Array.make initial_capacity 0;
-    cj = Array.make initial_capacity 0;
-    ck = Array.make initial_capacity 0;
-    fx = Array.make initial_capacity 0.;
-    fy = Array.make initial_capacity 0.;
-    fz = Array.make initial_capacity 0.;
-    ux = Array.make initial_capacity 0.;
-    uy = Array.make initial_capacity 0.;
-    uz = Array.make initial_capacity 0.;
-    w = Array.make initial_capacity 0. }
+  { name; q; m; grid; store = Store.create ~capacity:initial_capacity () }
 
-let count s = s.np
+let count s = Store.count s.store
+let reserve s n = Store.reserve s.store n
 
-let grow_int a cap = Array.append a (Array.make cap 0)
-let grow_float a cap = Array.append a (Array.make cap 0.)
+let voxel s n =
+  assert (n >= 0 && n < Store.count s.store);
+  Int32.to_int (Bigarray.Array1.get s.store.Store.voxel n)
 
-let reserve s n =
-  if s.np + n > s.cap then begin
-    let cap' = max (s.np + n) (2 * s.cap) in
-    let extra = cap' - s.cap in
-    s.ci <- grow_int s.ci extra;
-    s.cj <- grow_int s.cj extra;
-    s.ck <- grow_int s.ck extra;
-    s.fx <- grow_float s.fx extra;
-    s.fy <- grow_float s.fy extra;
-    s.fz <- grow_float s.fz extra;
-    s.ux <- grow_float s.ux extra;
-    s.uy <- grow_float s.uy extra;
-    s.uz <- grow_float s.uz extra;
-    s.w <- grow_float s.w extra;
-    s.cap <- cap'
-  end
+let cell s n = Grid.cell_of_voxel s.grid (voxel s n)
+
+let set_cell s n i j k =
+  assert (n >= 0 && n < Store.count s.store);
+  Bigarray.Array1.set s.store.Store.voxel n
+    (Int32.of_int (Grid.voxel s.grid i j k))
 
 let append s (p : Particle.t) =
-  reserve s 1;
-  let n = s.np in
-  s.ci.(n) <- p.i;
-  s.cj.(n) <- p.j;
-  s.ck.(n) <- p.k;
-  s.fx.(n) <- p.fx;
-  s.fy.(n) <- p.fy;
-  s.fz.(n) <- p.fz;
-  s.ux.(n) <- p.ux;
-  s.uy.(n) <- p.uy;
-  s.uz.(n) <- p.uz;
-  s.w.(n) <- p.w;
-  s.np <- n + 1
+  Store.append s.store
+    ~voxel:(Grid.voxel s.grid p.i p.j p.k)
+    ~fx:p.fx ~fy:p.fy ~fz:p.fz ~ux:p.ux ~uy:p.uy ~uz:p.uz ~w:p.w
 
 let get s n : Particle.t =
-  assert (n >= 0 && n < s.np);
-  { i = s.ci.(n);
-    j = s.cj.(n);
-    k = s.ck.(n);
-    fx = s.fx.(n);
-    fy = s.fy.(n);
-    fz = s.fz.(n);
-    ux = s.ux.(n);
-    uy = s.uy.(n);
-    uz = s.uz.(n);
-    w = s.w.(n) }
+  let st = s.store in
+  assert (n >= 0 && n < Store.count st);
+  let i, j, k = Grid.cell_of_voxel s.grid (Int32.to_int (Bigarray.Array1.get st.Store.voxel n)) in
+  let open Bigarray.Array1 in
+  { i;
+    j;
+    k;
+    fx = get st.Store.fx n;
+    fy = get st.Store.fy n;
+    fz = get st.Store.fz n;
+    ux = get st.Store.ux n;
+    uy = get st.Store.uy n;
+    uz = get st.Store.uz n;
+    w = get st.Store.w n }
 
 let set s n (p : Particle.t) =
-  assert (n >= 0 && n < s.np);
-  s.ci.(n) <- p.i;
-  s.cj.(n) <- p.j;
-  s.ck.(n) <- p.k;
-  s.fx.(n) <- p.fx;
-  s.fy.(n) <- p.fy;
-  s.fz.(n) <- p.fz;
-  s.ux.(n) <- p.ux;
-  s.uy.(n) <- p.uy;
-  s.uz.(n) <- p.uz;
-  s.w.(n) <- p.w
+  Store.set s.store n
+    ~voxel:(Grid.voxel s.grid p.i p.j p.k)
+    ~fx:p.fx ~fy:p.fy ~fz:p.fz ~ux:p.ux ~uy:p.uy ~uz:p.uz ~w:p.w
 
-let remove s n =
-  assert (n >= 0 && n < s.np);
-  let last = s.np - 1 in
-  if n <> last then set s n (get s last);
-  s.np <- last
-
-let clear s = s.np <- 0
+let remove s n = Store.remove s.store n
+let swap s a b = Store.swap s.store a b
+let clear s = Store.clear s.store
 
 let iter s f =
-  for n = 0 to s.np - 1 do
+  for n = 0 to Store.count s.store - 1 do
     f n
   done
 
-let to_list s = List.init s.np (get s)
+let to_list s = List.init (count s) (get s)
 
 let extract_if s pred =
   (* Scan backwards so swap-removal never disturbs unvisited slots. *)
   let out = ref [] in
-  for n = s.np - 1 downto 0 do
+  for n = count s - 1 downto 0 do
     if pred n then begin
       out := get s n :: !out;
       remove s n
@@ -128,33 +75,42 @@ let extract_if s pred =
   !out
 
 let total_charge s =
+  let w = s.store.Store.w in
   let acc = ref 0. in
-  for n = 0 to s.np - 1 do
-    acc := !acc +. s.w.(n)
+  for n = 0 to count s - 1 do
+    acc := !acc +. Bigarray.Array1.unsafe_get w n
   done;
   s.q *. !acc
 
 let kinetic_energy s =
+  let st = s.store in
+  let sux = st.Store.ux and suy = st.Store.uy and suz = st.Store.uz in
+  let sw = st.Store.w in
   let acc = ref 0. in
-  for n = 0 to s.np - 1 do
-    let u2 =
-      (s.ux.(n) *. s.ux.(n)) +. (s.uy.(n) *. s.uy.(n)) +. (s.uz.(n) *. s.uz.(n))
-    in
+  let open Bigarray.Array1 in
+  for n = 0 to count s - 1 do
+    let ux = unsafe_get sux n and uy = unsafe_get suy n and uz = unsafe_get suz n in
+    let u2 = (ux *. ux) +. (uy *. uy) +. (uz *. uz) in
     (* (gamma - 1) computed stably for small u via u^2/(gamma+1). *)
     let gamma = sqrt (1. +. u2) in
-    acc := !acc +. (s.w.(n) *. (u2 /. (gamma +. 1.)))
+    acc := !acc +. (unsafe_get sw n *. (u2 /. (gamma +. 1.)))
   done;
   s.m *. !acc
 
 let momentum s =
+  let st = s.store in
+  let sux = st.Store.ux and suy = st.Store.uy and suz = st.Store.uz in
+  let sw = st.Store.w in
   let px = ref 0. and py = ref 0. and pz = ref 0. in
-  for n = 0 to s.np - 1 do
-    px := !px +. (s.w.(n) *. s.ux.(n));
-    py := !py +. (s.w.(n) *. s.uy.(n));
-    pz := !pz +. (s.w.(n) *. s.uz.(n))
+  let open Bigarray.Array1 in
+  for n = 0 to count s - 1 do
+    let w = unsafe_get sw n in
+    px := !px +. (w *. unsafe_get sux n);
+    py := !py +. (w *. unsafe_get suy n);
+    pz := !pz +. (w *. unsafe_get suz n)
   done;
   Vpic_util.Vec3.make (s.m *. !px) (s.m *. !py) (s.m *. !pz)
 
 let in_ghost s n =
-  let g = s.grid in
-  not (Grid.is_interior g s.ci.(n) s.cj.(n) s.ck.(n))
+  let i, j, k = cell s n in
+  not (Grid.is_interior s.grid i j k)

@@ -1,24 +1,18 @@
-(** A particle species: SoA storage (separate unboxed float arrays per
-    attribute, VPIC layout) plus charge/mass in normalised units
-    (electrons: q = -1, m = 1). *)
+(** A particle species: the 32-byte single-precision {!Store} (VPIC
+    layout) plus charge/mass in normalised units (electrons: q = -1,
+    m = 1).
+
+    [Particle.t] remains as a boxed float64 {e view} for loading, tests
+    and diagnostics: {!append}/{!set} round its fields to f32 (offsets
+    clamped into [0, pred 1.0f32]); {!get} reconstructs the owning
+    (i,j,k) cell from the stored linear voxel index. *)
 
 type t = {
   name : string;
   q : float;
   m : float;
   grid : Vpic_grid.Grid.t;
-  mutable np : int;
-  mutable cap : int;
-  mutable ci : int array;  (** owning cell index along x *)
-  mutable cj : int array;
-  mutable ck : int array;
-  mutable fx : float array;  (** in-cell offsets, [0,1) *)
-  mutable fy : float array;
-  mutable fz : float array;
-  mutable ux : float array;  (** gamma v / c *)
-  mutable uy : float array;
-  mutable uz : float array;
-  mutable w : float array;
+  store : Store.t;  (** 32-byte f32 SoA storage — kernels read this *)
 }
 
 val create :
@@ -30,12 +24,24 @@ val count : t -> int
 (** Ensure room for [n] more particles (amortised doubling). *)
 val reserve : t -> int -> unit
 
+(** Flat voxel index of particle [n]. *)
+val voxel : t -> int -> int
+
+(** Owning cell (i,j,k) of particle [n], decoded from the voxel index. *)
+val cell : t -> int -> int * int * int
+
+(** Re-home particle [n] to cell (i,j,k) (offsets untouched). *)
+val set_cell : t -> int -> int -> int -> int -> unit
+
 val append : t -> Particle.t -> unit
 val get : t -> int -> Particle.t
 val set : t -> int -> Particle.t -> unit
 
 (** Remove particle [n] by swapping in the last one (O(1); order changes). *)
 val remove : t -> int -> unit
+
+(** Swap particles [a] and [b] (all eight attributes). *)
+val swap : t -> int -> int -> unit
 
 val clear : t -> unit
 val iter : t -> (int -> unit) -> unit
@@ -47,10 +53,11 @@ val extract_if : t -> (int -> bool) -> Particle.t list
 (** Total charge q * sum w. *)
 val total_charge : t -> float
 
-(** Total kinetic energy sum w m (gamma - 1), normalised units. *)
+(** Total kinetic energy sum w m (gamma - 1), normalised units;
+    accumulated in float64. *)
 val kinetic_energy : t -> float
 
-(** Total momentum sum w m u. *)
+(** Total momentum sum w m u, accumulated in float64. *)
 val momentum : t -> Vpic_util.Vec3.t
 
 (** True when particle [n] sits in a ghost cell (outbound after a push). *)

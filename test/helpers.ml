@@ -9,6 +9,7 @@ module Boundary = Vpic_field.Boundary
 module Maxwell = Vpic_field.Maxwell
 module Diagnostics = Vpic_field.Diagnostics
 module Species = Vpic_particle.Species
+module Store = Vpic_particle.Store
 module Particle = Vpic_particle.Particle
 module Push = Vpic_particle.Push
 module Moments = Vpic_particle.Moments
@@ -24,6 +25,19 @@ let check_close ?(rtol = 1e-9) ?(atol = 1e-12) label expected actual =
       (Vpic_util.Approx.rel_err actual expected)
 
 let check_true label b = Alcotest.(check bool) label true b
+
+(* What the f32 store turns a boxed particle into: offsets clamped into
+   [0, pred 1.0f32], momentum and weight rounded to single precision.
+   Expectations for store round-trips go through this. *)
+let round_p (p : Particle.t) : Particle.t =
+  { p with
+    fx = Store.clamp_offset p.fx;
+    fy = Store.clamp_offset p.fy;
+    fz = Store.clamp_offset p.fz;
+    ux = Store.round32 p.ux;
+    uy = Store.round32 p.uy;
+    uz = Store.round32 p.uz;
+    w = Store.round32 p.w }
 
 (* A small cubic periodic grid with a CFL-safe dt. *)
 let small_grid ?(n = 8) ?(l = 8.) () =

@@ -162,9 +162,11 @@ let test_flattening_detects_plateau () =
   (* flatten by hand: scatter u_x of particles near 3 uth uniformly *)
   let rng = Rng.of_int 5 in
   Species.iter s (fun n ->
-      let ux = s.Species.ux.(n) in
+      let p = Species.get s n in
+      let ux = p.Particle.ux in
       if ux > 2.2 *. uth && ux < 3.8 *. uth then
-        s.Species.ux.(n) <- Rng.uniform_in rng (2.2 *. uth) (3.8 *. uth));
+        Species.set s n
+          { p with ux = Rng.uniform_in rng (2.2 *. uth) (3.8 *. uth) });
   let fv = Trapping.distribution s in
   let r = Trapping.flattening fv ~v_phase:(3. *. uth) ~uth ~width:0.04 in
   check_true (Printf.sprintf "plateau detected (ratio %.3f)" r) (r < 0.4)

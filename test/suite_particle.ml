@@ -180,7 +180,7 @@ let test_species_append_get () =
   List.iteri
     (fun n p ->
       let q = Species.get s n in
-      check_true "roundtrip" (p = q))
+      check_true "roundtrip" (round_p p = q))
     ps
 
 let test_species_remove_swaps () =
@@ -200,11 +200,12 @@ let test_species_extract_if () =
   for n = 0 to 19 do
     Species.append s (mk_particle ((n mod 4) + 1) 1 1 n)
   done;
-  let out = Species.extract_if s (fun n -> s.Species.ci.(n) = 2) in
+  let cell_i n = let i, _, _ = Species.cell s n in i in
+  let out = Species.extract_if s (fun n -> cell_i n = 2) in
   Alcotest.(check int) "extracted" 5 (List.length out);
   Alcotest.(check int) "remaining" 15 (Species.count s);
   List.iter (fun (p : Particle.t) -> Alcotest.(check int) "i=2" 2 p.i) out;
-  Species.iter s (fun n -> check_true "no i=2 left" (s.Species.ci.(n) <> 2))
+  Species.iter s (fun n -> check_true "no i=2 left" (cell_i n <> 2))
 
 let test_species_conserved_sums () =
   let g = small_grid () in
@@ -384,9 +385,10 @@ let test_mover_reflux_bath_statistics () =
   Alcotest.(check int) "all refluxed" 5000 stats.Push.refluxed;
   let mean_un = ref 0. and mean_ut = ref 0. and var_ut = ref 0. in
   Species.iter s (fun n ->
-      mean_un := !mean_un +. s.Species.ux.(n);
-      mean_ut := !mean_ut +. s.Species.uy.(n);
-      var_ut := !var_ut +. (s.Species.uy.(n) *. s.Species.uy.(n)));
+      let q = Species.get s n in
+      mean_un := !mean_un +. q.Particle.ux;
+      mean_ut := !mean_ut +. q.Particle.uy;
+      var_ut := !var_ut +. (q.Particle.uy *. q.Particle.uy));
   let np = float_of_int (Species.count s) in
   check_close ~rtol:0.05 "flux-weighted normal mean"
     (-.uth *. sqrt (Float.pi /. 2.))
@@ -416,14 +418,17 @@ let test_mover_free_streaming () =
       ux = 0.3; uy = -0.2; uz = 0.1; w = 1. }
   in
   Species.append s p;
-  let x0, y0, z0 = Particle.position g (Species.get s 0) in
+  (* expectations from the f32-rounded particle the store actually holds;
+     the final position re-rounds to f32, hence the ~1e-7 tolerance *)
+  let p = Species.get s 0 in
+  let x0, y0, z0 = Particle.position g p in
   ignore (Push.advance s f bc);
   let x1, y1, z1 = Particle.position g (Species.get s 0) in
   let gamma = Particle.gamma p in
   let dt = g.Grid.dt in
-  check_close ~rtol:1e-12 "x advance" (x0 +. (p.Particle.ux /. gamma *. dt)) x1;
-  check_close ~rtol:1e-12 "y advance" (y0 +. (p.Particle.uy /. gamma *. dt)) y1;
-  check_close ~rtol:1e-12 "z advance" (z0 +. (p.Particle.uz /. gamma *. dt)) z1
+  check_close ~rtol:1e-6 "x advance" (x0 +. (p.Particle.ux /. gamma *. dt)) x1;
+  check_close ~rtol:1e-6 "y advance" (y0 +. (p.Particle.uy /. gamma *. dt)) y1;
+  check_close ~rtol:1e-6 "z advance" (z0 +. (p.Particle.uz /. gamma *. dt)) z1
 
 let qcheck_boris_magnetic_invariance =
   qcheck "boris: |u| invariant under random B" ~count:100

@@ -39,7 +39,7 @@ let test_plasma_oscillation_frequency () =
   Species.iter e (fun n ->
       let p = Species.get e n in
       let x, _, _ = Particle.position grid p in
-      e.Species.ux.(n) <- e.Species.ux.(n) +. (v0 *. sin (k *. x)));
+      Species.set e n { p with ux = p.Particle.ux +. (v0 *. sin (k *. x)) });
   let probe = ref [] in
   for _ = 1 to 400 do
     Simulation.step sim;
@@ -77,7 +77,7 @@ let test_momentum_conservation () =
   let total_p () =
     List.fold_left
       (fun acc s -> Vec3.add acc (Species.momentum s))
-      Vec3.zero sim.Simulation.species
+      Vec3.zero (Simulation.species sim)
   in
   let p0 = total_p () in
   Simulation.run sim ~steps:100 ();
@@ -137,7 +137,8 @@ let test_two_stream_growth_rate () =
       let p = Species.get e n in
       let x, _, _ = Particle.position grid p in
       let sign = if p.Particle.ux > 0. then 1. else -1. in
-      e.Species.ux.(n) <- e.Species.ux.(n) +. (sign *. eps *. sin (k *. x)));
+      Species.set e n
+        { p with ux = p.Particle.ux +. (sign *. eps *. sin (k *. x)) });
   let times = ref [] and amps = ref [] in
   let steps = int_of_float (12. /. grid.Grid.dt) in
   for _ = 1 to steps do
@@ -263,7 +264,7 @@ let test_single_cell_transverse () =
   Species.iter e (fun n ->
       let p = Species.get e n in
       let x, _, _ = Particle.position grid p in
-      e.Species.ux.(n) <- e.Species.ux.(n) +. (0.01 *. sin x));
+      Species.set e n { p with ux = p.Particle.ux +. (0.01 *. sin x) });
   let probe = ref [] in
   for _ = 1 to 300 do
     Simulation.step sim;

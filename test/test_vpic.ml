@@ -5,6 +5,7 @@ let () =
       ("diag", Suite_diag.suite);
       ("field", Suite_field.suite);
       ("particle", Suite_particle.suite);
+      ("store", Suite_store.suite);
       ("sim", Suite_sim.suite);
       ("parallel", Suite_parallel.suite);
       ("cell", Suite_cell.suite);
