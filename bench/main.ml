@@ -111,7 +111,7 @@ let measure_local_ranks ranks =
                let grid = Decomp.local_grid d ~dt ~rank in
                let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
                let sim =
-                 Simulation.make ~grid ~coupler:(Coupler.parallel c bc) ()
+                 Simulation.make ~grid ~coupler:(Coupler.parallel c bc ~grid) ()
                in
                let e =
                  Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1.
@@ -824,6 +824,138 @@ let push_layout_bench () =
   close_out oc;
   pf "wrote BENCH_push.json\n"
 
+(* ------------------------------------------------------ exchange bench *)
+
+(* Data-motion bench on a 2-rank x-split domain.  Two measurements:
+
+   1. One step's worth of ghost traffic (three 6-component EM fills plus
+      one 3-component current fold, the sequence Simulation.step issues)
+      through the persistent ports vs the legacy mailbox path it
+      replaced, interleaved in the same process.
+   2. A real stepped run with particles, reporting the per-step ghost
+      exchange and migration wall time and the payload bytes moved.  *)
+let exchange_bench () =
+  pf "\n###### exchange: persistent ports vs legacy mailbox (2 ranks) ######\n";
+  let module Exchange = Vpic_parallel.Exchange in
+  let ranks = 2 in
+  let reps = 150 in
+  let steps = 40 in
+  let gnx = 2 * 12 in
+  let d =
+    Decomp.make ~px:ranks ~py:1 ~pz:1 ~gnx ~gny:12 ~gnz:12
+      ~lx:(0.5 *. float_of_int gnx) ~ly:6. ~lz:6.
+  in
+  let dt = Grid.courant_dt ~dx:0.5 ~dy:0.5 ~dz:0.5 () in
+  let results =
+    Comm.run ~ranks (fun c ->
+        let rank = Comm.rank c in
+        let grid = Decomp.local_grid d ~dt ~rank in
+        let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
+        (* --- microbench: one step's ghost traffic, both paths --- *)
+        let ports = Exchange.create c bc grid in
+        let f = Em_field.create grid in
+        let rng = Rng.of_int (17 + rank) in
+        List.iter
+          (fun sf -> Sf.map_inplace sf (fun _ -> Rng.uniform rng -. 0.5))
+          (Em_field.em_components f);
+        let ems = Em_field.em_components f and js = Em_field.j_components f in
+        let ports_step () =
+          Exchange.fill_ghosts ports ems;
+          Exchange.fill_ghosts ports ems;
+          Exchange.fill_ghosts ports ems;
+          Exchange.fold_ghosts ports js
+        in
+        let legacy_step () =
+          Exchange.Legacy.fill_ghosts c bc ems;
+          Exchange.Legacy.fill_ghosts c bc ems;
+          Exchange.Legacy.fill_ghosts c bc ems;
+          Exchange.Legacy.fold_ghosts c bc js
+        in
+        (* warm both paths, then time alternating blocks so clock and
+           scheduler drift cancels instead of biasing the later path *)
+        ports_step ();
+        legacy_step ();
+        let b0 = Exchange.bytes_moved ports in
+        let block = 25 in
+        let rounds = reps / block in
+        let d_ports = ref 0. and d_legacy = ref 0. in
+        let timed_block f acc =
+          Comm.barrier c;
+          let (), d = Perf.timed (fun () -> for _ = 1 to block do f () done) in
+          acc := !acc +. d
+        in
+        for r = 1 to rounds do
+          if r land 1 = 1 then begin
+            timed_block ports_step d_ports;
+            timed_block legacy_step d_legacy
+          end
+          else begin
+            timed_block legacy_step d_legacy;
+            timed_block ports_step d_ports
+          end
+        done;
+        let nsteps = float_of_int (rounds * block) in
+        let t_ports = Comm.allreduce_max c (!d_ports /. nsteps) in
+        let t_legacy = Comm.allreduce_max c (!d_legacy /. nsteps) in
+        let ghost_bytes_per_step =
+          (Exchange.bytes_moved ports -. b0) /. (nsteps +. 1.)
+        in
+        (* --- real stepped run: per-step exchange/migrate time + bytes --- *)
+        let coupler = Coupler.parallel c bc ~grid in
+        let sim = Simulation.make ~grid ~coupler () in
+        let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
+        ignore (Loader.maxwellian (Rng.of_int (3 + rank)) e ~ppc:24 ~uth:0.1 ());
+        Simulation.run sim ~steps ();
+        let tm = sim.Simulation.timers in
+        let per t = Perf.timer_total t /. float_of_int steps in
+        ( t_ports, t_legacy, ghost_bytes_per_step,
+          Comm.allreduce_max c (per tm.Simulation.exchange),
+          Comm.allreduce_max c (per tm.Simulation.migrate),
+          Comm.allreduce_sum c (coupler.Coupler.comm_bytes () /. float_of_int steps) ))
+  in
+  let t_ports, t_legacy, ghost_bytes, t_exch, t_mig, run_bytes = results.(0) in
+  let t = Table.create [ "path"; "us/step (ghost traffic)"; "KiB/step/rank" ] in
+  Table.add_row t
+    [ "persistent ports"; Printf.sprintf "%.1f" (t_ports *. 1e6);
+      Printf.sprintf "%.1f" (ghost_bytes /. 1024.) ];
+  Table.add_row t
+    [ "legacy mailbox"; Printf.sprintf "%.1f" (t_legacy *. 1e6); "(same payload)" ];
+  Table.print ~title:"ghost exchange: 3 EM fills + 1 current fold per step" t;
+  pf "port/mailbox speedup: %.3fx\n" (t_legacy /. t_ports);
+  let t = Table.create [ "phase"; "us/step"; "note" ] in
+  Table.add_row t
+    [ "ghost exchange"; Printf.sprintf "%.1f" (t_exch *. 1e6);
+      "fills + folds, measured in Simulation.step" ];
+  Table.add_row t
+    [ "migration"; Printf.sprintf "%.1f" (t_mig *. 1e6);
+      "mover shipping + finishing" ];
+  Table.add_row t
+    [ "payload"; Printf.sprintf "%.1f KiB" (run_bytes /. 1024.);
+      "all ranks, per step" ];
+  Table.print ~title:(Printf.sprintf "stepped run, %d steps, 2 ranks" steps) t;
+  let oc = open_out "BENCH_exchange.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"exchange\",\n\
+    \  \"ranks\": %d,\n\
+    \  \"ghost_traffic\": {\n\
+    \    \"ports_s_per_step\": %.6e,\n\
+    \    \"legacy_s_per_step\": %.6e,\n\
+    \    \"bytes_per_step_per_rank\": %.0f,\n\
+    \    \"speedup\": %.4f\n\
+    \  },\n\
+    \  \"stepped_run\": {\n\
+    \    \"steps\": %d,\n\
+    \    \"exchange_s_per_step\": %.6e,\n\
+    \    \"migrate_s_per_step\": %.6e,\n\
+    \    \"payload_bytes_per_step\": %.0f\n\
+    \  }\n\
+     }\n"
+    ranks t_ports t_legacy ghost_bytes (t_legacy /. t_ports)
+    steps t_exch t_mig run_bytes;
+  close_out oc;
+  pf "wrote BENCH_exchange.json\n"
+
 (* ------------------------------------------------------- bechamel mode *)
 
 let bechamel_kernels () =
@@ -912,8 +1044,10 @@ let () =
         push_layout_bench ();
         bechamel_kernels ()
     | "push" -> push_layout_bench ()
+    | "exchange" -> exchange_bench ()
     | other ->
-        pf "unknown section %s (e1..e6, v1, v2, push, kernels, figures)\n" other
+        pf "unknown section %s (e1..e6, v1, v2, push, exchange, kernels, figures)\n"
+          other
   in
   List.iter run sections;
   if List.mem "kernels" sections then ()

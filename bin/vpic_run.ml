@@ -19,6 +19,7 @@ module Species = Vpic_particle.Species
 module Particle = Vpic_particle.Particle
 module Rng = Vpic_util.Rng
 module Table = Vpic_util.Table
+module Perf = Vpic_util.Perf
 module Deck = Vpic_lpi.Deck
 module Sweep = Vpic_lpi.Sweep
 module Trapping = Vpic_lpi.Trapping
@@ -132,6 +133,28 @@ let run_srs a0 nr te nx ppc steps checkpoint =
   Printf.printf "f(v) flattening at v_phase = %.2f\n"
     (Trapping.flattening fv ~v_phase:setup.Deck.matching.Srs_theory.v_phase
        ~uth:setup.Deck.plasma.Srs_theory.uth ~width:0.05);
+  let tm = setup.Deck.sim.Simulation.timers in
+  let phases =
+    [ ("particle push", tm.Simulation.push);
+      ("field solve", tm.Simulation.field);
+      ("ghost exchange", tm.Simulation.exchange);
+      ("migration", tm.Simulation.migrate);
+      ("sort", tm.Simulation.sort);
+      ("divergence clean", tm.Simulation.clean) ]
+  in
+  let total =
+    List.fold_left (fun acc (_, t) -> acc +. Perf.timer_total t) 0. phases
+  in
+  let t = Table.create [ "phase"; "s total"; "ms/step"; "% of accounted" ] in
+  List.iter
+    (fun (name, tim) ->
+      let s = Perf.timer_total tim in
+      Table.add_row t
+        [ name; Printf.sprintf "%.3f" s;
+          Printf.sprintf "%.2f" (1e3 *. s /. float_of_int steps);
+          Printf.sprintf "%.1f" (100. *. s /. Float.max 1e-12 total) ])
+    phases;
+  Table.print ~title:"phase timing" t;
   match checkpoint with
   | Some path ->
       Checkpoint.save setup.Deck.sim path;

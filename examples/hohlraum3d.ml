@@ -85,7 +85,7 @@ let () =
     a0
     (Vpic_lpi.Sweep.intensity_of_a0 a0);
   let steps = int_of_float (60. /. dt) in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Perf.now () in
   for step = 1 to steps do
     Simulation.step sim;
     Reflectivity.sample refl sim.Simulation.fields;
@@ -98,7 +98,7 @@ let () =
         (List.fold_left (fun a (_, e) -> a +. e) 0. en.Simulation.particles)
     end
   done;
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Perf.now () -. t0 in
   let fv = Trapping.distribution electrons in
   Printf.printf "\nreflectivity (pol-resolved, averaged): %.3e | peak %.3e\n"
     (Reflectivity.reflectivity refl)
@@ -118,6 +118,7 @@ let () =
   row "particle push" tm.Simulation.push;
   row "field solve" tm.Simulation.field;
   row "ghost exchange" tm.Simulation.exchange;
+  row "migration" tm.Simulation.migrate;
   row "sort" tm.Simulation.sort;
   row "divergence clean" tm.Simulation.clean;
   Table.add_row t [ "total wall"; Printf.sprintf "%.2f" total; "100.0" ];

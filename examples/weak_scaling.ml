@@ -40,7 +40,7 @@ let run_ranks ranks =
                let grid = Decomp.local_grid d ~dt ~rank in
                let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
                let sim =
-                 Simulation.make ~grid ~coupler:(Coupler.parallel c bc) ()
+                 Simulation.make ~grid ~coupler:(Coupler.parallel c bc ~grid) ()
                in
                let e =
                  Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1.

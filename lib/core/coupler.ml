@@ -7,6 +7,8 @@ module Species = Vpic_particle.Species
 type t = {
   bc : Bc.t;
   fill_em : Em_field.t -> unit;
+  fill_em_begin : Em_field.t -> unit;
+  fill_em_finish : Em_field.t -> unit;
   fill_e : Em_field.t -> unit;
   fill_scalar : Sf.t -> unit;
   fill_list : Sf.t list -> unit;
@@ -16,6 +18,7 @@ type t = {
   reduce_sum : float -> float;
   reduce_max : float -> float;
   barrier : unit -> unit;
+  comm_bytes : unit -> float;
   rank : int;
   nranks : int;
 }
@@ -23,6 +26,10 @@ type t = {
 let local bc =
   { bc;
     fill_em = (fun f -> Boundary.fill_em bc f);
+    (* Local ghosts are a plain copy: nothing to overlap, so the split
+       fill degenerates to (no-op, full fill). *)
+    fill_em_begin = (fun _ -> ());
+    fill_em_finish = (fun f -> Boundary.fill_em bc f);
     fill_e = (fun f -> Boundary.fill_scalars bc (Em_field.e_components f));
     fill_scalar = (fun s -> Boundary.fill_scalars bc [ s ]);
     fill_list = (fun ss -> Boundary.fill_scalars bc ss);
@@ -33,28 +40,48 @@ let local bc =
     reduce_sum = (fun x -> x);
     reduce_max = (fun x -> x);
     barrier = (fun () -> ());
+    comm_bytes = (fun () -> 0.);
     rank = 0;
     nranks = 1 }
 
-let parallel comm bc =
+(* One-entry memo keyed on physical equality: the coupler is called with
+   the same Em_field every step, so the component list is built once, not
+   once per exchange (the comm path stays allocation-free in steady
+   state). *)
+let memo1 build =
+  let cache = ref None in
+  fun f ->
+    match !cache with
+    | Some (f0, v) when f0 == f -> v
+    | _ ->
+        let v = build f in
+        cache := Some (f, v);
+        v
+
+let parallel comm bc ~grid =
   let module Comm = Vpic_parallel.Comm in
   let module Exchange = Vpic_parallel.Exchange in
   let module Migrate = Vpic_parallel.Migrate in
+  let ports = Exchange.create comm bc grid in
+  let ems = memo1 Em_field.em_components in
+  let es = memo1 Em_field.e_components in
+  let js = memo1 Em_field.j_components in
   { bc;
-    fill_em = (fun f -> Exchange.fill_ghosts comm bc (Em_field.em_components f));
-    fill_e = (fun f -> Exchange.fill_ghosts comm bc (Em_field.e_components f));
-    fill_scalar = (fun s -> Exchange.fill_ghosts comm bc [ s ]);
-    fill_list = (fun ss -> Exchange.fill_ghosts comm bc ss);
-    fold_currents =
-      (fun f -> Exchange.fold_ghosts comm bc (Em_field.j_components f));
-    fold_rho = (fun f -> Exchange.fold_ghosts comm bc [ f.Em_field.rho ]);
+    fill_em = (fun f -> Exchange.fill_ghosts ports (ems f));
+    fill_em_begin = (fun f -> Exchange.fill_begin ports (ems f));
+    fill_em_finish = (fun f -> Exchange.fill_finish ports (ems f));
+    fill_e = (fun f -> Exchange.fill_ghosts ports (es f));
+    fill_scalar = (fun s -> Exchange.fill_ghosts ports [ s ]);
+    fill_list = (fun ss -> Exchange.fill_ghosts ports ss);
+    fold_currents = (fun f -> Exchange.fold_ghosts ports (js f));
+    fold_rho = (fun f -> Exchange.fold_ghosts ports [ f.Em_field.rho ]);
     migrate =
       (let rng = Vpic_util.Rng.of_int (0x5EED + Comm.rank comm) in
-       fun s f movers ->
-         ignore (Migrate.exchange ~rng comm bc s f movers));
+       fun s f movers -> ignore (Migrate.exchange ~rng ports s f movers));
     reduce_sum = (fun x -> Comm.allreduce_sum comm x);
     reduce_max = (fun x -> Comm.allreduce_max comm x);
     barrier = (fun () -> Comm.barrier comm);
+    comm_bytes = (fun () -> Exchange.bytes_moved ports);
     rank = Comm.rank comm;
     nranks = Comm.size comm }
 

@@ -13,6 +13,11 @@ module Species = Vpic_particle.Species
 type t = {
   bc : Bc.t;
   fill_em : Em_field.t -> unit;      (** all six EM component ghosts *)
+  fill_em_begin : Em_field.t -> unit;
+      (** first half of [fill_em]: posts the x-axis ghost planes and
+          returns with them in flight — overlap the interior push here *)
+  fill_em_finish : Em_field.t -> unit;
+      (** completes a [fill_em_begin] (same field) *)
   fill_e : Em_field.t -> unit;       (** E-component ghosts only *)
   fill_scalar : Sf.t -> unit;        (** ghosts of a node scalar *)
   fill_list : Sf.t list -> unit;     (** ghosts of several scalars (batched) *)
@@ -25,6 +30,8 @@ type t = {
   reduce_sum : float -> float;
   reduce_max : float -> float;
   barrier : unit -> unit;
+  comm_bytes : unit -> float;
+      (** cumulative payload bytes this rank has posted (0 when serial) *)
   rank : int;
   nranks : int;
 }
@@ -32,8 +39,11 @@ type t = {
 (** Single-rank coupler for the given boundary conditions. *)
 val local : Bc.t -> t
 
-(** Multi-rank coupler; [bc] must come from [Decomp.local_bc]. *)
-val parallel : Vpic_parallel.Comm.t -> Bc.t -> t
+(** Multi-rank coupler; [bc] must come from [Decomp.local_bc] and [grid]
+    is the rank-local grid (the persistent port buffers are sized from
+    it).  Collective: every rank must construct its coupler in the same
+    order. *)
+val parallel : Vpic_parallel.Comm.t -> Bc.t -> grid:Vpic_grid.Grid.t -> t
 
 (** Marder hooks wired through a coupler. *)
 val marder_hooks : t -> Em_field.t -> Vpic_field.Marder.hooks

@@ -16,8 +16,18 @@ type phase_timers = {
   push : Perf.timer;
   field : Perf.timer;
   exchange : Perf.timer;
+  migrate : Perf.timer;
   sort : Perf.timer;
   clean : Perf.timer;
+}
+
+(* Per-species push workspace, reused across steps so the steady-state
+   step allocates nothing on the push/comm path: the mover buffer whose
+   backing store is the migrate wire format, and the deferred-index list
+   of the interior/boundary split. *)
+type push_scratch = {
+  movers : Push.Movers.t;
+  defer : Push.Defer.t;
 }
 
 type t = {
@@ -38,6 +48,7 @@ type t = {
   push_rng : Vpic_util.Rng.t;  (* refluxing-wall re-emission stream *)
   mutable nstep : int;
   mutable push_stats : Push.stats;
+  mutable scratch_rev : (Species.t * push_scratch) list;
   perf : Perf.counters;
   timers : phase_timers;
 }
@@ -76,11 +87,13 @@ let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     push_rng = Vpic_util.Rng.of_int (0x7EED1 + (31 * coupler.Coupler.rank));
     nstep = 0;
     push_stats = zero_stats;
+    scratch_rev = [];
     perf = Perf.create ();
     timers =
       { push = Perf.timer_create ();
         field = Perf.timer_create ();
         exchange = Perf.timer_create ();
+        migrate = Perf.timer_create ();
         sort = Perf.timer_create ();
         clean = Perf.timer_create () } }
 
@@ -117,53 +130,100 @@ let deposit_rho t =
 
 let interval_due t interval = interval > 0 && (t.nstep + 1) mod interval = 0
 
+let scratch_for t s =
+  match List.assq_opt s t.scratch_rev with
+  | Some sc -> sc
+  | None ->
+      let sc = { movers = Push.Movers.create (); defer = Push.Defer.create () } in
+      t.scratch_rev <- (s, sc) :: t.scratch_rev;
+      sc
+
 let step t =
   let c = t.coupler in
   let tm = t.timers in
-  (* Ghost consistency for the gather and the first B half-advance. *)
+  (* Ghost consistency for the gather and the first B half-advance.
+     [fill_em_begin] only posts the x-axis planes: the interior particle
+     push below overlaps the in-flight messages (the paper's compute/DMA
+     pipeline), and [fill_em_finish] completes x, y, z before the
+     boundary-shell push that actually reads ghosts. *)
   Perf.timer_start tm.exchange;
-  c.Coupler.fill_em t.fields;
+  c.Coupler.fill_em_begin t.fields;
   ignore (Perf.timer_stop tm.exchange);
   Em_field.clear_currents t.fields;
-  (* When filtering, particles gather from a binomially smoothed copy of
-     E and B: the same symmetric kernel later applied to J makes the
-     force/current coupling adjoint, avoiding secular self-heating. *)
-  let gather_from =
-    match t.smoothed with
-    | None -> None
-    | Some sm ->
-        List.iter2
-          (fun src dst -> Vpic_grid.Scalar_field.blit ~src ~dst)
-          (Em_field.em_components t.fields)
-          (Em_field.em_components sm);
-        for _ = 1 to t.current_filter_passes do
-          Vpic_field.Filter.binomial_pass ~fill:c.Coupler.fill_list
-            (Em_field.em_components sm)
-        done;
-        Some sm
-  in
+  let species_scratch = List.map (fun s -> (s, scratch_for t s)) (species t) in
+  List.iter
+    (fun (_, sc) ->
+      Push.Movers.clear sc.movers;
+      Push.Defer.clear sc.defer)
+    species_scratch;
   (* Particle advance: inner loop of the paper. *)
-  Perf.timer_start tm.push;
-  let species_movers =
-    List.map
-      (fun s ->
-        let movers = Push.Movers.create () in
-        let st =
-          Push.advance ~perf:t.perf ~movers ?gather_from ~rng:t.push_rng
-            ~pusher:t.pusher s t.fields c.Coupler.bc
-        in
-        t.push_stats <- add_stats t.push_stats st;
-        (s, movers))
-      (species t)
-  in
-  ignore (Perf.timer_stop tm.push);
+  (match t.smoothed with
+  | Some sm ->
+      (* When filtering, particles gather from a binomially smoothed copy
+         of E and B: the same symmetric kernel later applied to J makes
+         the force/current coupling adjoint, avoiding secular
+         self-heating.  Building the copy needs complete ghosts, so this
+         path finishes the fill first and pushes unsplit. *)
+      Perf.timer_start tm.exchange;
+      c.Coupler.fill_em_finish t.fields;
+      ignore (Perf.timer_stop tm.exchange);
+      List.iter2
+        (fun src dst -> Vpic_grid.Scalar_field.blit ~src ~dst)
+        (Em_field.em_components t.fields)
+        (Em_field.em_components sm);
+      for _ = 1 to t.current_filter_passes do
+        Vpic_field.Filter.binomial_pass ~fill:c.Coupler.fill_list
+          (Em_field.em_components sm)
+      done;
+      Perf.timer_start tm.push;
+      List.iter
+        (fun (s, sc) ->
+          let st =
+            Push.advance ~perf:t.perf ~movers:sc.movers ~gather_from:sm
+              ~rng:t.push_rng ~pusher:t.pusher s t.fields c.Coupler.bc
+          in
+          t.push_stats <- add_stats t.push_stats st)
+        species_scratch;
+      ignore (Perf.timer_stop tm.push)
+  | None ->
+      (* Interior pass: every particle whose cell does not touch the
+         ghost layer — independent of the in-flight fill. *)
+      Perf.timer_start tm.push;
+      List.iter
+        (fun (s, sc) ->
+          let st =
+            Push.advance ~perf:t.perf ~region:(`Interior sc.defer)
+              ~rng:t.push_rng ~pusher:t.pusher s t.fields c.Coupler.bc
+          in
+          t.push_stats <- add_stats t.push_stats st)
+        species_scratch;
+      ignore (Perf.timer_stop tm.push);
+      Perf.timer_start tm.exchange;
+      c.Coupler.fill_em_finish t.fields;
+      ignore (Perf.timer_stop tm.exchange);
+      (* Boundary pass: the deferred shell particles, now that their
+         gather stencils see fresh ghosts.  Only these can become
+         movers. *)
+      Perf.timer_start tm.push;
+      List.iter
+        (fun (s, sc) ->
+          let st =
+            Push.advance ~perf:t.perf ~region:(`Deferred sc.defer)
+              ~movers:sc.movers ~rng:t.push_rng ~pusher:t.pusher s t.fields
+              c.Coupler.bc
+          in
+          t.push_stats <- add_stats t.push_stats st)
+        species_scratch;
+      ignore (Perf.timer_stop tm.push));
   List.iter (fun l -> Laser.drive l t.fields ~time:(time t)) (lasers t);
   (* Migration must precede the current fold: finished movers deposit
      their remaining segments (including into ghost slots). *)
-  Perf.timer_start tm.exchange;
+  Perf.timer_start tm.migrate;
   List.iter
-    (fun (s, movers) -> c.Coupler.migrate s t.fields movers)
-    species_movers;
+    (fun (s, sc) -> c.Coupler.migrate s t.fields sc.movers)
+    species_scratch;
+  ignore (Perf.timer_stop tm.migrate);
+  Perf.timer_start tm.exchange;
   c.Coupler.fold_currents t.fields;
   if t.current_filter_passes > 0 then
     Vpic_field.Filter.smooth_currents ~passes:t.current_filter_passes

@@ -20,9 +20,17 @@ module Species = Vpic_particle.Species
 type phase_timers = {
   push : Vpic_util.Perf.timer;
   field : Vpic_util.Perf.timer;
-  exchange : Vpic_util.Perf.timer;
+  exchange : Vpic_util.Perf.timer;  (** ghost fills + current folds *)
+  migrate : Vpic_util.Perf.timer;   (** mover shipping + finishing *)
   sort : Vpic_util.Perf.timer;
   clean : Vpic_util.Perf.timer;
+}
+
+(** Per-species push workspace (mover buffer + deferred-index list),
+    created on first use and reused every step. *)
+type push_scratch = {
+  movers : Vpic_particle.Push.Movers.t;
+  defer : Vpic_particle.Push.Defer.t;
 }
 
 type t = {
@@ -42,6 +50,7 @@ type t = {
   push_rng : Vpic_util.Rng.t;
   mutable nstep : int;
   mutable push_stats : Vpic_particle.Push.stats;
+  mutable scratch_rev : (Species.t * push_scratch) list;
   perf : Vpic_util.Perf.counters;
   timers : phase_timers;
 }

@@ -24,9 +24,7 @@ let fill_face kind f ~axis ~side =
   let ghost = ghost_index g axis side in
   match kind with
   | Bc.Periodic -> Sf.copy_plane f ~axis ~src:(wrap_source g axis side) ~dst:ghost
-  | Bc.Conducting ->
-      Sf.set_plane f ~axis ~index:ghost
-        (Array.make (Sf.plane_size g ~axis) 0.)
+  | Bc.Conducting -> Sf.fill_plane f ~axis ~index:ghost 0.
   | Bc.Absorbing | Bc.Refluxing _ ->
       Sf.copy_plane f ~axis ~src:(adjacent_interior g axis side) ~dst:ghost
   | Bc.Domain _ -> () (* handled by the parallel exchanger *)
@@ -67,9 +65,7 @@ let fold_rho bc f = fold_scalars bc [ f.Em_field.rho ]
    in ghost slot n+1 and is already zeroed by the conducting ghost fill. *)
 let enforce_pec bc f =
   let g = f.Em_field.grid in
-  let zero_plane sf axis index =
-    Sf.set_plane sf ~axis ~index (Array.make (Sf.plane_size g ~axis) 0.)
-  in
+  let zero_plane sf axis index = Sf.fill_plane sf ~axis ~index 0. in
   List.iter
     (fun (axis, side) ->
       match Bc.face bc axis side with

@@ -106,6 +106,18 @@ let iter_plane g ~axis ~index f =
       done);
   ()
 
+(* (first voxel, inner stride, inner count, outer stride, outer count) of
+   a plane, visiting voxels in [iter_plane] slot order.  The per-step
+   plane routines below are direct stride loops over this geometry rather
+   than [iter_plane] closures: a closure call plus [Grid.voxel] per
+   element costs ~10x the loads it wraps. *)
+let plane_geom g ~axis ~index =
+  let gx = g.Grid.gx and gy = g.Grid.gy and gz = g.Grid.gz in
+  match axis with
+  | Axis.X -> (Grid.voxel g index 0 0, gx, gy, gx * gy, gz)
+  | Axis.Y -> (Grid.voxel g 0 index 0, 1, gx, gx * gy, gz)
+  | Axis.Z -> (Grid.voxel g 0 0 index, 1, gx, gx, gy)
+
 let extract_plane t ~axis ~index =
   let out = Array.make (plane_size t.g ~axis) 0. in
   iter_plane t.g ~axis ~index (fun slot v -> out.(slot) <- get_v t v);
@@ -120,7 +132,87 @@ let add_plane t ~axis ~index values =
   iter_plane t.g ~axis ~index (fun slot v -> add_v t v values.(slot))
 
 let copy_plane t ~axis ~src ~dst =
-  set_plane t ~axis ~index:dst (extract_plane t ~axis ~index:src)
+  let s0, si, ni, so, no = plane_geom t.g ~axis ~index:src in
+  let d0, _, _, _, _ = plane_geom t.g ~axis ~index:dst in
+  let a = t.a in
+  for o = 0 to no - 1 do
+    let sb = s0 + (o * so) and db = d0 + (o * so) in
+    for i = 0 to ni - 1 do
+      Bigarray.Array1.unsafe_set a (db + (i * si))
+        (Bigarray.Array1.unsafe_get a (sb + (i * si)))
+    done
+  done
 
 let accumulate_plane t ~axis ~src ~dst =
-  add_plane t ~axis ~index:dst (extract_plane t ~axis ~index:src)
+  let s0, si, ni, so, no = plane_geom t.g ~axis ~index:src in
+  let d0, _, _, _, _ = plane_geom t.g ~axis ~index:dst in
+  let a = t.a in
+  for o = 0 to no - 1 do
+    let sb = s0 + (o * so) and db = d0 + (o * so) in
+    for i = 0 to ni - 1 do
+      let d = db + (i * si) in
+      Bigarray.Array1.unsafe_set a d
+        (Bigarray.Array1.unsafe_get a d
+        +. Bigarray.Array1.unsafe_get a (sb + (i * si)))
+    done
+  done
+
+(* Plane traffic into caller-provided Float32 wire buffers: the comm layer
+   owns the storage, these routines only move values (narrowing f64 -> f32
+   on pack, widening on unpack).  Same slot order as [iter_plane], so pack
+   on one rank and unpack on its neighbour agree. *)
+
+type buf32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let pack_plane t ~axis ~index ~buf ~off =
+  assert (off + plane_size t.g ~axis <= Bigarray.Array1.dim buf);
+  let start, si, ni, so, no = plane_geom t.g ~axis ~index in
+  let a = t.a in
+  let n = ref off in
+  for o = 0 to no - 1 do
+    let base = start + (o * so) in
+    for i = 0 to ni - 1 do
+      Bigarray.Array1.unsafe_set buf !n
+        (Bigarray.Array1.unsafe_get a (base + (i * si)));
+      incr n
+    done
+  done
+
+let unpack_plane t ~axis ~index ~buf ~off =
+  assert (off + plane_size t.g ~axis <= Bigarray.Array1.dim buf);
+  let start, si, ni, so, no = plane_geom t.g ~axis ~index in
+  let a = t.a in
+  let n = ref off in
+  for o = 0 to no - 1 do
+    let base = start + (o * so) in
+    for i = 0 to ni - 1 do
+      Bigarray.Array1.unsafe_set a (base + (i * si))
+        (Bigarray.Array1.unsafe_get buf !n);
+      incr n
+    done
+  done
+
+let unpack_plane_add t ~axis ~index ~buf ~off =
+  assert (off + plane_size t.g ~axis <= Bigarray.Array1.dim buf);
+  let start, si, ni, so, no = plane_geom t.g ~axis ~index in
+  let a = t.a in
+  let n = ref off in
+  for o = 0 to no - 1 do
+    let base = start + (o * so) in
+    for i = 0 to ni - 1 do
+      let v = base + (i * si) in
+      Bigarray.Array1.unsafe_set a v
+        (Bigarray.Array1.unsafe_get a v +. Bigarray.Array1.unsafe_get buf !n);
+      incr n
+    done
+  done
+
+let fill_plane t ~axis ~index v =
+  let start, si, ni, so, no = plane_geom t.g ~axis ~index in
+  let a = t.a in
+  for o = 0 to no - 1 do
+    let base = start + (o * so) in
+    for i = 0 to ni - 1 do
+      Bigarray.Array1.unsafe_set a (base + (i * si)) v
+    done
+  done

@@ -66,3 +66,26 @@ val copy_plane : t -> axis:Axis.t -> src:int -> dst:int -> unit
 
 (** [accumulate_plane f ~axis ~src ~dst] adds plane [src] into plane [dst]. *)
 val accumulate_plane : t -> axis:Axis.t -> src:int -> dst:int -> unit
+
+(** {1 Wire-buffer plane traffic}
+
+    Allocation-free variants over caller-provided Float32 buffers (the
+    comm layer's persistent port buffers).  Values are narrowed to f32 on
+    pack and widened back on unpack; slot order matches
+    {!extract_plane}. *)
+
+type buf32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Copy the plane into [buf] starting at [off]. *)
+val pack_plane : t -> axis:Axis.t -> index:int -> buf:buf32 -> off:int -> unit
+
+(** Overwrite the plane from [buf] starting at [off]. *)
+val unpack_plane :
+  t -> axis:Axis.t -> index:int -> buf:buf32 -> off:int -> unit
+
+(** Accumulate [buf] (from [off]) into the plane (current folding). *)
+val unpack_plane_add :
+  t -> axis:Axis.t -> index:int -> buf:buf32 -> off:int -> unit
+
+(** Set every voxel of the plane to [v] (zeroing shipped fold planes). *)
+val fill_plane : t -> axis:Axis.t -> index:int -> float -> unit

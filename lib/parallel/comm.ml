@@ -4,6 +4,26 @@ type inbox = {
   queues : (int * int, float array Queue.t) Hashtbl.t;
 }
 
+type buf32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* A persistent receive slot: a fixed-depth ring of preallocated Float32
+   buffers owned by the receiving rank.  [posted] / [consumed] are
+   monotonic counters; their difference is the number of in-flight
+   messages (at most [port_depth]).  All fields are guarded by [pmu];
+   buffer contents written before a counter bump under the mutex are
+   visible to the reader that observes the bump (mutex happens-before). *)
+type port = {
+  pmu : Mutex.t;
+  pcv : Condition.t;
+  ring : buf32 array; (* length port_depth; elements replaced on growth *)
+  lens : int array;
+  mutable posted : int;
+  mutable consumed : int;
+  mutable waiters : int;
+      (* threads parked on [pcv]; lets posts and consumes skip the
+         broadcast (a kernel wake on the common path) when nobody waits *)
+}
+
 type world = {
   nranks : int;
   inboxes : inbox array;
@@ -11,6 +31,9 @@ type world = {
   bar_cv : Condition.t;
   mutable bar_count : int;
   mutable bar_gen : int;
+  port_mu : Mutex.t;
+  port_cv : Condition.t;
+  port_tables : port array array; (* per rank; grows by registration *)
 }
 
 type t = { world : world; my_rank : int }
@@ -25,7 +48,10 @@ let make_world nranks =
     bar_mu = Mutex.create ();
     bar_cv = Condition.create ();
     bar_count = 0;
-    bar_gen = 0 }
+    bar_gen = 0;
+    port_mu = Mutex.create ();
+    port_cv = Condition.create ();
+    port_tables = Array.make nranks [||] }
 
 let rank t = t.my_rank
 let size t = t.world.nranks
@@ -34,6 +60,140 @@ let size t = t.world.nranks
 let tag_reduce = -1
 let tag_bcast = -2
 let tag_gather = -3
+let tag_is_reserved tag = tag < 0
+
+(* ------------------------------------------------------------ ports ---- *)
+
+(* Depth 8, not 2: a field-solve step posts three ghost fills to the same
+   slot back to back, and a shallow ring blocks the sender until the
+   neighbour consumes — convoying ranks that the mailbox (with its
+   unbounded buffering) lets run ahead.  On an oversubscribed host every
+   such block is a context switch.  Depth 8 absorbs over two full steps
+   of skew while still bounding memory to a few ring buffers per face. *)
+let port_depth = 8
+
+let buf32_create n : buf32 =
+  Bigarray.Array1.create Bigarray.Float32 Bigarray.c_layout (max 1 n)
+
+let port_register t ~capacities =
+  let w = t.world in
+  let make_slot cap =
+    { pmu = Mutex.create ();
+      pcv = Condition.create ();
+      ring = Array.init port_depth (fun _ -> buf32_create cap);
+      lens = Array.make port_depth 0;
+      posted = 0;
+      consumed = 0;
+      waiters = 0 }
+  in
+  let slots = Array.map make_slot capacities in
+  Mutex.lock w.port_mu;
+  let base = Array.length w.port_tables.(t.my_rank) in
+  w.port_tables.(t.my_rank) <- Array.append w.port_tables.(t.my_rank) slots;
+  Condition.broadcast w.port_cv;
+  Mutex.unlock w.port_mu;
+  base
+
+let port t ~rank ~index =
+  assert (rank >= 0 && rank < t.world.nranks && index >= 0);
+  let w = t.world in
+  Mutex.lock w.port_mu;
+  while Array.length w.port_tables.(rank) <= index do
+    Condition.wait w.port_cv w.port_mu
+  done;
+  let p = w.port_tables.(rank).(index) in
+  Mutex.unlock w.port_mu;
+  p
+
+(* Critical sections below are deliberately tiny — counter reads and
+   bumps only.  Payload copies run with the mutex RELEASED, which is safe
+   because each port has exactly one sender and one consumer:
+
+   - between [port_reserve] and [port_commit] the sender owns ring entry
+     [posted mod depth]; the consumer cannot observe it until the commit
+     bumps [posted];
+   - during a consume, the sender cannot overwrite ring entry
+     [consumed mod depth]: reusing it requires posted = consumed + depth,
+     exactly the condition [port_reserve]'s back-pressure blocks on.
+
+   This lets the sender's pack-in overlap the receiver's unpack-out of
+   the previous message — the point of a double-buffered port. *)
+
+let port_reserve p ~len =
+  Mutex.lock p.pmu;
+  while p.posted - p.consumed >= port_depth do
+    p.waiters <- p.waiters + 1;
+    Condition.wait p.pcv p.pmu;
+    p.waiters <- p.waiters - 1
+  done;
+  let i = p.posted mod port_depth in
+  (* Capacity is sized at registration; growth only happens when a
+     variable-length payload (migration) outgrows its initial guess, so
+     it amortises to zero in steady state. *)
+  if Bigarray.Array1.dim p.ring.(i) < len then begin
+    let cap = ref (Bigarray.Array1.dim p.ring.(i)) in
+    while !cap < len do
+      cap := 2 * !cap
+    done;
+    p.ring.(i) <- buf32_create !cap
+  end;
+  let b = p.ring.(i) in
+  Mutex.unlock p.pmu;
+  b
+
+let port_commit p ~len =
+  Mutex.lock p.pmu;
+  let i = p.posted mod port_depth in
+  assert (len <= Bigarray.Array1.dim p.ring.(i));
+  p.lens.(i) <- len;
+  p.posted <- p.posted + 1;
+  if p.waiters > 0 then Condition.broadcast p.pcv;
+  Mutex.unlock p.pmu
+
+let port_post p (src : buf32) ~len =
+  assert (len >= 0 && len <= Bigarray.Array1.dim src);
+  let dst = port_reserve p ~len in
+  for k = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set dst k (Bigarray.Array1.unsafe_get src k)
+  done;
+  port_commit p ~len
+
+let port_finish_consume p =
+  Mutex.lock p.pmu;
+  p.consumed <- p.consumed + 1;
+  if p.waiters > 0 then Condition.broadcast p.pcv;
+  Mutex.unlock p.pmu
+
+let port_wait p ~f =
+  Mutex.lock p.pmu;
+  while p.posted = p.consumed do
+    p.waiters <- p.waiters + 1;
+    Condition.wait p.pcv p.pmu;
+    p.waiters <- p.waiters - 1
+  done;
+  let i = p.consumed mod port_depth in
+  let buf = p.ring.(i) and len = p.lens.(i) in
+  Mutex.unlock p.pmu;
+  f buf len;
+  port_finish_consume p
+
+let port_try_recv p ~f =
+  Mutex.lock p.pmu;
+  let ready = p.posted > p.consumed in
+  if not ready then begin
+    Mutex.unlock p.pmu;
+    false
+  end
+  else begin
+    let i = p.consumed mod port_depth in
+    let buf = p.ring.(i) and len = p.lens.(i) in
+    Mutex.unlock p.pmu;
+    f buf len;
+    port_finish_consume p;
+    true
+  end
+
+(* --------------------------------------------------- mailbox (shim) ---- *)
 
 let send_internal t ~dst ~tag payload =
   assert (dst >= 0 && dst < t.world.nranks);
@@ -64,49 +224,29 @@ let recv_internal t ~src ~tag =
     if Queue.is_empty q then Hashtbl.remove ib.queues key;
     p
   in
-  let try_pop () =
-    Mutex.lock ib.mu;
-    let r =
-      match Hashtbl.find_opt ib.queues key with
-      | Some q when not (Queue.is_empty q) -> Some (pop_locked q)
-      | _ -> None
-    in
-    Mutex.unlock ib.mu;
-    r
+  (* No speculative spinning here: an idle rank parks on the condition
+     variable and is woken by the sender's broadcast.  Burning a core in
+     [Domain.cpu_relax] starved the rank that owned the message on
+     oversubscribed hosts; the futex sleep costs microseconds and only on
+     a genuinely empty queue. *)
+  Mutex.lock ib.mu;
+  let rec wait () =
+    match Hashtbl.find_opt ib.queues key with
+    | Some q when not (Queue.is_empty q) -> pop_locked q
+    | _ ->
+        Condition.wait ib.cv ib.mu;
+        wait ()
   in
-  (* Spin briefly first: when ranks run in lockstep the message is usually
-     in flight, and a futex sleep/wake costs tens of microseconds here. *)
-  let rec spin n =
-    match try_pop () with
-    | Some p -> Some p
-    | None ->
-        if n = 0 then None
-        else begin
-          Domain.cpu_relax ();
-          spin (n - 1)
-        end
-  in
-  match spin 5000 with
-  | Some p -> p
-  | None ->
-      Mutex.lock ib.mu;
-      let rec wait () =
-        match Hashtbl.find_opt ib.queues key with
-        | Some q when not (Queue.is_empty q) -> pop_locked q
-        | _ ->
-            Condition.wait ib.cv ib.mu;
-            wait ()
-      in
-      let payload = wait () in
-      Mutex.unlock ib.mu;
-      payload
+  let payload = wait () in
+  Mutex.unlock ib.mu;
+  payload
 
 let send t ~dst ~tag payload =
-  assert (tag >= 0);
+  if tag_is_reserved tag then invalid_arg "Comm.send: reserved tag";
   send_internal t ~dst ~tag payload
 
 let recv t ~src ~tag =
-  assert (tag >= 0);
+  if tag_is_reserved tag then invalid_arg "Comm.recv: reserved tag";
   recv_internal t ~src ~tag
 
 let barrier t =

@@ -14,14 +14,78 @@ val run : ranks:int -> (t -> 'a) -> 'a array
 val rank : t -> int
 val size : t -> int
 
-(** {1 Point-to-point} *)
+(** {1 Persistent ports}
 
-(** Non-blocking buffered send.  [tag] must be non-negative; negative tags
-    are reserved for collectives. *)
+    The steady-state data path.  Each rank registers a fixed array of
+    receive slots once (collectively, in the same order on every rank, so
+    slot indices agree across ranks).  A slot is a small fixed-depth ring of
+    preallocated [Bigarray] Float32 buffers: the sender packs its payload
+    straight into the next ring buffer ({!port_reserve} / {!port_commit})
+    and never allocates unless the payload has outgrown the registered
+    capacity; a receive runs a callback on the ring buffer in place.  No
+    hashtable, no queue nodes, no per-message arrays — array-indexed
+    slots and two counters per slot.  Each port carries exactly one
+    sender and one consumer (its owner); payload packing and unpacking
+    run with the slot lock released, so the two overlap. *)
+
+type buf32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Fresh Float32 wire buffer of (at least) the given length. *)
+val buf32_create : int -> buf32
+
+type port
+
+(** [port_register t ~capacities] creates [Array.length capacities]
+    receive slots owned by this rank (element [i] sized [capacities.(i)]
+    floats) and returns their base index.  Must be called collectively in
+    the same order on every rank. *)
+val port_register : t -> capacities:int array -> int
+
+(** [port t ~rank ~index] resolves a slot owned by [rank], blocking until
+    that rank has registered it.  Resolve once and keep the handle: the
+    lookup takes the world lock, the handle's operations only the slot's. *)
+val port : t -> rank:int -> index:int -> port
+
+(** [port_reserve p ~len] claims the slot's next ring buffer for the
+    sender to pack [len] floats into, blocking while the ring is full of
+    unconsumed messages (back-pressure).  Must be paired with
+    {!port_commit}; only one reserve may be outstanding per port. *)
+val port_reserve : port -> len:int -> buf32
+
+(** [port_commit p ~len] publishes the reserved buffer's first [len]
+    floats to the consumer. *)
+val port_commit : port -> len:int -> unit
+
+(** [port_post p buf ~len] reserve + copy + commit in one call, for
+    payloads already packed elsewhere. *)
+val port_post : port -> buf32 -> len:int -> unit
+
+(** [port_wait p ~f] blocks for the oldest unconsumed message and runs
+    [f buffer len] on it in place, then retires the ring entry.  [f] runs
+    outside the slot lock; the entry cannot be overwritten while [f]
+    reads it (back-pressure).  Single-consumer: only the owning rank may
+    wait on a port. *)
+val port_wait : port -> f:(buf32 -> int -> unit) -> unit
+
+(** Like {!port_wait} but returns [false] immediately when nothing is
+    pending. *)
+val port_try_recv : port -> f:(buf32 -> int -> unit) -> bool
+
+(** {1 Point-to-point (blocking shim)}
+
+    The original mailbox API, kept for collectives, tests and low-rate
+    control traffic.  Routes through a per-rank hashtable of queues and
+    allocates per message; use ports on any per-step path. *)
+
+(** Non-blocking buffered send.  Raises [Invalid_argument] if [tag] is in
+    the reserved collective range (see {!tag_is_reserved}). *)
 val send : t -> dst:int -> tag:int -> float array -> unit
 
 (** Blocking receive of the oldest message from [src] with [tag]. *)
 val recv : t -> src:int -> tag:int -> float array
+
+(** True for tags reserved by the collectives (all negative tags). *)
+val tag_is_reserved : int -> bool
 
 (** {1 Collectives} (every rank must participate) *)
 

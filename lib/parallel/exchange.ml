@@ -3,6 +3,7 @@ module Sf = Vpic_grid.Scalar_field
 module Bc = Vpic_grid.Bc
 module Axis = Vpic_grid.Axis
 module Boundary = Vpic_field.Boundary
+module Movers = Vpic_particle.Push.Movers
 
 let interior_extent g axis =
   match axis with
@@ -10,130 +11,394 @@ let interior_extent g axis =
   | Axis.Y -> g.Grid.ny
   | Axis.Z -> g.Grid.nz
 
-(* Tag layout: purpose (fill=0 / fold=1), axis, direction of travel
-   (0 = toward lo neighbour, 1 = toward hi).  All scalars travelling
-   through one face share one message (latency dominates here). *)
-let tag ~purpose ~axis ~dir =
-  (purpose * 100000) + (Axis.index axis * 10) + dir
-
 let sides = [ `Lo; `Hi ]
 
-(* Concatenate one plane per scalar into a single payload. *)
-let pack scalars ~axis ~index =
-  match scalars with
-  | [] -> [||]
-  | first :: _ ->
-      let psize = Sf.plane_size (Sf.grid first) ~axis in
-      let out = Array.make (List.length scalars * psize) 0. in
-      List.iteri
-        (fun slot f ->
-          let p = Sf.extract_plane f ~axis ~index in
-          Array.blit p 0 out (slot * psize) psize)
-        scalars;
-      out
+(* ------------------------------------------------------------ slots ---- *)
 
-let unpack scalars ~axis ~index ~accumulate payload =
+(* One receive slot per (purpose, axis, direction of travel) — the single
+   wire-address helper shared by fill, fold and migrate.  dir: 0 = the
+   message travels toward the lo neighbour, 1 = toward hi.  Keying slots on
+   the direction of travel (not the sender's side) keeps the lo- and
+   hi-face streams distinct even when both neighbours are the same rank
+   (a 2-wide periodic axis). *)
+
+let purpose_fill = 0
+let purpose_fold = 1
+let purpose_migrate = 2
+let nslots = 18
+
+let slot ~purpose ~axis ~dir =
+  assert (purpose >= purpose_fill && purpose <= purpose_migrate);
+  assert (dir = 0 || dir = 1);
+  (purpose * 6) + (Axis.index axis * 2) + dir
+
+let axis_of_slot s = List.nth Axis.all (s mod 6 / 2)
+
+(* Up to the six EM components travel through one face as one message
+   (latency dominates; fill_list asserts the bound). *)
+let max_scalars = 6
+
+(* ------------------------------------------------------------ ports ---- *)
+
+type t = {
+  comm : Comm.t;
+  bc : Bc.t;
+  g : Grid.t;
+  (* Resolved once at creation: destination slots we post into, own slots
+     we consume from; [None] on non-Domain faces. *)
+  send_ports : Comm.port option array; (* indexed by [slot] *)
+  recv_ports : Comm.port option array;
+  staging : Comm.buf32 array;
+  (* Send-side packing buffers, used only by the migrate slots (fill and
+     fold pack straight into the destination ring via port_reserve). *)
+  mutable fill_in_flight : bool;
+  mutable fill_bytes : float;
+  mutable fold_bytes : float;
+  mutable migrate_bytes : float;
+}
+
+let comm t = t.comm
+let bc t = t.bc
+let grid t = t.g
+let byte_counts t = (t.fill_bytes, t.fold_bytes, t.migrate_bytes)
+let bytes_moved t = t.fill_bytes +. t.fold_bytes +. t.migrate_bytes
+
+(* Collective: every rank must create its ports in the same order (slot
+   indices are matched positionally across ranks).  Resolving a
+   neighbour's port blocks until that rank registers, so construction
+   doubles as the handshake. *)
+let create comm bc g =
+  let cap s =
+    if s / 6 = purpose_migrate then 64 * Movers.stride
+    else max_scalars * Sf.plane_size g ~axis:(axis_of_slot s)
+  in
+  let capacities = Array.init nslots cap in
+  let base = Comm.port_register comm ~capacities in
+  let send_ports = Array.make nslots None in
+  let recv_ports = Array.make nslots None in
+  let me = Comm.rank comm in
+  List.iter
+    (fun axis ->
+      List.iter
+        (fun side ->
+          match Bc.face bc axis side with
+          | Bc.Domain nbr ->
+              let dir_out = match side with `Lo -> 0 | `Hi -> 1 in
+              let dir_in = 1 - dir_out in
+              for purpose = purpose_fill to purpose_migrate do
+                let s_out = slot ~purpose ~axis ~dir:dir_out in
+                let s_in = slot ~purpose ~axis ~dir:dir_in in
+                send_ports.(s_out) <-
+                  Some (Comm.port comm ~rank:nbr ~index:(base + s_out));
+                recv_ports.(s_in) <-
+                  Some (Comm.port comm ~rank:me ~index:(base + s_in))
+              done
+          | _ -> ())
+        sides)
+    Axis.all;
+  { comm; bc; g;
+    send_ports; recv_ports;
+    staging =
+      Array.init nslots (fun s ->
+          Comm.buf32_create (if s / 6 = purpose_migrate then cap s else 1));
+    fill_in_flight = false;
+    fill_bytes = 0.; fold_bytes = 0.; migrate_bytes = 0. }
+
+let send_port t s =
+  match t.send_ports.(s) with
+  | Some p -> p
+  | None -> invalid_arg "Exchange: no domain neighbour on that face"
+
+let recv_port t s =
+  match t.recv_ports.(s) with
+  | Some p -> p
+  | None -> invalid_arg "Exchange: no domain neighbour on that face"
+
+(* ------------------------------------------------- fill (ghost copy) ---- *)
+
+(* Pack one plane per scalar straight into the destination port's ring
+   buffer (reserve / pack / commit — no staging copy).  Returns the
+   payload length in floats. *)
+let post_planes t ~purpose scalars ~axis ~index ~dir =
+  let s = slot ~purpose ~axis ~dir in
+  let psize = Sf.plane_size t.g ~axis in
+  let len = List.length scalars * psize in
+  let port = send_port t s in
+  let buf = Comm.port_reserve port ~len in
+  List.iteri
+    (fun si f -> Sf.pack_plane f ~axis ~index ~buf ~off:(si * psize))
+    scalars;
+  Comm.port_commit port ~len;
+  len
+
+let fill_post t scalars axis =
+  let n = interior_extent t.g axis in
+  List.iter
+    (fun side ->
+      match Bc.face t.bc axis side with
+      | Bc.Domain _ ->
+          (* hi neighbour needs my interior hi plane for its lo ghost; lo
+             neighbour needs my interior lo plane. *)
+          let index, dir = match side with `Hi -> (n, 1) | `Lo -> (1, 0) in
+          let len =
+            post_planes t ~purpose:purpose_fill scalars ~axis ~index ~dir
+          in
+          t.fill_bytes <- t.fill_bytes +. float_of_int (4 * len)
+      | _ -> ())
+    sides
+
+let fill_recv t scalars axis =
+  let n = interior_extent t.g axis in
+  let psize = Sf.plane_size t.g ~axis in
+  let nscal = List.length scalars in
+  List.iter
+    (fun side ->
+      match Bc.face t.bc axis side with
+      | Bc.Domain _ ->
+          (* My lo ghost was sent by my lo neighbour travelling toward hi
+             (dir=1); my hi ghost travels toward lo. *)
+          let index, dir = match side with `Lo -> (0, 1) | `Hi -> (n + 1, 0) in
+          Comm.port_wait
+            (recv_port t (slot ~purpose:purpose_fill ~axis ~dir))
+            ~f:(fun buf len ->
+              assert (len = nscal * psize);
+              List.iteri
+                (fun si f ->
+                  Sf.unpack_plane f ~axis ~index ~buf ~off:(si * psize))
+                scalars)
+      | kind ->
+          List.iter (fun f -> Boundary.fill_face kind f ~axis ~side) scalars)
+    sides
+
+(* Split fill: [fill_begin] posts the x-axis faces and returns with the
+   messages in flight; [fill_finish] completes x, then runs y and z.
+   Only x can be posted early — y planes span the full x extent including
+   the x ghosts, so they cannot be packed until x has landed.  The caller
+   may overlap any work that touches neither ghosts nor the staged x
+   planes between the two calls (the interior particle push). *)
+
+let fill_begin t scalars =
+  assert (not t.fill_in_flight);
+  if scalars <> [] then begin
+    assert (List.length scalars <= max_scalars);
+    fill_post t scalars Axis.X;
+    t.fill_in_flight <- true
+  end
+
+let fill_finish t scalars =
+  if t.fill_in_flight then begin
+    t.fill_in_flight <- false;
+    fill_recv t scalars Axis.X;
+    List.iter
+      (fun axis ->
+        fill_post t scalars axis;
+        fill_recv t scalars axis)
+      [ Axis.Y; Axis.Z ]
+  end
+
+let fill_ghosts t scalars =
+  fill_begin t scalars;
+  fill_finish t scalars
+
+(* ------------------------------------------- fold (ghost accumulate) ---- *)
+
+let fold_ghosts t scalars =
   match scalars with
   | [] -> ()
-  | first :: _ ->
-      let psize = Sf.plane_size (Sf.grid first) ~axis in
-      assert (Array.length payload = List.length scalars * psize);
-      List.iteri
-        (fun slot f ->
-          let p = Array.sub payload (slot * psize) psize in
-          if accumulate then Sf.add_plane f ~axis ~index p
-          else Sf.set_plane f ~axis ~index p)
-        scalars
-
-(* For each axis in order: post sends for both domain faces, then receive
-   both, then apply local BCs to non-domain faces.  Sends are buffered so
-   there is no deadlock regardless of topology; processing the axes
-   sequentially with full-extent planes transports edge and corner ghosts
-   in up to three hops. *)
-let fill_ghosts comm bc scalars =
-  match scalars with
-  | [] -> ()
-  | first :: _ ->
-      let g = Sf.grid first in
+  | _ ->
+      assert (List.length scalars <= max_scalars);
       List.iter
         (fun axis ->
-          let n = interior_extent g axis in
+          let n = interior_extent t.g axis in
+          let psize = Sf.plane_size t.g ~axis in
+          let nscal = List.length scalars in
           List.iter
             (fun side ->
-              match Bc.face bc axis side with
-              | Bc.Domain nbr ->
-                  (* hi neighbour needs my interior hi plane for its lo
-                     ghost; lo neighbour needs my interior lo plane. *)
-                  let src_plane, dir =
-                    match side with `Hi -> (n, 1) | `Lo -> (1, 0)
-                  in
-                  Comm.send comm ~dst:nbr
-                    ~tag:(tag ~purpose:0 ~axis ~dir)
-                    (pack scalars ~axis ~index:src_plane)
-              | _ -> ())
-            sides;
-          List.iter
-            (fun side ->
-              match Bc.face bc axis side with
-              | Bc.Domain nbr ->
-                  (* My lo ghost was sent by my lo neighbour travelling
-                     toward hi (dir=1); my hi ghost travels toward lo. *)
-                  let ghost_plane, dir =
-                    match side with `Lo -> (0, 1) | `Hi -> (n + 1, 0)
-                  in
-                  let data =
-                    Comm.recv comm ~src:nbr ~tag:(tag ~purpose:0 ~axis ~dir)
-                  in
-                  unpack scalars ~axis ~index:ghost_plane ~accumulate:false data
-              | kind ->
-                  List.iter
-                    (fun f -> Boundary.fill_face kind f ~axis ~side)
-                    scalars)
-            sides)
-        Axis.all
-
-let fold_ghosts comm bc scalars =
-  match scalars with
-  | [] -> ()
-  | first :: _ ->
-      let g = Sf.grid first in
-      List.iter
-        (fun axis ->
-          let n = interior_extent g axis in
-          let psize = Sf.plane_size g ~axis in
-          List.iter
-            (fun side ->
-              match Bc.face bc axis side with
-              | Bc.Domain nbr ->
-                  let ghost_plane, dir =
+              match Bc.face t.bc axis side with
+              | Bc.Domain _ ->
+                  let index, dir =
                     match side with `Lo -> (0, 0) | `Hi -> (n + 1, 1)
                   in
-                  Comm.send comm ~dst:nbr
-                    ~tag:(tag ~purpose:1 ~axis ~dir)
-                    (pack scalars ~axis ~index:ghost_plane);
+                  let len =
+                    post_planes t ~purpose:purpose_fold scalars ~axis ~index
+                      ~dir
+                  in
+                  t.fold_bytes <- t.fold_bytes +. float_of_int (4 * len);
                   (* Zero the shipped planes so nothing is counted twice. *)
-                  let zeros = Array.make psize 0. in
                   List.iter
-                    (fun f -> Sf.set_plane f ~axis ~index:ghost_plane zeros)
+                    (fun f -> Sf.fill_plane f ~axis ~index 0.)
                     scalars
               | _ -> ())
             sides;
           List.iter
             (fun side ->
-              match Bc.face bc axis side with
-              | Bc.Domain nbr ->
+              match Bc.face t.bc axis side with
+              | Bc.Domain _ ->
                   (* Data arriving from my hi neighbour was its lo ghost
                      (dir=0): it lands in my interior hi plane. *)
-                  let dst_plane, dir =
+                  let index, dir =
                     match side with `Hi -> (n, 0) | `Lo -> (1, 1)
                   in
-                  let data =
-                    Comm.recv comm ~src:nbr ~tag:(tag ~purpose:1 ~axis ~dir)
-                  in
-                  unpack scalars ~axis ~index:dst_plane ~accumulate:true data
+                  Comm.port_wait
+                    (recv_port t (slot ~purpose:purpose_fold ~axis ~dir))
+                    ~f:(fun buf len ->
+                      assert (len = nscal * psize);
+                      List.iteri
+                        (fun si f ->
+                          Sf.unpack_plane_add f ~axis ~index ~buf
+                            ~off:(si * psize))
+                        scalars)
               | kind ->
                   List.iter
                     (fun f -> Boundary.fold_face kind f ~axis ~side)
                     scalars)
             sides)
         Axis.all
+
+(* -------------------------------------------------- migration hooks ---- *)
+
+(* [Migrate] drives the sweep; this module owns the wire resources. *)
+
+let migrate_send t ~axis ~dir =
+  let s = slot ~purpose:purpose_migrate ~axis ~dir in
+  (send_port t s, t.staging.(s))
+
+let migrate_staging_grow t ~axis ~dir len =
+  let s = slot ~purpose:purpose_migrate ~axis ~dir in
+  if Bigarray.Array1.dim t.staging.(s) < len then begin
+    let cap = ref (max 1 (Bigarray.Array1.dim t.staging.(s))) in
+    while !cap < len do
+      cap := 2 * !cap
+    done;
+    t.staging.(s) <- Comm.buf32_create !cap
+  end;
+  t.staging.(s)
+
+let migrate_recv t ~axis ~dir =
+  recv_port t (slot ~purpose:purpose_migrate ~axis ~dir)
+
+let add_migrate_bytes t floats =
+  t.migrate_bytes <- t.migrate_bytes +. float_of_int (4 * floats)
+
+(* ---------------------------------------------------- legacy (shim) ---- *)
+
+(* The pre-port implementation over the blocking mailbox API, retained so
+   the exchange bench can measure the port path against it in the same
+   process.  Allocates one payload array per message. *)
+module Legacy = struct
+  (* Tag layout shared by fill and fold: purpose, axis, direction of
+     travel — the mailbox analogue of [slot] above.  User tags must stay
+     clear of the reserved collective range (negative). *)
+  let tag ~purpose ~axis ~dir =
+    let t = (purpose * 100000) + (Axis.index axis * 10) + dir in
+    assert (not (Comm.tag_is_reserved t));
+    t
+
+  let pack scalars ~axis ~index =
+    match scalars with
+    | [] -> [||]
+    | first :: _ ->
+        let psize = Sf.plane_size (Sf.grid first) ~axis in
+        let out = Array.make (List.length scalars * psize) 0. in
+        List.iteri
+          (fun slot f ->
+            let p = Sf.extract_plane f ~axis ~index in
+            Array.blit p 0 out (slot * psize) psize)
+          scalars;
+        out
+
+  let unpack scalars ~axis ~index ~accumulate payload =
+    match scalars with
+    | [] -> ()
+    | first :: _ ->
+        let psize = Sf.plane_size (Sf.grid first) ~axis in
+        assert (Array.length payload = List.length scalars * psize);
+        List.iteri
+          (fun slot f ->
+            let p = Array.sub payload (slot * psize) psize in
+            if accumulate then Sf.add_plane f ~axis ~index p
+            else Sf.set_plane f ~axis ~index p)
+          scalars
+
+  let fill_ghosts comm bc scalars =
+    match scalars with
+    | [] -> ()
+    | first :: _ ->
+        let g = Sf.grid first in
+        List.iter
+          (fun axis ->
+            let n = interior_extent g axis in
+            List.iter
+              (fun side ->
+                match Bc.face bc axis side with
+                | Bc.Domain nbr ->
+                    let src_plane, dir =
+                      match side with `Hi -> (n, 1) | `Lo -> (1, 0)
+                    in
+                    Comm.send comm ~dst:nbr
+                      ~tag:(tag ~purpose:purpose_fill ~axis ~dir)
+                      (pack scalars ~axis ~index:src_plane)
+                | _ -> ())
+              sides;
+            List.iter
+              (fun side ->
+                match Bc.face bc axis side with
+                | Bc.Domain nbr ->
+                    let ghost_plane, dir =
+                      match side with `Lo -> (0, 1) | `Hi -> (n + 1, 0)
+                    in
+                    let data =
+                      Comm.recv comm ~src:nbr
+                        ~tag:(tag ~purpose:purpose_fill ~axis ~dir)
+                    in
+                    unpack scalars ~axis ~index:ghost_plane ~accumulate:false
+                      data
+                | kind ->
+                    List.iter
+                      (fun f -> Boundary.fill_face kind f ~axis ~side)
+                      scalars)
+              sides)
+          Axis.all
+
+  let fold_ghosts comm bc scalars =
+    match scalars with
+    | [] -> ()
+    | first :: _ ->
+        let g = Sf.grid first in
+        List.iter
+          (fun axis ->
+            let n = interior_extent g axis in
+            List.iter
+              (fun side ->
+                match Bc.face bc axis side with
+                | Bc.Domain nbr ->
+                    let ghost_plane, dir =
+                      match side with `Lo -> (0, 0) | `Hi -> (n + 1, 1)
+                    in
+                    Comm.send comm ~dst:nbr
+                      ~tag:(tag ~purpose:purpose_fold ~axis ~dir)
+                      (pack scalars ~axis ~index:ghost_plane);
+                    List.iter
+                      (fun f -> Sf.fill_plane f ~axis ~index:ghost_plane 0.)
+                      scalars
+                | _ -> ())
+              sides;
+            List.iter
+              (fun side ->
+                match Bc.face bc axis side with
+                | Bc.Domain nbr ->
+                    let dst_plane, dir =
+                      match side with `Hi -> (n, 0) | `Lo -> (1, 1)
+                    in
+                    let data =
+                      Comm.recv comm ~src:nbr
+                        ~tag:(tag ~purpose:purpose_fold ~axis ~dir)
+                    in
+                    unpack scalars ~axis ~index:dst_plane ~accumulate:true data
+                | kind ->
+                    List.iter
+                      (fun f -> Boundary.fold_face kind f ~axis ~side)
+                      scalars)
+              sides)
+          Axis.all
+end

@@ -1,4 +1,12 @@
-(** Ghost-plane exchange across the domain decomposition.
+(** Ghost-plane exchange across the domain decomposition, over persistent
+    ports.
+
+    A {!t} value bundles every wire resource a rank needs: one registered
+    receive slot and one preallocated Float32 staging buffer per
+    (purpose ∈ fill/fold/migrate × axis × direction of travel) — 18 slots
+    — sized from the grid at construction.  Steady-state fills, folds and
+    migrations move bytes exclusively through these buffers: no per-call
+    plane arrays, no mailbox queues.
 
     Planes span the full allocated extent (ghosts included) of the two
     transverse axes, and the three axes are processed sequentially (x, y,
@@ -12,12 +20,68 @@
 module Sf = Vpic_grid.Scalar_field
 module Bc = Vpic_grid.Bc
 
+type t
+
+(** [create comm bc grid] registers this rank's receive slots and resolves
+    its neighbours' (blocking until they register).  Collective: every
+    rank must call it in the same order. *)
+val create : Comm.t -> Bc.t -> Vpic_grid.Grid.t -> t
+
+val comm : t -> Comm.t
+val bc : t -> Bc.t
+val grid : t -> Vpic_grid.Grid.t
+
 (** Copy ghost planes of each scalar from neighbouring ranks (and apply
     local BCs on non-domain faces).  Every rank of the communicator must
-    call this with the same scalar count. *)
-val fill_ghosts : Comm.t -> Bc.t -> Sf.t list -> unit
+    call this with the same scalar count.  At most 6 scalars per call. *)
+val fill_ghosts : t -> Sf.t list -> unit
+
+(** First half of {!fill_ghosts}: posts the x-axis faces and returns with
+    the messages in flight.  Work that touches neither ghost voxels nor
+    the fields' interior x faces may run before {!fill_finish} — the
+    interior particle push overlaps here. *)
+val fill_begin : t -> Sf.t list -> unit
+
+(** Completes a {!fill_begin}: receives x, then posts/receives y and z and
+    applies local BCs.  Must be passed the same scalars. *)
+val fill_finish : t -> Sf.t list -> unit
 
 (** Add ghost-plane accumulations (currents, rho) into the neighbouring
     rank's interior (and fold locally on non-domain faces), then zero the
     shipped ghost planes. *)
-val fold_ghosts : Comm.t -> Bc.t -> Sf.t list -> unit
+val fold_ghosts : t -> Sf.t list -> unit
+
+(** {1 Byte accounting} *)
+
+(** Cumulative payload bytes posted as (fill, fold, migrate). *)
+val byte_counts : t -> float * float * float
+
+val bytes_moved : t -> float
+
+(** {1 Migration wire} (used by {!Migrate}) *)
+
+(** Destination port and staging buffer for movers leaving along
+    [axis] in direction of travel [dir] (0 = toward lo neighbour, 1 =
+    toward hi).  Raises [Invalid_argument] if that face has no domain
+    neighbour. *)
+val migrate_send : t -> axis:Vpic_grid.Axis.t -> dir:int -> Comm.port * Comm.buf32
+
+(** Ensure the migrate staging buffer holds [len] floats; returns it. *)
+val migrate_staging_grow :
+  t -> axis:Vpic_grid.Axis.t -> dir:int -> int -> Comm.buf32
+
+(** Own receive port for movers arriving with direction of travel [dir]. *)
+val migrate_recv : t -> axis:Vpic_grid.Axis.t -> dir:int -> Comm.port
+
+(** Account [floats] payload floats of migration traffic. *)
+val add_migrate_bytes : t -> int -> unit
+
+(** {1 Legacy blocking path}
+
+    The pre-port implementation over the mailbox API (one allocated
+    payload per message), retained as an in-process baseline for
+    [bench -- exchange]. *)
+module Legacy : sig
+  val fill_ghosts : Comm.t -> Bc.t -> Sf.t list -> unit
+  val fold_ghosts : Comm.t -> Bc.t -> Sf.t list -> unit
+end

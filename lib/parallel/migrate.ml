@@ -9,90 +9,107 @@ type stats = { sent : int; received : int; settled : int; absorbed : int }
 
 let floats_per_mover = Movers.stride
 
-let tag_of ~axis ~dir = 200000 + (Axis.index axis * 10) + dir
-
-let exchange ?rng comm bc s fields (movers : Movers.t) =
+let exchange ?rng ports s fields (movers : Movers.t) =
+  let bc = Exchange.bc ports in
   let g = s.Species.grid in
   let sent = ref 0 and received = ref 0 in
   let settled = ref 0 and absorbed = ref 0 in
   let pending = movers in
   let stride = Movers.stride in
+  let open Bigarray.Array1 in
   (* A mover stops at its first Domain face, which can be any axis; after
      finishing on the neighbour it may need an axis the sweep already
      passed.  Each x->y->z sweep completes at least one crossing and a
      particle crosses at most three faces per step, so three sweeps always
      drain the buffer (all ranks run the same fixed count: collective). *)
   for _sweep = 1 to 3 do
-  List.iter
-    (fun axis ->
-      let ax = Axis.index axis in
-      let n_axis =
-        match axis with
-        | Axis.X -> g.Grid.nx
-        | Axis.Y -> g.Grid.ny
-        | Axis.Z -> g.Grid.nz
-      in
-      let ship side =
-        match Bc.face bc axis side with
-        | Bc.Domain nbr ->
-            let ghost, rebased =
-              match side with `Lo -> (0, n_axis) | `Hi -> (n_axis + 1, 1)
-            in
-            (* Partition the pending buffer in place: movers sitting in
-               this axis ghost are copied to the wire (axis cell rebased
-               to the receiver's frame, which has identical local dims),
-               the rest compact toward the front.  The payload IS the
-               packed mover format — 13 floats each, no boxing. *)
-            let buf = pending.Movers.buf in
-            let nsend = ref 0 in
-            for idx = 0 to pending.Movers.n - 1 do
-              if int_of_float buf.((idx * stride) + ax) = ghost then
-                incr nsend
-            done;
-            let wire = Array.make (!nsend * stride) 0. in
-            let so = ref 0 in
-            let kept = ref 0 in
-            for idx = 0 to pending.Movers.n - 1 do
-              let o = idx * stride in
-              if int_of_float buf.(o + ax) = ghost then begin
-                Array.blit buf o wire !so stride;
-                wire.(!so + ax) <- float_of_int rebased;
-                so := !so + stride
-              end
-              else begin
-                if !kept <> idx then Array.blit buf o buf (!kept * stride) stride;
-                incr kept
-              end
-            done;
-            pending.Movers.n <- !kept;
-            sent := !sent + !nsend;
-            let dir = match side with `Lo -> 0 | `Hi -> 1 in
-            Comm.send comm ~dst:nbr ~tag:(tag_of ~axis ~dir) wire
-        | _ -> ()
-      in
-      ship `Lo;
-      ship `Hi;
-      let arrive side =
-        match Bc.face bc axis side with
-        | Bc.Domain nbr ->
-            (* Movers arriving across my lo face were sent by my lo
-               neighbour toward its hi side (dir = 1). *)
-            let dir = match side with `Lo -> 1 | `Hi -> 0 in
-            let ms =
-              Movers.of_wire (Comm.recv comm ~src:nbr ~tag:(tag_of ~axis ~dir))
-            in
-            received := !received + Movers.count ms;
-            (* Re-emitted movers land straight back in [pending]. *)
-            let st, ab, _re =
-              Push.finish_movers ~movers_out:pending ?rng s fields bc ms
-            in
-            settled := !settled + st;
-            absorbed := !absorbed + ab
-        | _ -> ()
-      in
-      arrive `Lo;
-      arrive `Hi)
-    Axis.all
+    List.iter
+      (fun axis ->
+        let ax = Axis.index axis in
+        let n_axis =
+          match axis with
+          | Axis.X -> g.Grid.nx
+          | Axis.Y -> g.Grid.ny
+          | Axis.Z -> g.Grid.nz
+        in
+        let ship side =
+          match Bc.face bc axis side with
+          | Bc.Domain _ ->
+              let ghost, rebased =
+                match side with `Lo -> (0, n_axis) | `Hi -> (n_axis + 1, 1)
+              in
+              (* Partition the pending buffer in place: movers sitting in
+                 this axis ghost are copied into the migrate port's
+                 staging buffer (axis cell rebased to the receiver's
+                 frame, which has identical local dims), the rest compact
+                 toward the front.  The staging buffer IS the packed
+                 Float32 mover format — posting it is one flat copy. *)
+              let buf = pending.Movers.buf in
+              let nsend = ref 0 in
+              for idx = 0 to pending.Movers.n - 1 do
+                if int_of_float (unsafe_get buf ((idx * stride) + ax)) = ghost
+                then incr nsend
+              done;
+              let dir = match side with `Lo -> 0 | `Hi -> 1 in
+              let port, stg = Exchange.migrate_send ports ~axis ~dir in
+              let stg =
+                if dim stg < !nsend * stride then
+                  Exchange.migrate_staging_grow ports ~axis ~dir
+                    (!nsend * stride)
+                else stg
+              in
+              let so = ref 0 in
+              let kept = ref 0 in
+              for idx = 0 to pending.Movers.n - 1 do
+                let o = idx * stride in
+                if int_of_float (unsafe_get buf (o + ax)) = ghost then begin
+                  for q = 0 to stride - 1 do
+                    unsafe_set stg (!so + q) (unsafe_get buf (o + q))
+                  done;
+                  unsafe_set stg (!so + ax) (float_of_int rebased);
+                  so := !so + stride
+                end
+                else begin
+                  if !kept <> idx then begin
+                    let d = !kept * stride in
+                    for q = 0 to stride - 1 do
+                      unsafe_set buf (d + q) (unsafe_get buf (o + q))
+                    done
+                  end;
+                  incr kept
+                end
+              done;
+              pending.Movers.n <- !kept;
+              sent := !sent + !nsend;
+              Comm.port_post port stg ~len:(!nsend * stride);
+              Exchange.add_migrate_bytes ports (!nsend * stride)
+          | _ -> ()
+        in
+        ship `Lo;
+        ship `Hi;
+        let arrive side =
+          match Bc.face bc axis side with
+          | Bc.Domain _ ->
+              (* Movers arriving across my lo face were sent by my lo
+                 neighbour toward its hi side (dir = 1). *)
+              let dir = match side with `Lo -> 1 | `Hi -> 0 in
+              Comm.port_wait
+                (Exchange.migrate_recv ports ~axis ~dir)
+                ~f:(fun rbuf len ->
+                  assert (len mod stride = 0);
+                  let ms = Movers.of_wire rbuf (len / stride) in
+                  received := !received + Movers.count ms;
+                  (* Re-emitted movers land straight back in [pending]. *)
+                  let st, ab, _re =
+                    Push.finish_movers ~movers_out:pending ?rng s fields bc ms
+                  in
+                  settled := !settled + st;
+                  absorbed := !absorbed + ab)
+          | _ -> ()
+        in
+        arrive `Lo;
+        arrive `Hi)
+      Axis.all
   done;
   assert (Movers.count pending = 0);
   { sent = !sent; received = !received; settled = !settled; absorbed = !absorbed }

@@ -2,16 +2,17 @@
 
     After [Push.advance], particles that hit a [Domain] face have been
     turned into movers: stopped at the face (first ghost layer) with
-    their unconsumed displacement, packed 13 floats each in a
+    their unconsumed displacement, packed 13 Float32 values each in a
     [Push.Movers] buffer.  Migration proceeds axis by axis (x, then y,
-    then z): movers in the axis ghost are copied to the wire (cell
-    indices re-based to the receiver, whose local dimensions are
-    identical) while the rest compact in place, and the receiver
-    immediately finishes their moves — depositing the remaining current
-    segments — which may re-emit movers toward a later axis, picked up
-    by the next phase.  The wire payload is the packed mover array
-    itself (no boxing).  Three phases suffice because a particle can
-    cross each axis at most once per step (Courant bound); the same
+    then z): movers in the axis ghost are copied into the migrate port's
+    preallocated staging buffer (cell indices re-based to the receiver,
+    whose local dimensions are identical) while the rest compact in
+    place, and the receiver finishes their moves in the port's ring
+    buffer — depositing the remaining current segments — which may
+    re-emit movers toward a later axis, picked up by the next phase.
+    The staging buffer is the packed mover array itself (no boxing, no
+    per-message allocation).  Three phases suffice because a particle
+    can cross each axis at most once per step (Courant bound); the same
     scheme VPIC uses.
 
     Must run {e before} the ghost-current fold (finished moves deposit
@@ -29,11 +30,11 @@ type stats = {
   absorbed : int;  (** finished into an absorbing wall *)
 }
 
-(** [rng] is needed only when some face is [Refluxing]. *)
+(** [rng] is needed only when some face is [Refluxing].  The boundary
+    conditions and wire resources come from the [Exchange.t] ports. *)
 val exchange :
   ?rng:Vpic_util.Rng.t ->
-  Comm.t ->
-  Vpic_grid.Bc.t ->
+  Exchange.t ->
   Vpic_particle.Species.t ->
   Vpic_field.Em_field.t ->
   Vpic_particle.Push.Movers.t ->

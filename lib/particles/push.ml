@@ -6,53 +6,86 @@ module Perf = Vpic_util.Perf
 let flops_per_push = 70.
 let flops_per_segment = 57.
 
-(* Particles stopped at a Domain face, packed 13 floats each so the
-   buffer can go on the wire as-is (the 32-byte store has no room for a
-   remaining displacement, and migration traffic should not box).
-   Layout per mover: cell i,j,k (exact small ints), in-cell position
-   fx,fy,fz (f32-representable by construction), momentum ux,uy,uz and
-   weight (kept f64 so finishing a move on the neighbour performs the
-   same f64 arithmetic a serial walk would), remaining displacement
-   rx,ry,rz in cell units. *)
+(* Particles stopped at a Domain face, packed 13 Float32 values each in a
+   Bigarray so the buffer IS the wire format of the comm layer's
+   persistent migrate ports — posting a mover batch is a flat f32 copy,
+   no boxing, no per-message array.  Layout per mover: cell i,j,k (exact
+   small ints), in-cell position fx,fy,fz (f32-representable by
+   construction), momentum ux,uy,uz and weight (f32 — exactly the
+   precision the 32-byte store would keep after settling, so the wire
+   loses nothing the store would have kept), remaining displacement
+   rx,ry,rz in cell units (rounded to f32; the receiver's walk deposits
+   from its own endpoints, so charge conservation is unaffected). *)
 module Movers = struct
-  type t = { mutable buf : float array; mutable n : int }
+  type t = { mutable buf : Store.f32; mutable n : int }
 
   let stride = 13
 
   let create ?(capacity = 16) () =
     assert (capacity > 0);
-    { buf = Array.make (capacity * stride) 0.; n = 0 }
+    { buf = Store.f32_create (capacity * stride); n = 0 }
 
   let count t = t.n
   let clear t = t.n <- 0
 
-  let of_wire buf =
-    assert (Array.length buf mod stride = 0);
-    { buf; n = Array.length buf / stride }
-
-  let wire t = Array.sub t.buf 0 (t.n * stride)
+  (* View [n] movers in a comm buffer in place (no copy; the view is only
+     read while the buffer is valid). *)
+  let of_wire buf n =
+    assert (n >= 0 && n * stride <= Bigarray.Array1.dim buf);
+    { buf; n }
 
   let push t ~cell ~wk ~u ~w =
-    if (t.n + 1) * stride > Array.length t.buf then begin
-      let nbuf = Array.make (2 * Array.length t.buf) 0. in
-      Array.blit t.buf 0 nbuf 0 (t.n * stride);
+    let open Bigarray.Array1 in
+    if (t.n + 1) * stride > dim t.buf then begin
+      let nbuf = Store.f32_create (2 * dim t.buf) in
+      for i = 0 to (t.n * stride) - 1 do
+        unsafe_set nbuf i (unsafe_get t.buf i)
+      done;
       t.buf <- nbuf
     end;
     let o = t.n * stride in
     let b = t.buf in
-    b.(o) <- float_of_int cell.(0);
-    b.(o + 1) <- float_of_int cell.(1);
-    b.(o + 2) <- float_of_int cell.(2);
-    b.(o + 3) <- wk.(0);
-    b.(o + 4) <- wk.(1);
-    b.(o + 5) <- wk.(2);
-    b.(o + 6) <- u.(0);
-    b.(o + 7) <- u.(1);
-    b.(o + 8) <- u.(2);
-    b.(o + 9) <- w;
-    b.(o + 10) <- wk.(3);
-    b.(o + 11) <- wk.(4);
-    b.(o + 12) <- wk.(5);
+    unsafe_set b o (float_of_int cell.(0));
+    unsafe_set b (o + 1) (float_of_int cell.(1));
+    unsafe_set b (o + 2) (float_of_int cell.(2));
+    unsafe_set b (o + 3) wk.(0);
+    unsafe_set b (o + 4) wk.(1);
+    unsafe_set b (o + 5) wk.(2);
+    unsafe_set b (o + 6) u.(0);
+    unsafe_set b (o + 7) u.(1);
+    unsafe_set b (o + 8) u.(2);
+    unsafe_set b (o + 9) w;
+    unsafe_set b (o + 10) wk.(3);
+    unsafe_set b (o + 11) wk.(4);
+    unsafe_set b (o + 12) wk.(5);
+    t.n <- t.n + 1
+end
+
+(* Reusable list of particle indices whose push is deferred to the
+   boundary pass (their cell touches the ghost layer, so they need the
+   ghost fill to have landed).  Lives across steps: zero steady-state
+   allocation. *)
+module Defer = struct
+  type t = { mutable idx : Store.i32; mutable n : int }
+
+  let create ?(capacity = 256) () =
+    assert (capacity > 0);
+    { idx = Store.i32_create capacity; n = 0 }
+
+  let count t = t.n
+  let clear t = t.n <- 0
+  let get t m = Int32.to_int (Bigarray.Array1.unsafe_get t.idx m)
+
+  let add t v =
+    let open Bigarray.Array1 in
+    if t.n >= dim t.idx then begin
+      let nidx = Store.i32_create (2 * dim t.idx) in
+      for i = 0 to t.n - 1 do
+        unsafe_set nidx i (unsafe_get t.idx i)
+      done;
+      t.idx <- nidx
+    end;
+    unsafe_set t.idx t.n (Int32.of_int v);
     t.n <- t.n + 1
 end
 
@@ -373,7 +406,7 @@ let walk env ~wk ~cell ~u ~cxc ~cyc ~czc =
   !status
 
 let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
-    ?rng ?(pusher = Boris) (s : Species.t) f bc =
+    ?rng ?(pusher = Boris) ?(region = `All) (s : Species.t) f bc =
   let g = s.Species.grid in
   assert (g == f.Vpic_field.Em_field.grid);
   let gf = match gather_from with Some gf -> gf | None -> f in
@@ -441,19 +474,38 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
     (sz0 *. ((sy0 *. c00) +. (ty *. c10)))
     +. (tz *. ((sy0 *. c01) +. (ty *. c11)))
   in
+  (* Boundary shell: cells whose gather stencil or walk can touch the
+     ghost layer.  The stencil reaches one cell out and the Courant bound
+     keeps a step inside +-1 cell, so only shell particles depend on the
+     ghost fill or can become movers — interior particles may be pushed
+     while the fill is still in flight. *)
+  let snx = g.Grid.nx and sny = g.Grid.ny and snz = g.Grid.nz in
+  let skip_shell, defer =
+    match region with
+    | `All | `Deferred _ -> (false, None)
+    | `Interior d -> (true, Some d)
+  in
+  let pushed = ref 0 in
   (* Sorted populations visit long runs of the same voxel: cache the last
      decode so the two integer divisions in cell_of_voxel are paid once
      per run, not once per particle. *)
   let lvox = ref min_int and lci = ref 0 and lcj = ref 0 and lck = ref 0 in
-  for n = first to last do
+  let lshell = ref false in
+  let push_one n =
     let vi = Int32.to_int (unsafe_get svox n) in
     if vi <> !lvox then begin
       let ci, cj, ck = Grid.cell_of_voxel g vi in
       lvox := vi;
       lci := ci;
       lcj := cj;
-      lck := ck
+      lck := ck;
+      lshell :=
+        ci = 1 || ci = snx || cj = 1 || cj = sny || ck = 1 || ck = snz
     end;
+    if skip_shell && !lshell then (
+      match defer with Some d -> Defer.add d n | None -> ())
+    else begin
+    incr pushed;
     let ci = !lci and cj = !lcj and ck = !lck in
     cell.(0) <- ci;
     cell.(1) <- cj;
@@ -550,11 +602,24 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
             incr outbound;
             dead := n :: !dead
       end
-  done;
+    end
+  in
+  (* An `Interior pass never removes particles (movers and walls need a
+     shell cell), so the indices it defers stay valid for the `Deferred
+     pass that follows. *)
+  (match region with
+  | `Deferred d ->
+      for m = 0 to Defer.count d - 1 do
+        push_one (Defer.get d m)
+      done
+  | `All | `Interior _ ->
+      for n = first to last do
+        push_one n
+      done);
   (* Remove absorbed/outbound particles, highest index first so the
      swap-with-last removals stay valid (dead is in descending order). *)
   List.iter (fun n -> Species.remove s n) !dead;
-  let advanced = last - first + 1 in
+  let advanced = !pushed in
   Perf.add_particle_steps perf (float_of_int advanced);
   Perf.add_flops perf
     ((float_of_int advanced *. (Interp.flops_per_gather +. flops_per_push))
@@ -588,22 +653,23 @@ let finish_movers ?(perf = Perf.global) ?movers_out ?rng (s : Species.t) f bc
   let cell = Array.make 3 0 in
   let settled = ref 0 and absorbed = ref 0 and reemitted = ref 0 in
   let b = incoming.Movers.buf in
+  let bget o = Bigarray.Array1.unsafe_get b o in
   for idx = 0 to incoming.Movers.n - 1 do
     let o = idx * Movers.stride in
-    cell.(0) <- int_of_float b.(o);
-    cell.(1) <- int_of_float b.(o + 1);
-    cell.(2) <- int_of_float b.(o + 2);
+    cell.(0) <- int_of_float (bget o);
+    cell.(1) <- int_of_float (bget (o + 1));
+    cell.(2) <- int_of_float (bget (o + 2));
     assert (Grid.is_interior g cell.(0) cell.(1) cell.(2));
-    wk.(0) <- b.(o + 3);
-    wk.(1) <- b.(o + 4);
-    wk.(2) <- b.(o + 5);
-    wk.(3) <- b.(o + 10);
-    wk.(4) <- b.(o + 11);
-    wk.(5) <- b.(o + 12);
-    u.(0) <- b.(o + 6);
-    u.(1) <- b.(o + 7);
-    u.(2) <- b.(o + 8);
-    let w = b.(o + 9) in
+    wk.(0) <- bget (o + 3);
+    wk.(1) <- bget (o + 4);
+    wk.(2) <- bget (o + 5);
+    wk.(3) <- bget (o + 10);
+    wk.(4) <- bget (o + 11);
+    wk.(5) <- bget (o + 12);
+    u.(0) <- bget (o + 6);
+    u.(1) <- bget (o + 7);
+    u.(2) <- bget (o + 8);
+    let w = bget (o + 9) in
     let qw = s.Species.q *. w in
     match
       walk env ~wk ~cell ~u ~cxc:(qw *. kx) ~cyc:(qw *. ky) ~czc:(qw *. kz)

@@ -40,14 +40,16 @@ val flops_per_push : float
 val flops_per_segment : float
 (** one Villasenor–Buneman segment deposition *)
 
-(** Particles stopped at a [Domain] face, packed {!Movers.stride} floats
-    each: cell (i,j,k as exact integers), in-cell position (f32-exact by
-    construction), momentum + weight (f64: the neighbour must perform
-    the same f64 arithmetic a serial walk would), and the unconsumed
-    displacement in cell units.  [buf] is the wire format — migration
-    sends [wire] verbatim, no boxing. *)
+(** Particles stopped at a [Domain] face, packed {!Movers.stride} Float32
+    values each in a Bigarray: cell (i,j,k as exact integers), in-cell
+    position (f32-exact by construction), momentum + weight (f32 —
+    exactly what the 32-byte store would have kept after settling), and
+    the unconsumed displacement in cell units (rounded to f32).  [buf]
+    {e is} the wire format of the persistent migrate ports — migration
+    copies the first [n * stride] values straight into the port buffer,
+    no boxing, no intermediate array. *)
 module Movers : sig
-  type t = { mutable buf : float array; mutable n : int }
+  type t = { mutable buf : Store.f32; mutable n : int }
 
   (** Floats per mover: i,j,k, fx,fy,fz, ux,uy,uz, w, rx,ry,rz. *)
   val stride : int
@@ -56,11 +58,19 @@ module Movers : sig
   val count : t -> int
   val clear : t -> unit
 
-  (** Wrap a received payload (length must be a multiple of [stride]). *)
-  val of_wire : float array -> t
+  (** [of_wire buf n] views [n] movers at the start of a received port
+      buffer, in place: only valid while the buffer is. *)
+  val of_wire : Store.f32 -> int -> t
+end
 
-  (** The first [count * stride] floats, freshly copied. *)
-  val wire : t -> float array
+(** Reusable index list of particles deferred to the boundary pass of a
+    split push.  Create once per species and reuse across steps. *)
+module Defer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val count : t -> int
+  val clear : t -> unit
 end
 
 (** Momentum-update kernel selection (see the kernel docs below). *)
@@ -81,7 +91,19 @@ type stats = {
     mode must not delete particles: no absorbing or domain faces there).
     Outbound particles are appended to [movers]; raises
     [Invalid_argument] if a domain face is crossed with no [movers]
-    buffer. *)
+    buffer.
+
+    [region] splits the push around an in-flight ghost fill.  The
+    boundary {e shell} is the set of cells touching the ghost layer
+    (local index 1 or n on any axis): only shell particles read ghost
+    fields through the gather stencil, reach a wall, or become movers.
+    [`Interior d] pushes every particle outside the shell — valid before
+    the ghost fill completes — and records the shell particles' indices
+    in [d] (cleared by the caller); it never deletes particles, so the
+    recorded indices stay valid.  [`Deferred d] then pushes exactly
+    those (ignoring [first]/[count]).  [`All] (default) is the fused
+    equivalent.  [stats.advanced] counts particles actually pushed by
+    the call. *)
 val advance :
   ?perf:Vpic_util.Perf.counters ->
   ?first:int ->
@@ -90,6 +112,7 @@ val advance :
   ?gather_from:Vpic_field.Em_field.t ->
   ?rng:Vpic_util.Rng.t ->
   ?pusher:kind ->
+  ?region:[ `All | `Interior of Defer.t | `Deferred of Defer.t ] ->
   Species.t ->
   Vpic_field.Em_field.t ->
   Vpic_grid.Bc.t ->

@@ -24,6 +24,9 @@ val global : counters
 
 (** {1 Wall-clock timing} *)
 
+(** The one wall-clock source for benches, examples and phase timers. *)
+val now : unit -> float
+
 type timer
 
 val timer_create : unit -> timer

@@ -102,7 +102,8 @@ let test_fill_ghosts_matches_global_wrap () =
         (* fill interior with the global function *)
         Grid.iter_interior g (fun i j k ->
             Sf.set f i j k (global_value (x_off + i) j k));
-        Exchange.fill_ghosts c bc [ f ];
+        let ports = Exchange.create c bc g in
+        Exchange.fill_ghosts ports [ f ];
         (* ghost at i=0 must hold the global value of the wrapped x-neighbour *)
         for k = 1 to 4 do
           for j = 1 to 4 do
@@ -133,7 +134,8 @@ let test_fold_ghosts_accumulates_across () =
         let f = Sf.create g in
         (* place a deposit in this rank's hi-x ghost plane *)
         Sf.set f 5 2 2 (1. +. float_of_int rank);
-        Exchange.fold_ghosts c bc [ f ];
+        let ports = Exchange.create c bc g in
+        Exchange.fold_ghosts ports [ f ];
         (* after folding, my interior slot (1,2,2) holds the other rank's
            ghost deposit *)
         (Sf.get f 1 2 2, Sf.get f 5 2 2))
@@ -146,13 +148,15 @@ let test_fold_ghosts_accumulates_across () =
 
 (* --- Deterministic global particle loading for equivalence tests --------- *)
 
-let deterministic_load sim ~(x_off : int) ~gnx ~ppc =
+let deterministic_load sim ~(x_off : int) ~(y_off : int) ~gnx ~ppc =
   ignore gnx;
   let g = sim.Simulation.grid in
   let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
   let ions = Simulation.add_species sim ~name:"ion" ~q:1. ~m:100. in
   Grid.iter_interior g (fun i j k ->
-      let rng = Rng.of_int ((((x_off + i) * 997) + (j * 89) + k) * 13) in
+      let rng =
+        Rng.of_int ((((x_off + i) * 997) + ((y_off + j) * 89) + k) * 13)
+      in
       for _ = 1 to ppc do
         let fx = Rng.uniform rng and fy = Rng.uniform rng and fz = Rng.uniform rng in
         let ux = 0.1 *. Rng.normal rng
@@ -177,7 +181,7 @@ let serial_reference ~steps =
     Simulation.make ~grid ~coupler:(Coupler.local Bc.periodic)
       ~clean_div_interval:5 ~sort_interval:4 ()
   in
-  ignore (deterministic_load sim ~x_off:0 ~gnx ~ppc:8);
+  ignore (deterministic_load sim ~x_off:0 ~y_off:0 ~gnx ~ppc:8);
   let energies = ref [] in
   for _ = 1 to steps do
     Simulation.step sim;
@@ -198,12 +202,12 @@ let parallel_run ~steps ~ranks =
         let grid = Decomp.local_grid d ~dt ~rank in
         let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
         let sim =
-          Simulation.make ~grid ~coupler:(Coupler.parallel c bc)
+          Simulation.make ~grid ~coupler:(Coupler.parallel c bc ~grid)
             ~clean_div_interval:5 ~sort_interval:4 ()
         in
         let cx, _, _ = Decomp.coords_of_rank d rank in
         let nx_local = gnx / ranks in
-        ignore (deterministic_load sim ~x_off:(cx * nx_local) ~gnx ~ppc:8);
+        ignore (deterministic_load sim ~x_off:(cx * nx_local) ~y_off:0 ~gnx ~ppc:8);
         let energies = ref [] in
         for _ = 1 to steps do
           Simulation.step sim;
@@ -220,11 +224,13 @@ let test_parallel_matches_serial () =
   let serial_e, serial_np = serial_reference ~steps in
   let par_e, par_np = parallel_run ~steps ~ranks:2 in
   Alcotest.(check int) "particle count" serial_np par_np;
-  (* Deposition order differs between decompositions, so agreement is to
-     accumulated roundoff; with mover-based migration that stays at the
-     1e-15 level over 30 steps. *)
+  (* Ghost planes and mover payloads cross the wire in Float32, so the
+     parallel trajectory accumulates single-precision roundoff against
+     the all-f64 serial one: ~1e-7 relative per step, observed below
+     1e-6 after 30 steps on this deck.  (Deposition-order roundoff, the
+     pre-port bound, sits far beneath that at 1e-15.) *)
   List.iter2
-    (fun a b -> check_close ~rtol:1e-12 "energy trajectory" a b)
+    (fun a b -> check_close ~rtol:1e-5 "energy trajectory" a b)
     serial_e par_e
 
 let test_migration_conserves () =
@@ -246,26 +252,36 @@ let test_migration_conserves () =
             { i = 1; j; k = 2; fx = 0.05; fy = 0.5; fz = 0.5;
               ux = -2.0; uy = 0.; uz = 0.3; w = 1. }
         done;
+        let ports = Exchange.create c bc grid in
         let movers = Push.Movers.create () in
         let st = Push.advance ~movers s f bc in
         check_true "some went outbound" (st.Push.outbound > 0);
         Alcotest.(check int) "movers match outbound count"
           st.Push.outbound (Push.Movers.count movers);
-        let mig = Migrate.exchange c bc s f movers in
+        let mig = Migrate.exchange ports s f movers in
+        (* the caller's mover buffer must drain to zero *)
+        Alcotest.(check int) "movers drained" 0 (Push.Movers.count movers);
         (* every mover must have settled somewhere *)
         Species.iter s (fun n -> check_true "interior" (not (Species.in_ghost s n)));
         let mom = Species.momentum s in
+        let charge = ref 0. in
+        Species.iter s (fun n -> charge := !charge +. (Species.get s n).Particle.w);
         ( float_of_int (Species.count s),
           mom,
+          s.Species.q *. !charge,
           mig.Migrate.sent,
           mig.Migrate.received,
           mig.Migrate.settled ))
   in
-  let n0, m0, s0, r0, f0 = results.(0) and n1, m1, s1, r1, f1 = results.(1) in
+  let n0, m0, q0, s0, r0, f0 = results.(0)
+  and n1, m1, q1, s1, r1, f1 = results.(1) in
   check_close "total count conserved" 16. (n0 +. n1);
   Alcotest.(check int) "sent = received globally" (s0 + s1) (r0 + r1);
   Alcotest.(check int) "all arrivals settled" (r0 + r1) (f0 + f1);
   check_true "messages actually flowed" (s0 + s1 > 0);
+  (* total charge q * sum(w) must survive the trip exactly: unit weights
+     are exact in f32, so no tolerance is needed beyond the f64 sum *)
+  check_close ~rtol:1e-12 "total charge conserved" (-16.) (q0 +. q1);
   (* total momentum is untouched by migration (no fields); the store
      holds f32-rounded momenta, so expectations round first *)
   let px = m0.Vec3.x +. m1.Vec3.x in
@@ -286,14 +302,12 @@ let parallel_run_2d ~steps =
         let grid = Decomp.local_grid d ~dt ~rank in
         let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
         let sim =
-          Simulation.make ~grid ~coupler:(Coupler.parallel c bc)
+          Simulation.make ~grid ~coupler:(Coupler.parallel c bc ~grid)
             ~clean_div_interval:5 ~sort_interval:4 ()
         in
         let cx, cy, _ = Decomp.coords_of_rank d rank in
-        ignore (deterministic_load sim ~x_off:(cx * 4) ~gnx:8 ~ppc:6);
-        (* shift the per-cell seeds by the y offset so ranks sample the
-           same global microstate as the serial reference below *)
-        ignore cy;
+        ignore
+          (deterministic_load sim ~x_off:(cx * 4) ~y_off:(cy * 4) ~gnx:8 ~ppc:6);
         let energies = ref [] in
         for _ = 1 to steps do
           Simulation.step sim;
@@ -333,7 +347,7 @@ let test_parallel_2d_matches_serial () =
     Simulation.make ~grid ~coupler:(Coupler.local Bc.periodic)
       ~clean_div_interval:5 ~sort_interval:4 ()
   in
-  ignore (deterministic_load sim ~x_off:0 ~gnx:8 ~ppc:6);
+  ignore (deterministic_load sim ~x_off:0 ~y_off:0 ~gnx:8 ~ppc:6);
   let serial = ref [] in
   for _ = 1 to steps do
     Simulation.step sim;
@@ -346,30 +360,13 @@ let test_parallel_2d_matches_serial () =
         let lgrid = Decomp.local_grid d ~dt ~rank in
         let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
         let psim =
-          Simulation.make ~grid:lgrid ~coupler:(Coupler.parallel c bc)
+          Simulation.make ~grid:lgrid ~coupler:(Coupler.parallel c bc ~grid:lgrid)
             ~clean_div_interval:5 ~sort_interval:4 ()
         in
         let cx, cy, _ = Decomp.coords_of_rank d rank in
-        (* global cell (x_off+i, y_off+j, k): encode both offsets *)
-        let e = Simulation.add_species psim ~name:"electron" ~q:(-1.) ~m:1. in
-        let ions = Simulation.add_species psim ~name:"ion" ~q:1. ~m:100. in
-        Grid.iter_interior lgrid (fun i j k ->
-            let gi = (cx * 4) + i and gj = (cy * 4) + j in
-            let rng = Rng.of_int (((gi * 997) + (gj * 89) + k) * 13) in
-            for _ = 1 to 6 do
-              let fx = Rng.uniform rng and fy = Rng.uniform rng and fz = Rng.uniform rng in
-              let ux = 0.1 *. Rng.normal rng
-              and uy = 0.1 *. Rng.normal rng
-              and uz = 0.1 *. Rng.normal rng in
-              let w = Grid.cell_volume lgrid /. 6. in
-              Species.append e { i; j; k; fx; fy; fz; ux; uy; uz; w };
-              Species.append ions
-                { i; j; k; fx; fy; fz;
-                  ux = 0.01 *. Rng.normal rng;
-                  uy = 0.01 *. Rng.normal rng;
-                  uz = 0.01 *. Rng.normal rng;
-                  w }
-            done);
+        ignore
+          (deterministic_load psim ~x_off:(cx * 4) ~y_off:(cy * 4) ~gnx:8
+             ~ppc:6);
         let es = ref [] in
         for _ = 1 to steps do
           Simulation.step psim;
@@ -377,9 +374,73 @@ let test_parallel_2d_matches_serial () =
         done;
         List.rev !es)
   in
+  (* f32 wire (see test_parallel_matches_serial): roundoff-level, not
+     bitwise, agreement with the f64 serial reference *)
   List.iter2
-    (fun a b -> check_close ~rtol:1e-11 "2d energy trajectory" a b)
+    (fun a b -> check_close ~rtol:1e-5 "2d energy trajectory" a b)
     serial results.(0)
+
+(* --- Decomposition equivalence (field energy + species moments) ---------- *)
+
+(* Run the same global deck for [steps] on a px x py x 1 decomposition and
+   return (field energy, per-species kinetic energies, per-species
+   momentum components), all globally reduced. *)
+let run_small_deck ~steps ~px ~py =
+  let gnx = 8 and gny = 8 in
+  let d =
+    Decomp.make ~px ~py ~pz:1 ~gnx ~gny ~gnz:2 ~lx:4. ~ly:4. ~lz:1.
+  in
+  let dt = Grid.courant_dt ~dx:0.5 ~dy:0.5 ~dz:0.5 () in
+  let results =
+    Comm.run ~ranks:(px * py) (fun c ->
+        let rank = Comm.rank c in
+        let grid = Decomp.local_grid d ~dt ~rank in
+        let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
+        let sim =
+          Simulation.make ~grid ~coupler:(Coupler.parallel c bc ~grid)
+            ~clean_div_interval:5 ~sort_interval:4 ()
+        in
+        let cx, cy, _ = Decomp.coords_of_rank d rank in
+        ignore
+          (deterministic_load sim ~x_off:(cx * (gnx / px))
+             ~y_off:(cy * (gny / py)) ~gnx ~ppc:6);
+        for _ = 1 to steps do
+          Simulation.step sim
+        done;
+        let en = Simulation.energies sim in
+        let mom =
+          Array.of_list
+            (List.concat_map
+               (fun s ->
+                 let m = Species.momentum s in
+                 [ m.Vec3.x; m.Vec3.y; m.Vec3.z ])
+               (Simulation.species sim))
+        in
+        ( en.Simulation.field_e +. en.Simulation.field_b,
+          List.map snd en.Simulation.particles,
+          Comm.allreduce_sum_array c mom ))
+  in
+  results.(0)
+
+let test_decomposition_equivalence () =
+  (* The same microstate split along x (2x1x1) and along y (1x2x1) must
+     reproduce the 1-rank run's field energy and per-species moments to
+     f32 wire round-off after 20 steps. *)
+  let steps = 20 in
+  let f1, ke1, m1 = run_small_deck ~steps ~px:1 ~py:1 in
+  let check tag (f, ke, m) =
+    check_close ~rtol:2e-5 (tag ^ ": field energy") f1 f;
+    List.iter2
+      (fun a b -> check_close ~rtol:2e-5 (tag ^ ": species KE") a b)
+      ke1 ke;
+    (* momentum components are near-cancelling sums of thermal momenta,
+       so compare absolutely at the f32-accumulation scale *)
+    Array.iteri
+      (fun i a -> check_close ~rtol:1e-4 ~atol:1e-4 (tag ^ ": momentum") a m.(i))
+      m1
+  in
+  check "2x1x1" (run_small_deck ~steps ~px:2 ~py:1);
+  check "1x2x1" (run_small_deck ~steps ~px:1 ~py:2)
 
 let test_four_rank_smoke () =
   (* 4 ranks on 2 cores: oversubscription must still be correct. *)
@@ -392,7 +453,7 @@ let test_four_rank_smoke () =
         let grid = Decomp.local_grid d ~dt ~rank in
         let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
         let sim =
-          Simulation.make ~grid ~coupler:(Coupler.parallel c bc)
+          Simulation.make ~grid ~coupler:(Coupler.parallel c bc ~grid)
             ~clean_div_interval:0 ()
         in
         let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
@@ -415,6 +476,8 @@ let suite =
     case "exchange: fold accumulates across ranks" test_fold_ghosts_accumulates_across;
     slow_case "parallel: 2-rank run matches serial" test_parallel_matches_serial;
     case "migrate: conserves particles and momentum" test_migration_conserves;
+    slow_case "parallel: x-split and y-split match 1 rank"
+      test_decomposition_equivalence;
     slow_case "parallel: 4-rank smoke" test_four_rank_smoke;
     slow_case "parallel: 2x2 deterministic" test_parallel_2d_decomposition;
     slow_case "parallel: 2x2 matches serial" test_parallel_2d_matches_serial ]

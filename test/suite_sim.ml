@@ -292,7 +292,7 @@ let test_parallel_checkpoint_roundtrip () =
             let rank = Comm.rank c in
             let grid = Decomp.local_grid d ~dt ~rank in
             let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
-            let coupler = Coupler.parallel c bc in
+            let coupler = Coupler.parallel c bc ~grid in
             let sim =
               Simulation.make ~grid ~coupler ~clean_div_interval:5 ()
             in
