@@ -4,6 +4,10 @@
      vpic_run two-stream  [--u0 0.1] [--ppc 256] [--t-end 12]
      vpic_run srs         [--a0 0.09] [--nr 0.1] [--te 2.5] [--nx 192]
                           [--ppc 32] [--steps N] [--checkpoint FILE]
+                          [--checkpoint-dir DIR] [--checkpoint-every N]
+                          [--keep-generations K] [--resume auto]
+                          [--sentinel-every N] [--sentinel-log FILE]
+                          [--fault-kill-step N] [--fault-seed S]
      vpic_run sweep       [--a0s 0.02,0.04,...] [--ppc 32] [--with-noise-run]
      vpic_run model       [--cus 17] [--particles 1e12] [--voxels 1.36e8]
 *)
@@ -20,7 +24,10 @@ module Particle = Vpic_particle.Particle
 module Rng = Vpic_util.Rng
 module Table = Vpic_util.Table
 module Perf = Vpic_util.Perf
+module Sentinel = Vpic.Sentinel
+module Fault = Vpic_util.Fault
 module Deck = Vpic_lpi.Deck
+module Reflectivity = Vpic_lpi.Reflectivity
 module Sweep = Vpic_lpi.Sweep
 module Trapping = Vpic_lpi.Trapping
 module Srs_theory = Vpic_lpi.Srs_theory
@@ -114,17 +121,67 @@ let two_stream_cmd =
 
 (* ------------------------------------------------------------------ srs *)
 
-let run_srs a0 nr te nx ppc steps checkpoint =
+let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
+    sentinel_every sentinel_log kill_step fault_seed =
+  (* Fault injection is armed before anything else so even the first
+     steps are covered; it is a no-op unless these flags are given. *)
+  (match kill_step with
+  | Some s ->
+      Fault.enable ~seed:fault_seed;
+      Fault.arm (Fault.Kill_rank { rank = 0; step = s })
+  | None -> ());
   let config = { Deck.default with a0; nr; te_kev = te; nx; ppc } in
   let setup = Deck.build config in
   let steps =
     match steps with Some s -> s | None -> Deck.suggested_steps config
   in
+  (* Resume: rebuild the deck (above) for its lasers and probe, then
+     swap in the simulation restored from the newest valid generation.
+     Antennas are closures and are not checkpointed — they re-attach
+     here from the freshly built deck. *)
+  let setup =
+    if not resume then setup
+    else
+      match
+        Checkpoint.load_latest_valid
+          ~coupler:setup.Deck.sim.Simulation.coupler ~dir:ckpt_dir
+      with
+      | None ->
+          Printf.printf "resume: no valid generation under %s, starting fresh\n%!"
+            ckpt_dir;
+          setup
+      | Some (sim, gen) ->
+          Printf.printf "resume: restored generation %d (step %d) from %s\n%!"
+            gen sim.Simulation.nstep ckpt_dir;
+          List.iter (Simulation.add_laser sim)
+            (Simulation.lasers setup.Deck.sim);
+          { setup with Deck.sim }
+  in
+  let sim = setup.Deck.sim in
+  (if sentinel_every > 0 then begin
+     let log =
+       match sentinel_log with
+       | None -> fun m -> prerr_endline ("[sentinel] " ^ m)
+       | Some path ->
+           let oc = open_out path in
+           at_exit (fun () -> close_out_noerr oc);
+           fun m ->
+             output_string oc (m ^ "\n");
+             flush oc
+     in
+     Sentinel.attach (Sentinel.make ~interval:sentinel_every ~log ()) sim
+   end);
   Printf.printf "SRS deck: a0=%.3f nr=%.2f Te=%.1f keV, %d particles, %d steps\n%!"
     a0 nr te
-    (Simulation.total_particles setup.Deck.sim)
+    (Simulation.total_particles sim)
     steps;
-  let r = Deck.run setup ~steps in
+  for step = sim.Simulation.nstep + 1 to steps do
+    Simulation.step sim;
+    Reflectivity.sample setup.Deck.refl sim.Simulation.fields;
+    if ckpt_every > 0 && step mod ckpt_every = 0 then
+      Checkpoint.save_generation sim ~dir:ckpt_dir ~gen:step ~keep
+  done;
+  let r = Reflectivity.reflectivity setup.Deck.refl in
   let electrons = Simulation.find_species setup.Deck.sim "electron" in
   let fv = Trapping.distribution electrons in
   Printf.printf "reflectivity = %.4e\n" r;
@@ -155,11 +212,40 @@ let run_srs a0 nr te nx ppc steps checkpoint =
           Printf.sprintf "%.1f" (100. *. s /. Float.max 1e-12 total) ])
     phases;
   Table.print ~title:"phase timing" t;
+  let en = Simulation.energies sim in
+  Printf.printf "final total energy = %.10e at step %d\n" en.Simulation.total
+    sim.Simulation.nstep;
   match checkpoint with
   | Some path ->
-      Checkpoint.save setup.Deck.sim path;
+      Checkpoint.save sim path;
       Printf.printf "checkpoint written to %s\n" path
   | None -> ()
+
+(* Typed failures get a readable one-line report and a distinct exit
+   code (2 = unusable checkpoint, 3 = injected fault, 4 = health abort)
+   so the CI smoke job can tell them apart. *)
+let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
+    sentinel_every sentinel_log kill_step fault_seed =
+  try
+    run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
+      sentinel_every sentinel_log kill_step fault_seed
+  with
+  | Checkpoint.Version_mismatch { path; found; expected } ->
+      Printf.eprintf
+        "vpic_run: %s is a format-%d checkpoint; this build reads format %d\n"
+        path found expected;
+      exit 2
+  | Checkpoint.Corrupt { path; reason } ->
+      Printf.eprintf "vpic_run: checkpoint %s is unusable: %s\n" path reason;
+      exit 2
+  | Fault.Injected_kill { rank; step } ->
+      Printf.eprintf "vpic_run: fault injection killed rank %d at step %d\n"
+        rank step;
+      exit 3
+  | Sentinel.Health_violation d ->
+      Printf.eprintf "vpic_run: health sentinel abort: %s\n"
+        (Sentinel.diagnosis_to_string d);
+      exit 4
 
 let srs_cmd =
   let a0 = Arg.(value & opt float 0.09 & info [ "a0" ] ~doc:"Pump amplitude.") in
@@ -174,9 +260,53 @@ let srs_cmd =
     Arg.(value & opt (some string) None
          & info [ "checkpoint" ] ~doc:"Write a checkpoint at the end.")
   in
+  let ckpt_dir =
+    Arg.(value & opt string "srs.ckpt"
+         & info [ "checkpoint-dir" ]
+             ~doc:"Directory for periodic checkpoint generations.")
+  in
+  let ckpt_every =
+    Arg.(value & opt int 0
+         & info [ "checkpoint-every" ]
+             ~doc:"Save a checkpoint generation every N steps (0 = off).")
+  in
+  let keep =
+    Arg.(value & opt int 3
+         & info [ "keep-generations" ]
+             ~doc:"Checkpoint generations to retain.")
+  in
+  let resume =
+    let modes = Arg.enum [ ("auto", true); ("off", false) ] in
+    Arg.(value & opt modes false
+         & info [ "resume" ]
+             ~doc:"$(b,auto) resumes from the newest valid generation in \
+                   --checkpoint-dir (falling back past corrupted ones); \
+                   $(b,off) starts fresh.")
+  in
+  let sentinel_every =
+    Arg.(value & opt int 0
+         & info [ "sentinel-every" ]
+             ~doc:"Run the numerical health sentinel every N steps (0 = off).")
+  in
+  let sentinel_log =
+    Arg.(value & opt (some string) None
+         & info [ "sentinel-log" ]
+             ~doc:"Append sentinel violations to this file (default stderr).")
+  in
+  let kill_step =
+    Arg.(value & opt (some int) None
+         & info [ "fault-kill-step" ]
+             ~doc:"Fault injection: kill the run during step N.")
+  in
+  let fault_seed =
+    Arg.(value & opt int 1
+         & info [ "fault-seed" ] ~doc:"Fault injection RNG seed.")
+  in
   Cmd.v
     (Cmd.info "srs" ~doc:"Laser-plasma SRS deck (one parameter-study point)")
-    Term.(const run_srs $ a0 $ nr $ te $ nx $ ppc $ steps $ ckpt)
+    Term.(const run_srs $ a0 $ nr $ te $ nx $ ppc $ steps $ ckpt $ ckpt_dir
+          $ ckpt_every $ keep $ resume $ sentinel_every $ sentinel_log
+          $ kill_step $ fault_seed)
 
 (* ---------------------------------------------------------------- sweep *)
 

@@ -3,8 +3,14 @@ module Sf = Vpic_grid.Scalar_field
 module Em_field = Vpic_field.Em_field
 module Species = Vpic_particle.Species
 module Store = Vpic_particle.Store
+module Crc32 = Vpic_util.Crc32
+module Rng = Vpic_util.Rng
+module Fault = Vpic_util.Fault
 
-let format_version = 3
+let format_version = 4
+
+exception Corrupt of { path : string; reason : string }
+exception Version_mismatch of { path : string; found : int; expected : int }
 
 type grid_snap = {
   nx : int;
@@ -17,6 +23,25 @@ type grid_snap = {
   x0 : float;
   y0 : float;
   z0 : float;
+}
+
+(* Everything needed to rebuild an identical [Simulation.make] call plus
+   the step counter and both RNG streams, so a restored run continues
+   bitwise — including [Refluxing]-face re-emission, whose draws come
+   from [push_rng] (serial and local crossings) and [migrate_rng]
+   (crossings finished on the neighbour rank). *)
+type meta_snap = {
+  nstep : int;
+  grid : grid_snap;
+  sort_interval : int;
+  clean_div_interval : int;
+  marder_passes : int;
+  current_filter_passes : int;
+  absorber_thickness : int;
+  absorber_strength : float;
+  pusher : Vpic_particle.Push.kind;
+  push_rng : Rng.state;
+  migrate_rng : Rng.state option;
 }
 
 (* Particle data is serialised as the store's own Float32/Int32
@@ -37,17 +62,60 @@ type species_snap = {
   w : Store.f32;
 }
 
-type snap = {
-  version : int;
-  nstep : int;
-  grid : grid_snap;
-  sort_interval : int;
-  clean_div_interval : int;
-  marder_passes : int;
-  current_filter_passes : int;
-  field_data : (string * float array) list;
-  species : species_snap list;
-}
+type fields_snap = (string * float array) list
+
+(* ------------------------------------------------------- wire format ---- *)
+
+(* Layout: an 8-byte magic, a 4-byte big-endian format version, then
+   three sections (meta, fields, species), each a 4-byte length, a 4-byte
+   CRC-32 and that many Marshal payload bytes.  Checksums are verified
+   BEFORE any byte reaches [Marshal.from_bytes]: unmarshalling corrupted
+   input is undefined behaviour, a mismatch here is a typed error the
+   generation fallback can act on. *)
+
+let magic = "VPICCKPT"
+
+let write_u32 oc v =
+  output_char oc (Char.chr ((v lsr 24) land 0xFF));
+  output_char oc (Char.chr ((v lsr 16) land 0xFF));
+  output_char oc (Char.chr ((v lsr 8) land 0xFF));
+  output_char oc (Char.chr (v land 0xFF))
+
+let read_u32 ic path =
+  let b = Bytes.create 4 in
+  (try really_input ic b 0 4
+   with End_of_file -> raise (Corrupt { path; reason = "truncated header" }));
+  let g i = Char.code (Bytes.get b i) in
+  (g 0 lsl 24) lor (g 1 lsl 16) lor (g 2 lsl 8) lor g 3
+
+let write_section oc payload =
+  write_u32 oc (Bytes.length payload);
+  write_u32 oc (Int32.to_int (Crc32.bytes payload) land 0xFFFFFFFF);
+  output_bytes oc payload
+
+let read_section ic path ~what ~remaining =
+  let len = read_u32 ic path in
+  let crc = read_u32 ic path in
+  if len < 0 || len > remaining then
+    raise
+      (Corrupt
+         { path;
+           reason = Printf.sprintf "%s section length %d exceeds file" what len });
+  let payload = Bytes.create len in
+  (try really_input ic payload 0 len
+   with End_of_file ->
+     raise (Corrupt { path; reason = "truncated " ^ what ^ " section" }));
+  let found = Int32.to_int (Crc32.bytes payload) land 0xFFFFFFFF in
+  if found <> crc then
+    raise
+      (Corrupt
+         { path;
+           reason =
+             Printf.sprintf "%s section checksum mismatch (%08x, expected %08x)"
+               what found crc });
+  payload
+
+(* -------------------------------------------------------------- save ---- *)
 
 let floats_of_sf sf =
   let d = Sf.data sf in
@@ -83,65 +151,138 @@ let snap_species (s : Species.t) =
     uz = trim_f32 st.Store.uz np;
     w = trim_f32 st.Store.w np }
 
-let save (t : Simulation.t) path =
+let snap_meta (t : Simulation.t) =
   let g = t.Simulation.grid in
   let lx, ly, lz = Grid.extent g in
-  let snap =
-    { version = format_version;
-      nstep = t.Simulation.nstep;
-      grid =
-        { nx = g.Grid.nx;
-          ny = g.Grid.ny;
-          nz = g.Grid.nz;
-          lx;
-          ly;
-          lz;
-          dt = g.Grid.dt;
-          x0 = g.Grid.x0;
-          y0 = g.Grid.y0;
-          z0 = g.Grid.z0 };
-      sort_interval = t.Simulation.sort_interval;
-      clean_div_interval = t.Simulation.clean_div_interval;
-      marder_passes = t.Simulation.marder_passes;
-      current_filter_passes = t.Simulation.current_filter_passes;
-      field_data =
-        List.map
-          (fun (name, sf) -> (name, floats_of_sf sf))
-          (Em_field.named_components t.Simulation.fields);
-      species = List.map snap_species (Simulation.species t) }
+  { nstep = t.Simulation.nstep;
+    grid =
+      { nx = g.Grid.nx;
+        ny = g.Grid.ny;
+        nz = g.Grid.nz;
+        lx;
+        ly;
+        lz;
+        dt = g.Grid.dt;
+        x0 = g.Grid.x0;
+        y0 = g.Grid.y0;
+        z0 = g.Grid.z0 };
+    sort_interval = t.Simulation.sort_interval;
+    clean_div_interval = t.Simulation.clean_div_interval;
+    marder_passes = t.Simulation.marder_passes;
+    current_filter_passes = t.Simulation.current_filter_passes;
+    absorber_thickness = t.Simulation.absorber_thickness;
+    absorber_strength = t.Simulation.absorber_strength;
+    pusher = t.Simulation.pusher;
+    push_rng = Rng.state t.Simulation.push_rng;
+    migrate_rng =
+      Option.map Rng.state t.Simulation.coupler.Coupler.migrate_rng }
+
+let save (t : Simulation.t) path =
+  let meta = Marshal.to_bytes (snap_meta t) [] in
+  let fields : fields_snap =
+    List.map
+      (fun (name, sf) -> (name, floats_of_sf sf))
+      (Em_field.named_components t.Simulation.fields)
   in
-  let oc = open_out_bin path in
+  let fields = Marshal.to_bytes fields [] in
+  let species =
+    Marshal.to_bytes (List.map snap_species (Simulation.species t)) []
+  in
+  (* Atomic: land the complete file under a temporary name in the same
+     directory, then rename over [path].  A crash mid-write leaves the
+     previous checkpoint (or nothing) — never a short file under the
+     committed name. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc magic;
+         write_u32 oc format_version;
+         write_section oc meta;
+         write_section oc fields;
+         write_section oc species)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* -------------------------------------------------------------- load ---- *)
+
+let read_raw ~unmarshal path =
+  let ic = open_in_bin path in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Marshal.to_channel oc snap [])
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let mg = Bytes.create (String.length magic) in
+      (try really_input ic mg 0 (String.length magic)
+       with End_of_file -> raise (Corrupt { path; reason = "truncated magic" }));
+      if Bytes.to_string mg <> magic then
+        raise (Corrupt { path; reason = "bad magic (not a checkpoint)" });
+      let found = read_u32 ic path in
+      if found <> format_version then
+        raise (Version_mismatch { path; found; expected = format_version });
+      let section what =
+        read_section ic path ~what ~remaining:(size - pos_in ic)
+      in
+      let meta_b = section "meta" in
+      let fields_b = section "fields" in
+      let species_b = section "species" in
+      if not unmarshal then None
+      else begin
+        (* CRCs passed, so these bytes are exactly what [save] wrote;
+           wrap residual Marshal failures as corruption anyway. *)
+        try
+          let meta : meta_snap = Marshal.from_bytes meta_b 0 in
+          let fields : fields_snap = Marshal.from_bytes fields_b 0 in
+          let species : species_snap list = Marshal.from_bytes species_b 0 in
+          Some (meta, fields, species)
+        with Failure reason -> raise (Corrupt { path; reason })
+      end)
+
+(* Checksum-verify [path] without unmarshalling or building a simulation. *)
+let verify path =
+  match read_raw ~unmarshal:false path with
+  | _ -> Ok ()
+  | exception Corrupt { reason; _ } -> Error reason
+  | exception Version_mismatch { found; expected; _ } ->
+      Error (Printf.sprintf "format version %d, expected %d" found expected)
+  | exception Sys_error reason -> Error reason
 
 let load ~coupler path =
-  let ic = open_in_bin path in
-  let snap : snap =
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Marshal.from_channel ic)
+  let meta, fields, species =
+    match read_raw ~unmarshal:true path with
+    | Some x -> x
+    | None -> assert false
   in
-  if snap.version <> format_version then
-    failwith
-      (Printf.sprintf "Checkpoint.load: format version %d, expected %d"
-         snap.version format_version);
-  let gs = snap.grid in
+  let gs = meta.grid in
   let grid =
     Grid.make ~nx:gs.nx ~ny:gs.ny ~nz:gs.nz ~lx:gs.lx ~ly:gs.ly ~lz:gs.lz
       ~dt:gs.dt ~x0:gs.x0 ~y0:gs.y0 ~z0:gs.z0 ()
   in
   let t =
-    Simulation.make ~sort_interval:snap.sort_interval
-      ~clean_div_interval:snap.clean_div_interval
-      ~marder_passes:snap.marder_passes
-      ~current_filter_passes:snap.current_filter_passes ~grid ~coupler ()
+    Simulation.make ~sort_interval:meta.sort_interval
+      ~clean_div_interval:meta.clean_div_interval
+      ~marder_passes:meta.marder_passes
+      ~absorber_thickness:meta.absorber_thickness
+      ~absorber_strength:meta.absorber_strength
+      ~current_filter_passes:meta.current_filter_passes ~pusher:meta.pusher
+      ~grid ~coupler ()
   in
-  t.Simulation.nstep <- snap.nstep;
+  t.Simulation.nstep <- meta.nstep;
+  Rng.set_state t.Simulation.push_rng meta.push_rng;
+  (match (coupler.Coupler.migrate_rng, meta.migrate_rng) with
+  | Some r, Some st -> Rng.set_state r st
+  | _ -> ());
   List.iter
     (fun (name, data) ->
       match List.assoc_opt name (Em_field.named_components t.Simulation.fields) with
       | Some sf -> floats_into_sf data sf
-      | None -> failwith ("Checkpoint.load: unknown field component " ^ name))
-    snap.field_data;
+      | None ->
+          raise (Corrupt { path; reason = "unknown field component " ^ name }))
+    fields;
   List.iter
     (fun ss ->
       let s = Simulation.add_species t ~name:ss.sname ~q:ss.q ~m:ss.m in
@@ -160,5 +301,159 @@ let load ~coupler path =
       blit ss.uz (sub st.Store.uz 0 np);
       blit ss.w (sub st.Store.w 0 np);
       st.Store.np <- np)
-    snap.species;
+    species;
   t
+
+(* -------------------------------------------------------- generations ---- *)
+
+(* A run directory holds one subdirectory per generation (one file per
+   rank) plus a MANIFEST listing the generations whose every rank file
+   has landed.  Commit protocol: all ranks write their file (atomically),
+   barrier, then rank 0 rewrites the manifest (atomically) and prunes
+   generations beyond the retention window.  A crash anywhere leaves the
+   manifest pointing only at complete generations. *)
+
+let manifest_path dir = Filename.concat dir "MANIFEST"
+let manifest_magic = "vpic-checkpoint-manifest 1"
+let generation_dir ~dir ~gen = Filename.concat dir (Printf.sprintf "gen%08d" gen)
+
+let generation_path ~dir ~gen ~rank =
+  Filename.concat (generation_dir ~dir ~gen) (Printf.sprintf "rank%04d.ckpt" rank)
+
+let mkdir_exist_ok d =
+  try Unix.mkdir d 0o755
+  with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+type manifest = { nranks : int; generations : int list (* ascending *) }
+
+let read_manifest dir =
+  let path = manifest_path dir in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | l -> go (l :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    in
+    match lines with
+    | hd :: rest when hd = manifest_magic ->
+        let nranks = ref 0 and gens = ref [] in
+        List.iter
+          (fun l ->
+            match String.split_on_char ' ' l with
+            | [ "nranks"; n ] -> nranks := int_of_string n
+            | [ "gen"; g ] -> gens := int_of_string g :: !gens
+            | [] | [ "" ] -> ()
+            | _ -> raise (Corrupt { path; reason = "malformed line: " ^ l }))
+          rest;
+        Some { nranks = !nranks; generations = List.sort compare !gens }
+    | _ -> raise (Corrupt { path; reason = "bad manifest header" })
+  end
+
+let write_manifest dir m =
+  let path = manifest_path dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (manifest_magic ^ "\n");
+      Printf.fprintf oc "nranks %d\n" m.nranks;
+      List.iter (fun g -> Printf.fprintf oc "gen %d\n" g) m.generations);
+  Sys.rename tmp path
+
+let rm_rf_generation ~dir ~gen =
+  let d = generation_dir ~dir ~gen in
+  if Sys.file_exists d then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+      (Sys.readdir d);
+    try Unix.rmdir d with Unix.Unix_error _ -> ()
+  end
+
+let save_generation (t : Simulation.t) ~dir ~gen ~keep =
+  assert (keep >= 1);
+  let c = t.Simulation.coupler in
+  let rank = c.Coupler.rank in
+  if rank = 0 then begin
+    mkdir_exist_ok dir;
+    mkdir_exist_ok (generation_dir ~dir ~gen)
+  end;
+  (* Directories exist before any rank writes. *)
+  c.Coupler.barrier ();
+  let path = generation_path ~dir ~gen ~rank in
+  save t path;
+  Fault.checkpoint_written ~rank ~gen ~path;
+  (* Every rank's file is on disk before the generation is committed. *)
+  c.Coupler.barrier ();
+  if rank = 0 then begin
+    let prev =
+      match read_manifest dir with
+      | Some m ->
+          if m.nranks <> 0 && m.nranks <> c.Coupler.nranks then
+            raise
+              (Corrupt
+                 { path = manifest_path dir;
+                   reason =
+                     Printf.sprintf "manifest is for %d ranks, running %d"
+                       m.nranks c.Coupler.nranks });
+          List.filter (fun g -> g <> gen) m.generations
+      | None -> []
+    in
+    let all = List.sort compare (gen :: prev) in
+    let drop = max 0 (List.length all - keep) in
+    let dropped, kept =
+      List.partition
+        (let i = ref 0 in
+         fun _ ->
+           incr i;
+           !i <= drop)
+        all
+    in
+    write_manifest dir { nranks = c.Coupler.nranks; generations = kept };
+    List.iter (fun g -> rm_rf_generation ~dir ~gen:g) dropped
+  end
+
+let committed_generations ~dir =
+  match read_manifest dir with None -> [] | Some m -> m.generations
+
+let load_latest_valid ~coupler ~dir =
+  let c = coupler in
+  let gens =
+    match read_manifest dir with
+    | None -> []
+    | Some m ->
+        if m.nranks <> 0 && m.nranks <> c.Coupler.nranks then
+          raise
+            (Corrupt
+               { path = manifest_path dir;
+                 reason =
+                   Printf.sprintf "manifest is for %d ranks, running %d"
+                     m.nranks c.Coupler.nranks });
+        List.rev m.generations (* newest first *)
+  in
+  (* Collective: every rank walks the same generation list; a generation
+     is usable only when every rank's file verifies, so the fallback
+     decision is taken in lockstep (1.0 per valid rank, summed). *)
+  let rec pick = function
+    | [] -> None
+    | g :: rest ->
+        let mine =
+          match verify (generation_path ~dir ~gen:g ~rank:c.Coupler.rank) with
+          | Ok () -> 1.
+          | Error _ -> 0.
+        in
+        let valid = c.Coupler.reduce_sum mine in
+        if int_of_float valid = c.Coupler.nranks then Some g else pick rest
+  in
+  match pick gens with
+  | None -> None
+  | Some g ->
+      Some (load ~coupler (generation_path ~dir ~gen:g ~rank:c.Coupler.rank), g)

@@ -1,26 +1,78 @@
-(** Checkpoint / restart.
+(** Durable checkpoint / restart.
 
     Serialises the full simulation state (step counter, every field
-    component, every species) to a single file.  Particle data is
-    written as the store's own Float32/Int32 bigarrays (trimmed to the
-    live count) — 32 bytes per particle on disk, restored by blitting
-    straight back into the store, so the particle round-trip is
-    bit-exact.  Field data goes through plain float arrays in a
-    versioned snapshot record.
+    component, every species, both RNG streams) to a single file per
+    rank.  The file carries a magic, a format version and three
+    CRC-32-checksummed sections (meta, fields, species); checksums are
+    verified {e before} any byte is unmarshalled, so a corrupted or
+    truncated file is a typed {!Corrupt} error, never undefined
+    behaviour.  Writes are atomic: the bytes land under a temporary name
+    and are renamed into place, so a crash mid-save never clobbers the
+    previous checkpoint.
 
-    Limitations (stated, not hidden): laser antennas are closures and are
+    Particle data is written as the store's own Float32/Int32 bigarrays
+    (trimmed to the live count) — 32 bytes per particle on disk,
+    restored by blitting straight back into the store.  Both the push
+    RNG and (in parallel runs) the coupler's refluxing re-emission RNG
+    are saved and restored in place, so a resumed run is bitwise
+    identical to an uninterrupted one.
+
+    Limitation (stated, not hidden): laser antennas are closures and are
     not saved — re-attach them after {!load}; the coupler is
-    reconstructed by the caller (it embeds runtime handles); the
-    refluxing-wall RNG stream restarts from its seed, so runs with
-    [Refluxing] faces resume statistically, not bitwise. *)
+    reconstructed by the caller (it embeds runtime handles).
+
+    {1 Generations}
+
+    [save_generation] manages a run directory holding the last [keep]
+    checkpoint generations, one subdirectory per generation with one
+    file per rank, plus a [MANIFEST] listing only generations whose
+    every rank file has landed.  The commit protocol — all ranks save
+    atomically, barrier, rank 0 rewrites the manifest atomically and
+    prunes old generations — guarantees the manifest never points at a
+    partial generation.  [load_latest_valid] walks committed generations
+    newest-first and returns the first one whose every rank file passes
+    checksum verification. *)
 
 val format_version : int
 
-(** Write a checkpoint.  In a multi-rank run each rank saves its own file
-    (append the rank to the path). *)
+(** A checkpoint file failed structural or checksum validation. *)
+exception Corrupt of { path : string; reason : string }
+
+(** The file is a checkpoint, but from a different format version. *)
+exception Version_mismatch of { path : string; found : int; expected : int }
+
+(** {1 Single files} *)
+
+(** Write one checkpoint file atomically (temp + rename).  In a
+    multi-rank run each rank saves its own file. *)
 val save : Simulation.t -> string -> unit
 
 (** Restore.  [coupler] must describe the same topology/boundaries the
     checkpoint was taken with; the grid is rebuilt from the snapshot.
-    Raises [Failure] on version mismatch. *)
+    Raises {!Corrupt} or {!Version_mismatch}. *)
 val load : coupler:Coupler.t -> string -> Simulation.t
+
+(** Checksum-verify a file without unmarshalling or building a
+    simulation; [Error reason] on any structural, checksum, version or
+    I/O problem. *)
+val verify : string -> (unit, string) result
+
+(** {1 Multi-generation run directories} *)
+
+(** Rank [rank]'s file for generation [gen] under [dir]. *)
+val generation_path : dir:string -> gen:int -> rank:int -> string
+
+(** Collective.  Save every rank's file for generation [gen] (typically
+    the step number) under [dir], then commit it to the manifest and
+    prune all but the newest [keep] generations.  [keep >= 1]. *)
+val save_generation : Simulation.t -> dir:string -> gen:int -> keep:int -> unit
+
+(** Generations the manifest lists as fully committed, ascending.
+    Empty when [dir] has no manifest. *)
+val committed_generations : dir:string -> int list
+
+(** Collective.  Load the newest committed generation whose every rank
+    file verifies, falling back generation by generation; all ranks take
+    the same decision.  [None] when no usable generation exists. *)
+val load_latest_valid :
+  coupler:Coupler.t -> dir:string -> (Simulation.t * int) option

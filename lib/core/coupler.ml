@@ -19,6 +19,7 @@ type t = {
   reduce_max : float -> float;
   barrier : unit -> unit;
   comm_bytes : unit -> float;
+  migrate_rng : Vpic_util.Rng.t option;
   rank : int;
   nranks : int;
 }
@@ -41,6 +42,7 @@ let local bc =
     reduce_max = (fun x -> x);
     barrier = (fun () -> ());
     comm_bytes = (fun () -> 0.);
+    migrate_rng = None;
     rank = 0;
     nranks = 1 }
 
@@ -66,6 +68,7 @@ let parallel comm bc ~grid =
   let ems = memo1 Em_field.em_components in
   let es = memo1 Em_field.e_components in
   let js = memo1 Em_field.j_components in
+  let migrate_rng = Vpic_util.Rng.of_int (0x5EED + Comm.rank comm) in
   { bc;
     fill_em = (fun f -> Exchange.fill_ghosts ports (ems f));
     fill_em_begin = (fun f -> Exchange.fill_begin ports (ems f));
@@ -76,12 +79,13 @@ let parallel comm bc ~grid =
     fold_currents = (fun f -> Exchange.fold_ghosts ports (js f));
     fold_rho = (fun f -> Exchange.fold_ghosts ports [ f.Em_field.rho ]);
     migrate =
-      (let rng = Vpic_util.Rng.of_int (0x5EED + Comm.rank comm) in
-       fun s f movers -> ignore (Migrate.exchange ~rng ports s f movers));
+      (fun s f movers ->
+        ignore (Migrate.exchange ~rng:migrate_rng ports s f movers));
     reduce_sum = (fun x -> Comm.allreduce_sum comm x);
     reduce_max = (fun x -> Comm.allreduce_max comm x);
     barrier = (fun () -> Comm.barrier comm);
     comm_bytes = (fun () -> Exchange.bytes_moved ports);
+    migrate_rng = Some migrate_rng;
     rank = Comm.rank comm;
     nranks = Comm.size comm }
 

@@ -39,6 +39,10 @@ type t = {
   mutable species_rev : Species.t list;
   mutable lasers_rev : Laser.t list;
   absorber : Boundary.Absorber.t;
+  (* The absorber's construction parameters, kept so checkpoints can
+     rebuild an identical sponge on restore. *)
+  absorber_thickness : int;
+  absorber_strength : float;
   sort_interval : int;
   clean_div_interval : int;
   marder_passes : int;
@@ -49,6 +53,8 @@ type t = {
   mutable nstep : int;
   mutable push_stats : Push.stats;
   mutable scratch_rev : (Species.t * push_scratch) list;
+  mutable monitor : (t -> unit) option;
+      (* health hook, called after every completed step (see Sentinel) *)
   perf : Perf.counters;
   timers : phase_timers;
 }
@@ -77,6 +83,8 @@ let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     absorber =
       Boundary.Absorber.create grid coupler.Coupler.bc
         ~thickness:absorber_thickness ~strength:absorber_strength;
+    absorber_thickness;
+    absorber_strength;
     sort_interval;
     clean_div_interval;
     marder_passes;
@@ -88,6 +96,7 @@ let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     nstep = 0;
     push_stats = zero_stats;
     scratch_rev = [];
+    monitor = None;
     perf = Perf.create ();
     timers =
       { push = Perf.timer_create ();
@@ -141,6 +150,10 @@ let scratch_for t s =
 let step t =
   let c = t.coupler in
   let tm = t.timers in
+  (* Fault-injection probe: overwrite one field cell with NaN, for
+     sentinel detection tests.  One atomic load when nothing is armed. *)
+  if Vpic_util.Fault.poison_due ~rank:c.Coupler.rank ~step:(t.nstep + 1) then
+    Vpic_grid.Scalar_field.set t.fields.Em_field.ex 1 1 1 Float.nan;
   (* Ghost consistency for the gather and the first B half-advance.
      [fill_em_begin] only posts the x-axis planes: the interior particle
      push below overlaps the in-flight messages (the paper's compute/DMA
@@ -215,6 +228,10 @@ let step t =
           t.push_stats <- add_stats t.push_stats st)
         species_scratch;
       ignore (Perf.timer_stop tm.push));
+  (* Fault-injection probe: die mid-step, after the push posted its ghost
+     traffic but before migration/fold completes — peers must unblock via
+     the comm layer's failed-rank poisoning, not drain cleanly. *)
+  Vpic_util.Fault.kill_point ~rank:c.Coupler.rank ~step:(t.nstep + 1);
   List.iter (fun l -> Laser.drive l t.fields ~time:(time t)) (lasers t);
   (* Migration must precede the current fold: finished movers deposit
      their remaining segments (including into ghost slots). *)
@@ -261,7 +278,11 @@ let step t =
     List.iter (fun s -> Sort.by_voxel ~perf:t.perf s) (species t);
     ignore (Perf.timer_stop tm.sort)
   end;
-  t.nstep <- t.nstep + 1
+  t.nstep <- t.nstep + 1;
+  (* Health monitor (sentinel) last: it sees the completed step and may
+     raise; collective checks rely on every rank reaching the same
+     nstep. *)
+  match t.monitor with None -> () | Some f -> f t
 
 let run t ~steps ?(every = 0) ?diag () =
   for _ = 1 to steps do

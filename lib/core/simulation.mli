@@ -41,6 +41,9 @@ type t = {
       (** registration order reversed (O(1) add); read via {!species} *)
   mutable lasers_rev : Vpic_field.Laser.t list;
   absorber : Vpic_field.Boundary.Absorber.t;
+  absorber_thickness : int;
+      (** construction parameters of [absorber], kept for checkpointing *)
+  absorber_strength : float;
   sort_interval : int;
   clean_div_interval : int;
   marder_passes : int;
@@ -51,6 +54,9 @@ type t = {
   mutable nstep : int;
   mutable push_stats : Vpic_particle.Push.stats;
   mutable scratch_rev : (Species.t * push_scratch) list;
+  mutable monitor : (t -> unit) option;
+      (** health hook, run after every completed step on every rank (see
+          [Sentinel.attach]); may raise to abort the run *)
   perf : Vpic_util.Perf.counters;
   timers : phase_timers;
 }

@@ -15,6 +15,13 @@ type t = {
 
 let make ~omega ~e0 ~plane_i ?(t_rise = 10.) ?(polarization = Pol_y)
     ?(phase = 0.) ?transverse () =
+  (* Fail fast naming the parameter: a NaN amplitude or frequency would
+     poison the fields on the first drive and surface much later. *)
+  List.iter
+    (fun (name, v) ->
+      if not (Float.is_finite v) then
+        invalid_arg (Printf.sprintf "Laser.make: %s is not finite (%g)" name v))
+    [ ("omega", omega); ("e0", e0); ("t_rise", t_rise); ("phase", phase) ];
   assert (omega > 0. && e0 >= 0. && plane_i >= 1);
   { omega; e0; plane_i; t_rise; polarization; phase; transverse }
 

@@ -1,3 +1,6 @@
+exception Comm_timeout of { port : string; waited : float }
+exception Rank_failed of { rank : int; error : string }
+
 type inbox = {
   mu : Mutex.t;
   cv : Condition.t;
@@ -22,9 +25,12 @@ type port = {
   mutable waiters : int;
       (* threads parked on [pcv]; lets posts and consumes skip the
          broadcast (a kernel wake on the common path) when nobody waits *)
+  pname : string; (* for Comm_timeout diagnoses *)
+  powner : int;   (* rank that registered (and consumes) this port *)
+  pworld : world; (* back-reference for the failed-rank check in waits *)
 }
 
-type world = {
+and world = {
   nranks : int;
   inboxes : inbox array;
   bar_mu : Mutex.t;
@@ -34,9 +40,47 @@ type world = {
   port_mu : Mutex.t;
   port_cv : Condition.t;
   port_tables : port array array; (* per rank; grows by registration *)
+  (* First rank whose domain died by exception, with that error rendered
+     to a string.  Set once by [mark_failed]; every blocking wait checks
+     it so peers raise [Rank_failed] instead of hanging on a message that
+     will never arrive. *)
+  mutable dead : (int * string) option;
 }
 
 type t = { world : world; my_rank : int }
+
+(* -------------------------------------------------------- rank death ---- *)
+
+let raise_dead (rank, error) = raise (Rank_failed { rank; error })
+
+(* Record the failure and wake every parked waiter in the world: port
+   consumers and back-pressured senders, mailbox receivers, barriers.
+   Waiters re-check [dead] on wake and fail fast with the culprit's
+   error.  Idempotent; the first failure wins (later ones are usually the
+   [Rank_failed] cascades it caused). *)
+let mark_failed w rank exn_text =
+  Mutex.lock w.bar_mu;
+  if w.dead = None then w.dead <- Some (rank, exn_text);
+  Condition.broadcast w.bar_cv;
+  Mutex.unlock w.bar_mu;
+  Array.iter
+    (fun ib ->
+      Mutex.lock ib.mu;
+      Condition.broadcast ib.cv;
+      Mutex.unlock ib.mu)
+    w.inboxes;
+  Mutex.lock w.port_mu;
+  let tables = Array.copy w.port_tables in
+  Condition.broadcast w.port_cv;
+  Mutex.unlock w.port_mu;
+  Array.iter
+    (Array.iter (fun p ->
+         Mutex.lock p.pmu;
+         Condition.broadcast p.pcv;
+         Mutex.unlock p.pmu))
+    tables
+
+let poison t ~error = mark_failed t.world t.my_rank error
 
 let make_world nranks =
   { nranks;
@@ -51,7 +95,8 @@ let make_world nranks =
     bar_gen = 0;
     port_mu = Mutex.create ();
     port_cv = Condition.create ();
-    port_tables = Array.make nranks [||] }
+    port_tables = Array.make nranks [||];
+    dead = None }
 
 let rank t = t.my_rank
 let size t = t.world.nranks
@@ -75,18 +120,26 @@ let port_depth = 8
 let buf32_create n : buf32 =
   Bigarray.Array1.create Bigarray.Float32 Bigarray.c_layout (max 1 n)
 
-let port_register t ~capacities =
+let port_register ?names t ~capacities =
   let w = t.world in
-  let make_slot cap =
+  let name i =
+    match names with
+    | Some ns when i < Array.length ns -> ns.(i)
+    | _ -> Printf.sprintf "port %d of rank %d" i t.my_rank
+  in
+  let make_slot i cap =
     { pmu = Mutex.create ();
       pcv = Condition.create ();
       ring = Array.init port_depth (fun _ -> buf32_create cap);
       lens = Array.make port_depth 0;
       posted = 0;
       consumed = 0;
-      waiters = 0 }
+      waiters = 0;
+      pname = name i;
+      powner = t.my_rank;
+      pworld = w }
   in
-  let slots = Array.map make_slot capacities in
+  let slots = Array.mapi make_slot capacities in
   Mutex.lock w.port_mu;
   let base = Array.length w.port_tables.(t.my_rank) in
   w.port_tables.(t.my_rank) <- Array.append w.port_tables.(t.my_rank) slots;
@@ -121,11 +174,17 @@ let port t ~rank ~index =
 
 let port_reserve p ~len =
   Mutex.lock p.pmu;
-  while p.posted - p.consumed >= port_depth do
+  while p.posted - p.consumed >= port_depth && p.pworld.dead = None do
     p.waiters <- p.waiters + 1;
     Condition.wait p.pcv p.pmu;
     p.waiters <- p.waiters - 1
   done;
+  (* A full ring whose consumer died never drains: fail the sender too. *)
+  (match p.pworld.dead with
+  | Some d when p.posted - p.consumed >= port_depth ->
+      Mutex.unlock p.pmu;
+      raise_dead d
+  | _ -> ());
   let i = p.posted mod port_depth in
   (* Capacity is sized at registration; growth only happens when a
      variable-length payload (migration) outgrows its initial guess, so
@@ -164,13 +223,55 @@ let port_finish_consume p =
   if p.waiters > 0 then Condition.broadcast p.pcv;
   Mutex.unlock p.pmu
 
-let port_wait p ~f =
+(* Block until a message is pending.  Without [deadline] this parks on
+   the condition variable (zero steady-state cost; a failed rank's
+   [mark_failed] broadcast wakes it).  With a deadline there is no timed
+   condvar wait in the stdlib, so the wait degrades to a sleep-poll at
+   [deadline_poll] granularity — only runs configured with deadlines pay
+   for it.  Raises [Comm_timeout] naming the port once the deadline
+   passes, [Rank_failed] if a peer died with nothing left to drain
+   (pending messages are still delivered after a death). *)
+let deadline_poll = 0.0005
+
+let port_wait_pending p ~deadline =
+  match deadline with
+  | None ->
+      while p.posted = p.consumed && p.pworld.dead = None do
+        p.waiters <- p.waiters + 1;
+        Condition.wait p.pcv p.pmu;
+        p.waiters <- p.waiters - 1
+      done;
+      if p.posted = p.consumed then begin
+        let d = Option.get p.pworld.dead in
+        Mutex.unlock p.pmu;
+        raise_dead d
+      end
+  | Some limit ->
+      let t0 = Unix.gettimeofday () in
+      let rec poll () =
+        if p.posted = p.consumed then begin
+          match p.pworld.dead with
+          | Some d ->
+              Mutex.unlock p.pmu;
+              raise_dead d
+          | None ->
+              let waited = Unix.gettimeofday () -. t0 in
+              if waited > limit then begin
+                Mutex.unlock p.pmu;
+                raise (Comm_timeout { port = p.pname; waited })
+              end;
+              Mutex.unlock p.pmu;
+              Unix.sleepf deadline_poll;
+              Mutex.lock p.pmu;
+              poll ()
+        end
+      in
+      poll ()
+
+let port_wait ?deadline p ~f =
+  Vpic_util.Fault.port_delay ~rank:p.powner ~name:p.pname;
   Mutex.lock p.pmu;
-  while p.posted = p.consumed do
-    p.waiters <- p.waiters + 1;
-    Condition.wait p.pcv p.pmu;
-    p.waiters <- p.waiters - 1
-  done;
+  port_wait_pending p ~deadline;
   let i = p.consumed mod port_depth in
   let buf = p.ring.(i) and len = p.lens.(i) in
   Mutex.unlock p.pmu;
@@ -212,9 +313,10 @@ let send_internal t ~dst ~tag payload =
   Condition.broadcast ib.cv;
   Mutex.unlock ib.mu
 
-let recv_internal t ~src ~tag =
+let recv_internal ?deadline t ~src ~tag =
   assert (src >= 0 && src < t.world.nranks);
-  let ib = t.world.inboxes.(t.my_rank) in
+  let w = t.world in
+  let ib = w.inboxes.(t.my_rank) in
   let key = (src, tag) in
   (* Caller holds ib.mu.  Drop the queue once it drains: long sweeps use
      many distinct (src, tag) keys and the table would otherwise grow
@@ -224,18 +326,47 @@ let recv_internal t ~src ~tag =
     if Queue.is_empty q then Hashtbl.remove ib.queues key;
     p
   in
+  let fail_locked e =
+    Mutex.unlock ib.mu;
+    e ()
+  in
   (* No speculative spinning here: an idle rank parks on the condition
      variable and is woken by the sender's broadcast.  Burning a core in
      [Domain.cpu_relax] starved the rank that owned the message on
      oversubscribed hosts; the futex sleep costs microseconds and only on
-     a genuinely empty queue. *)
+     a genuinely empty queue.  A deadline degrades the park to a
+     sleep-poll (no timed condvar wait in the stdlib); a failed rank
+     wakes the parked path via [mark_failed]'s broadcast. *)
   Mutex.lock ib.mu;
+  let t0 = Unix.gettimeofday () in
   let rec wait () =
     match Hashtbl.find_opt ib.queues key with
     | Some q when not (Queue.is_empty q) -> pop_locked q
-    | _ ->
-        Condition.wait ib.cv ib.mu;
-        wait ()
+    | _ -> (
+        match w.dead with
+        | Some d -> fail_locked (fun () -> raise_dead d)
+        | None -> (
+            match deadline with
+            | None ->
+                Condition.wait ib.cv ib.mu;
+                wait ()
+            | Some limit ->
+                let waited = Unix.gettimeofday () -. t0 in
+                if waited > limit then
+                  fail_locked (fun () ->
+                      raise
+                        (Comm_timeout
+                           { port =
+                               Printf.sprintf
+                                 "recv src=%d tag=%d at rank %d" src tag
+                                 t.my_rank;
+                             waited }))
+                else begin
+                  Mutex.unlock ib.mu;
+                  Unix.sleepf deadline_poll;
+                  Mutex.lock ib.mu;
+                  wait ()
+                end))
   in
   let payload = wait () in
   Mutex.unlock ib.mu;
@@ -245,9 +376,9 @@ let send t ~dst ~tag payload =
   if tag_is_reserved tag then invalid_arg "Comm.send: reserved tag";
   send_internal t ~dst ~tag payload
 
-let recv t ~src ~tag =
+let recv ?deadline t ~src ~tag =
   if tag_is_reserved tag then invalid_arg "Comm.recv: reserved tag";
-  recv_internal t ~src ~tag
+  recv_internal ?deadline t ~src ~tag
 
 let barrier t =
   let w = t.world in
@@ -260,9 +391,15 @@ let barrier t =
     Condition.broadcast w.bar_cv
   end
   else begin
-    while w.bar_gen = gen do
+    while w.bar_gen = gen && w.dead = None do
       Condition.wait w.bar_cv w.bar_mu
-    done
+    done;
+    (* A dead rank never arrives: release the survivors. *)
+    match w.dead with
+    | Some d when w.bar_gen = gen ->
+        Mutex.unlock w.bar_mu;
+        raise_dead d
+    | _ -> ()
   end;
   Mutex.unlock w.bar_mu
 
@@ -336,8 +473,30 @@ let gather t ~root x =
 let run ~ranks f =
   assert (ranks >= 1);
   let world = make_world ranks in
-  let domains =
-    Array.init ranks (fun r ->
-        Domain.spawn (fun () -> f { world; my_rank = r }))
+  (* Each domain catches its own failure and poisons the world before
+     exiting, so peers blocked on its messages raise [Rank_failed]
+     immediately instead of hanging until some external timeout.  The
+     first (root-cause) exception is re-raised from the caller after all
+     domains are joined; the [Rank_failed] cascades it provoked are
+     discarded. *)
+  let wrap r () =
+    try Ok (f { world; my_rank = r })
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      mark_failed world r (Printexc.to_string e);
+      Error (e, bt)
   in
-  Array.map Domain.join domains
+  let domains = Array.init ranks (fun r -> Domain.spawn (wrap r)) in
+  let results = Array.map Domain.join domains in
+  match world.dead with
+  | None ->
+      Array.map
+        (function Ok v -> v | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+        results
+  | Some (rank, _) -> (
+      match results.(rank) with
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Ok _ ->
+          (* mark_failed recorded a rank that later returned Ok: cannot
+             happen, but fail loudly rather than silently succeed. *)
+          assert false)

@@ -6,10 +6,36 @@
 
 type t
 
+(** {1 Failure semantics}
+
+    A blocking wait ({!port_wait}, {!recv}, {!barrier}, the collectives,
+    and {!port_reserve} back-pressure) can end three ways: with data,
+    with {!Comm_timeout} when the caller supplied a [?deadline] that
+    passed, or with {!Rank_failed} when another rank's domain died by
+    exception.  A dying rank poisons the whole world on its way out
+    (see {!run}), so peers fail fast carrying the culprit's error instead
+    of hanging on a message that will never arrive.  Messages already
+    posted before a death are still delivered. *)
+
+(** A deadline passed with nothing received.  [port] names the stuck
+    endpoint — for exchange ports: purpose, axis, direction and peer
+    rank; for mailbox receives: source and tag. *)
+exception Comm_timeout of { port : string; waited : float }
+
+(** Another rank's domain died; [error] is its rendered exception. *)
+exception Rank_failed of { rank : int; error : string }
+
 (** [run ~ranks f] spawns [ranks] domains, runs [f handle] on each and
-    returns the per-rank results (index = rank).  An exception in any rank
-    is re-raised after all domains are joined. *)
+    returns the per-rank results (index = rank).  If any rank raises, the
+    world is poisoned (waiters on the other ranks raise {!Rank_failed}),
+    every domain is joined, and the root-cause exception — not the
+    [Rank_failed] cascade it provoked — is re-raised here. *)
 val run : ranks:int -> (t -> 'a) -> 'a array
+
+(** Poison the world by hand, as if this rank had died with [error].
+    {!run} does this automatically on an escaping exception; exposed for
+    embeddings that manage domains themselves. *)
+val poison : t -> error:string -> unit
 
 val rank : t -> int
 val size : t -> int
@@ -38,8 +64,9 @@ type port
 (** [port_register t ~capacities] creates [Array.length capacities]
     receive slots owned by this rank (element [i] sized [capacities.(i)]
     floats) and returns their base index.  Must be called collectively in
-    the same order on every rank. *)
-val port_register : t -> capacities:int array -> int
+    the same order on every rank.  [names] (parallel to [capacities])
+    label the slots for {!Comm_timeout} diagnoses and fault injection. *)
+val port_register : ?names:string array -> t -> capacities:int array -> int
 
 (** [port t ~rank ~index] resolves a slot owned by [rank], blocking until
     that rank has registered it.  Resolve once and keep the handle: the
@@ -64,8 +91,14 @@ val port_post : port -> buf32 -> len:int -> unit
     [f buffer len] on it in place, then retires the ring entry.  [f] runs
     outside the slot lock; the entry cannot be overwritten while [f]
     reads it (back-pressure).  Single-consumer: only the owning rank may
-    wait on a port. *)
-val port_wait : port -> f:(buf32 -> int -> unit) -> unit
+    wait on a port.
+
+    [deadline] (seconds) bounds the wait: raises {!Comm_timeout} naming
+    the port once it passes.  Without a deadline the wait parks on a
+    condition variable (no polling); with one it degrades to a sleep-poll,
+    so leave it unset on latency-critical steady-state paths.  Raises
+    {!Rank_failed} if a peer died and nothing is left to drain. *)
+val port_wait : ?deadline:float -> port -> f:(buf32 -> int -> unit) -> unit
 
 (** Like {!port_wait} but returns [false] immediately when nothing is
     pending. *)
@@ -81,8 +114,10 @@ val port_try_recv : port -> f:(buf32 -> int -> unit) -> bool
     the reserved collective range (see {!tag_is_reserved}). *)
 val send : t -> dst:int -> tag:int -> float array -> unit
 
-(** Blocking receive of the oldest message from [src] with [tag]. *)
-val recv : t -> src:int -> tag:int -> float array
+(** Blocking receive of the oldest message from [src] with [tag].
+    [deadline] (seconds) bounds the wait with {!Comm_timeout}, as in
+    {!port_wait}. *)
+val recv : ?deadline:float -> t -> src:int -> tag:int -> float array
 
 (** True for tags reserved by the collectives (all negative tags). *)
 val tag_is_reserved : int -> bool

@@ -52,6 +52,9 @@ type t = {
   (* Send-side packing buffers, used only by the migrate slots (fill and
      fold pack straight into the destination ring via port_reserve). *)
   mutable fill_in_flight : bool;
+  (* Optional bound (seconds) on every ghost/migrate receive; None (the
+     default) keeps the allocation-free condvar wait. *)
+  mutable deadline : float option;
   mutable fill_bytes : float;
   mutable fold_bytes : float;
   mutable migrate_bytes : float;
@@ -67,16 +70,41 @@ let bytes_moved t = t.fill_bytes +. t.fold_bytes +. t.migrate_bytes
    indices are matched positionally across ranks).  Resolving a
    neighbour's port blocks until that rank registers, so construction
    doubles as the handshake. *)
+let purpose_name = function
+  | 0 -> "fill"
+  | 1 -> "fold"
+  | _ -> "migrate"
+
+(* Label for my receive slot [s]: what travels through it and which rank
+   feeds it — the diagnosis [Comm_timeout] carries when that rank stalls.
+   Messages with direction of travel 1 (toward hi) arrive from my lo
+   neighbour. *)
+let slot_name bc ~me s =
+  let axis = axis_of_slot s in
+  let dir = s mod 2 in
+  let side = if dir = 1 then `Lo else `Hi in
+  let peer =
+    match Bc.face bc axis side with
+    | Bc.Domain nbr -> Printf.sprintf "from rank %d" nbr
+    | _ -> "(no domain neighbour)"
+  in
+  Printf.sprintf "%s %s->%s at rank %d %s"
+    (purpose_name (s / 6))
+    (String.lowercase_ascii (Axis.to_string axis))
+    (if dir = 1 then "hi" else "lo")
+    me peer
+
 let create comm bc g =
   let cap s =
     if s / 6 = purpose_migrate then 64 * Movers.stride
     else max_scalars * Sf.plane_size g ~axis:(axis_of_slot s)
   in
   let capacities = Array.init nslots cap in
-  let base = Comm.port_register comm ~capacities in
+  let me = Comm.rank comm in
+  let names = Array.init nslots (slot_name bc ~me) in
+  let base = Comm.port_register ~names comm ~capacities in
   let send_ports = Array.make nslots None in
   let recv_ports = Array.make nslots None in
-  let me = Comm.rank comm in
   List.iter
     (fun axis ->
       List.iter
@@ -102,7 +130,11 @@ let create comm bc g =
       Array.init nslots (fun s ->
           Comm.buf32_create (if s / 6 = purpose_migrate then cap s else 1));
     fill_in_flight = false;
+    deadline = None;
     fill_bytes = 0.; fold_bytes = 0.; migrate_bytes = 0. }
+
+let set_deadline t d = t.deadline <- d
+let deadline t = t.deadline
 
 let send_port t s =
   match t.send_ports.(s) with
@@ -158,7 +190,7 @@ let fill_recv t scalars axis =
           (* My lo ghost was sent by my lo neighbour travelling toward hi
              (dir=1); my hi ghost travels toward lo. *)
           let index, dir = match side with `Lo -> (0, 1) | `Hi -> (n + 1, 0) in
-          Comm.port_wait
+          Comm.port_wait ?deadline:t.deadline
             (recv_port t (slot ~purpose:purpose_fill ~axis ~dir))
             ~f:(fun buf len ->
               assert (len = nscal * psize);
@@ -239,7 +271,7 @@ let fold_ghosts t scalars =
                   let index, dir =
                     match side with `Hi -> (n, 0) | `Lo -> (1, 1)
                   in
-                  Comm.port_wait
+                  Comm.port_wait ?deadline:t.deadline
                     (recv_port t (slot ~purpose:purpose_fold ~axis ~dir))
                     ~f:(fun buf len ->
                       assert (len = nscal * psize);

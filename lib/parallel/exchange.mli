@@ -31,6 +31,15 @@ val comm : t -> Comm.t
 val bc : t -> Bc.t
 val grid : t -> Vpic_grid.Grid.t
 
+(** Bound (seconds) on every ghost/migrate receive through these ports:
+    a neighbour silent for longer raises [Comm.Comm_timeout] naming the
+    stuck port.  [None] (the default) keeps the allocation-free parked
+    wait — set a deadline only on runs that want hang detection, the
+    bounded wait is a sleep-poll. *)
+val set_deadline : t -> float option -> unit
+
+val deadline : t -> float option
+
 (** Copy ghost planes of each scalar from neighbouring ranks (and apply
     local BCs on non-domain faces).  Every rank of the communicator must
     call this with the same scalar count.  At most 6 scalars per call. *)

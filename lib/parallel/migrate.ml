@@ -93,7 +93,7 @@ let exchange ?rng ports s fields (movers : Movers.t) =
               (* Movers arriving across my lo face were sent by my lo
                  neighbour toward its hi side (dir = 1). *)
               let dir = match side with `Lo -> 1 | `Hi -> 0 in
-              Comm.port_wait
+              Comm.port_wait ?deadline:(Exchange.deadline ports)
                 (Exchange.migrate_recv ports ~axis ~dir)
                 ~f:(fun rbuf len ->
                   assert (len mod stride = 0);

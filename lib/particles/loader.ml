@@ -14,8 +14,19 @@ let linear_ramp_x ~x_lo ~n_lo ~x_hi ~n_hi ~x ~y:_ ~z:_ =
 let cosine_perturbation_x ~n0 ~amplitude ~mode ~lx ~x ~y:_ ~z:_ =
   n0 *. (1. +. (amplitude *. cos (2. *. Float.pi *. float_of_int mode *. x /. lx)))
 
+(* Fail fast on garbage inputs, naming the parameter: a NaN here would
+   silently poison every loaded particle and only surface hundreds of
+   steps later as a blown-up run. *)
+let require_finite ~fn name v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Loader.%s: %s is not finite (%g)" fn name v)
+
 let maxwellian rng (s : Species.t) ~ppc ~uth ?(drift = Vec3.zero)
     ?(density = uniform_profile 1.) () =
+  require_finite ~fn:"maxwellian" "uth" uth;
+  require_finite ~fn:"maxwellian" "drift.x" drift.Vec3.x;
+  require_finite ~fn:"maxwellian" "drift.y" drift.Vec3.y;
+  require_finite ~fn:"maxwellian" "drift.z" drift.Vec3.z;
   assert (ppc > 0 && uth >= 0.);
   let g = s.Species.grid in
   let dv = Grid.cell_volume g in

@@ -1,0 +1,54 @@
+(** Fault injection for resilience testing.
+
+    A process-global registry of injections, armed explicitly by tests or
+    by the runner's [--fault-*] flags.  Core code calls the probe
+    functions at well-known points (step loop, checkpoint commit, port
+    wait); every probe is a single atomic load when the framework is
+    disabled, so production runs pay nothing.
+
+    Injections are seed-deterministic: the same [enable ~seed] and arm
+    sequence corrupts the same bytes and fires at the same points on
+    every run, so recovery tests are reproducible.
+
+    The registry is shared by all domains of an in-process [Comm.run]
+    world — arm everything before spawning ranks. *)
+
+(** Raised by {!kill_point} when a [Kill_rank] injection fires. *)
+exception Injected_kill of { rank : int; step : int }
+
+type injection =
+  | Kill_rank of { rank : int; step : int }
+      (** raise {!Injected_kill} from rank [rank]'s step loop at step
+          [step] (mid-step: after the push, before migration) *)
+  | Corrupt_checkpoint of { rank : int; gen : int }
+      (** flip bytes in the checkpoint file rank [rank] writes for
+          generation [gen], right after it is committed to disk *)
+  | Poison_field of { rank : int; step : int }
+      (** overwrite one field cell with NaN on [rank] at step [step] *)
+  | Delay_port of { rank : int; name_substring : string; seconds : float }
+      (** sleep [seconds] before each wait on any of [rank]'s ports whose
+          name contains [name_substring] *)
+
+(** Turn the framework on (explicit hook: nothing fires, and no probe
+    does more than one atomic load, until this is called). *)
+val enable : seed:int -> unit
+
+(** Disarm everything and turn the framework off. *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+val arm : injection -> unit
+
+(** {1 Probe points} (called from core code; no-ops when disabled) *)
+
+(** Raises {!Injected_kill} if a matching [Kill_rank] is armed. *)
+val kill_point : rank:int -> step:int -> unit
+
+(** True exactly once per matching armed [Poison_field]. *)
+val poison_due : rank:int -> step:int -> bool
+
+(** Corrupt [path] in place if a matching [Corrupt_checkpoint] is armed
+    (fires once per armed injection). *)
+val checkpoint_written : rank:int -> gen:int -> path:string -> unit
+
+val port_delay : rank:int -> name:string -> unit

@@ -62,6 +62,15 @@ let exponential t =
   done;
   -.log !u
 
+type state = { st : int64; sp : float; has_sp : bool }
+
+let state t = { st = t.state; sp = t.spare; has_sp = t.has_spare }
+
+let set_state t s =
+  t.state <- s.st;
+  t.spare <- s.sp;
+  t.has_spare <- s.has_sp
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

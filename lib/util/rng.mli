@@ -39,3 +39,16 @@ val exponential : t -> float
 
 (** Fisher–Yates shuffle of an array, in place. *)
 val shuffle : t -> 'a array -> unit
+
+(** {1 Stream state} (checkpoint/restart)
+
+    The full generator state — including the cached Box–Muller spare, so
+    a restored stream replays bitwise even mid-pair. *)
+
+type state = { st : int64; sp : float; has_sp : bool }
+
+val state : t -> state
+
+(** Overwrite [t]'s state in place (the handle keeps its identity, so
+    closures capturing it see the restored stream). *)
+val set_state : t -> state -> unit

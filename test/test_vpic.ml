@@ -8,5 +8,6 @@ let () =
       ("store", Suite_store.suite);
       ("sim", Suite_sim.suite);
       ("parallel", Suite_parallel.suite);
+      ("fault", Suite_fault.suite);
       ("cell", Suite_cell.suite);
       ("lpi", Suite_lpi.suite) ]
