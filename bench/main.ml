@@ -35,8 +35,74 @@ module Deck = Vpic_lpi.Deck
 module Rng = Vpic_util.Rng
 module Table = Vpic_util.Table
 module Perf = Vpic_util.Perf
+module Trace = Vpic_telemetry.Trace
 
 let pf = Printf.printf
+
+(* ------------------------------------------------- bench JSON emission *)
+
+(* Every bench artifact shares one schema:
+     {"schema":"vpic-bench/1","bench":...,
+      "meta":{"git":...,"date":...,"ranks":N},"results":{...}}
+   [results] is a list of (key, rendered JSON value). *)
+
+let bench_date = ref ""
+
+let iso_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+let json_num v = if Float.is_finite v then Printf.sprintf "%.6e" v else "null"
+
+let json_obj fields =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) fields)
+  ^ "}"
+
+let write_bench_json ~file ~bench ~ranks ~results =
+  let date = if !bench_date <> "" then !bench_date else iso_now () in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"vpic-bench/1\",\n\
+    \  \"bench\": %s,\n\
+    \  \"meta\": {\"git\": %s, \"date\": %s, \"ranks\": %d},\n\
+    \  \"results\": {\n"
+    (json_str bench) (json_str (git_describe ())) (json_str date) ranks;
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "    \"%s\": %s%s\n" k v
+        (if i < List.length results - 1 then "," else ""))
+    results;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  pf "wrote %s\n" file
 
 (* ------------------------------------------------------------------ E1 *)
 
@@ -810,19 +876,19 @@ let push_layout_bench () =
     ~title:(Printf.sprintf "push micro-kernel, %d sorted particles" np)
     t;
   pf "f32/f64 speedup: %.3fx\n" (r32 /. r64);
-  let oc = open_out "BENCH_push.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"push-layout\",\n\
-    \  \"particles\": %d,\n\
-    \  \"reps\": %d,\n\
-    \  \"f32_store\": { \"bytes_per_particle\": %d, \"particles_per_sec\": %.6e },\n\
-    \  \"f64_legacy\": { \"bytes_per_particle\": %d, \"particles_per_sec\": %.6e },\n\
-    \  \"speedup\": %.4f\n\
-     }\n"
-    np reps bytes32 r32 bytes64 r64 (r32 /. r64);
-  close_out oc;
-  pf "wrote BENCH_push.json\n"
+  write_bench_json ~file:"BENCH_push.json" ~bench:"push-layout" ~ranks:1
+    ~results:
+      [ ("particles", string_of_int np);
+        ("reps", string_of_int reps);
+        ( "f32_store",
+          json_obj
+            [ ("bytes_per_particle", string_of_int bytes32);
+              ("particles_per_sec", json_num r32) ] );
+        ( "f64_legacy",
+          json_obj
+            [ ("bytes_per_particle", string_of_int bytes64);
+              ("particles_per_sec", json_num r64) ] );
+        ("speedup", Printf.sprintf "%.4f" (r32 /. r64)) ]
 
 (* ------------------------------------------------------ exchange bench *)
 
@@ -846,9 +912,12 @@ let exchange_bench () =
       ~lx:(0.5 *. float_of_int gnx) ~ly:6. ~lz:6.
   in
   let dt = Grid.courant_dt ~dx:0.5 ~dy:0.5 ~dz:0.5 () in
+  Trace.reset ();
   let results =
     Comm.run ~ranks (fun c ->
         let rank = Comm.rank c in
+        (* spans (not the deleted phase timers) time the stepped run *)
+        Trace.enable ~rank ();
         let grid = Decomp.local_grid d ~dt ~rank in
         let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
         (* --- microbench: one step's ghost traffic, both paths --- *)
@@ -906,13 +975,24 @@ let exchange_bench () =
         let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
         ignore (Loader.maxwellian (Rng.of_int (3 + rank)) e ~ppc:24 ~uth:0.1 ());
         Simulation.run sim ~steps ();
-        let tm = sim.Simulation.timers in
-        let per t = Perf.timer_total t /. float_of_int steps in
+        let phase_s names =
+          List.fold_left
+            (fun acc n -> acc +. Trace.phase_seconds (Trace.intern n))
+            0. names
+        in
+        let per names = phase_s names /. float_of_int steps in
+        let exch =
+          per
+            [ "exchange.fill_begin"; "exchange.fill_finish"; "exchange.fill";
+              "exchange.fold" ]
+        in
+        let mig = per [ "migrate" ] in
         ( t_ports, t_legacy, ghost_bytes_per_step,
-          Comm.allreduce_max c (per tm.Simulation.exchange),
-          Comm.allreduce_max c (per tm.Simulation.migrate),
+          Comm.allreduce_max c exch,
+          Comm.allreduce_max c mig,
           Comm.allreduce_sum c (coupler.Coupler.comm_bytes () /. float_of_int steps) ))
   in
+  Trace.reset ();
   let t_ports, t_legacy, ghost_bytes, t_exch, t_mig, run_bytes = results.(0) in
   let t = Table.create [ "path"; "us/step (ghost traffic)"; "KiB/step/rank" ] in
   Table.add_row t
@@ -933,28 +1013,87 @@ let exchange_bench () =
     [ "payload"; Printf.sprintf "%.1f KiB" (run_bytes /. 1024.);
       "all ranks, per step" ];
   Table.print ~title:(Printf.sprintf "stepped run, %d steps, 2 ranks" steps) t;
-  let oc = open_out "BENCH_exchange.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"exchange\",\n\
-    \  \"ranks\": %d,\n\
-    \  \"ghost_traffic\": {\n\
-    \    \"ports_s_per_step\": %.6e,\n\
-    \    \"legacy_s_per_step\": %.6e,\n\
-    \    \"bytes_per_step_per_rank\": %.0f,\n\
-    \    \"speedup\": %.4f\n\
-    \  },\n\
-    \  \"stepped_run\": {\n\
-    \    \"steps\": %d,\n\
-    \    \"exchange_s_per_step\": %.6e,\n\
-    \    \"migrate_s_per_step\": %.6e,\n\
-    \    \"payload_bytes_per_step\": %.0f\n\
-    \  }\n\
-     }\n"
-    ranks t_ports t_legacy ghost_bytes (t_legacy /. t_ports)
-    steps t_exch t_mig run_bytes;
-  close_out oc;
-  pf "wrote BENCH_exchange.json\n"
+  write_bench_json ~file:"BENCH_exchange.json" ~bench:"exchange" ~ranks
+    ~results:
+      [ ( "ghost_traffic",
+          json_obj
+            [ ("ports_s_per_step", json_num t_ports);
+              ("legacy_s_per_step", json_num t_legacy);
+              ("bytes_per_step_per_rank", Printf.sprintf "%.0f" ghost_bytes);
+              ("speedup", Printf.sprintf "%.4f" (t_legacy /. t_ports)) ] );
+        ( "stepped_run",
+          json_obj
+            [ ("steps", string_of_int steps);
+              ("exchange_s_per_step", json_num t_exch);
+              ("migrate_s_per_step", json_num t_mig);
+              ("payload_bytes_per_step", Printf.sprintf "%.0f" run_bytes) ] ) ]
+
+(* ----------------------------------------------------- whole-step bench *)
+
+(* One serial Simulation.step, phase-resolved through the telemetry
+   spans: the single number the scoreboard rates hang off, measured on a
+   thermal box big enough that the push dominates. *)
+let step_bench () =
+  pf "\n###### step: whole-step phase breakdown (serial, via spans) ######\n";
+  Trace.reset ();
+  Trace.enable ~rank:0 ();
+  let n = 24 in
+  let l = 12. in
+  let dx = l /. float_of_int n in
+  let dt = Grid.courant_dt ~dx ~dy:dx ~dz:dx () in
+  let grid = Grid.make ~nx:n ~ny:n ~nz:n ~lx:l ~ly:l ~lz:l ~dt () in
+  let sim = Simulation.make ~grid ~coupler:(Coupler.local Bc.periodic) () in
+  let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
+  ignore (Loader.maxwellian (Rng.of_int 5) e ~ppc:27 ~uth:0.08 ());
+  let np = Species.count e in
+  let steps = 30 in
+  let ps0 = sim.Simulation.perf.Perf.particle_steps in
+  let fl0 = sim.Simulation.perf.Perf.flops in
+  let (), wall = Perf.timed (fun () -> Simulation.run sim ~steps ()) in
+  let d_ps = sim.Simulation.perf.Perf.particle_steps -. ps0 in
+  let d_fl = sim.Simulation.perf.Perf.flops -. fl0 in
+  let fsteps = float_of_int steps in
+  let totals = Trace.phase_totals () in
+  let t = Table.create [ "phase"; "ms/step"; "% of step"; "spans" ] in
+  let step_s =
+    match List.find_opt (fun (n, _, _) -> n = "step") totals with
+    | Some (_, s, _) -> s
+    | None -> wall
+  in
+  let phase_rows =
+    List.filter (fun (n, _, _) -> n <> "step") totals
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+  in
+  List.iter
+    (fun (name, s, count) ->
+      Table.add_row t
+        [ name;
+          Printf.sprintf "%.3f" (1e3 *. s /. fsteps);
+          Printf.sprintf "%.1f" (100. *. s /. Float.max 1e-12 step_s);
+          string_of_int count ])
+    phase_rows;
+  Table.print
+    ~title:
+      (Printf.sprintf "whole step: %d particles, %d voxels, %d steps" np
+         (Grid.interior_count grid) steps)
+    t;
+  let prate = d_ps /. wall in
+  pf "particle rate: %.3e particle-steps/s | analytic %.3e flop/s\n" prate
+    (d_fl /. wall);
+  write_bench_json ~file:"BENCH_step.json" ~bench:"step" ~ranks:1
+    ~results:
+      ([ ("particles", string_of_int np);
+         ("steps", string_of_int steps);
+         ("wall_s", json_num wall);
+         ("s_per_step", json_num (wall /. fsteps));
+         ("particle_steps_per_sec", json_num prate);
+         ("analytic_flops_per_sec", json_num (d_fl /. wall)) ]
+      @ List.map
+          (fun (name, s, _) ->
+            ( "phase_s_per_step/" ^ name,
+              json_num (s /. fsteps) ))
+          phase_rows);
+  Trace.reset ()
 
 (* ------------------------------------------------------- bechamel mode *)
 
@@ -998,26 +1137,44 @@ let bechamel_kernels () =
   pf "(per-run wall time; push batch = 100 particles, field kernels = %d voxels)\n"
     (Grid.interior_count g);
   let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let rows = List.sort compare rows in
   let t = Table.create [ "bench"; "time/run"; "r^2" ] in
+  let json_rows = ref [] in
   List.iter
     (fun (name, o) ->
       let est =
         match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
       in
       let r2 = match Analyze.OLS.r_square o with Some r -> r | None -> nan in
+      json_rows :=
+        (name, json_obj [ ("ns_per_run", json_num est); ("r2", json_num r2) ])
+        :: !json_rows;
       Table.add_row t
         [ name;
           (if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
            else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
            else Printf.sprintf "%.0f ns" est);
           Printf.sprintf "%.3f" r2 ])
-    (List.sort compare rows);
-  Table.print ~title:"bechamel (monotonic clock, OLS)" t
+    rows;
+  Table.print ~title:"bechamel (monotonic clock, OLS)" t;
+  write_bench_json ~file:"BENCH_kernels.json" ~bench:"kernels" ~ranks:1
+    ~results:(List.rev !json_rows)
 
 (* ----------------------------------------------------------------- main *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* --date=STAMP pins the bench-JSON meta date (reproducible artifacts) *)
+  let args =
+    List.filter
+      (fun a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = "--date" ->
+            bench_date := String.sub a (i + 1) (String.length a - i - 1);
+            false
+        | _ -> true)
+      args
+  in
   let quick = List.mem "quick" args in
   let sections =
     match List.filter (fun a -> a <> "quick") args with
@@ -1045,8 +1202,9 @@ let () =
         bechamel_kernels ()
     | "push" -> push_layout_bench ()
     | "exchange" -> exchange_bench ()
+    | "step" -> step_bench ()
     | other ->
-        pf "unknown section %s (e1..e6, v1, v2, push, exchange, kernels, figures)\n"
+        pf "unknown section %s (e1..e6, v1, v2, push, exchange, step, kernels, figures)\n"
           other
   in
   List.iter run sections;

@@ -8,6 +8,8 @@
                           [--keep-generations K] [--resume auto]
                           [--sentinel-every N] [--sentinel-log FILE]
                           [--fault-kill-step N] [--fault-seed S]
+                          [--ranks N] [--trace FILE] [--metrics FILE]
+                          [--scoreboard-every N]
      vpic_run sweep       [--a0s 0.02,0.04,...] [--ppc 32] [--with-noise-run]
      vpic_run model       [--cus 17] [--particles 1e12] [--voxels 1.36e8]
 *)
@@ -33,6 +35,11 @@ module Trapping = Vpic_lpi.Trapping
 module Srs_theory = Vpic_lpi.Srs_theory
 module Perf_model = Vpic_cell.Perf_model
 module Roadrunner = Vpic_cell.Roadrunner
+module Comm = Vpic_parallel.Comm
+module Trace = Vpic_telemetry.Trace
+module Metrics = Vpic_telemetry.Metrics
+module Scoreboard = Vpic_telemetry.Scoreboard
+module Report = Vpic_telemetry.Report
 open Cmdliner
 
 (* ------------------------------------------------------------- langmuir *)
@@ -122,7 +129,8 @@ let two_stream_cmd =
 (* ------------------------------------------------------------------ srs *)
 
 let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-    sentinel_every sentinel_log kill_step fault_seed =
+    sentinel_every sentinel_log kill_step fault_seed ranks trace_file
+    metrics_file scoreboard_every =
   (* Fault injection is armed before anything else so even the first
      steps are covered; it is a no-op unless these flags are given. *)
   (match kill_step with
@@ -131,104 +139,193 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
       Fault.arm (Fault.Kill_rank { rank = 0; step = s })
   | None -> ());
   let config = { Deck.default with a0; nr; te_kev = te; nx; ppc } in
-  let setup = Deck.build config in
-  let steps =
-    match steps with Some s -> s | None -> Deck.suggested_steps config
+  (* Parallel runs decompose along y; widen the (quasi-1D) transverse
+     box so every rank keeps at least two cells of it. *)
+  let config =
+    if ranks <= 1 then config
+    else if config.Deck.ny mod ranks = 0 && config.Deck.ny / ranks >= 2 then
+      config
+    else { config with Deck.ny = 2 * ranks }
   in
-  (* Resume: rebuild the deck (above) for its lasers and probe, then
-     swap in the simulation restored from the newest valid generation.
-     Antennas are closures and are not checkpointed — they re-attach
-     here from the freshly built deck. *)
-  let setup =
-    if not resume then setup
-    else
-      match
-        Checkpoint.load_latest_valid
-          ~coupler:setup.Deck.sim.Simulation.coupler ~dir:ckpt_dir
-      with
-      | None ->
-          Printf.printf "resume: no valid generation under %s, starting fresh\n%!"
-            ckpt_dir;
-          setup
-      | Some (sim, gen) ->
-          Printf.printf "resume: restored generation %d (step %d) from %s\n%!"
-            gen sim.Simulation.nstep ckpt_dir;
-          List.iter (Simulation.add_laser sim)
-            (Simulation.lasers setup.Deck.sim);
-          { setup with Deck.sim }
+  (* The whole deck below runs once per rank ([Comm.run] when parallel);
+     collective calls are kept on all ranks, prints on the root only. *)
+  let body comm_opt =
+    let rank, nranks =
+      match comm_opt with
+      | None -> (0, 1)
+      | Some cm -> (Comm.rank cm, Comm.size cm)
+    in
+    let root = rank = 0 in
+    Trace.enable ~rank ();
+    Metrics.enable ();
+    (match comm_opt with
+    | Some _ -> Metrics.install_comm_wait_observer ()
+    | None -> ());
+    let registry = Metrics.default () in
+    let setup = Deck.build ?comm:comm_opt config in
+    let steps =
+      match steps with Some s -> s | None -> Deck.suggested_steps config
+    in
+    (* Resume: rebuild the deck (above) for its lasers and probe, then
+       swap in the simulation restored from the newest valid generation.
+       Antennas are closures and are not checkpointed — they re-attach
+       here from the freshly built deck. *)
+    let setup =
+      if not resume then setup
+      else
+        match
+          Checkpoint.load_latest_valid
+            ~coupler:setup.Deck.sim.Simulation.coupler ~dir:ckpt_dir
+        with
+        | None ->
+            if root then
+              Printf.printf
+                "resume: no valid generation under %s, starting fresh\n%!"
+                ckpt_dir;
+            setup
+        | Some (sim, gen) ->
+            if root then
+              Printf.printf
+                "resume: restored generation %d (step %d) from %s\n%!" gen
+                sim.Simulation.nstep ckpt_dir;
+            List.iter (Simulation.add_laser sim)
+              (Simulation.lasers setup.Deck.sim);
+            { setup with Deck.sim }
+    in
+    let sim = setup.Deck.sim in
+    (if sentinel_every > 0 then begin
+       let log =
+         match sentinel_log with
+         | None -> fun m -> Printf.eprintf "[sentinel] %s\n%!" m
+         | Some path ->
+             let path = if nranks > 1 then
+                 Printf.sprintf "%s.rank%d" path rank
+               else path
+             in
+             let oc = open_out path in
+             at_exit (fun () -> close_out_noerr oc);
+             fun m ->
+               output_string oc (m ^ "\n");
+               flush oc
+       in
+       Sentinel.attach (Sentinel.make ~interval:sentinel_every ~log ()) sim
+     end);
+    let nparticles = Simulation.total_particles sim in
+    if root then
+      Printf.printf
+        "SRS deck: a0=%.3f nr=%.2f Te=%.1f keV, %d particles, %d steps\n%!" a0
+        nr te nparticles steps;
+    let board =
+      Scoreboard.create ~metrics:registry ~perf:sim.Simulation.perf ~nranks
+        ~reduce_sum:sim.Simulation.coupler.Coupler.reduce_sum
+        ~reduce_max:sim.Simulation.coupler.Coupler.reduce_max ()
+    in
+    let metrics_oc =
+      if root then Option.map open_out metrics_file else None
+    in
+    let emit line =
+      match metrics_oc with
+      | Some oc ->
+          output_string oc (line ^ "\n");
+          flush oc
+      | None -> ()
+    in
+    for step = sim.Simulation.nstep + 1 to steps do
+      Simulation.step sim;
+      Reflectivity.sample setup.Deck.refl sim.Simulation.fields;
+      if ckpt_every > 0 && step mod ckpt_every = 0 then
+        Checkpoint.save_generation sim ~dir:ckpt_dir ~gen:step ~keep;
+      if scoreboard_every > 0 && step mod scoreboard_every = 0 then begin
+        let s = Scoreboard.sample board ~step in
+        let snap =
+          match comm_opt with
+          | Some cm -> Metrics.reduce_comm cm registry
+          | None -> Metrics.snapshot_local registry
+        in
+        if root then begin
+          Scoreboard.print s;
+          emit (Scoreboard.sample_to_json s);
+          emit (Metrics.snapshot_to_json ~step snap)
+        end
+      end
+    done;
+    let r =
+      sim.Simulation.coupler.Coupler.reduce_sum
+        (Reflectivity.reflectivity setup.Deck.refl)
+      /. float_of_int nranks
+    in
+    let totals = Scoreboard.totals board ~steps in
+    let final_snap =
+      match comm_opt with
+      | Some cm -> Metrics.reduce_comm cm registry
+      | None -> Metrics.snapshot_local registry
+    in
+    let workload =
+      let voxels =
+        float_of_int (config.Deck.nx * config.Deck.ny * config.Deck.nz)
+      in
+      { Perf_model.particles = float_of_int nparticles;
+        voxels;
+        steps_per_sort =
+          (if sim.Simulation.sort_interval > 0 then sim.Simulation.sort_interval
+           else max_int);
+        ppc_effective = float_of_int nparticles /. voxels }
+    in
+    let report = Report.make ~totals ~workload () in
+    let en = Simulation.energies sim in
+    if root then begin
+      let electrons = Simulation.find_species setup.Deck.sim "electron" in
+      let fv = Trapping.distribution electrons in
+      Printf.printf "reflectivity = %.4e\n" r;
+      Printf.printf "hot fraction (>3Te) = %.3e\n"
+        (Trapping.hot_fraction electrons ~threshold_kev:(3. *. te));
+      Printf.printf "f(v) flattening at v_phase = %.2f\n"
+        (Trapping.flattening fv
+           ~v_phase:setup.Deck.matching.Srs_theory.v_phase
+           ~uth:setup.Deck.plasma.Srs_theory.uth ~width:0.05);
+      Scoreboard.print_totals totals;
+      Report.print report;
+      emit (Metrics.snapshot_to_json ~step:steps final_snap);
+      emit (Report.to_json report);
+      Option.iter close_out metrics_oc;
+      Printf.printf "final total energy = %.10e at step %d\n"
+        en.Simulation.total sim.Simulation.nstep
+    end;
+    match checkpoint with
+    | Some path ->
+        let path =
+          if nranks > 1 then Printf.sprintf "%s.rank%d" path rank else path
+        in
+        Checkpoint.save sim path;
+        if root then Printf.printf "checkpoint written to %s\n" path
+    | None -> ()
   in
-  let sim = setup.Deck.sim in
-  (if sentinel_every > 0 then begin
-     let log =
-       match sentinel_log with
-       | None -> fun m -> prerr_endline ("[sentinel] " ^ m)
-       | Some path ->
-           let oc = open_out path in
-           at_exit (fun () -> close_out_noerr oc);
-           fun m ->
-             output_string oc (m ^ "\n");
-             flush oc
-     in
-     Sentinel.attach (Sentinel.make ~interval:sentinel_every ~log ()) sim
-   end);
-  Printf.printf "SRS deck: a0=%.3f nr=%.2f Te=%.1f keV, %d particles, %d steps\n%!"
-    a0 nr te
-    (Simulation.total_particles sim)
-    steps;
-  for step = sim.Simulation.nstep + 1 to steps do
-    Simulation.step sim;
-    Reflectivity.sample setup.Deck.refl sim.Simulation.fields;
-    if ckpt_every > 0 && step mod ckpt_every = 0 then
-      Checkpoint.save_generation sim ~dir:ckpt_dir ~gen:step ~keep
-  done;
-  let r = Reflectivity.reflectivity setup.Deck.refl in
-  let electrons = Simulation.find_species setup.Deck.sim "electron" in
-  let fv = Trapping.distribution electrons in
-  Printf.printf "reflectivity = %.4e\n" r;
-  Printf.printf "hot fraction (>3Te) = %.3e\n"
-    (Trapping.hot_fraction electrons ~threshold_kev:(3. *. te));
-  Printf.printf "f(v) flattening at v_phase = %.2f\n"
-    (Trapping.flattening fv ~v_phase:setup.Deck.matching.Srs_theory.v_phase
-       ~uth:setup.Deck.plasma.Srs_theory.uth ~width:0.05);
-  let tm = setup.Deck.sim.Simulation.timers in
-  let phases =
-    [ ("particle push", tm.Simulation.push);
-      ("field solve", tm.Simulation.field);
-      ("ghost exchange", tm.Simulation.exchange);
-      ("migration", tm.Simulation.migrate);
-      ("sort", tm.Simulation.sort);
-      ("divergence clean", tm.Simulation.clean) ]
-  in
-  let total =
-    List.fold_left (fun acc (_, t) -> acc +. Perf.timer_total t) 0. phases
-  in
-  let t = Table.create [ "phase"; "s total"; "ms/step"; "% of accounted" ] in
-  List.iter
-    (fun (name, tim) ->
-      let s = Perf.timer_total tim in
-      Table.add_row t
-        [ name; Printf.sprintf "%.3f" s;
-          Printf.sprintf "%.2f" (1e3 *. s /. float_of_int steps);
-          Printf.sprintf "%.1f" (100. *. s /. Float.max 1e-12 total) ])
-    phases;
-  Table.print ~title:"phase timing" t;
-  let en = Simulation.energies sim in
-  Printf.printf "final total energy = %.10e at step %d\n" en.Simulation.total
-    sim.Simulation.nstep;
-  match checkpoint with
+  (if ranks <= 1 then body None
+   else ignore (Comm.run ~ranks (fun cm -> body (Some cm))));
+  (* Trace buffers are registered globally at [Trace.enable] and survive
+     their domains, so the export happens once, after every rank joined. *)
+  match trace_file with
   | Some path ->
-      Checkpoint.save sim path;
-      Printf.printf "checkpoint written to %s\n" path
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          if Filename.check_suffix path ".jsonl" then Trace.export_jsonl oc
+          else Trace.export_chrome oc);
+      Printf.printf "trace written to %s (%d spans, %d dropped)\n" path
+        (Trace.total_entries ()) (Trace.dropped_entries ())
   | None -> ()
 
 (* Typed failures get a readable one-line report and a distinct exit
    code (2 = unusable checkpoint, 3 = injected fault, 4 = health abort)
    so the CI smoke job can tell them apart. *)
 let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-    sentinel_every sentinel_log kill_step fault_seed =
+    sentinel_every sentinel_log kill_step fault_seed ranks trace_file
+    metrics_file scoreboard_every =
   try
     run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-      sentinel_every sentinel_log kill_step fault_seed
+      sentinel_every sentinel_log kill_step fault_seed ranks trace_file
+      metrics_file scoreboard_every
   with
   | Checkpoint.Version_mismatch { path; found; expected } ->
       Printf.eprintf
@@ -302,11 +399,39 @@ let srs_cmd =
     Arg.(value & opt int 1
          & info [ "fault-seed" ] ~doc:"Fault injection RNG seed.")
   in
+  let ranks =
+    Arg.(value & opt int 1
+         & info [ "ranks" ]
+             ~doc:"Run the deck decomposed over N ranks (domains); the \
+                   transverse box is widened if needed so y divides evenly.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ]
+             ~doc:"Write a trace of the step's phase spans to this file: \
+                   Chrome trace-event JSON (one track per rank; open in \
+                   chrome://tracing or Perfetto), or JSONL if the file \
+                   ends in .jsonl.")
+  in
+  let metrics_file =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ]
+             ~doc:"Append rank-reduced scoreboard/metrics snapshots to \
+                   this file, one JSON object per line.")
+  in
+  let scoreboard_every =
+    Arg.(value & opt int 0
+         & info [ "scoreboard-every" ]
+             ~doc:"Print (and log, with --metrics) a performance \
+                   scoreboard sample every N steps (0 = only the final \
+                   rollup).")
+  in
   Cmd.v
     (Cmd.info "srs" ~doc:"Laser-plasma SRS deck (one parameter-study point)")
     Term.(const run_srs $ a0 $ nr $ te $ nx $ ppc $ steps $ ckpt $ ckpt_dir
           $ ckpt_every $ keep $ resume $ sentinel_every $ sentinel_log
-          $ kill_step $ fault_seed)
+          $ kill_step $ fault_seed $ ranks $ trace_file $ metrics_file
+          $ scoreboard_every)
 
 (* ---------------------------------------------------------------- sweep *)
 

@@ -24,8 +24,10 @@ module Table = Vpic_util.Table
 module Srs_theory = Vpic_lpi.Srs_theory
 module Reflectivity = Vpic_lpi.Reflectivity
 module Trapping = Vpic_lpi.Trapping
+module Trace = Vpic_telemetry.Trace
 
 let () =
+  Trace.enable ~rank:0 ();
   let nr = 0.10 and te_kev = 2.5 in
   let uth = sqrt (te_kev /. 510.99895) in
   let plasma = { Srs_theory.nr; uth } in
@@ -106,21 +108,27 @@ let () =
   Printf.printf "f(v) flattening at v_phase = %.2f; hot (>3Te) = %.2e\n"
     (Trapping.flattening fv ~v_phase:m.Srs_theory.v_phase ~uth ~width:0.05)
     (Trapping.hot_fraction electrons ~threshold_kev:(3. *. te_kev));
-  (* performance profile *)
-  let tm = sim.Simulation.timers in
+  (* performance profile, summed from the step's telemetry spans *)
+  let phase_s names =
+    List.fold_left
+      (fun acc n -> acc +. Trace.phase_seconds (Trace.intern n))
+      0. names
+  in
   let total = wall in
   let t = Table.create [ "phase"; "seconds"; "%" ] in
-  let row name timer =
-    let v = Perf.timer_total timer in
+  let row name names =
+    let v = phase_s names in
     Table.add_row t
       [ name; Printf.sprintf "%.2f" v; Printf.sprintf "%.1f" (100. *. v /. total) ]
   in
-  row "particle push" tm.Simulation.push;
-  row "field solve" tm.Simulation.field;
-  row "ghost exchange" tm.Simulation.exchange;
-  row "migration" tm.Simulation.migrate;
-  row "sort" tm.Simulation.sort;
-  row "divergence clean" tm.Simulation.clean;
+  row "particle push" [ "push"; "push.interior"; "push.boundary" ];
+  row "field solve" [ "field" ];
+  row "ghost exchange"
+    [ "exchange.fill_begin"; "exchange.fill_finish"; "exchange.fill";
+      "exchange.fold" ];
+  row "migration" [ "migrate" ];
+  row "sort" [ "sort" ];
+  row "divergence clean" [ "clean" ];
   Table.add_row t [ "total wall"; Printf.sprintf "%.2f" total; "100.0" ];
   Table.print ~title:"wall-clock profile (compare with the E1 model breakdown)" t;
   let c = sim.Simulation.perf in

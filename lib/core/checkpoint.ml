@@ -378,7 +378,10 @@ let rm_rf_generation ~dir ~gen =
     try Unix.rmdir d with Unix.Unix_error _ -> ()
   end
 
+let sid_checkpoint = Vpic_telemetry.Trace.intern "checkpoint"
+
 let save_generation (t : Simulation.t) ~dir ~gen ~keep =
+  Vpic_telemetry.Trace.with_span sid_checkpoint @@ fun () ->
   assert (keep >= 1);
   let c = t.Simulation.coupler in
   let rank = c.Coupler.rank in

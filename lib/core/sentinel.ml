@@ -2,6 +2,10 @@ module Em_field = Vpic_field.Em_field
 module Sf = Vpic_grid.Scalar_field
 module Species = Vpic_particle.Species
 module Store = Vpic_particle.Store
+module Trace = Vpic_telemetry.Trace
+module Metrics = Vpic_telemetry.Metrics
+
+let sid_sentinel = Trace.intern "sentinel"
 
 type kind =
   | Non_finite_field of string
@@ -50,7 +54,7 @@ let () =
     | _ -> None)
 
 let make ?(interval = 50) ?(tols = default_tolerances) ?(policy = Warn)
-    ?(log = fun m -> prerr_endline ("[sentinel] " ^ m)) () =
+    ?(log = fun m -> Printf.eprintf "[sentinel] %s\n%!" m) () =
   if interval < 1 then invalid_arg "Sentinel.make: interval must be >= 1";
   { interval; tols; policy; log; baseline_energy = None; violations = 0 }
 
@@ -98,6 +102,8 @@ let scan_momenta (sim : Simulation.t) =
 
 let handle t sim d =
   t.violations <- t.violations + 1;
+  if Metrics.enabled () then
+    Metrics.counter_add (Metrics.default ()) "sentinel.violations" 1.;
   let poisoned =
     match d.kind with
     | Non_finite_field _ | Non_finite_momentum _ -> true
@@ -122,6 +128,7 @@ let handle t sim d =
       raise (Health_violation d)
 
 let check t (sim : Simulation.t) =
+  Trace.with_span sid_sentinel @@ fun () ->
   let c = sim.Simulation.coupler in
   let step = sim.Simulation.nstep in
   (* 1. Non-finite scans first: everything after them (energies, Gauss)
@@ -142,15 +149,21 @@ let check t (sim : Simulation.t) =
   else begin
     (* 2. Relativistic runaway / CFL: gamma = sqrt(1 + |u|^2). *)
     let gmax = sqrt (1. +. c.Coupler.reduce_max umax2) in
+    let gauge name v =
+      if Metrics.enabled () then Metrics.gauge_set (Metrics.default ()) name v
+    in
+    gauge "sentinel.max_gamma" gmax;
     if gmax > t.tols.max_gamma then
       handle t sim
         { step; kind = Max_gamma; value = gmax; threshold = t.tols.max_gamma };
     (* 3. Energy drift against the first observation (collective). *)
     let e = (Simulation.energies sim).Simulation.total in
+    gauge "sentinel.total_energy" e;
     (match t.baseline_energy with
     | None -> t.baseline_energy <- Some e
     | Some e0 when e0 > 0. ->
         let drift = Float.abs (e -. e0) /. e0 in
+        gauge "sentinel.energy_drift" drift;
         if drift > t.tols.energy_drift then
           handle t sim
             { step;
@@ -160,6 +173,7 @@ let check t (sim : Simulation.t) =
     | Some _ -> ());
     (* 4. Gauss law (collective; deposits rho from scratch). *)
     let r = Simulation.gauss_residual sim in
+    gauge "sentinel.gauss_residual" r;
     if r > t.tols.gauss then
       handle t sim
         { step; kind = Gauss_residual; value = r; threshold = t.tols.gauss }

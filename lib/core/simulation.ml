@@ -11,15 +11,25 @@ module Push = Vpic_particle.Push
 module Sort = Vpic_particle.Sort
 module Moments = Vpic_particle.Moments
 module Perf = Vpic_util.Perf
+module Trace = Vpic_telemetry.Trace
+module Metrics = Vpic_telemetry.Metrics
 
-type phase_timers = {
-  push : Perf.timer;
-  field : Perf.timer;
-  exchange : Perf.timer;
-  migrate : Perf.timer;
-  sort : Perf.timer;
-  clean : Perf.timer;
-}
+(* Span ids of the step's phases, interned once.  These names are the
+   contract with [Vpic_telemetry.Scoreboard], the benches and the CI
+   trace smoke: a renamed phase must be renamed there too. *)
+let sid_step = Trace.intern "step"
+let sid_fill_begin = Trace.intern "exchange.fill_begin"
+let sid_fill_finish = Trace.intern "exchange.fill_finish"
+let sid_fill = Trace.intern "exchange.fill"
+let sid_fold = Trace.intern "exchange.fold"
+let sid_push = Trace.intern "push"
+let sid_push_interior = Trace.intern "push.interior"
+let sid_push_boundary = Trace.intern "push.boundary"
+let sid_laser = Trace.intern "laser"
+let sid_migrate = Trace.intern "migrate"
+let sid_field = Trace.intern "field"
+let sid_clean = Trace.intern "clean"
+let sid_sort = Trace.intern "sort"
 
 (* Per-species push workspace, reused across steps so the steady-state
    step allocates nothing on the push/comm path: the mover buffer whose
@@ -56,7 +66,6 @@ type t = {
   mutable monitor : (t -> unit) option;
       (* health hook, called after every completed step (see Sentinel) *)
   perf : Perf.counters;
-  timers : phase_timers;
 }
 
 let zero_stats : Push.stats =
@@ -97,14 +106,7 @@ let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     push_stats = zero_stats;
     scratch_rev = [];
     monitor = None;
-    perf = Perf.create ();
-    timers =
-      { push = Perf.timer_create ();
-        field = Perf.timer_create ();
-        exchange = Perf.timer_create ();
-        migrate = Perf.timer_create ();
-        sort = Perf.timer_create ();
-        clean = Perf.timer_create () } }
+    perf = Perf.create () }
 
 let species t = List.rev t.species_rev
 let lasers t = List.rev t.lasers_rev
@@ -148,8 +150,8 @@ let scratch_for t s =
       sc
 
 let step t =
+  Trace.with_span sid_step @@ fun () ->
   let c = t.coupler in
-  let tm = t.timers in
   (* Fault-injection probe: overwrite one field cell with NaN, for
      sentinel detection tests.  One atomic load when nothing is armed. *)
   if Vpic_util.Fault.poison_due ~rank:c.Coupler.rank ~step:(t.nstep + 1) then
@@ -159,9 +161,9 @@ let step t =
      push below overlaps the in-flight messages (the paper's compute/DMA
      pipeline), and [fill_em_finish] completes x, y, z before the
      boundary-shell push that actually reads ghosts. *)
-  Perf.timer_start tm.exchange;
+  Trace.begin_span sid_fill_begin;
   c.Coupler.fill_em_begin t.fields;
-  ignore (Perf.timer_stop tm.exchange);
+  Trace.end_span ();
   Em_field.clear_currents t.fields;
   let species_scratch = List.map (fun s -> (s, scratch_for t s)) (species t) in
   List.iter
@@ -177,9 +179,9 @@ let step t =
          the force/current coupling adjoint, avoiding secular
          self-heating.  Building the copy needs complete ghosts, so this
          path finishes the fill first and pushes unsplit. *)
-      Perf.timer_start tm.exchange;
+      Trace.begin_span sid_fill_finish;
       c.Coupler.fill_em_finish t.fields;
-      ignore (Perf.timer_stop tm.exchange);
+      Trace.end_span ();
       List.iter2
         (fun src dst -> Vpic_grid.Scalar_field.blit ~src ~dst)
         (Em_field.em_components t.fields)
@@ -188,7 +190,7 @@ let step t =
         Vpic_field.Filter.binomial_pass ~fill:c.Coupler.fill_list
           (Em_field.em_components sm)
       done;
-      Perf.timer_start tm.push;
+      Trace.begin_span sid_push;
       List.iter
         (fun (s, sc) ->
           let st =
@@ -197,11 +199,11 @@ let step t =
           in
           t.push_stats <- add_stats t.push_stats st)
         species_scratch;
-      ignore (Perf.timer_stop tm.push)
+      Trace.end_span ()
   | None ->
       (* Interior pass: every particle whose cell does not touch the
          ghost layer — independent of the in-flight fill. *)
-      Perf.timer_start tm.push;
+      Trace.begin_span sid_push_interior;
       List.iter
         (fun (s, sc) ->
           let st =
@@ -210,14 +212,14 @@ let step t =
           in
           t.push_stats <- add_stats t.push_stats st)
         species_scratch;
-      ignore (Perf.timer_stop tm.push);
-      Perf.timer_start tm.exchange;
+      Trace.end_span ();
+      Trace.begin_span sid_fill_finish;
       c.Coupler.fill_em_finish t.fields;
-      ignore (Perf.timer_stop tm.exchange);
+      Trace.end_span ();
       (* Boundary pass: the deferred shell particles, now that their
          gather stencils see fresh ghosts.  Only these can become
          movers. *)
-      Perf.timer_start tm.push;
+      Trace.begin_span sid_push_boundary;
       List.iter
         (fun (s, sc) ->
           let st =
@@ -227,56 +229,69 @@ let step t =
           in
           t.push_stats <- add_stats t.push_stats st)
         species_scratch;
-      ignore (Perf.timer_stop tm.push));
+      Trace.end_span ());
   (* Fault-injection probe: die mid-step, after the push posted its ghost
      traffic but before migration/fold completes — peers must unblock via
      the comm layer's failed-rank poisoning, not drain cleanly. *)
   Vpic_util.Fault.kill_point ~rank:c.Coupler.rank ~step:(t.nstep + 1);
+  Trace.begin_span sid_laser;
   List.iter (fun l -> Laser.drive l t.fields ~time:(time t)) (lasers t);
+  Trace.end_span ();
   (* Migration must precede the current fold: finished movers deposit
      their remaining segments (including into ghost slots). *)
-  Perf.timer_start tm.migrate;
+  if Metrics.enabled () then begin
+    let m = Metrics.default () in
+    let movers =
+      List.fold_left
+        (fun acc (_, sc) -> acc + Push.Movers.count sc.movers)
+        0 species_scratch
+    in
+    Metrics.counter_add m "migrate.movers" (float_of_int movers);
+    Metrics.counter_add m "migrate.bytes"
+      (float_of_int (movers * Push.Movers.stride * 4))
+  end;
+  Trace.begin_span sid_migrate;
   List.iter
     (fun (s, sc) -> c.Coupler.migrate s t.fields sc.movers)
     species_scratch;
-  ignore (Perf.timer_stop tm.migrate);
-  Perf.timer_start tm.exchange;
+  Trace.end_span ();
+  Trace.begin_span sid_fold;
   c.Coupler.fold_currents t.fields;
   if t.current_filter_passes > 0 then
     Vpic_field.Filter.smooth_currents ~passes:t.current_filter_passes
       ~fill:c.Coupler.fill_list t.fields;
-  ignore (Perf.timer_stop tm.exchange);
+  Trace.end_span ();
   (* Field advance. *)
-  Perf.timer_start tm.field;
+  Trace.begin_span sid_field;
   Maxwell.advance_b ~perf:t.perf t.fields ~frac:0.5;
-  ignore (Perf.timer_stop tm.field);
-  Perf.timer_start tm.exchange;
+  Trace.end_span ();
+  Trace.begin_span sid_fill;
   c.Coupler.fill_em t.fields;
-  ignore (Perf.timer_stop tm.exchange);
-  Perf.timer_start tm.field;
+  Trace.end_span ();
+  Trace.begin_span sid_field;
   Maxwell.advance_e ~perf:t.perf t.fields;
   Boundary.enforce_pec c.Coupler.bc t.fields;
-  ignore (Perf.timer_stop tm.field);
+  Trace.end_span ();
   if interval_due t t.clean_div_interval then begin
-    Perf.timer_start tm.clean;
+    Trace.begin_span sid_clean;
     deposit_rho t;
     ignore
       (Marder.clean ~perf:t.perf ~passes:t.marder_passes
          ~hooks:(Coupler.marder_hooks c t.fields)
          t.fields);
-    ignore (Perf.timer_stop tm.clean)
+    Trace.end_span ()
   end;
-  Perf.timer_start tm.exchange;
+  Trace.begin_span sid_fill;
   c.Coupler.fill_em t.fields;
-  ignore (Perf.timer_stop tm.exchange);
-  Perf.timer_start tm.field;
+  Trace.end_span ();
+  Trace.begin_span sid_field;
   Maxwell.advance_b ~perf:t.perf t.fields ~frac:0.5;
   Boundary.Absorber.apply t.absorber t.fields;
-  ignore (Perf.timer_stop tm.field);
+  Trace.end_span ();
   if interval_due t t.sort_interval then begin
-    Perf.timer_start tm.sort;
+    Trace.begin_span sid_sort;
     List.iter (fun s -> Sort.by_voxel ~perf:t.perf s) (species t);
-    ignore (Perf.timer_stop tm.sort)
+    Trace.end_span ()
   end;
   t.nstep <- t.nstep + 1;
   (* Health monitor (sentinel) last: it sees the completed step and may

@@ -17,15 +17,6 @@ module Bc = Vpic_grid.Bc
 module Em_field = Vpic_field.Em_field
 module Species = Vpic_particle.Species
 
-type phase_timers = {
-  push : Vpic_util.Perf.timer;
-  field : Vpic_util.Perf.timer;
-  exchange : Vpic_util.Perf.timer;  (** ghost fills + current folds *)
-  migrate : Vpic_util.Perf.timer;   (** mover shipping + finishing *)
-  sort : Vpic_util.Perf.timer;
-  clean : Vpic_util.Perf.timer;
-}
-
 (** Per-species push workspace (mover buffer + deferred-index list),
     created on first use and reused every step. *)
 type push_scratch = {
@@ -58,7 +49,6 @@ type t = {
       (** health hook, run after every completed step on every rank (see
           [Sentinel.attach]); may raise to abort the run *)
   perf : Vpic_util.Perf.counters;
-  timers : phase_timers;
 }
 
 (** [make ~grid ~coupler ()] builds an empty simulation.
@@ -97,7 +87,13 @@ val lasers : t -> Vpic_field.Laser.t list
 (** Physical time = nstep * dt. *)
 val time : t -> float
 
-(** Advance one full step. *)
+(** Advance one full step.  When tracing is enabled
+    ([Vpic_telemetry.Trace.enable]), the step and each phase record
+    spans: ["step"], ["push"] / ["push.interior"] / ["push.boundary"],
+    ["exchange.fill_begin"] / ["exchange.fill_finish"] /
+    ["exchange.fill"] / ["exchange.fold"], ["laser"], ["migrate"],
+    ["field"], ["clean"], ["sort"] — the names
+    [Vpic_telemetry.Scoreboard] aggregates. *)
 val step : t -> unit
 
 (** [run t ~steps ?every ?diag ()] steps [steps] times, invoking [diag]

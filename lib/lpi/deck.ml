@@ -1,5 +1,7 @@
 module Grid = Vpic_grid.Grid
 module Bc = Vpic_grid.Bc
+module Decomp = Vpic_grid.Decomp
+module Comm = Vpic_parallel.Comm
 module Laser = Vpic_field.Laser
 module Species = Vpic_particle.Species
 module Loader = Vpic_particle.Loader
@@ -72,17 +74,13 @@ let load_colocated_ions rng (electrons : Species.t) (ions : Species.t) ~uth_i =
           uy = uth_i *. Rng.normal rng;
           uz = uth_i *. Rng.normal rng })
 
-let build c =
+let build ?comm c =
   assert (c.vacuum >= 2. && float_of_int c.nx *. c.dx > 2. *. c.vacuum +. 2.);
   let lx = float_of_int c.nx *. c.dx in
   let dy = c.l_transverse /. float_of_int c.ny in
   let dz = c.l_transverse /. float_of_int c.nz in
   let dt = Grid.courant_dt ~dx:c.dx ~dy ~dz () in
-  let grid =
-    Grid.make ~nx:c.nx ~ny:c.ny ~nz:c.nz ~lx ~ly:c.l_transverse
-      ~lz:c.l_transverse ~dt ()
-  in
-  let bc =
+  let bc_global =
     { Bc.xlo = Bc.Absorbing;
       xhi = Bc.Absorbing;
       ylo = Bc.Periodic;
@@ -90,7 +88,33 @@ let build c =
       zlo = Bc.Periodic;
       zhi = Bc.Periodic }
   in
-  let coupler = Coupler.local bc in
+  (* Parallel runs slice along y only (px = pz = 1): x keeps its global
+     extent on every rank, so the antenna/probe plane indices, the
+     absorber and the slab profile (a function of x alone) are untouched;
+     the serial path below is byte-for-byte the original build. *)
+  let grid, coupler, rank =
+    match comm with
+    | None ->
+        let grid =
+          Grid.make ~nx:c.nx ~ny:c.ny ~nz:c.nz ~lx ~ly:c.l_transverse
+            ~lz:c.l_transverse ~dt ()
+        in
+        (grid, Coupler.local bc_global, 0)
+    | Some cm ->
+        let nranks = Comm.size cm in
+        if c.ny mod nranks <> 0 then
+          invalid_arg
+            (Printf.sprintf "Deck.build: ny = %d not divisible by %d ranks"
+               c.ny nranks);
+        let dec =
+          Decomp.make ~px:1 ~py:nranks ~pz:1 ~gnx:c.nx ~gny:c.ny ~gnz:c.nz
+            ~lx ~ly:c.l_transverse ~lz:c.l_transverse
+        in
+        let rank = Comm.rank cm in
+        let grid = Decomp.local_grid dec ~dt ~rank in
+        let bc = Decomp.local_bc dec ~global:bc_global ~rank in
+        (grid, Coupler.parallel cm bc ~grid, rank)
+  in
   let clean_div_interval = if c.ion_mass > 0. then 50 else 0 in
   (* Layout of the vacuum buffer (in cells): the sponge absorber takes the
      outer third, the antenna sits just inside it, the reflectivity probe
@@ -120,7 +144,7 @@ let build c =
     else if x > plasma_x_hi -. ramp then (plasma_x_hi -. x) /. ramp
     else 1.0
   in
-  let rng = Rng.of_int c.rng_seed in
+  let rng = Rng.of_int (c.rng_seed + (7919 * rank)) in
   let electrons = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
   ignore
     (Loader.maxwellian (Rng.split rng 1) electrons ~ppc:c.ppc ~uth:plasma.uth

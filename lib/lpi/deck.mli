@@ -51,8 +51,13 @@ type setup = {
 
 (** Build the full simulation: grid, boundary conditions + absorber,
     electron (and ion) loading, pump and seed antennas, reflectivity
-    probe. *)
-val build : config -> setup
+    probe.  [comm] runs the deck decomposed along y, one slab per rank
+    (the transverse periodic axis; x keeps its global extent so lasers,
+    probe and absorber are unchanged) — [ny] must divide by the rank
+    count, and every rank builds collectively with its own rank-salted
+    particle RNG.  Without [comm] the build is exactly the original
+    serial deck. *)
+val build : ?comm:Vpic_parallel.Comm.t -> config -> setup
 
 (** Step the setup [steps] times, sampling the reflectivity probe each
     step.  Returns the final reflectivity estimate. *)

@@ -268,13 +268,52 @@ let port_wait_pending p ~deadline =
       in
       poll ()
 
+(* Wait observer: an optional per-domain hook reporting how long each
+   port wait parked and every deadline expiry, installed by the
+   telemetry layer.  Gated on one global atomic so uninstrumented runs
+   pay a single load per wait; the clock is only read when a hook is
+   installed on the calling domain. *)
+type wait_observer = {
+  on_wait : port:string -> seconds:float -> unit;
+  on_timeout : port:string -> unit;
+}
+
+let wait_observers_armed = Atomic.make false
+
+let wait_observer_key : wait_observer option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_wait_observer o =
+  Domain.DLS.set wait_observer_key o;
+  match o with
+  | Some _ -> Atomic.set wait_observers_armed true
+  | None -> ()
+
 let port_wait ?deadline p ~f =
   Vpic_util.Fault.port_delay ~rank:p.powner ~name:p.pname;
+  let obs =
+    if Atomic.get wait_observers_armed then Domain.DLS.get wait_observer_key
+    else None
+  in
+  let t0 = match obs with None -> 0. | Some _ -> Unix.gettimeofday () in
   Mutex.lock p.pmu;
-  port_wait_pending p ~deadline;
+  (try port_wait_pending p ~deadline
+   with e ->
+     (* port_wait_pending released the mutex before raising *)
+     (match obs with
+     | Some o ->
+         (match e with
+         | Comm_timeout _ -> o.on_timeout ~port:p.pname
+         | _ -> ());
+         o.on_wait ~port:p.pname ~seconds:(Unix.gettimeofday () -. t0)
+     | None -> ());
+     raise e);
   let i = p.consumed mod port_depth in
   let buf = p.ring.(i) and len = p.lens.(i) in
   Mutex.unlock p.pmu;
+  (match obs with
+  | Some o -> o.on_wait ~port:p.pname ~seconds:(Unix.gettimeofday () -. t0)
+  | None -> ());
   f buf len;
   port_finish_consume p
 
@@ -435,6 +474,25 @@ let allreduce_sum_array t xs =
       let v = recv_internal t ~src ~tag:tag_reduce in
       assert (Array.length v = Array.length acc);
       Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x) v
+    done;
+    for dst = 1 to t.world.nranks - 1 do
+      send_internal t ~dst ~tag:tag_reduce acc
+    done;
+    acc
+  end
+  else begin
+    send_internal t ~dst:0 ~tag:tag_reduce xs;
+    recv_internal t ~src:0 ~tag:tag_reduce
+  end
+
+let allreduce_max_array t xs =
+  if t.world.nranks = 1 then Array.copy xs
+  else if t.my_rank = 0 then begin
+    let acc = Array.copy xs in
+    for src = 1 to t.world.nranks - 1 do
+      let v = recv_internal t ~src ~tag:tag_reduce in
+      assert (Array.length v = Array.length acc);
+      Array.iteri (fun i x -> acc.(i) <- Float.max acc.(i) x) v
     done;
     for dst = 1 to t.world.nranks - 1 do
       send_internal t ~dst ~tag:tag_reduce acc

@@ -104,6 +104,23 @@ val port_wait : ?deadline:float -> port -> f:(buf32 -> int -> unit) -> unit
     pending. *)
 val port_try_recv : port -> f:(buf32 -> int -> unit) -> bool
 
+(** {1 Wait observation}
+
+    A per-domain hook reporting every {!port_wait}: how long the caller
+    parked before a message was available ([on_wait], called on success
+    and on failure) and every deadline expiry ([on_timeout], called
+    before the {!Comm_timeout} propagates).  Installed by the telemetry
+    layer to measure the comm-wait fraction; one atomic load per wait
+    when no observer is installed anywhere. *)
+type wait_observer = {
+  on_wait : port:string -> seconds:float -> unit;
+  on_timeout : port:string -> unit;
+}
+
+(** Install ([Some]) or remove ([None]) the calling domain's observer.
+    The observer runs on the waiting domain, outside the port lock. *)
+val set_wait_observer : wait_observer option -> unit
+
 (** {1 Point-to-point (blocking shim)}
 
     The original mailbox API, kept for collectives, tests and low-rate
@@ -131,6 +148,9 @@ val allreduce_max : t -> float -> float
 
 (** Element-wise sum of equal-length arrays. *)
 val allreduce_sum_array : t -> float array -> float array
+
+(** Element-wise max of equal-length arrays. *)
+val allreduce_max_array : t -> float array -> float array
 
 (** [bcast t ~root x] returns root's [x] on every rank. *)
 val bcast : t -> root:int -> float array -> float array

@@ -1,0 +1,225 @@
+module Perf = Vpic_util.Perf
+module Table = Vpic_util.Table
+
+(* Canonical span names of the instrumented step (see Simulation.step);
+   sums of interned ids, grouped into the paper's phase categories. *)
+let push_ids = List.map Trace.intern [ "push"; "push.interior"; "push.boundary" ]
+let field_ids = [ Trace.intern "field" ]
+
+let exchange_ids =
+  List.map Trace.intern
+    [ "exchange.fill_begin"; "exchange.fill_finish"; "exchange.fill";
+      "exchange.fold" ]
+
+let migrate_ids = [ Trace.intern "migrate" ]
+let sort_ids = [ Trace.intern "sort" ]
+let clean_ids = [ Trace.intern "clean" ]
+let step_ids = [ Trace.intern "step" ]
+
+let phase_s ids =
+  List.fold_left (fun acc id -> acc +. Trace.phase_seconds id) 0. ids
+
+(* Cumulative local readings; samples and totals are deltas of these. *)
+type cum = {
+  wall : float;
+  flops : float;
+  psteps : float;
+  vox : float;
+  push : float;
+  field : float;
+  exch : float;
+  migr : float;
+  srt : float;
+  cln : float;
+  stp : float;
+  park : float;
+  movers : float;
+  mbytes : float;
+}
+
+type t = {
+  metrics : Metrics.t;
+  perf : Perf.counters;
+  nranks : int;
+  reduce_sum : float -> float;
+  reduce_max : float -> float;
+  base : cum;
+  mutable prev : cum;
+  mutable prev_step : int;
+}
+
+let read (metrics : Metrics.t) (perf : Perf.counters) =
+  { wall = Perf.now ();
+    flops = perf.Perf.flops;
+    psteps = perf.Perf.particle_steps;
+    vox = perf.Perf.voxel_updates;
+    push = phase_s push_ids;
+    field = phase_s field_ids;
+    exch = phase_s exchange_ids;
+    migr = phase_s migrate_ids;
+    srt = phase_s sort_ids;
+    cln = phase_s clean_ids;
+    stp = phase_s step_ids;
+    park = Metrics.value metrics "comm.park_s";
+    movers = Metrics.value metrics "migrate.movers";
+    mbytes = Metrics.value metrics "migrate.bytes" }
+
+let create ~metrics ~perf ~nranks ~reduce_sum ~reduce_max () =
+  let base = read metrics perf in
+  { metrics; perf; nranks; reduce_sum; reduce_max; base; prev = base;
+    prev_step = 0 }
+
+type sample = {
+  step : int;
+  window_steps : int;
+  wall_s : float;
+  particle_rate : float;
+  voxel_rate : float;
+  sustained_flops : float;
+  inner_flops : float;
+  comm_wait_frac : float;
+  movers : float;
+  mover_bytes : float;
+  imbalance : float;
+}
+
+let safe_div a b = if b > 0. then a /. b else 0.
+
+(* Window rates between [from] and now.  Collective: the reduce calls
+   run in a fixed order on every rank. *)
+let rates t ~(from : cum) =
+  let c = read t.metrics t.perf in
+  let d_wall = t.reduce_max (c.wall -. from.wall) in
+  let d_wall = Float.max 1e-9 d_wall in
+  let d_flops = t.reduce_sum (c.flops -. from.flops) in
+  let d_ps = t.reduce_sum (c.psteps -. from.psteps) in
+  let d_vox = t.reduce_sum (c.vox -. from.vox) in
+  let d_push_sum = t.reduce_sum (c.push -. from.push) in
+  let d_push_max = t.reduce_max (c.push -. from.push) in
+  let d_park = t.reduce_sum (c.park -. from.park) in
+  let d_movers = t.reduce_sum (c.movers -. from.movers) in
+  let d_mbytes = t.reduce_sum (c.mbytes -. from.mbytes) in
+  let push_mean = d_push_sum /. float_of_int t.nranks in
+  (c, d_wall, d_flops, d_ps, d_vox, d_push_sum, d_push_max, d_park, d_movers,
+   d_mbytes, push_mean)
+
+let sample t ~step =
+  let ( c, d_wall, d_flops, d_ps, d_vox, _d_push_sum, d_push_max, d_park,
+        d_movers, d_mbytes, push_mean ) =
+    rates t ~from:t.prev
+  in
+  let s =
+    { step;
+      window_steps = step - t.prev_step;
+      wall_s = d_wall;
+      particle_rate = d_ps /. d_wall;
+      voxel_rate = d_vox /. d_wall;
+      sustained_flops = d_flops /. d_wall;
+      inner_flops = safe_div d_flops push_mean;
+      comm_wait_frac = d_park /. (float_of_int t.nranks *. d_wall);
+      movers = d_movers;
+      mover_bytes = d_mbytes;
+      imbalance = (if push_mean > 0. then d_push_max /. push_mean else 1.) }
+  in
+  t.prev <- c;
+  t.prev_step <- step;
+  s
+
+let print s =
+  Printf.printf
+    "[scoreboard] step %6d | %10.4g pstep/s | sustained %10.4g flop/s | \
+     inner %10.4g flop/s | comm-wait %5.1f%% | imbalance %.2f | movers %g\n%!"
+    s.step s.particle_rate s.sustained_flops s.inner_flops
+    (100. *. s.comm_wait_frac)
+    s.imbalance s.movers
+
+let num v = if Float.is_finite v then Printf.sprintf "%.9g" v else "null"
+
+let sample_to_json s =
+  Printf.sprintf
+    "{\"type\":\"scoreboard\",\"step\":%d,\"window_steps\":%d,\"wall_s\":%s,\
+     \"particle_rate\":%s,\"voxel_rate\":%s,\"sustained_flops\":%s,\
+     \"inner_flops\":%s,\"comm_wait_frac\":%s,\"movers\":%s,\
+     \"mover_bytes\":%s,\"imbalance\":%s}"
+    s.step s.window_steps (num s.wall_s) (num s.particle_rate)
+    (num s.voxel_rate) (num s.sustained_flops) (num s.inner_flops)
+    (num s.comm_wait_frac) (num s.movers) (num s.mover_bytes)
+    (num s.imbalance)
+
+type totals = {
+  steps : int;
+  nranks : int;
+  run_wall_s : float;
+  flops : float;
+  particle_steps : float;
+  voxel_updates : float;
+  t_push : float;
+  t_field : float;
+  t_exchange : float;
+  t_migrate : float;
+  t_sort : float;
+  t_clean : float;
+  t_step : float;
+  comm_wait_s : float;
+  movers : float;
+  run_particle_rate : float;
+  run_sustained_flops : float;
+  run_inner_flops : float;
+}
+
+let totals t ~steps =
+  let ( _c, d_wall, d_flops, d_ps, d_vox, d_push_sum, _d_push_max, d_park,
+        d_movers, _d_mbytes, push_mean ) =
+    rates t ~from:t.base
+  in
+  let c = read t.metrics t.perf in
+  let world d = t.reduce_sum d in
+  { steps;
+    nranks = t.nranks;
+    run_wall_s = d_wall;
+    flops = d_flops;
+    particle_steps = d_ps;
+    voxel_updates = d_vox;
+    t_push = d_push_sum;
+    t_field = world (c.field -. t.base.field);
+    t_exchange = world (c.exch -. t.base.exch);
+    t_migrate = world (c.migr -. t.base.migr);
+    t_sort = world (c.srt -. t.base.srt);
+    t_clean = world (c.cln -. t.base.cln);
+    t_step = world (c.stp -. t.base.stp);
+    comm_wait_s = d_park;
+    movers = d_movers;
+    run_particle_rate = d_ps /. d_wall;
+    run_sustained_flops = d_flops /. d_wall;
+    run_inner_flops = safe_div d_flops push_mean }
+
+let print_totals (tt : totals) =
+  let steps = float_of_int (max 1 tt.steps) in
+  let nr = float_of_int tt.nranks in
+  let accounted =
+    tt.t_push +. tt.t_field +. tt.t_exchange +. tt.t_migrate +. tt.t_sort
+    +. tt.t_clean
+  in
+  let tb = Table.create [ "phase"; "s/rank"; "ms/step"; "% of accounted" ] in
+  let row name v =
+    Table.add_row tb
+      [ name;
+        Printf.sprintf "%.3f" (v /. nr);
+        Printf.sprintf "%.2f" (1e3 *. v /. nr /. steps);
+        Printf.sprintf "%.1f" (100. *. safe_div v accounted) ]
+  in
+  row "particle push" tt.t_push;
+  row "field solve" tt.t_field;
+  row "ghost exchange" tt.t_exchange;
+  row "migration" tt.t_migrate;
+  row "sort" tt.t_sort;
+  row "divergence clean" tt.t_clean;
+  Table.print ~title:"scoreboard rollup" tb;
+  Printf.printf
+    "run: %.3g particle-steps/s | sustained %.3g flop/s | inner %.3g flop/s \
+     | comm-wait %.1f%% | movers %g\n"
+    tt.run_particle_rate tt.run_sustained_flops tt.run_inner_flops
+    (100.
+    *. safe_div tt.comm_wait_s
+         (nr *. Float.max 1e-9 tt.run_wall_s))
+    tt.movers

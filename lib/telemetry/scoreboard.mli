@@ -1,0 +1,78 @@
+(** Per-step performance rollup, in the units of the paper's headline:
+    particle-steps/s, voxel-updates/s, sustained and inner-loop flop
+    rates, comm-wait fraction, migration volume and cross-rank load
+    imbalance.
+
+    Rates combine the {!Trace} cumulative phase totals (wall time per
+    phase, this rank's domain), the analytic [Vpic_util.Perf] flop/work
+    ledgers, and the ["comm.park_s"] / ["migrate.*"] metrics.  A
+    {!sample} reduces a window (since the previous sample) across
+    ranks; {!totals} reduces the whole run.  Both are collective:
+    every rank must call them at the same step, each on its own
+    scoreboard. *)
+
+type t
+
+(** One per rank, on the rank's own domain, after {!Trace.enable} /
+    {!Metrics.enable}.  [reduce_sum] / [reduce_max] are the world
+    scalar collectives (identity on a serial run). *)
+val create :
+  metrics:Metrics.t ->
+  perf:Vpic_util.Perf.counters ->
+  nranks:int ->
+  reduce_sum:(float -> float) ->
+  reduce_max:(float -> float) ->
+  unit ->
+  t
+
+type sample = {
+  step : int;
+  window_steps : int;
+  wall_s : float;           (** window wall time, max over ranks *)
+  particle_rate : float;    (** particle-steps/s, world *)
+  voxel_rate : float;       (** voxel-updates/s, world *)
+  sustained_flops : float;  (** world flop/s over the window wall time *)
+  inner_flops : float;      (** world flop/s over mean push time only *)
+  comm_wait_frac : float;   (** parked seconds / (nranks * wall) *)
+  movers : float;           (** migrated particles, world *)
+  mover_bytes : float;      (** migration wire bytes, world *)
+  imbalance : float;        (** max/mean push seconds across ranks *)
+}
+
+(** Collective.  Advances the window. *)
+val sample : t -> step:int -> sample
+
+val print : sample -> unit
+
+(** One-line JSON: [{"type":"scoreboard","step":N,...}]; non-finite
+    numbers render as null. *)
+val sample_to_json : sample -> string
+
+(** Whole-run totals since [create], reduced across ranks (collective).
+    Phase seconds are world sums (all ranks added together). *)
+type totals = {
+  steps : int;
+  nranks : int;
+  run_wall_s : float;       (** max over ranks *)
+  flops : float;
+  particle_steps : float;
+  voxel_updates : float;
+  t_push : float;
+  t_field : float;
+  t_exchange : float;
+  t_migrate : float;
+  t_sort : float;
+  t_clean : float;
+  t_step : float;           (** whole-step span, world sum *)
+  comm_wait_s : float;
+  movers : float;
+  run_particle_rate : float;
+  run_sustained_flops : float;
+  run_inner_flops : float;
+}
+
+val totals : t -> steps:int -> totals
+
+(** The phase rollup table the srs deck prints at the end of a run
+    (replaces the old hand-rolled phase-timing table). *)
+val print_totals : totals -> unit

@@ -1,0 +1,92 @@
+(** Low-overhead tracing spans.
+
+    A span is a named [begin]/[end] pair recorded into a preallocated
+    per-rank ring buffer.  Like [Vpic_util.Fault], the production path is
+    gated on a single global atomic: when tracing is disabled, a
+    {!begin_span} is one atomic load and a branch — no allocation, no
+    clock read, no lock.  When enabled, a completed span costs two clock
+    reads and a handful of array stores into the calling domain's buffer
+    (domain-local storage, so ranks never contend).
+
+    Span names are interned once ({!intern}) so the hot path carries an
+    [int], not a string.  Besides the ring of recent spans, each buffer
+    keeps cumulative per-name totals ({!phase_seconds} /
+    {!phase_count}), which survive ring wrap-around and feed the
+    {!Scoreboard} without requiring the full event history.
+
+    Export is Chrome trace-event JSON (load the file in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}; one
+    track = one rank) or JSONL (one event per line, for ad-hoc jq). *)
+
+(** Intern a span name, returning its id.  Idempotent; thread-safe.
+    Intern at module initialisation, not inside loops. *)
+val intern : string -> int
+
+val name_of : int -> string
+
+(** Arm tracing and give the calling domain a fresh ring buffer of
+    [capacity] spans (default 65536).  Call once per rank, on the
+    rank's own domain.  Buffers are kept in a global registry so they
+    survive the domain's death and can be exported after [Comm.run]
+    returns. *)
+val enable : ?capacity:int -> rank:int -> unit -> unit
+
+(** Disarm globally.  Buffers are kept (exportable); spans stop
+    recording. *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** Disarm, drop every registered buffer and the calling domain's
+    binding.  For tests. *)
+val reset : unit -> unit
+
+(** Open a span.  No-op (one atomic load) when disabled or when this
+    domain has no buffer. *)
+val begin_span : int -> unit
+
+(** Close the innermost open span and record it. *)
+val end_span : unit -> unit
+
+(** [with_span id f] = begin; [f ()]; end — exception-safe. *)
+val with_span : int -> (unit -> 'a) -> 'a
+
+(** {1 Cumulative per-name totals} (calling domain's buffer) *)
+
+(** Total seconds spent in completed spans of this name; 0 if unknown. *)
+val phase_seconds : int -> float
+
+val phase_count : int -> int
+
+(** All (name, seconds, count) with nonzero count, this domain. *)
+val phase_totals : unit -> (string * float * int) list
+
+(** {1 Recorded events} (all registered buffers) *)
+
+type entry = {
+  rank : int;
+  name : string;
+  t0 : float;   (** [Perf.now] at begin *)
+  t1 : float;
+  depth : int;  (** nesting depth at begin; 0 = top level *)
+}
+
+(** Ring contents, oldest first per rank, ranks in registration order. *)
+val entries : unit -> entry list
+
+(** Spans recorded since {!reset}, over all buffers (dropped ones
+    included).  Zero iff nothing recorded — the disabled-run test. *)
+val total_entries : unit -> int
+
+(** Spans that fell off the ring (recorded minus retained). *)
+val dropped_entries : unit -> int
+
+(** {1 Export} *)
+
+(** Chrome trace-event JSON: [{"traceEvents": [...]}] with one complete
+    ("ph":"X") event per span, [tid] = rank, microsecond timestamps
+    relative to the earliest recorded span. *)
+val export_chrome : out_channel -> unit
+
+(** One JSON object per line: rank, name, t0, t1, dur, depth. *)
+val export_jsonl : out_channel -> unit

@@ -26,30 +26,7 @@ let add_particle_steps c n = c.particle_steps <- c.particle_steps +. n
 let add_voxel_updates c n = c.voxel_updates <- c.voxel_updates +. n
 let global = create ()
 
-type timer = {
-  mutable t0 : float;
-  mutable running : bool;
-  mutable total : float;
-  mutable count : int;
-}
-
 let now () = Unix.gettimeofday ()
-let timer_create () = { t0 = 0.; running = false; total = 0.; count = 0 }
-
-let timer_start t =
-  t.t0 <- now ();
-  t.running <- true
-
-let timer_stop t =
-  assert t.running;
-  let dt = now () -. t.t0 in
-  t.running <- false;
-  t.total <- t.total +. dt;
-  t.count <- t.count + 1;
-  dt
-
-let timer_total t = t.total
-let timer_count t = t.count
 
 let timed f =
   let t0 = now () in

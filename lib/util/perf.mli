@@ -1,7 +1,8 @@
-(** Performance accounting: flop / byte / particle-step ledgers and wall
-    timers.  The kernels in [vpic_particle] and [vpic_field] report their
-    analytic operation counts here; the Roadrunner performance model in
-    [vpic_cell] consumes the resulting per-particle and per-voxel costs. *)
+(** Performance accounting: flop / byte / particle-step ledgers and the
+    wall clock.  The kernels in [vpic_particle] and [vpic_field] report
+    their analytic operation counts here; the Roadrunner performance
+    model in [vpic_cell] consumes the resulting per-particle and
+    per-voxel costs.  Phase timing lives in [Vpic_telemetry.Trace]. *)
 
 type counters = {
   mutable flops : float;          (** floating-point operations *)
@@ -24,19 +25,8 @@ val global : counters
 
 (** {1 Wall-clock timing} *)
 
-(** The one wall-clock source for benches, examples and phase timers. *)
+(** The one wall-clock source for benches, examples and tracing spans. *)
 val now : unit -> float
-
-type timer
-
-val timer_create : unit -> timer
-val timer_start : timer -> unit
-
-(** Stop and accumulate; returns the elapsed interval in seconds. *)
-val timer_stop : timer -> float
-
-val timer_total : timer -> float
-val timer_count : timer -> int
 
 (** Time a thunk, returning its result and the elapsed seconds. *)
 val timed : (unit -> 'a) -> 'a * float

@@ -8,6 +8,7 @@ let () =
       ("store", Suite_store.suite);
       ("sim", Suite_sim.suite);
       ("parallel", Suite_parallel.suite);
+      ("telemetry", Suite_telemetry.suite);
       ("fault", Suite_fault.suite);
       ("cell", Suite_cell.suite);
       ("lpi", Suite_lpi.suite) ]
