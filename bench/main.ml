@@ -21,6 +21,8 @@ module Store = Vpic_particle.Store
 module Particle = Vpic_particle.Particle
 module Push = Vpic_particle.Push
 module Interp = Vpic_particle.Interp
+module Interpolator = Vpic_particle.Interpolator
+module Accumulator = Vpic_particle.Accumulator
 module Sort = Vpic_particle.Sort
 module Moments = Vpic_particle.Moments
 module Loader = Vpic_particle.Loader
@@ -597,7 +599,7 @@ let v2_plasma_oscillation () =
    registers; only the particle loads/stores differ.  Sorted order lets
    the f32 path amortise its voxel decode over the run of particles
    sharing a cell, exactly as the SPE pipeline does. *)
-let push_layout_bench () =
+let push_layout_bench ?(quick = false) () =
   pf "\n###### push layout: f32 store (32 B) vs f64 arrays (80 B) ######\n";
   (* The paper's regime is memory-resident: 1e12 particles over 1.36e8
      voxels (~7350 per voxel), so particle data streams from DRAM while
@@ -876,6 +878,83 @@ let push_layout_bench () =
     ~title:(Printf.sprintf "push micro-kernel, %d sorted particles" np)
     t;
   pf "f32/f64 speedup: %.3fx\n" (r32 /. r64);
+  (* -------- A/B: the production Push.advance, direct strided
+     gather/scatter vs the interpolator/accumulator memory system.
+     Unlike the micro-kernel above, this times the whole advance
+     (gather, Boris, walk, current deposition) through the public API;
+     the interpolator pass pays its honest per-step overhead — the
+     coefficient load before the push and the accumulator unload after
+     it.  Each timed pass starts from a freshly sorted population so
+     both paths see the same locality the step loop maintains. *)
+  pf "\n###### push A/B: direct gather/scatter vs interpolator/accumulator ######\n";
+  let n2 = if quick then 16 else 64 in
+  let ppc2 = if quick then 8 else 40 in
+  let l2 = float_of_int n2 *. (l /. float_of_int n) in
+  let g2 =
+    Grid.make ~nx:n2 ~ny:n2 ~nz:n2 ~lx:l2 ~ly:l2 ~lz:l2
+      ~dt:(Grid.courant_dt ~dx:(l2 /. float_of_int n2)
+             ~dy:(l2 /. float_of_int n2) ~dz:(l2 /. float_of_int n2) ())
+      ()
+  in
+  let f2 = Em_field.create g2 in
+  let rng2 = Rng.of_int 43 in
+  List.iter
+    (fun sf -> Sf.map_inplace sf (fun _ -> 0.05 *. (Rng.uniform rng2 -. 0.5)))
+    (Em_field.em_components f2);
+  Boundary.fill_em Bc.periodic f2;
+  let s2 = Species.create ~name:"e" ~q:(-1.) ~m:1. g2 in
+  ignore (Loader.maxwellian rng2 s2 ~ppc:ppc2 ~uth:0.08 ());
+  Sort.by_voxel s2;
+  let np2 = Species.count s2 in
+  let ip = Interpolator.create g2 in
+  let ac = Accumulator.create g2 in
+  let direct_pass () =
+    Em_field.clear_currents f2;
+    ignore (Push.advance s2 f2 Bc.periodic)
+  in
+  let interp_pass () =
+    Em_field.clear_currents f2;
+    Interpolator.load ip f2;
+    ignore (Push.advance ~interp:ip ~accum:ac s2 f2 Bc.periodic);
+    Accumulator.unload ac f2
+  in
+  direct_pass ();
+  interp_pass ();
+  let reps2 = if quick then 3 else 5 in
+  let d_dir = ref 0. and d_int = ref 0. in
+  let time_into acc pass =
+    Sort.by_voxel s2;
+    let _, d = Perf.timed pass in
+    acc := !acc +. d
+  in
+  for r = 1 to reps2 do
+    (* alternate order so slow drift biases neither path *)
+    if r land 1 = 1 then begin
+      time_into d_dir direct_pass;
+      time_into d_int interp_pass
+    end
+    else begin
+      time_into d_int interp_pass;
+      time_into d_dir direct_pass
+    end
+  done;
+  let r_dir = float_of_int (np2 * reps2) /. !d_dir in
+  let r_int = float_of_int (np2 * reps2) /. !d_int in
+  let t = Table.create [ "path"; "Mparticles/s"; "ns/particle" ] in
+  Table.add_row t
+    [ "direct gather/scatter";
+      Printf.sprintf "%.2f" (r_dir /. 1e6);
+      Printf.sprintf "%.0f" (1e9 /. r_dir) ];
+  Table.add_row t
+    [ "interpolator/accumulator";
+      Printf.sprintf "%.2f" (r_int /. 1e6);
+      Printf.sprintf "%.0f" (1e9 /. r_int) ];
+  Table.print
+    ~title:
+      (Printf.sprintf "Push.advance A/B, %d sorted particles (incl. load/unload)"
+         np2)
+    t;
+  pf "interp/direct speedup: %.3fx\n" (r_int /. r_dir);
   write_bench_json ~file:"BENCH_push.json" ~bench:"push-layout" ~ranks:1
     ~results:
       [ ("particles", string_of_int np);
@@ -888,7 +967,16 @@ let push_layout_bench () =
           json_obj
             [ ("bytes_per_particle", string_of_int bytes64);
               ("particles_per_sec", json_num r64) ] );
-        ("speedup", Printf.sprintf "%.4f" (r32 /. r64)) ]
+        ("speedup", Printf.sprintf "%.4f" (r32 /. r64));
+        ( "interp_accum",
+          json_obj
+            [ ("particles", string_of_int np2);
+              ("reps", string_of_int reps2);
+              ("direct_s", json_num (!d_dir /. float_of_int reps2));
+              ("interp_s", json_num (!d_int /. float_of_int reps2));
+              ("direct_particles_per_sec", json_num r_dir);
+              ("interp_particles_per_sec", json_num r_int);
+              ("speedup", Printf.sprintf "%.4f" (r_int /. r_dir)) ] ) ]
 
 (* ------------------------------------------------------ exchange bench *)
 
@@ -1198,9 +1286,9 @@ let () =
     | "v1" -> v1_two_stream ()
     | "v2" -> v2_plasma_oscillation ()
     | "kernels" ->
-        push_layout_bench ();
+        push_layout_bench ~quick ();
         bechamel_kernels ()
-    | "push" -> push_layout_bench ()
+    | "push" -> push_layout_bench ~quick ()
     | "exchange" -> exchange_bench ()
     | "step" -> step_bench ()
     | other ->

@@ -35,8 +35,13 @@ let ledger_reset l =
 (* VPIC's single-precision particle is 32 bytes (dx dy dz i, ux uy uz q). *)
 let particle_bytes = 32.
 
-(* Gather needs the voxel's interpolator: VPIC packs 18 coefficients x 4B
-   (rounded to 80 with padding); scatter pushes 12 accumulator floats. *)
+(* Gather needs the voxel's interpolator block — the same 18 f32
+   coefficients [Vpic_particle.Interpolator] builds (72 B, see
+   [Interpolator.bytes_per_voxel]), which VPIC rounds to 80 with padding
+   for SPE DMA alignment; scatter pushes the 12-slot accumulator block
+   of [Vpic_particle.Accumulator], f32 on the wire in VPIC (48 B; our
+   host-side accumulator keeps the slots in f64 to match direct-deposit
+   precision). *)
 let interpolator_bytes = 80.
 let accumulator_bytes = 48.
 

@@ -7,7 +7,7 @@ module Crc32 = Vpic_util.Crc32
 module Rng = Vpic_util.Rng
 module Fault = Vpic_util.Fault
 
-let format_version = 4
+let format_version = 5
 
 exception Corrupt of { path : string; reason : string }
 exception Version_mismatch of { path : string; found : int; expected : int }
@@ -40,6 +40,7 @@ type meta_snap = {
   absorber_thickness : int;
   absorber_strength : float;
   pusher : Vpic_particle.Push.kind;
+  interp_accum : bool;
   push_rng : Rng.state;
   migrate_rng : Rng.state option;
 }
@@ -173,6 +174,7 @@ let snap_meta (t : Simulation.t) =
     absorber_thickness = t.Simulation.absorber_thickness;
     absorber_strength = t.Simulation.absorber_strength;
     pusher = t.Simulation.pusher;
+    interp_accum = t.Simulation.interp_accum <> None;
     push_rng = Rng.state t.Simulation.push_rng;
     migrate_rng =
       Option.map Rng.state t.Simulation.coupler.Coupler.migrate_rng }
@@ -269,7 +271,7 @@ let load ~coupler path =
       ~absorber_thickness:meta.absorber_thickness
       ~absorber_strength:meta.absorber_strength
       ~current_filter_passes:meta.current_filter_passes ~pusher:meta.pusher
-      ~grid ~coupler ()
+      ~interp_accum:meta.interp_accum ~grid ~coupler ()
   in
   t.Simulation.nstep <- meta.nstep;
   Rng.set_state t.Simulation.push_rng meta.push_rng;

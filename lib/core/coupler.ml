@@ -14,7 +14,12 @@ type t = {
   fill_list : Sf.t list -> unit;
   fold_currents : Em_field.t -> unit;
   fold_rho : Em_field.t -> unit;
-  migrate : Species.t -> Em_field.t -> Vpic_particle.Push.Movers.t -> unit;
+  migrate :
+    ?accum:Vpic_particle.Accumulator.t ->
+    Species.t ->
+    Em_field.t ->
+    Vpic_particle.Push.Movers.t ->
+    unit;
   reduce_sum : float -> float;
   reduce_max : float -> float;
   barrier : unit -> unit;
@@ -37,7 +42,8 @@ let local bc =
     fold_currents = (fun f -> Boundary.fold_currents bc f);
     fold_rho = (fun f -> Boundary.fold_rho bc f);
     migrate =
-      (fun _ _ movers -> assert (Vpic_particle.Push.Movers.count movers = 0));
+      (fun ?accum:_ _ _ movers ->
+        assert (Vpic_particle.Push.Movers.count movers = 0));
     reduce_sum = (fun x -> x);
     reduce_max = (fun x -> x);
     barrier = (fun () -> ());
@@ -79,8 +85,8 @@ let parallel comm bc ~grid =
     fold_currents = (fun f -> Exchange.fold_ghosts ports (js f));
     fold_rho = (fun f -> Exchange.fold_ghosts ports [ f.Em_field.rho ]);
     migrate =
-      (fun s f movers ->
-        ignore (Migrate.exchange ~rng:migrate_rng ports s f movers));
+      (fun ?accum s f movers ->
+        ignore (Migrate.exchange ~rng:migrate_rng ?accum ports s f movers));
     reduce_sum = (fun x -> Comm.allreduce_sum comm x);
     reduce_max = (fun x -> Comm.allreduce_max comm x);
     barrier = (fun () -> Comm.barrier comm);

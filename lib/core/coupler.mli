@@ -24,9 +24,14 @@ type t = {
   fold_currents : Em_field.t -> unit;
   fold_rho : Em_field.t -> unit;
   migrate :
-    Species.t -> Em_field.t -> Vpic_particle.Push.Movers.t -> unit;
+    ?accum:Vpic_particle.Accumulator.t ->
+    Species.t ->
+    Em_field.t ->
+    Vpic_particle.Push.Movers.t ->
+    unit;
       (** ship movers (packed payload), finish their moves (depositing
-          remaining current); collective; asserts no movers when serial *)
+          remaining current — into [accum] when given, the J meshes
+          otherwise); collective; asserts no movers when serial *)
   reduce_sum : float -> float;
   reduce_max : float -> float;
   barrier : unit -> unit;

@@ -9,6 +9,8 @@ module Diagnostics = Vpic_field.Diagnostics
 module Species = Vpic_particle.Species
 module Push = Vpic_particle.Push
 module Sort = Vpic_particle.Sort
+module Interpolator = Vpic_particle.Interpolator
+module Accumulator = Vpic_particle.Accumulator
 module Moments = Vpic_particle.Moments
 module Perf = Vpic_util.Perf
 module Trace = Vpic_telemetry.Trace
@@ -25,6 +27,8 @@ let sid_fold = Trace.intern "exchange.fold"
 let sid_push = Trace.intern "push"
 let sid_push_interior = Trace.intern "push.interior"
 let sid_push_boundary = Trace.intern "push.boundary"
+let sid_load_interp = Trace.intern "interp.load"
+let sid_unload_accum = Trace.intern "accum.unload"
 let sid_laser = Trace.intern "laser"
 let sid_migrate = Trace.intern "migrate"
 let sid_field = Trace.intern "field"
@@ -58,6 +62,9 @@ type t = {
   marder_passes : int;
   current_filter_passes : int;
   pusher : Push.kind;
+  interp_accum : (Interpolator.t * Accumulator.t) option;
+      (* VPIC inner-loop memory system: per-voxel field-coefficient and
+         current-accumulator blocks (None = direct strided gather/scatter) *)
   smoothed : Em_field.t option;  (* gather copy when filtering *)
   push_rng : Vpic_util.Rng.t;  (* refluxing-wall re-emission stream *)
   mutable nstep : int;
@@ -82,7 +89,8 @@ let add_stats (a : Push.stats) (b : Push.stats) : Push.stats =
 
 let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     ?(absorber_thickness = 8) ?(absorber_strength = 0.15)
-    ?(current_filter_passes = 0) ?(pusher = Push.Boris) ~grid ~coupler () =
+    ?(current_filter_passes = 0) ?(pusher = Push.Boris)
+    ?(interp_accum = true) ~grid ~coupler () =
   assert (current_filter_passes = 0 || clean_div_interval > 0);
   { grid;
     fields = Em_field.create grid;
@@ -99,6 +107,10 @@ let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     marder_passes;
     current_filter_passes;
     pusher;
+    interp_accum =
+      (if interp_accum then
+         Some (Interpolator.create grid, Accumulator.create grid)
+       else None);
     smoothed =
       (if current_filter_passes > 0 then Some (Em_field.create grid) else None);
     push_rng = Vpic_util.Rng.of_int (0x7EED1 + (31 * coupler.Coupler.rank));
@@ -165,6 +177,18 @@ let step t =
   c.Coupler.fill_em_begin t.fields;
   Trace.end_span ();
   Em_field.clear_currents t.fields;
+  let interp = Option.map fst t.interp_accum in
+  let accum = Option.map snd t.interp_accum in
+  (* Interior voxels' interpolator blocks read no ghosts: build them
+     while the x-plane fill is still in flight, like the interior push
+     they feed.  The smoothed path instead loads from the filtered copy
+     below. *)
+  (match (interp, t.smoothed) with
+  | Some ip, None ->
+      Trace.begin_span sid_load_interp;
+      Interpolator.load_interior ~perf:t.perf ip t.fields;
+      Trace.end_span ()
+  | _ -> ());
   let species_scratch = List.map (fun s -> (s, scratch_for t s)) (species t) in
   List.iter
     (fun (_, sc) ->
@@ -190,12 +214,19 @@ let step t =
         Vpic_field.Filter.binomial_pass ~fill:c.Coupler.fill_list
           (Em_field.em_components sm)
       done;
+      (match interp with
+      | Some ip ->
+          Trace.begin_span sid_load_interp;
+          Interpolator.load ~perf:t.perf ip sm;
+          Trace.end_span ()
+      | None -> ());
       Trace.begin_span sid_push;
       List.iter
         (fun (s, sc) ->
           let st =
             Push.advance ~perf:t.perf ~movers:sc.movers ~gather_from:sm
-              ~rng:t.push_rng ~pusher:t.pusher s t.fields c.Coupler.bc
+              ?interp ?accum ~rng:t.push_rng ~pusher:t.pusher s t.fields
+              c.Coupler.bc
           in
           t.push_stats <- add_stats t.push_stats st)
         species_scratch;
@@ -208,7 +239,8 @@ let step t =
         (fun (s, sc) ->
           let st =
             Push.advance ~perf:t.perf ~region:(`Interior sc.defer)
-              ~rng:t.push_rng ~pusher:t.pusher s t.fields c.Coupler.bc
+              ?interp ?accum ~rng:t.push_rng ~pusher:t.pusher s t.fields
+              c.Coupler.bc
           in
           t.push_stats <- add_stats t.push_stats st)
         species_scratch;
@@ -216,6 +248,14 @@ let step t =
       Trace.begin_span sid_fill_finish;
       c.Coupler.fill_em_finish t.fields;
       Trace.end_span ();
+      (* The hi-face slabs read freshly filled ghosts; load them before
+         the deferred shell particles evaluate their blocks. *)
+      (match interp with
+      | Some ip ->
+          Trace.begin_span sid_load_interp;
+          Interpolator.load_boundary ~perf:t.perf ip t.fields;
+          Trace.end_span ()
+      | None -> ());
       (* Boundary pass: the deferred shell particles, now that their
          gather stencils see fresh ghosts.  Only these can become
          movers. *)
@@ -224,8 +264,8 @@ let step t =
         (fun (s, sc) ->
           let st =
             Push.advance ~perf:t.perf ~region:(`Deferred sc.defer)
-              ~movers:sc.movers ~rng:t.push_rng ~pusher:t.pusher s t.fields
-              c.Coupler.bc
+              ~movers:sc.movers ?interp ?accum ~rng:t.push_rng
+              ~pusher:t.pusher s t.fields c.Coupler.bc
           in
           t.push_stats <- add_stats t.push_stats st)
         species_scratch;
@@ -252,9 +292,17 @@ let step t =
   end;
   Trace.begin_span sid_migrate;
   List.iter
-    (fun (s, sc) -> c.Coupler.migrate s t.fields sc.movers)
+    (fun (s, sc) -> c.Coupler.migrate ?accum s t.fields sc.movers)
     species_scratch;
   Trace.end_span ();
+  (* Fold the accumulator into the J meshes after migration (finished
+     movers deposit into it) and before the ghost-current fold. *)
+  (match accum with
+  | Some ac ->
+      Trace.begin_span sid_unload_accum;
+      Accumulator.unload ~perf:t.perf ac t.fields;
+      Trace.end_span ()
+  | None -> ());
   Trace.begin_span sid_fold;
   c.Coupler.fold_currents t.fields;
   if t.current_filter_passes > 0 then
@@ -290,7 +338,22 @@ let step t =
   Trace.end_span ();
   if interval_due t t.sort_interval then begin
     Trace.begin_span sid_sort;
-    List.iter (fun s -> Sort.by_voxel ~perf:t.perf s) (species t);
+    let metrics = Metrics.enabled () in
+    List.iter
+      (fun s ->
+        (* Pre-sort locality: how far the population drifted since the
+           last sort (post-sort it is 1.0 by construction). *)
+        let locality = if metrics then Sort.locality_score s else 0. in
+        Sort.by_voxel ~perf:t.perf s;
+        if metrics then begin
+          let m = Metrics.default () in
+          let occ_max, occ_mean = Sort.occupancy s in
+          let n = s.Species.name in
+          Metrics.gauge_set m ("sort.locality." ^ n) locality;
+          Metrics.gauge_set m ("sort.occ_max." ^ n) (float_of_int occ_max);
+          Metrics.gauge_set m ("sort.occ_mean." ^ n) occ_mean
+        end)
+      (species t);
     Trace.end_span ()
   end;
   t.nstep <- t.nstep + 1;

@@ -40,6 +40,12 @@ type t = {
   marder_passes : int;
   current_filter_passes : int;
   pusher : Vpic_particle.Push.kind;
+  interp_accum :
+    (Vpic_particle.Interpolator.t * Vpic_particle.Accumulator.t) option;
+      (** the VPIC inner-loop memory system: per-voxel interpolator
+          coefficient blocks and current-accumulator blocks, threaded
+          through the push and migration each step ([None] = direct
+          strided gather/scatter) *)
   smoothed : Em_field.t option;
   push_rng : Vpic_util.Rng.t;
   mutable nstep : int;
@@ -59,7 +65,13 @@ type t = {
     particles gather — VPIC's optional noise filter; matched (symmetric)
     smoothing of force and current keeps the coupling energy-consistent.
     Filtered J breaks discrete continuity at the grid scale, so keep the
-    Marder clean enabled when using it. *)
+    Marder clean enabled when using it.
+    [interp_accum] (default true) routes the push through the VPIC
+    interpolator/accumulator memory system: field coefficients load into
+    one 72-byte block per voxel before each push and scattered currents
+    fold out of per-voxel accumulator blocks after migration; disable to
+    gather/scatter directly against the strided meshes (identical
+    physics up to f32 coefficient rounding and addition order). *)
 val make :
   ?sort_interval:int ->
   ?clean_div_interval:int ->
@@ -68,6 +80,7 @@ val make :
   ?absorber_strength:float ->
   ?current_filter_passes:int ->
   ?pusher:Vpic_particle.Push.kind ->
+  ?interp_accum:bool ->
   grid:Grid.t ->
   coupler:Coupler.t ->
   unit ->
@@ -90,6 +103,7 @@ val time : t -> float
 (** Advance one full step.  When tracing is enabled
     ([Vpic_telemetry.Trace.enable]), the step and each phase record
     spans: ["step"], ["push"] / ["push.interior"] / ["push.boundary"],
+    ["interp.load"] / ["accum.unload"],
     ["exchange.fill_begin"] / ["exchange.fill_finish"] /
     ["exchange.fill"] / ["exchange.fold"], ["laser"], ["migrate"],
     ["field"], ["clean"], ["sort"] — the names

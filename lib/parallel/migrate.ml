@@ -9,7 +9,7 @@ type stats = { sent : int; received : int; settled : int; absorbed : int }
 
 let floats_per_mover = Movers.stride
 
-let exchange ?rng ports s fields (movers : Movers.t) =
+let exchange ?rng ?accum ports s fields (movers : Movers.t) =
   let bc = Exchange.bc ports in
   let g = s.Species.grid in
   let sent = ref 0 and received = ref 0 in
@@ -101,7 +101,8 @@ let exchange ?rng ports s fields (movers : Movers.t) =
                   received := !received + Movers.count ms;
                   (* Re-emitted movers land straight back in [pending]. *)
                   let st, ab, _re =
-                    Push.finish_movers ~movers_out:pending ?rng s fields bc ms
+                    Push.finish_movers ~movers_out:pending ?accum ?rng s
+                      fields bc ms
                   in
                   settled := !settled + st;
                   absorbed := !absorbed + ab)

@@ -30,10 +30,14 @@ type stats = {
   absorbed : int;  (** finished into an absorbing wall *)
 }
 
-(** [rng] is needed only when some face is [Refluxing].  The boundary
-    conditions and wire resources come from the [Exchange.t] ports. *)
+(** [rng] is needed only when some face is [Refluxing].  [accum] routes
+    the finished movers' remaining deposition into the step's current
+    accumulator instead of the J meshes (pass the one the pushes used).
+    The boundary conditions and wire resources come from the
+    [Exchange.t] ports. *)
 val exchange :
   ?rng:Vpic_util.Rng.t ->
+  ?accum:Vpic_particle.Accumulator.t ->
   Exchange.t ->
   Vpic_particle.Species.t ->
   Vpic_field.Em_field.t ->

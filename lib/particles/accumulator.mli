@@ -1,0 +1,35 @@
+(** VPIC's current accumulator array: 12 float64 current components per
+    voxel in one flat Bigarray — the 4 Jx + 4 Jy + 4 Jz targets of one
+    Villasenor–Buneman deposition segment, in {!Push.deposit_segment}'s
+    stencil order — so the particle walk's scatter writes one contiguous
+    block per voxel instead of three strided J meshes.  [unload] folds
+    every interior voxel's block into [Em_field.jx/jy/jz] once per step
+    (and zeroes it for the next step); migration's remote-mover deposits
+    target the same blocks.
+
+    Slots accumulate in f64, the same precision as the direct deposit:
+    after [unload] the J meshes match the direct path up to floating
+    addition reordering. *)
+
+type t
+
+val slots_per_voxel : int
+(** 12 *)
+
+val bytes_per_voxel : float
+
+val create : Vpic_grid.Grid.t -> t
+(** zero-filled *)
+
+val grid : t -> Vpic_grid.Grid.t
+
+val data : t -> Vpic_grid.Scalar_field.data
+(** the flat slot array, [slots_per_voxel] per voxel *)
+
+val clear : t -> unit
+
+(** [unload t f] adds every interior voxel's slots into [f]'s J meshes
+    and zeroes them.  Call after migration completes (finished movers
+    deposit into the accumulator too) and before the ghost-current
+    fold. *)
+val unload : ?perf:Vpic_util.Perf.counters -> t -> Vpic_field.Em_field.t -> unit

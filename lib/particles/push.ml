@@ -38,9 +38,8 @@ module Movers = struct
     let open Bigarray.Array1 in
     if (t.n + 1) * stride > dim t.buf then begin
       let nbuf = Store.f32_create (2 * dim t.buf) in
-      for i = 0 to (t.n * stride) - 1 do
-        unsafe_set nbuf i (unsafe_get t.buf i)
-      done;
+      let live = t.n * stride in
+      if live > 0 then blit (sub t.buf 0 live) (sub nbuf 0 live);
       t.buf <- nbuf
     end;
     let o = t.n * stride in
@@ -80,9 +79,7 @@ module Defer = struct
     let open Bigarray.Array1 in
     if t.n >= dim t.idx then begin
       let nidx = Store.i32_create (2 * dim t.idx) in
-      for i = 0 to t.n - 1 do
-        unsafe_set nidx i (unsafe_get t.idx i)
-      done;
+      if t.n > 0 then blit (sub t.idx 0 t.n) (sub nidx 0 t.n);
       t.idx <- nidx
     end;
     unsafe_set t.idx t.n (Int32.of_int v);
@@ -235,6 +232,43 @@ let deposit_segment (jx : Sf.data) (jy : Sf.data) (jz : Sf.data) gx gxy v ~x1
     add jz (v + gx + 1) (qz *. ((xb *. yb) +. corr))
   end
 
+(* Same segment, scattered into the cell's 12-slot accumulator block
+   instead of the three J meshes: identical arithmetic, identical slot
+   semantics (Accumulator.unload folds slot q of voxel v onto the mesh
+   target deposit_segment would have written). *)
+let deposit_segment_acc (acc : Sf.data) v ~x1 ~y1 ~z1 ~x2 ~y2 ~z2 ~cx ~cy ~cz =
+  let open Bigarray.Array1 in
+  let dx = x2 -. x1 and dy = y2 -. y1 and dz = z2 -. z1 in
+  let xb = 0.5 *. (x1 +. x2) in
+  let yb = 0.5 *. (y1 +. y2) in
+  let zb = 0.5 *. (z1 +. z2) in
+  let o = v * 12 in
+  let add q v' = unsafe_set acc (o + q) (unsafe_get acc (o + q) +. v') in
+  let qx = cx *. dx in
+  if qx <> 0. then begin
+    let corr = dy *. dz /. 12. in
+    add 0 (qx *. (((1. -. yb) *. (1. -. zb)) +. corr));
+    add 1 (qx *. ((yb *. (1. -. zb)) -. corr));
+    add 2 (qx *. (((1. -. yb) *. zb) -. corr));
+    add 3 (qx *. ((yb *. zb) +. corr))
+  end;
+  let qy = cy *. dy in
+  if qy <> 0. then begin
+    let corr = dz *. dx /. 12. in
+    add 4 (qy *. (((1. -. zb) *. (1. -. xb)) +. corr));
+    add 5 (qy *. ((zb *. (1. -. xb)) -. corr));
+    add 6 (qy *. (((1. -. zb) *. xb) -. corr));
+    add 7 (qy *. ((zb *. xb) +. corr))
+  end;
+  let qz = cz *. dz in
+  if qz <> 0. then begin
+    let corr = dx *. dy /. 12. in
+    add 8 (qz *. (((1. -. xb) *. (1. -. yb)) +. corr));
+    add 9 (qz *. ((xb *. (1. -. yb)) -. corr));
+    add 10 (qz *. (((1. -. xb) *. yb) -. corr));
+    add 11 (qz *. ((xb *. yb) +. corr))
+  end
+
 type face_action = Wrap | Reflect | Absorb | Reflux of float | Stop
 
 let face_action = function
@@ -259,9 +293,10 @@ type walk_env = {
   refluxed : int ref;
   rng : Vpic_util.Rng.t option; (* required for Refluxing faces *)
   s32 : Store.f32; (* 1-slot scratch: round to f32 without boxing Int32 *)
+  acc : Sf.data option; (* accumulator slots; deposits bypass the J meshes *)
 }
 
-let make_env ?rng g f bc ~segments ~reflected ~refluxed =
+let make_env ?rng ?acc g f bc ~segments ~reflected ~refluxed =
   { g;
     jxa = Sf.data f.Vpic_field.Em_field.jx;
     jya = Sf.data f.Vpic_field.Em_field.jy;
@@ -277,7 +312,8 @@ let make_env ?rng g f bc ~segments ~reflected ~refluxed =
     reflected;
     refluxed;
     rng;
-    s32 = Store.f32_create 1 }
+    s32 = Store.f32_create 1;
+    acc }
 
 let round32_env env x =
   Bigarray.Array1.unsafe_set env.s32 0 x;
@@ -343,8 +379,13 @@ let walk env ~wk ~cell ~u ~cxc ~cyc ~czc =
     let y2 = endpoint 1 y1 wk.(4) in
     let z2 = endpoint 2 z1 wk.(5) in
     let v = Grid.voxel env.g cell.(0) cell.(1) cell.(2) in
-    deposit_segment env.jxa env.jya env.jza env.gx env.gxy v ~x1 ~y1 ~z1 ~x2
-      ~y2 ~z2 ~cx:cxc ~cy:cyc ~cz:czc;
+    (match env.acc with
+    | Some a ->
+        deposit_segment_acc a v ~x1 ~y1 ~z1 ~x2 ~y2 ~z2 ~cx:cxc ~cy:cyc
+          ~cz:czc
+    | None ->
+        deposit_segment env.jxa env.jya env.jza env.gx env.gxy v ~x1 ~y1 ~z1
+          ~x2 ~y2 ~z2 ~cx:cxc ~cy:cyc ~cz:czc);
     incr env.segments;
     wk.(0) <- x2;
     wk.(1) <- y2;
@@ -406,11 +447,18 @@ let walk env ~wk ~cell ~u ~cxc ~cyc ~czc =
   !status
 
 let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
-    ?rng ?(pusher = Boris) ?(region = `All) (s : Species.t) f bc =
+    ?interp ?accum ?rng ?(pusher = Boris) ?(region = `All) (s : Species.t) f
+    bc =
   let g = s.Species.grid in
   assert (g == f.Vpic_field.Em_field.grid);
   let gf = match gather_from with Some gf -> gf | None -> f in
   assert (g == gf.Vpic_field.Em_field.grid);
+  (match interp with
+  | Some it -> assert (Interpolator.grid it == g)
+  | None -> ());
+  (match accum with
+  | Some ac -> assert (Accumulator.grid ac == g)
+  | None -> ());
   let dt = g.Grid.dt in
   let qdt_2m = 0.5 *. s.Species.q *. dt /. s.Species.m in
   let inv_dx = 1. /. g.Grid.dx
@@ -423,7 +471,11 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
   let segments = ref 0 in
   let reflected = ref 0 in
   let refluxed = ref 0 in
-  let env = make_env ?rng g f bc ~segments ~reflected ~refluxed in
+  let env =
+    make_env ?rng
+      ?acc:(Option.map Accumulator.data accum)
+      g f bc ~segments ~reflected ~refluxed
+  in
   let fields = Array.make 6 0. in
   let u = Array.make 3 0. in
   let wk = Array.make 6 0. in
@@ -486,6 +538,14 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
     | `Interior d -> (true, Some d)
   in
   let pushed = ref 0 in
+  let idata =
+    match interp with Some it -> Some (Interpolator.data it) | None -> None
+  in
+  (* Run-cached interpolator block: the voxel's 18 coefficients are
+     copied into unboxed locals once per voxel run, so gathers within
+     the run are pure register arithmetic on one 72-byte block. *)
+  let icoef = Array.make Interpolator.coeffs_per_voxel 0. in
+  let runs = ref 0 in
   (* Sorted populations visit long runs of the same voxel: cache the last
      decode so the two integer divisions in cell_of_voxel are paid once
      per run, not once per particle. *)
@@ -500,7 +560,18 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
       lcj := cj;
       lck := ck;
       lshell :=
-        ci = 1 || ci = snx || cj = 1 || cj = sny || ck = 1 || ck = snz
+        ci = 1 || ci = snx || cj = 1 || cj = sny || ck = 1 || ck = snz;
+      incr runs;
+      match idata with
+      | Some d ->
+          (* A skipped shell voxel's entry may not be loaded yet (the
+             `Interior pass runs before load_boundary); its coefficients
+             are copied but never evaluated. *)
+          let o = vi * Interpolator.coeffs_per_voxel in
+          for q = 0 to Interpolator.coeffs_per_voxel - 1 do
+            Array.unsafe_set icoef q (unsafe_get d (o + q))
+          done
+      | None -> ()
     end;
     if skip_shell && !lshell then (
       match defer with Some d -> Defer.add d n | None -> ())
@@ -511,8 +582,41 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
     cell.(1) <- cj;
     cell.(2) <- ck;
     (* f32 reads widen to f64 losslessly; all arithmetic below is f64. *)
-    (match pusher with
-    | Boris ->
+    (match (pusher, idata) with
+    | Boris, Some _ ->
+        (* Interpolator gather: evaluate the run-cached expansion — the
+           same arithmetic as Interpolator.gather_into — then the Boris
+           rotation exactly as in the direct arm below. *)
+        let fx = unsafe_get sfx n
+        and fy = unsafe_get sfy n
+        and fz = unsafe_get sfz n in
+        let c q = Array.unsafe_get icoef q in
+        let ex = c 0 +. (fy *. c 1) +. (fz *. (c 2 +. (fy *. c 3))) in
+        let ey = c 4 +. (fz *. c 5) +. (fx *. (c 6 +. (fz *. c 7))) in
+        let ez = c 8 +. (fx *. c 9) +. (fy *. (c 10 +. (fx *. c 11))) in
+        let bx = c 12 +. (fx *. c 13) in
+        let by = c 14 +. (fy *. c 15) in
+        let bz = c 16 +. (fz *. c 17) in
+        let ux = unsafe_get sux n +. (qdt_2m *. ex) in
+        let uy = unsafe_get suy n +. (qdt_2m *. ey) in
+        let uz = unsafe_get suz n +. (qdt_2m *. ez) in
+        let gamma_m = sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
+        let f = qdt_2m /. gamma_m in
+        let tx = f *. bx and ty = f *. by and tz = f *. bz in
+        let t2 = (tx *. tx) +. (ty *. ty) +. (tz *. tz) in
+        let sx = 2. *. tx /. (1. +. t2) in
+        let sy = 2. *. ty /. (1. +. t2) in
+        let sz = 2. *. tz /. (1. +. t2) in
+        let px = ux +. ((uy *. tz) -. (uz *. ty)) in
+        let py = uy +. ((uz *. tx) -. (ux *. tz)) in
+        let pz = uz +. ((ux *. ty) -. (uy *. tx)) in
+        let ux = ux +. ((py *. sz) -. (pz *. sy)) in
+        let uy = uy +. ((pz *. sx) -. (px *. sz)) in
+        let uz = uz +. ((px *. sy) -. (py *. sx)) in
+        u.(0) <- ux +. (qdt_2m *. ex);
+        u.(1) <- uy +. (qdt_2m *. ey);
+        u.(2) <- uz +. (qdt_2m *. ez)
+    | Boris, None ->
         let fx = unsafe_get sfx n
         and fy = unsafe_get sfy n
         and fz = unsafe_get sfz n in
@@ -548,22 +652,33 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
         u.(0) <- ux +. (qdt_2m *. ex);
         u.(1) <- uy +. (qdt_2m *. ey);
         u.(2) <- uz +. (qdt_2m *. ez)
-    | Vay ->
-        Interp.gather_into gf ~i:ci ~j:cj ~k:ck ~fx:(unsafe_get sfx n)
-          ~fy:(unsafe_get sfy n) ~fz:(unsafe_get sfz n) ~out:fields;
+    | (Vay | Higuera_cary), _ ->
+        (match idata with
+        | Some _ ->
+            let fx = unsafe_get sfx n
+            and fy = unsafe_get sfy n
+            and fz = unsafe_get sfz n in
+            let c q = Array.unsafe_get icoef q in
+            fields.(0) <- c 0 +. (fy *. c 1) +. (fz *. (c 2 +. (fy *. c 3)));
+            fields.(1) <- c 4 +. (fz *. c 5) +. (fx *. (c 6 +. (fz *. c 7)));
+            fields.(2) <-
+              c 8 +. (fx *. c 9) +. (fy *. (c 10 +. (fx *. c 11)));
+            fields.(3) <- c 12 +. (fx *. c 13);
+            fields.(4) <- c 14 +. (fy *. c 15);
+            fields.(5) <- c 16 +. (fz *. c 17)
+        | None ->
+            Interp.gather_into gf ~i:ci ~j:cj ~k:ck ~fx:(unsafe_get sfx n)
+              ~fy:(unsafe_get sfy n) ~fz:(unsafe_get sfz n) ~out:fields);
         u.(0) <- unsafe_get sux n;
         u.(1) <- unsafe_get suy n;
         u.(2) <- unsafe_get suz n;
-        vay ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2) ~bx:fields.(3)
-          ~by:fields.(4) ~bz:fields.(5) ~qdt_2m
-    | Higuera_cary ->
-        Interp.gather_into gf ~i:ci ~j:cj ~k:ck ~fx:(unsafe_get sfx n)
-          ~fy:(unsafe_get sfy n) ~fz:(unsafe_get sfz n) ~out:fields;
-        u.(0) <- unsafe_get sux n;
-        u.(1) <- unsafe_get suy n;
-        u.(2) <- unsafe_get suz n;
-        higuera_cary ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2)
-          ~bx:fields.(3) ~by:fields.(4) ~bz:fields.(5) ~qdt_2m);
+        (match pusher with
+        | Vay ->
+            vay ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2)
+              ~bx:fields.(3) ~by:fields.(4) ~bz:fields.(5) ~qdt_2m
+        | _ ->
+            higuera_cary ~u ~ex:fields.(0) ~ey:fields.(1) ~ez:fields.(2)
+              ~bx:fields.(3) ~by:fields.(4) ~bz:fields.(5) ~qdt_2m));
     let inv_gamma =
       1. /. sqrt (1. +. (u.(0) *. u.(0)) +. (u.(1) *. u.(1)) +. (u.(2) *. u.(2)))
     in
@@ -621,14 +736,26 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
   List.iter (fun n -> Species.remove s n) !dead;
   let advanced = !pushed in
   Perf.add_particle_steps perf (float_of_int advanced);
+  let gather_flops =
+    match interp with
+    | Some _ -> Interpolator.flops_per_gather
+    | None -> Interp.flops_per_gather
+  in
   Perf.add_flops perf
-    ((float_of_int advanced *. (Interp.flops_per_gather +. flops_per_push))
+    ((float_of_int advanced *. (gather_flops +. flops_per_push))
     +. (float_of_int !segments *. flops_per_segment));
-  (* Per particle: 32 B read + 32 B written (the store), ~192 B of
-     interpolation stencil, ~96 B of current scatter. *)
+  (* Per particle: 32 B read + 32 B written (the store) plus ~96 B of
+     current scatter (J meshes or accumulator slots).  The gather reads
+     either the ~192 B direct stencil per particle or, on the
+     interpolator path, one 72 B coefficient block per voxel run. *)
   Perf.add_bytes perf
-    (float_of_int advanced
-    *. ((2. *. float_of_int Store.bytes_per_particle) +. 192. +. 96.));
+    (float_of_int advanced *. (2. *. float_of_int Store.bytes_per_particle));
+  (match interp with
+  | Some _ ->
+      Perf.add_bytes perf
+        ((float_of_int advanced *. 96.)
+        +. (float_of_int !runs *. Interpolator.bytes_per_voxel))
+  | None -> Perf.add_bytes perf (float_of_int advanced *. (192. +. 96.)));
   { advanced;
     segments = !segments;
     absorbed = !absorbed;
@@ -636,10 +763,13 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
     refluxed = !refluxed;
     outbound = !outbound }
 
-let finish_movers ?(perf = Perf.global) ?movers_out ?rng (s : Species.t) f bc
-    (incoming : Movers.t) =
+let finish_movers ?(perf = Perf.global) ?movers_out ?accum ?rng
+    (s : Species.t) f bc (incoming : Movers.t) =
   let g = s.Species.grid in
   assert (g == f.Vpic_field.Em_field.grid);
+  (match accum with
+  | Some ac -> assert (Accumulator.grid ac == g)
+  | None -> ());
   let dt = g.Grid.dt in
   let kx = 1. /. (g.Grid.dy *. g.Grid.dz *. dt) in
   let ky = 1. /. (g.Grid.dz *. g.Grid.dx *. dt) in
@@ -647,7 +777,11 @@ let finish_movers ?(perf = Perf.global) ?movers_out ?rng (s : Species.t) f bc
   let segments = ref 0 in
   let reflected = ref 0 in
   let refluxed = ref 0 in
-  let env = make_env ?rng g f bc ~segments ~reflected ~refluxed in
+  let env =
+    make_env ?rng
+      ?acc:(Option.map Accumulator.data accum)
+      g f bc ~segments ~reflected ~refluxed
+  in
   let u = Array.make 3 0. in
   let wk = Array.make 6 0. in
   let cell = Array.make 3 0 in

@@ -110,6 +110,8 @@ val advance :
   ?count:int ->
   ?movers:Movers.t ->
   ?gather_from:Vpic_field.Em_field.t ->
+  ?interp:Interpolator.t ->
+  ?accum:Accumulator.t ->
   ?rng:Vpic_util.Rng.t ->
   ?pusher:kind ->
   ?region:[ `All | `Interior of Defer.t | `Deferred of Defer.t ] ->
@@ -120,7 +122,16 @@ val advance :
 (** [gather_from] (default: the scatter field itself) supplies the E and B
     the particles feel — used with binomially smoothed interpolation
     fields so that force smoothing matches current smoothing (the
-    symmetric kernel makes the coupling energy-consistent). *)
+    symmetric kernel makes the coupling energy-consistent).
+
+    [interp] switches the gather to the precomputed {!Interpolator}
+    coefficients (one run-cached 72-byte block per occupied voxel,
+    VPIC's expansion — a slightly different scheme from the direct
+    staggered gather; the caller must have [load]ed the relevant voxels
+    from the field the particles should feel).  [accum] redirects the
+    current scatter into the {!Accumulator}'s per-voxel slots (identical
+    arithmetic; the caller unloads once per step).  The two are
+    independent. *)
 
 (** Complete the moves of movers arriving from a neighbouring rank (cell
     indices already rebased to this rank, interior at the entry face).
@@ -130,12 +141,15 @@ val advance :
 val finish_movers :
   ?perf:Vpic_util.Perf.counters ->
   ?movers_out:Movers.t ->
+  ?accum:Accumulator.t ->
   ?rng:Vpic_util.Rng.t ->
   Species.t ->
   Vpic_field.Em_field.t ->
   Vpic_grid.Bc.t ->
   Movers.t ->
   int * int * int
+(** [accum] routes the finished movers' deposition into the accumulator
+    (must be the one the step's pushes used, unloaded afterwards). *)
 
 (** {1 Momentum-update kernels}
 

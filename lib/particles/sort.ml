@@ -9,7 +9,17 @@ let by_voxel ?(perf = Perf.global) (s : Species.t) =
   if np > 1 then begin
     let st = s.Species.store in
     let nv = s.Species.grid.Grid.nv in
-    let counts = Array.make (nv + 1) 0 in
+    (* All workspace lives on the store and is reused: steady-state
+       sorting allocates nothing. *)
+    let counts =
+      if Array.length st.Store.sort_counts >= nv + 1 then st.Store.sort_counts
+      else begin
+        let c = Array.make (nv + 1) 0 in
+        st.Store.sort_counts <- c;
+        c
+      end
+    in
+    Array.fill counts 0 (nv + 1) 0;
     for n = 0 to np - 1 do
       let v = voxel_of s n in
       counts.(v + 1) <- counts.(v + 1) + 1
@@ -18,34 +28,43 @@ let by_voxel ?(perf = Perf.global) (s : Species.t) =
       counts.(v) <- counts.(v) + counts.(v - 1)
     done;
     (* Destination slot of each particle: one pass over the (linear)
-       voxel buffer, then a gather per attribute into fresh buffers. *)
-    let dst = Array.make np 0 in
+       voxel buffer, then a gather per attribute into the double
+       buffer. *)
+    let dst =
+      if Array.length st.Store.sort_dst >= np then st.Store.sort_dst
+      else begin
+        let d = Array.make st.Store.cap 0 in
+        st.Store.sort_dst <- d;
+        d
+      end
+    in
     for n = 0 to np - 1 do
       let v = voxel_of s n in
-      dst.(n) <- counts.(v);
+      Array.unsafe_set dst n counts.(v);
       counts.(v) <- counts.(v) + 1
     done;
+    let sc = Store.sort_scratch st in
     let open Bigarray.Array1 in
-    let permute_f32 (a : Store.f32) =
-      let out = Store.f32_create np in
+    let permute_f32 (a : Store.f32) (out : Store.f32) =
       for n = 0 to np - 1 do
         unsafe_set out (Array.unsafe_get dst n) (unsafe_get a n)
-      done;
-      out
+      done
     in
-    let voxel' = Store.i32_create np in
     for n = 0 to np - 1 do
-      unsafe_set voxel' (Array.unsafe_get dst n) (unsafe_get st.Store.voxel n)
+      unsafe_set sc.Store.voxel
+        (Array.unsafe_get dst n)
+        (unsafe_get st.Store.voxel n)
     done;
-    st.Store.fx <- permute_f32 st.Store.fx;
-    st.Store.fy <- permute_f32 st.Store.fy;
-    st.Store.fz <- permute_f32 st.Store.fz;
-    st.Store.ux <- permute_f32 st.Store.ux;
-    st.Store.uy <- permute_f32 st.Store.uy;
-    st.Store.uz <- permute_f32 st.Store.uz;
-    st.Store.w <- permute_f32 st.Store.w;
-    st.Store.voxel <- voxel';
-    st.Store.cap <- np;
+    permute_f32 st.Store.fx sc.Store.fx;
+    permute_f32 st.Store.fy sc.Store.fy;
+    permute_f32 st.Store.fz sc.Store.fz;
+    permute_f32 st.Store.ux sc.Store.ux;
+    permute_f32 st.Store.uy sc.Store.uy;
+    permute_f32 st.Store.uz sc.Store.uz;
+    permute_f32 st.Store.w sc.Store.w;
+    (* The permuted copy becomes the live data by pointer swap; the old
+       buffers become the next sort's scratch. *)
+    Store.swap_buffers st sc;
     Perf.add_bytes perf
       (float_of_int np *. float_of_int Store.bytes_per_particle *. 2.)
   end
@@ -64,4 +83,22 @@ let locality_score s =
       if abs (voxel_of s n - voxel_of s (n - 1)) <= 1 then incr near
     done;
     float_of_int !near /. float_of_int (np - 1)
+  end
+
+let occupancy s =
+  let np = Species.count s in
+  if np = 0 then (0, 0.)
+  else begin
+    let maxr = ref 1 and nruns = ref 1 and cur = ref 1 in
+    for n = 1 to np - 1 do
+      if voxel_of s n = voxel_of s (n - 1) then begin
+        incr cur;
+        if !cur > !maxr then maxr := !cur
+      end
+      else begin
+        incr nruns;
+        cur := 1
+      end
+    done;
+    (!maxr, float_of_int np /. float_of_int !nruns)
   end

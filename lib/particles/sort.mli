@@ -5,8 +5,11 @@
     the Cell SPE streaming in the paper and still a large cache win on
     conventional CPUs (benchmarked in bench/main.ml, experiment E5). *)
 
-(** Sort ascending by flat voxel index.  O(np + nv) time, O(np + nv)
-    scratch.  Stable within a voxel. *)
+(** Sort ascending by flat voxel index.  O(np + nv) time.  Stable within
+    a voxel.  The O(np + nv) workspace (a double-buffered attribute set,
+    a histogram and a destination array) lives on the species' store and
+    is reused: after the first call, sorting a steady-state population
+    allocates nothing. *)
 val by_voxel : ?perf:Vpic_util.Perf.counters -> Species.t -> unit
 
 (** True when the species is voxel-sorted (for tests/benches). *)
@@ -15,3 +18,10 @@ val is_sorted : Species.t -> bool
 (** Fraction of consecutive particle pairs in the same or adjacent voxel —
     a locality score in [0,1] used by the E5 bench narrative. *)
 val locality_score : Species.t -> float
+
+(** [(max, mean)] particles per occupied voxel, counted over consecutive
+    equal-voxel runs — exact on a sorted species (call after
+    {!by_voxel}); published as telemetry gauges by the step loop to
+    explain push-throughput swings (run length bounds how far the
+    interpolator block cache amortises). *)
+val occupancy : Species.t -> int * float

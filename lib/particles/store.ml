@@ -21,6 +21,14 @@ type t = {
   mutable uy : f32;
   mutable uz : f32;
   mutable w : f32;
+  (* Reusable sort workspace (Sort.by_voxel): a second attribute buffer
+     the counting sort permutes into — then swapped wholesale with the
+     live arrays — plus the histogram and destination-slot arrays.
+     Created on first sort, so a never-sorted store pays nothing;
+     steady-state sorting allocates nothing. *)
+  mutable sort_buf : t option;
+  mutable sort_counts : int array;
+  mutable sort_dst : int array;
 }
 
 let f32_create n = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n
@@ -47,7 +55,10 @@ let create ?(capacity = 1024) () =
     ux = f32_create capacity;
     uy = f32_create capacity;
     uz = f32_create capacity;
-    w = f32_create capacity }
+    w = f32_create capacity;
+    sort_buf = None;
+    sort_counts = [||];
+    sort_dst = [||] }
 
 let count t = t.np
 
@@ -139,3 +150,36 @@ let remove t n =
   t.np <- last
 
 let clear t = t.np <- 0
+
+(* The double buffer the sort permutes into: reused while it can hold
+   the live population, re-created at the store's current capacity when
+   it cannot (the store grew since). *)
+let sort_scratch t =
+  match t.sort_buf with
+  | Some sc when sc.cap >= t.np -> sc
+  | _ ->
+      let sc = create ~capacity:t.cap () in
+      t.sort_buf <- Some sc;
+      sc
+
+(* Exchange the attribute buffers (and their capacity) of [a] and [b]:
+   the sort's "copy back" is eight pointer swaps. *)
+let swap_buffers a b =
+  let iv = a.voxel in
+  a.voxel <- b.voxel;
+  b.voxel <- iv;
+  let sw get set =
+    let v = get a in
+    set a (get b);
+    set b v
+  in
+  sw (fun t -> t.fx) (fun t v -> t.fx <- v);
+  sw (fun t -> t.fy) (fun t v -> t.fy <- v);
+  sw (fun t -> t.fz) (fun t v -> t.fz <- v);
+  sw (fun t -> t.ux) (fun t v -> t.ux <- v);
+  sw (fun t -> t.uy) (fun t v -> t.uy <- v);
+  sw (fun t -> t.uz) (fun t v -> t.uz <- v);
+  sw (fun t -> t.w) (fun t v -> t.w <- v);
+  let c = a.cap in
+  a.cap <- b.cap;
+  b.cap <- c

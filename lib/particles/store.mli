@@ -29,6 +29,11 @@ type t = {
   mutable uy : f32;
   mutable uz : f32;
   mutable w : f32;
+  mutable sort_buf : t option;
+      (** {!Sort.by_voxel}'s double buffer (created on first sort, reused
+          for every later one, excluded from {!footprint_bytes}) *)
+  mutable sort_counts : int array;  (** reusable sort histogram *)
+  mutable sort_dst : int array;  (** reusable destination slots *)
 }
 
 val f32_create : int -> f32
@@ -72,3 +77,11 @@ val swap : t -> int -> int -> unit
 val remove : t -> int -> unit
 
 val clear : t -> unit
+
+(** The sort's double buffer: reused while its capacity covers [np],
+    re-created (at the store's capacity) when the store outgrew it. *)
+val sort_scratch : t -> t
+
+(** Swap the eight attribute buffers (and [cap]) of two stores in O(1) —
+    how the sort's permuted copy becomes the live data. *)
+val swap_buffers : t -> t -> unit

@@ -11,6 +11,7 @@ let exchange_ids =
     [ "exchange.fill_begin"; "exchange.fill_finish"; "exchange.fill";
       "exchange.fold" ]
 
+let interp_ids = List.map Trace.intern [ "interp.load"; "accum.unload" ]
 let migrate_ids = [ Trace.intern "migrate" ]
 let sort_ids = [ Trace.intern "sort" ]
 let clean_ids = [ Trace.intern "clean" ]
@@ -26,6 +27,7 @@ type cum = {
   psteps : float;
   vox : float;
   push : float;
+  intp : float;
   field : float;
   exch : float;
   migr : float;
@@ -54,6 +56,7 @@ let read (metrics : Metrics.t) (perf : Perf.counters) =
     psteps = perf.Perf.particle_steps;
     vox = perf.Perf.voxel_updates;
     push = phase_s push_ids;
+    intp = phase_s interp_ids;
     field = phase_s field_ids;
     exch = phase_s exchange_ids;
     migr = phase_s migrate_ids;
@@ -154,6 +157,7 @@ type totals = {
   particle_steps : float;
   voxel_updates : float;
   t_push : float;
+  t_interp : float;
   t_field : float;
   t_exchange : float;
   t_migrate : float;
@@ -181,6 +185,7 @@ let totals t ~steps =
     particle_steps = d_ps;
     voxel_updates = d_vox;
     t_push = d_push_sum;
+    t_interp = world (c.intp -. t.base.intp);
     t_field = world (c.field -. t.base.field);
     t_exchange = world (c.exch -. t.base.exch);
     t_migrate = world (c.migr -. t.base.migr);
@@ -197,8 +202,8 @@ let print_totals (tt : totals) =
   let steps = float_of_int (max 1 tt.steps) in
   let nr = float_of_int tt.nranks in
   let accounted =
-    tt.t_push +. tt.t_field +. tt.t_exchange +. tt.t_migrate +. tt.t_sort
-    +. tt.t_clean
+    tt.t_push +. tt.t_interp +. tt.t_field +. tt.t_exchange +. tt.t_migrate
+    +. tt.t_sort +. tt.t_clean
   in
   let tb = Table.create [ "phase"; "s/rank"; "ms/step"; "% of accounted" ] in
   let row name v =
@@ -209,6 +214,7 @@ let print_totals (tt : totals) =
         Printf.sprintf "%.1f" (100. *. safe_div v accounted) ]
   in
   row "particle push" tt.t_push;
+  row "interp/accum" tt.t_interp;
   row "field solve" tt.t_field;
   row "ghost exchange" tt.t_exchange;
   row "migration" tt.t_migrate;

@@ -58,6 +58,7 @@ type totals = {
   particle_steps : float;
   voxel_updates : float;
   t_push : float;
+  t_interp : float;  (** interpolator load + accumulator unload *)
   t_field : float;
   t_exchange : float;
   t_migrate : float;

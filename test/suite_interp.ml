@@ -1,0 +1,363 @@
+open Helpers
+module Interp = Vpic_particle.Interp
+module Interpolator = Vpic_particle.Interpolator
+module Accumulator = Vpic_particle.Accumulator
+module Sort = Vpic_particle.Sort
+module Decomp = Vpic_grid.Decomp
+module Comm = Vpic_parallel.Comm
+module Simulation = Vpic.Simulation
+module Coupler = Vpic.Coupler
+
+(* A small periodic grid with smooth-ish random fields and valid ghosts. *)
+let random_field ?(seed = 7) g =
+  let f = Em_field.create g in
+  let rng = Rng.of_int seed in
+  List.iter
+    (fun sf -> Sf.map_inplace sf (fun _ -> 0.1 *. (Rng.uniform rng -. 0.5)))
+    (Em_field.em_components f);
+  Boundary.fill_em Bc.periodic f;
+  f
+
+(* --- Interpolator: the published VPIC expansion ------------------------- *)
+
+(* The interpolator holds each component at the staggered midpoint along
+   its own axis and bilinear in the transverse axes, so it must coincide
+   with the direct staggered gather exactly at those midpoints (the
+   coefficients are a polynomial rearrangement of the same mesh values,
+   rounded once to f32). *)
+let test_gather_matches_direct_at_midpoints () =
+  let g = small_grid ~n:6 ~l:3. () in
+  let f = random_field g in
+  let ip = Interpolator.create g in
+  Interpolator.load ip f;
+  let rng = Rng.of_int 99 in
+  let out_i = Array.make 6 0. and out_d = Array.make 6 0. in
+  for _ = 1 to 500 do
+    let i = 1 + Rng.int rng g.Grid.nx
+    and j = 1 + Rng.int rng g.Grid.ny
+    and k = 1 + Rng.int rng g.Grid.nz in
+    let fx = Rng.uniform rng
+    and fy = Rng.uniform rng
+    and fz = Rng.uniform rng in
+    let v = Grid.voxel g i j k in
+    Interpolator.gather_into ip ~voxel:v ~fx ~fy ~fz ~out:out_i;
+    (* each component's own axis pinned to the staggered midpoint *)
+    let direct ~fx ~fy ~fz q =
+      Interp.gather_into f ~i ~j ~k ~fx ~fy ~fz ~out:out_d;
+      out_d.(q)
+    in
+    check_close ~atol:1e-5 "ex" (direct ~fx:0.5 ~fy ~fz 0) out_i.(0);
+    check_close ~atol:1e-5 "ey" (direct ~fx ~fy:0.5 ~fz 1) out_i.(1);
+    check_close ~atol:1e-5 "ez" (direct ~fx ~fy ~fz:0.5 2) out_i.(2);
+    check_close ~atol:1e-5 "bx" (direct ~fx ~fy:0.5 ~fz:0.5 3) out_i.(3);
+    check_close ~atol:1e-5 "by" (direct ~fx:0.5 ~fy ~fz:0.5 4) out_i.(4);
+    check_close ~atol:1e-5 "bz" (direct ~fx:0.5 ~fy:0.5 ~fz 5) out_i.(5)
+  done
+
+(* load_interior + load_boundary must tile the interior exactly like one
+   full load: same coefficients, each voxel written once. *)
+let test_load_split_equals_full () =
+  let g = small_grid ~n:5 ~l:2.5 () in
+  let f = random_field ~seed:11 g in
+  let full = Interpolator.create g in
+  Interpolator.load full f;
+  let split = Interpolator.create g in
+  Interpolator.load_interior split f;
+  Interpolator.load_boundary split f;
+  let a = Interpolator.data full and b = Interpolator.data split in
+  let open Bigarray.Array1 in
+  Alcotest.(check int) "same size" (dim a) (dim b);
+  for q = 0 to dim a - 1 do
+    if get a q <> get b q then
+      Alcotest.failf "coefficient %d differs: %g vs %g" q (get a q) (get b q)
+  done
+
+(* --- Accumulator: block scatter vs direct mesh deposit ------------------ *)
+
+let load_particles s ~ppc ~seed =
+  let g = s.Species.grid in
+  let rng = Rng.of_int seed in
+  Grid.iter_interior g (fun i j k ->
+      for _ = 1 to ppc do
+        Species.append s
+          { i; j; k;
+            fx = Rng.uniform rng;
+            fy = Rng.uniform rng;
+            fz = Rng.uniform rng;
+            ux = 0.2 *. Rng.normal rng;
+            uy = 0.2 *. Rng.normal rng;
+            uz = 0.2 *. Rng.normal rng;
+            w = 1. /. float_of_int ppc }
+      done)
+
+(* Same particles, same fields: an [~accum] push must produce the same
+   particle trajectories bit-for-bit (the gather is untouched) and, after
+   [unload], the same J meshes up to f64 addition reordering. *)
+let test_accumulator_unload_matches_direct_deposit () =
+  let g = small_grid ~n:6 ~l:3. () in
+  let fa = random_field ~seed:5 g and fb = random_field ~seed:5 g in
+  let sa = Species.create ~name:"a" ~q:(-1.) ~m:1. g in
+  let sb = Species.create ~name:"b" ~q:(-1.) ~m:1. g in
+  load_particles sa ~ppc:6 ~seed:17;
+  load_particles sb ~ppc:6 ~seed:17;
+  Em_field.clear_currents fa;
+  Em_field.clear_currents fb;
+  ignore (Push.advance sa fa Bc.periodic);
+  let ac = Accumulator.create g in
+  ignore (Push.advance ~accum:ac sb fb Bc.periodic);
+  Accumulator.unload ac fb;
+  (* trajectories identical: same gather, same Boris, same walk *)
+  let sta = sa.Species.store and stb = sb.Species.store in
+  let open Bigarray.Array1 in
+  Alcotest.(check int) "count" (Species.count sa) (Species.count sb);
+  for m = 0 to Species.count sa - 1 do
+    if
+      get sta.Store.fx m <> get stb.Store.fx m
+      || get sta.Store.ux m <> get stb.Store.ux m
+      || get sta.Store.voxel m <> get stb.Store.voxel m
+    then Alcotest.failf "particle %d diverged between accum/direct" m
+  done;
+  (* meshes match up to addition order (both sides accumulate in f64) *)
+  List.iter2
+    (fun (name, ja) jb ->
+      let da = Sf.data ja and db = Sf.data jb in
+      for q = 0 to dim da - 1 do
+        if not (Vpic_util.Approx.close ~rtol:1e-12 ~atol:1e-13 (get da q) (get db q))
+        then
+          Alcotest.failf "%s[%d]: direct %g vs accumulator %g" name q
+            (get da q) (get db q)
+      done)
+    [ ("jx", fa.Em_field.jx); ("jy", fa.Em_field.jy); ("jz", fa.Em_field.jz) ]
+    [ fb.Em_field.jx; fb.Em_field.jy; fb.Em_field.jz ];
+  (* the accumulator is left clean for the next step *)
+  let d = Accumulator.data ac in
+  for q = 0 to dim d - 1 do
+    if get d q <> 0. then Alcotest.failf "accumulator slot %d not zeroed" q
+  done
+
+(* Charge conservation through the full step loop on the interp/accum
+   path: the Gauss residual must stay at the deposition-roundoff floor,
+   exactly as the direct path's conservation tests demand. *)
+let test_interp_accum_charge_conservation () =
+  let g = small_grid ~n:6 ~l:3. () in
+  let sim =
+    Simulation.make ~grid:g ~coupler:(Coupler.local Bc.periodic)
+      ~clean_div_interval:0 ~sort_interval:4 ~interp_accum:true ()
+  in
+  let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
+  ignore (Loader.maxwellian (Rng.of_int 3) e ~ppc:16 ~uth:0.1 ());
+  Simulation.settle_fields sim ~passes:40;
+  let r0 = Simulation.gauss_residual sim in
+  Simulation.run sim ~steps:12 ();
+  let r1 = Simulation.gauss_residual sim in
+  check_true
+    (Printf.sprintf "gauss residual stays small (%.3g -> %.3g)" r0 r1)
+    (r1 < Float.max 0.02 (2. *. r0))
+
+(* --- Stepped energy parity: interp/accum vs direct ---------------------- *)
+
+let energies_serial ~interp_accum ~steps =
+  let g = small_grid ~n:6 ~l:3. () in
+  let sim =
+    Simulation.make ~grid:g ~coupler:(Coupler.local Bc.periodic)
+      ~clean_div_interval:5 ~sort_interval:4 ~interp_accum ()
+  in
+  let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
+  ignore (Loader.maxwellian (Rng.of_int 12) e ~ppc:12 ~uth:0.1 ());
+  let out = ref [] in
+  for _ = 1 to steps do
+    Simulation.step sim;
+    out := (Simulation.energies sim).Simulation.total :: !out
+  done;
+  List.rev !out
+
+let test_serial_energy_parity () =
+  let steps = 25 in
+  let direct = energies_serial ~interp_accum:false ~steps in
+  let interp = energies_serial ~interp_accum:true ~steps in
+  (* The interpolator rounds its 18 coefficients to f32 (~1e-7 relative
+     force error) and evaluates a midpoint-held expansion instead of the
+     piecewise staggered gather; the trajectories decorrelate slowly, so
+     the energy trajectories agree to a loose tolerance while staying
+     individually conserved. *)
+  List.iter2 (fun a b -> check_close ~rtol:0.02 "energy parity" a b) direct
+    interp
+
+let energies_2rank ~interp_accum ~steps =
+  let gnx = 8 in
+  let d =
+    Decomp.make ~px:2 ~py:1 ~pz:1 ~gnx ~gny:4 ~gnz:4 ~lx:4. ~ly:2. ~lz:2.
+  in
+  let dt = Grid.courant_dt ~dx:0.5 ~dy:0.5 ~dz:0.5 () in
+  let results =
+    Comm.run ~ranks:2 (fun c ->
+        let rank = Comm.rank c in
+        let grid = Decomp.local_grid d ~dt ~rank in
+        let bc = Decomp.local_bc d ~global:Bc.periodic ~rank in
+        let sim =
+          Simulation.make ~grid ~coupler:(Coupler.parallel c bc ~grid)
+            ~clean_div_interval:5 ~sort_interval:4 ~interp_accum ()
+        in
+        let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
+        let cx, _, _ = Decomp.coords_of_rank d rank in
+        let x_off = cx * (gnx / 2) in
+        Grid.iter_interior grid (fun i j k ->
+            let rng =
+              Rng.of_int ((((x_off + i) * 997) + (j * 89) + k) * 13)
+            in
+            for _ = 1 to 8 do
+              Species.append e
+                { i; j; k;
+                  fx = Rng.uniform rng;
+                  fy = Rng.uniform rng;
+                  fz = Rng.uniform rng;
+                  ux = 0.1 *. Rng.normal rng;
+                  uy = 0.1 *. Rng.normal rng;
+                  uz = 0.1 *. Rng.normal rng;
+                  w = Grid.cell_volume grid /. 8. }
+            done);
+        let out = ref [] in
+        for _ = 1 to steps do
+          Simulation.step sim;
+          out := (Simulation.energies sim).Simulation.total :: !out
+        done;
+        (List.rev !out, Simulation.total_particles sim))
+  in
+  results.(0)
+
+let test_two_rank_energy_parity () =
+  let steps = 20 in
+  let direct, np_d = energies_2rank ~interp_accum:false ~steps in
+  let interp, np_i = energies_2rank ~interp_accum:true ~steps in
+  Alcotest.(check int) "particle count" np_d np_i;
+  check_true "no energy blowup"
+    (List.for_all Float.is_finite direct && List.for_all Float.is_finite interp);
+  (* Same deck stepped both ways across a 2-rank x-split: migration's
+     remote-mover deposits flow through the accumulator on the interp
+     side, so parity here exercises the full comm path. *)
+  List.iter2
+    (fun a b -> check_close ~rtol:0.02 "2-rank energy parity" a b)
+    direct interp
+
+(* --- Sort: zero-allocation double buffer + occupancy -------------------- *)
+
+let test_sort_scratch_reused () =
+  let g = small_grid ~n:5 ~l:2.5 () in
+  let s = Species.create ~name:"e" ~q:(-1.) ~m:1. g in
+  load_particles s ~ppc:7 ~seed:31;
+  let sum_w st np =
+    let acc = ref 0. in
+    for m = 0 to np - 1 do
+      acc := !acc +. Bigarray.Array1.get st.Store.w m
+    done;
+    !acc
+  in
+  let np = Species.count s in
+  let w0 = sum_w s.Species.store np in
+  Sort.by_voxel s;
+  check_true "sorted after first sort" (Sort.is_sorted s);
+  let scratch1 =
+    match s.Species.store.Store.sort_buf with
+    | Some sc -> sc
+    | None -> Alcotest.fail "no sort scratch retained"
+  in
+  (* shuffle the population out of order, then sort again: the scratch
+     record must be the very same one (steady state allocates nothing) *)
+  let f = random_field ~seed:2 g in
+  for _ = 1 to 3 do
+    ignore (Push.advance s f Bc.periodic)
+  done;
+  Sort.by_voxel s;
+  Sort.by_voxel s;
+  check_true "still sorted" (Sort.is_sorted s);
+  let scratch2 =
+    match s.Species.store.Store.sort_buf with
+    | Some sc -> sc
+    | None -> Alcotest.fail "scratch dropped"
+  in
+  check_true "same scratch record reused" (scratch1 == scratch2);
+  Alcotest.(check int) "population preserved" np (Species.count s);
+  check_close ~rtol:1e-12 "weights preserved" w0
+    (sum_w s.Species.store (Species.count s));
+  (* sorted order leaves only the gaps between occupied-voxel runs *)
+  check_true "locality high after sort" (Sort.locality_score s > 0.9)
+
+let test_occupancy () =
+  let g = small_grid ~n:4 ~l:2. () in
+  let s = Species.create ~name:"e" ~q:(-1.) ~m:1. g in
+  let put i n =
+    for _ = 1 to n do
+      Species.append s
+        { i; j = 1; k = 1; fx = 0.5; fy = 0.5; fz = 0.5; ux = 0.; uy = 0.;
+          uz = 0.; w = 1. }
+    done
+  in
+  put 2 3;
+  put 1 1;
+  put 4 2;
+  Sort.by_voxel s;
+  let mx, mean = Sort.occupancy s in
+  Alcotest.(check int) "max run" 3 mx;
+  check_close "mean run" 2. mean;
+  let empty = Species.create ~name:"z" ~q:1. ~m:1. g in
+  let mx0, mean0 = Sort.occupancy empty in
+  Alcotest.(check int) "empty max" 0 mx0;
+  check_close "empty mean" 0. mean0
+
+(* --- Movers: growth from a tiny capacity preserves content -------------- *)
+
+let test_movers_growth () =
+  (* 2-rank x-split bc (built without any comm: Decomp is pure), so the
+     x faces are Domain and outbound particles become movers. *)
+  let d =
+    Decomp.make ~px:2 ~py:1 ~pz:1 ~gnx:8 ~gny:4 ~gnz:4 ~lx:4. ~ly:2. ~lz:2.
+  in
+  let dt = Grid.courant_dt ~dx:0.5 ~dy:0.5 ~dz:0.5 () in
+  let g = Decomp.local_grid d ~dt ~rank:0 in
+  let bc = Decomp.local_bc d ~global:Bc.periodic ~rank:0 in
+  let f = Em_field.create g in
+  Boundary.fill_em bc f;
+  let s = Species.create ~name:"e" ~q:(-1.) ~m:1. g in
+  let nout = 40 in
+  for m = 1 to nout do
+    (* all pressed against the hi-x face, headed out fast *)
+    Species.append s
+      { i = g.Grid.nx; j = 1 + (m mod g.Grid.ny); k = 2; fx = 0.95;
+        fy = 0.5; fz = 0.5; ux = 5.; uy = 0.; uz = 0.;
+        w = float_of_int m }
+  done;
+  let movers = Push.Movers.create ~capacity:1 () in
+  let st = Push.advance ~movers s f bc in
+  Alcotest.(check int) "all outbound" nout st.Push.outbound;
+  Alcotest.(check int) "all buffered" nout (Push.Movers.count movers);
+  (* growth from capacity 1 went through several doublings; every
+     mover's payload must have survived them (weights are unique ids) *)
+  let stride = Push.Movers.stride in
+  let seen = Array.make (nout + 1) false in
+  for m = 0 to nout - 1 do
+    let w =
+      int_of_float (Bigarray.Array1.get movers.Push.Movers.buf ((m * stride) + 9))
+    in
+    check_true "weight id in range" (w >= 1 && w <= nout);
+    check_true "weight id unique" (not seen.(w));
+    seen.(w) <- true;
+    let gi =
+      int_of_float (Bigarray.Array1.get movers.Push.Movers.buf (m * stride))
+    in
+    Alcotest.(check int) "stopped in hi-x ghost" (g.Grid.nx + 1) gi
+  done
+
+let suite =
+  [ case "interpolator matches direct gather at staggered midpoints"
+      test_gather_matches_direct_at_midpoints;
+    case "split load equals full load" test_load_split_equals_full;
+    case "accumulator unload matches direct deposit"
+      test_accumulator_unload_matches_direct_deposit;
+    case "charge conservation on the interp/accum path"
+      test_interp_accum_charge_conservation;
+    case "serial stepped energy parity" test_serial_energy_parity;
+    case "2-rank stepped energy parity" test_two_rank_energy_parity;
+    case "sort scratch is reused across sorts" test_sort_scratch_reused;
+    case "occupancy max/mean" test_occupancy;
+    case "movers grow from capacity 1 without losing payload"
+      test_movers_growth ]

@@ -6,6 +6,7 @@ let () =
       ("field", Suite_field.suite);
       ("particle", Suite_particle.suite);
       ("store", Suite_store.suite);
+      ("interp", Suite_interp.suite);
       ("sim", Suite_sim.suite);
       ("parallel", Suite_parallel.suite);
       ("telemetry", Suite_telemetry.suite);
