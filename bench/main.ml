@@ -1183,6 +1183,118 @@ let step_bench () =
           phase_rows);
   Trace.reset ()
 
+(* ----------------------------------------------------- rebalance bench *)
+
+(* Over-decomposition: 2 ranks x 4 relocatable blocks with a
+   deliberately skewed per-block particle load (ppc rises with block id,
+   so rank 1's slabs start ~2.7x heavier than rank 0's).  The same world
+   runs twice — static ownership vs the greedy rebalancer on the
+   deterministic [`Particles] cost model — reporting the push imbalance
+   before/after, the blocks and payload bytes shipped, the wall cost of
+   the relocation machinery, and that the physics agrees. *)
+let rebalance_bench () =
+  pf "\n###### rebalance: scoreboard-driven block relocation (2 ranks x 4 blocks) ######\n";
+  let module Multiblock = Vpic.Multiblock in
+  let module Block = Vpic_grid.Block in
+  let ranks = 2 and blocks = 4 in
+  let steps = 40 and interval = 5 in
+  let dt = Grid.courant_dt ~dx:0.5 ~dy:0.5 ~dz:0.5 () in
+  let mk_layout () =
+    Block.over
+      (Decomp.make ~px:1 ~py:blocks ~pz:1 ~gnx:8 ~gny:16 ~gnz:6 ~lx:4. ~ly:8.
+         ~lz:3.)
+  in
+  (* block-id-skewed load: blocks 0..3 carry ppc 4, 10, 16, 22 *)
+  let ppc_of id = 4 + (6 * id) in
+  let build layout ~id ~coupler ~perf =
+    let grid = Block.grid layout ~dt ~id in
+    let sim =
+      Simulation.make ~grid ~coupler ~perf ~clean_div_interval:7
+        ~sort_interval:5 ()
+    in
+    let e = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
+    ignore
+      (Loader.maxwellian
+         (Rng.of_int (211 + (17 * id)))
+         e ~ppc:(ppc_of id) ~uth:0.08 ());
+    let ions = Simulation.add_species sim ~name:"ion" ~q:1. ~m:100. in
+    Species.iter e (fun n ->
+        let p = Species.get e n in
+        Species.append ions { p with ux = 0.; uy = 0.; uz = 0. });
+    sim
+  in
+  let variant ~threshold =
+    Trace.reset ();
+    let res =
+      Comm.run ~ranks (fun c ->
+          let rank = Comm.rank c in
+          Trace.enable ~rank ();
+          let layout = mk_layout () in
+          let mb =
+            Multiblock.create ~comm:c ~rebalance_interval:interval
+              ~rebalance_threshold:threshold ~cost_model:`Particles ~layout
+              ~global_bc:Bc.periodic ~build:(build layout) ()
+          in
+          Comm.barrier c;
+          let (), wall = Perf.timed (fun () -> Multiblock.run mb ~steps ()) in
+          let en = (Multiblock.energies mb).Simulation.total in
+          ( Multiblock.last_imbalance mb,
+            Comm.allreduce_sum c (float_of_int (Multiblock.migrations mb)),
+            Comm.allreduce_sum c (Multiblock.ship_bytes mb),
+            Comm.allreduce_max c wall,
+            Comm.allreduce_max c
+              (Trace.phase_seconds (Trace.intern "rebalance")),
+            en ))
+    in
+    Trace.reset ();
+    res.(0)
+  in
+  let imb_s, _, _, wall_s, chk_s, en_s = variant ~threshold:0. in
+  let imb_d, moves, bytes, wall_d, chk_d, en_d = variant ~threshold:1.01 in
+  let t =
+    Table.create
+      [ "ownership"; "imbalance (max/mean)"; "blocks shipped"; "payload KiB";
+        "wall s"; "rebalance s" ]
+  in
+  Table.add_row t
+    [ "static"; Printf.sprintf "%.3f" imb_s; "0"; "0";
+      Printf.sprintf "%.2f" wall_s; Printf.sprintf "%.4f" chk_s ];
+  Table.add_row t
+    [ "rebalanced"; Printf.sprintf "%.3f" imb_d; Printf.sprintf "%.0f" moves;
+      Printf.sprintf "%.1f" (bytes /. 1024.); Printf.sprintf "%.2f" wall_d;
+      Printf.sprintf "%.4f" chk_d ];
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "dynamic load balance, %d steps, check every %d (particle-count cost)"
+         steps interval)
+    t;
+  let rel = Float.abs (en_d -. en_s) /. Float.abs en_s in
+  pf "energy parity: static %.10e vs rebalanced %.10e (rel %.1e)\n" en_s en_d
+    rel;
+  pf "relocation machinery: %.4f s checks+shipping vs %.4f s checks only\n"
+    chk_d chk_s;
+  write_bench_json ~file:"BENCH_rebalance.json" ~bench:"rebalance" ~ranks
+    ~results:
+      [ ("blocks", string_of_int blocks);
+        ("steps", string_of_int steps);
+        ("rebalance_interval", string_of_int interval);
+        ( "static",
+          json_obj
+            [ ("imbalance", json_num imb_s);
+              ("wall_s", json_num wall_s);
+              ("rebalance_s", json_num chk_s);
+              ("energy", json_num en_s) ] );
+        ( "rebalanced",
+          json_obj
+            [ ("imbalance", json_num imb_d);
+              ("migrations", Printf.sprintf "%.0f" moves);
+              ("shipped_bytes", Printf.sprintf "%.0f" bytes);
+              ("wall_s", json_num wall_d);
+              ("rebalance_s", json_num chk_d);
+              ("energy", json_num en_d) ] );
+        ("energy_rel_diff", json_num rel) ]
+
 (* ------------------------------------------------------- bechamel mode *)
 
 let bechamel_kernels () =
@@ -1291,8 +1403,9 @@ let () =
     | "push" -> push_layout_bench ~quick ()
     | "exchange" -> exchange_bench ()
     | "step" -> step_bench ()
+    | "rebalance" -> rebalance_bench ()
     | other ->
-        pf "unknown section %s (e1..e6, v1, v2, push, exchange, step, kernels, figures)\n"
+        pf "unknown section %s (e1..e6, v1, v2, push, exchange, step, rebalance, kernels, figures)\n"
           other
   in
   List.iter run sections;

@@ -36,6 +36,7 @@ module Srs_theory = Vpic_lpi.Srs_theory
 module Perf_model = Vpic_cell.Perf_model
 module Roadrunner = Vpic_cell.Roadrunner
 module Comm = Vpic_parallel.Comm
+module Multiblock = Vpic.Multiblock
 module Trace = Vpic_telemetry.Trace
 module Metrics = Vpic_telemetry.Metrics
 module Scoreboard = Vpic_telemetry.Scoreboard
@@ -128,9 +129,154 @@ let two_stream_cmd =
 
 (* ------------------------------------------------------------------ srs *)
 
+(* Trace buffers are registered globally at [Trace.enable] and survive
+   their domains, so the export happens once, after every rank joined. *)
+let export_trace = function
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          if Filename.check_suffix path ".jsonl" then Trace.export_jsonl oc
+          else Trace.export_chrome oc);
+      Printf.printf "trace written to %s (%d spans, %d dropped)\n" path
+        (Trace.total_entries ()) (Trace.dropped_entries ())
+
+(* Over-decomposed srs run: [blocks] relocatable y-slabs spread over
+   [ranks], rebalanced every [rebalance_every] steps when the max/mean
+   push cost exceeds [rebalance_threshold].  Supports the step loop,
+   periodic per-block checkpoint generations, scoreboard/metrics/trace;
+   resume/sentinel/final-checkpoint stay on the classic path. *)
+let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
+    ~cost_model ~steps ~ranks ~ckpt_dir ~ckpt_every ~keep ~trace_file
+    ~metrics_file ~scoreboard_every =
+  (* Every block keeps at least two transverse cells (remainder-safe
+     decomposition still wants non-degenerate slabs). *)
+  let config =
+    if config.Deck.ny >= 2 * blocks then config
+    else { config with Deck.ny = 2 * blocks }
+  in
+  let body comm_opt =
+    let rank, nranks =
+      match comm_opt with
+      | None -> (0, 1)
+      | Some cm -> (Comm.rank cm, Comm.size cm)
+    in
+    let root = rank = 0 in
+    Trace.enable ~rank ();
+    Metrics.enable ();
+    (match comm_opt with
+    | Some _ -> Metrics.install_comm_wait_observer ()
+    | None -> ());
+    let registry = Metrics.default () in
+    let bs =
+      Deck.build_over ?comm:comm_opt ~rebalance_interval:rebalance_every
+        ~rebalance_threshold ~cost_model ~blocks config
+    in
+    let mb = bs.Deck.mb in
+    let steps =
+      match steps with Some s -> s | None -> Deck.suggested_steps config
+    in
+    let reduce_sum x =
+      match comm_opt with Some cm -> Comm.allreduce_sum cm x | None -> x
+    in
+    let reduce_max x =
+      match comm_opt with Some cm -> Comm.allreduce_max cm x | None -> x
+    in
+    let nparticles = Multiblock.total_particles mb in
+    if root then
+      Printf.printf
+        "SRS deck (over-decomposed): %d blocks on %d ranks, y-skew %.2f, \
+         rebalance every %d @ threshold %.2f, %d particles, %d steps\n%!"
+        blocks nranks config.Deck.y_skew rebalance_every rebalance_threshold
+        nparticles steps;
+    let board =
+      Scoreboard.create ~metrics:registry ~perf:(Multiblock.perf mb) ~nranks
+        ~reduce_sum ~reduce_max ()
+    in
+    let metrics_oc =
+      if root then Option.map open_out metrics_file else None
+    in
+    let emit line =
+      match metrics_oc with
+      | Some oc ->
+          output_string oc (line ^ "\n");
+          flush oc
+      | None -> ()
+    in
+    for step = 1 to steps do
+      Multiblock.step mb;
+      Deck.sample_over bs;
+      if ckpt_every > 0 && step mod ckpt_every = 0 then
+        Multiblock.save_generation mb ~dir:ckpt_dir ~gen:step ~keep;
+      if scoreboard_every > 0 && step mod scoreboard_every = 0 then begin
+        let s = Scoreboard.sample board ~step in
+        let snap =
+          match comm_opt with
+          | Some cm -> Metrics.reduce_comm cm registry
+          | None -> Metrics.snapshot_local registry
+        in
+        if root then begin
+          Scoreboard.print s;
+          emit (Scoreboard.sample_to_json s);
+          emit (Metrics.snapshot_to_json ~step snap)
+        end
+      end
+    done;
+    let r =
+      reduce_sum (Reflectivity.reflectivity bs.Deck.refl)
+      /. float_of_int nranks
+    in
+    let totals = Scoreboard.totals board ~steps in
+    let final_snap =
+      match comm_opt with
+      | Some cm -> Metrics.reduce_comm cm registry
+      | None -> Metrics.snapshot_local registry
+    in
+    let migrations = reduce_sum (float_of_int (Multiblock.migrations mb)) in
+    let shipped = reduce_sum (Multiblock.ship_bytes mb) in
+    let workload =
+      let voxels =
+        float_of_int (config.Deck.nx * config.Deck.ny * config.Deck.nz)
+      in
+      let sort_interval =
+        match Multiblock.owned_sims mb with
+        | (_, sim) :: _ when sim.Simulation.sort_interval > 0 ->
+            sim.Simulation.sort_interval
+        | _ -> max_int
+      in
+      { Perf_model.particles = float_of_int nparticles;
+        voxels;
+        steps_per_sort = sort_interval;
+        ppc_effective = float_of_int nparticles /. voxels }
+    in
+    let report = Report.make ~totals ~workload () in
+    let en = Multiblock.energies mb in
+    if root then begin
+      Printf.printf "reflectivity = %.4e\n" r;
+      Scoreboard.print_totals totals;
+      Scoreboard.print_block_rollup ~owners:(Multiblock.owners mb)
+        ~costs:(Multiblock.block_costs mb) ~migrations
+        ~shipped_bytes:shipped;
+      Printf.printf "push imbalance (max/mean, last window) = %.3f\n"
+        (Multiblock.last_imbalance mb);
+      Report.print report;
+      emit (Metrics.snapshot_to_json ~step:steps final_snap);
+      emit (Report.to_json report);
+      Option.iter close_out metrics_oc;
+      Printf.printf "final total energy = %.10e at step %d\n"
+        en.Simulation.total (Multiblock.nstep mb)
+    end
+  in
+  (if ranks <= 1 then body None
+   else ignore (Comm.run ~ranks (fun cm -> body (Some cm))));
+  export_trace trace_file
+
 let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
     sentinel_every sentinel_log kill_step fault_seed ranks trace_file
-    metrics_file scoreboard_every =
+    metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
+    cost_model y_skew =
   (* Fault injection is armed before anything else so even the first
      steps are covered; it is a no-op unless these flags are given. *)
   (match kill_step with
@@ -138,7 +284,23 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
       Fault.enable ~seed:fault_seed;
       Fault.arm (Fault.Kill_rank { rank = 0; step = s })
   | None -> ());
-  let config = { Deck.default with a0; nr; te_kev = te; nx; ppc } in
+  let config = { Deck.default with a0; nr; te_kev = te; nx; ppc; y_skew } in
+  if blocks > 0 then begin
+    if ranks > blocks then
+      invalid_arg
+        (Printf.sprintf "vpic_run: --blocks %d < --ranks %d" blocks ranks);
+    if resume then
+      prerr_endline
+        "vpic_run: --resume is not supported with --blocks; starting fresh";
+    if checkpoint <> None then
+      prerr_endline "vpic_run: --checkpoint is ignored with --blocks";
+    if sentinel_every > 0 then
+      prerr_endline "vpic_run: --sentinel-every is ignored with --blocks";
+    run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
+      ~cost_model ~steps ~ranks ~ckpt_dir ~ckpt_every ~keep ~trace_file
+      ~metrics_file ~scoreboard_every
+  end
+  else begin
   (* Parallel runs decompose along y; widen the (quasi-1D) transverse
      box so every rank keeps at least two cells of it. *)
   let config =
@@ -302,30 +464,21 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
   in
   (if ranks <= 1 then body None
    else ignore (Comm.run ~ranks (fun cm -> body (Some cm))));
-  (* Trace buffers are registered globally at [Trace.enable] and survive
-     their domains, so the export happens once, after every rank joined. *)
-  match trace_file with
-  | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          if Filename.check_suffix path ".jsonl" then Trace.export_jsonl oc
-          else Trace.export_chrome oc);
-      Printf.printf "trace written to %s (%d spans, %d dropped)\n" path
-        (Trace.total_entries ()) (Trace.dropped_entries ())
-  | None -> ()
+  export_trace trace_file
+  end
 
 (* Typed failures get a readable one-line report and a distinct exit
    code (2 = unusable checkpoint, 3 = injected fault, 4 = health abort)
    so the CI smoke job can tell them apart. *)
 let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
     sentinel_every sentinel_log kill_step fault_seed ranks trace_file
-    metrics_file scoreboard_every =
+    metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
+    cost_model y_skew =
   try
     run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
       sentinel_every sentinel_log kill_step fault_seed ranks trace_file
-      metrics_file scoreboard_every
+      metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
+      cost_model y_skew
   with
   | Checkpoint.Version_mismatch { path; found; expected } ->
       Printf.eprintf
@@ -426,12 +579,48 @@ let srs_cmd =
                    scoreboard sample every N steps (0 = only the final \
                    rollup).")
   in
+  let blocks =
+    Arg.(value & opt int 0
+         & info [ "blocks" ]
+             ~doc:"Over-decompose into N relocatable y-slab blocks \
+                   (must be >= --ranks; 0 = classic one-domain-per-rank \
+                   run).  Per-block RNGs make results independent of the \
+                   rank count and of any mid-run block relocation.")
+  in
+  let rebalance_every =
+    Arg.(value & opt int 10
+         & info [ "rebalance-every" ]
+             ~doc:"With --blocks: check per-block push-cost gauges and \
+                   consider shipping blocks every N steps.")
+  in
+  let rebalance_threshold =
+    Arg.(value & opt float 0.
+         & info [ "rebalance-threshold" ]
+             ~doc:"With --blocks: rebalance when max/mean per-rank push \
+                   cost exceeds this ratio (e.g. 1.2; 0 = never).")
+  in
+  let cost_model =
+    let models = Arg.enum [ ("wall", `Wall); ("particles", `Particles) ] in
+    Arg.(value & opt models `Wall
+         & info [ "rebalance-cost" ]
+             ~doc:"With --blocks: per-block cost gauge. $(b,wall) times \
+                   the push; $(b,particles) counts macro-particles pushed \
+                   (deterministic — use when ranks timeshare few cores).")
+  in
+  let y_skew =
+    Arg.(value & opt float 0.
+         & info [ "y-skew" ]
+             ~doc:"Tilt the plasma density linearly along y: n *= 1 + \
+                   s*(y/L - 1/2).  Creates a deliberate load imbalance \
+                   for exercising --rebalance-threshold.")
+  in
   Cmd.v
     (Cmd.info "srs" ~doc:"Laser-plasma SRS deck (one parameter-study point)")
     Term.(const run_srs $ a0 $ nr $ te $ nx $ ppc $ steps $ ckpt $ ckpt_dir
           $ ckpt_every $ keep $ resume $ sentinel_every $ sentinel_log
           $ kill_step $ fault_seed $ ranks $ trace_file $ metrics_file
-          $ scoreboard_every)
+          $ scoreboard_every $ blocks $ rebalance_every $ rebalance_threshold
+          $ cost_model $ y_skew)
 
 (* ---------------------------------------------------------------- sweep *)
 

@@ -7,7 +7,7 @@ module Crc32 = Vpic_util.Crc32
 module Rng = Vpic_util.Rng
 module Fault = Vpic_util.Fault
 
-let format_version = 5
+let format_version = 6
 
 exception Corrupt of { path : string; reason : string }
 exception Version_mismatch of { path : string; found : int; expected : int }
@@ -43,6 +43,12 @@ type meta_snap = {
   interp_accum : bool;
   push_rng : Rng.state;
   migrate_rng : Rng.state option;
+  (* v6: over-decomposition identity.  Classic per-rank checkpoints
+     carry (0, 1); a per-block file records which of how many blocks it
+     holds, so a restore (or a rebalance receive) can sanity-check the
+     wire bytes against the slot they are about to fill. *)
+  block_id : int;
+  nblocks : int;
 }
 
 (* Particle data is serialised as the store's own Float32/Int32
@@ -76,36 +82,37 @@ type fields_snap = (string * float array) list
 
 let magic = "VPICCKPT"
 
-let write_u32 oc v =
-  output_char oc (Char.chr ((v lsr 24) land 0xFF));
-  output_char oc (Char.chr ((v lsr 16) land 0xFF));
-  output_char oc (Char.chr ((v lsr 8) land 0xFF));
-  output_char oc (Char.chr (v land 0xFF))
+(* The wire image is built and parsed in memory ([bytes]): the same
+   encoding lands on disk through [save] and on the rebalance mailbox
+   when a live block relocates mid-run. *)
 
-let read_u32 ic path =
-  let b = Bytes.create 4 in
-  (try really_input ic b 0 4
-   with End_of_file -> raise (Corrupt { path; reason = "truncated header" }));
-  let g i = Char.code (Bytes.get b i) in
+let buf_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+let buf_section b payload =
+  buf_u32 b (Bytes.length payload);
+  buf_u32 b (Int32.to_int (Crc32.bytes payload) land 0xFFFFFFFF);
+  Buffer.add_bytes b payload
+
+let get_u32 data pos path =
+  if pos + 4 > Bytes.length data then
+    raise (Corrupt { path; reason = "truncated header" });
+  let g i = Char.code (Bytes.get data (pos + i)) in
   (g 0 lsl 24) lor (g 1 lsl 16) lor (g 2 lsl 8) lor g 3
 
-let write_section oc payload =
-  write_u32 oc (Bytes.length payload);
-  write_u32 oc (Int32.to_int (Crc32.bytes payload) land 0xFFFFFFFF);
-  output_bytes oc payload
-
-let read_section ic path ~what ~remaining =
-  let len = read_u32 ic path in
-  let crc = read_u32 ic path in
-  if len < 0 || len > remaining then
+(* Returns (payload, next position). *)
+let get_section data pos path ~what =
+  let len = get_u32 data pos path in
+  let crc = get_u32 data (pos + 4) path in
+  if len < 0 || pos + 8 + len > Bytes.length data then
     raise
       (Corrupt
          { path;
            reason = Printf.sprintf "%s section length %d exceeds file" what len });
-  let payload = Bytes.create len in
-  (try really_input ic payload 0 len
-   with End_of_file ->
-     raise (Corrupt { path; reason = "truncated " ^ what ^ " section" }));
+  let payload = Bytes.sub data (pos + 8) len in
   let found = Int32.to_int (Crc32.bytes payload) land 0xFFFFFFFF in
   if found <> crc then
     raise
@@ -114,7 +121,7 @@ let read_section ic path ~what ~remaining =
            reason =
              Printf.sprintf "%s section checksum mismatch (%08x, expected %08x)"
                what found crc });
-  payload
+  (payload, pos + 8 + len)
 
 (* -------------------------------------------------------------- save ---- *)
 
@@ -152,7 +159,7 @@ let snap_species (s : Species.t) =
     uz = trim_f32 st.Store.uz np;
     w = trim_f32 st.Store.w np }
 
-let snap_meta (t : Simulation.t) =
+let snap_meta ~block_id ~nblocks (t : Simulation.t) =
   let g = t.Simulation.grid in
   let lx, ly, lz = Grid.extent g in
   { nstep = t.Simulation.nstep;
@@ -177,10 +184,12 @@ let snap_meta (t : Simulation.t) =
     interp_accum = t.Simulation.interp_accum <> None;
     push_rng = Rng.state t.Simulation.push_rng;
     migrate_rng =
-      Option.map Rng.state t.Simulation.coupler.Coupler.migrate_rng }
+      Option.map Rng.state t.Simulation.coupler.Coupler.migrate_rng;
+    block_id;
+    nblocks }
 
-let save (t : Simulation.t) path =
-  let meta = Marshal.to_bytes (snap_meta t) [] in
+let encode ?(block_id = 0) ?(nblocks = 1) (t : Simulation.t) =
+  let meta = Marshal.to_bytes (snap_meta ~block_id ~nblocks t) [] in
   let fields : fields_snap =
     List.map
       (fun (name, sf) -> (name, floats_of_sf sf))
@@ -190,6 +199,20 @@ let save (t : Simulation.t) path =
   let species =
     Marshal.to_bytes (List.map snap_species (Simulation.species t)) []
   in
+  let b =
+    Buffer.create
+      (String.length magic + 4 + 24 + Bytes.length meta + Bytes.length fields
+     + Bytes.length species)
+  in
+  Buffer.add_string b magic;
+  buf_u32 b format_version;
+  buf_section b meta;
+  buf_section b fields;
+  buf_section b species;
+  Buffer.to_bytes b
+
+let save ?block_id ?nblocks (t : Simulation.t) path =
+  let image = encode ?block_id ?nblocks t in
   (* Atomic: land the complete file under a temporary name in the same
      directory, then rename over [path].  A crash mid-write leaves the
      previous checkpoint (or nothing) — never a short file under the
@@ -197,14 +220,7 @@ let save (t : Simulation.t) path =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
-     Fun.protect
-       ~finally:(fun () -> close_out oc)
-       (fun () ->
-         output_string oc magic;
-         write_u32 oc format_version;
-         write_section oc meta;
-         write_section oc fields;
-         write_section oc species)
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc image)
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
@@ -212,37 +228,40 @@ let save (t : Simulation.t) path =
 
 (* -------------------------------------------------------------- load ---- *)
 
-let read_raw ~unmarshal path =
+let decode_raw ~unmarshal ~path data =
+  let mlen = String.length magic in
+  if Bytes.length data < mlen || Bytes.sub_string data 0 mlen <> magic then
+    raise (Corrupt { path; reason = "bad magic (not a checkpoint)" });
+  let found = get_u32 data mlen path in
+  if found <> format_version then
+    raise (Version_mismatch { path; found; expected = format_version });
+  let meta_b, pos = get_section data (mlen + 4) path ~what:"meta" in
+  let fields_b, pos = get_section data pos path ~what:"fields" in
+  let species_b, _ = get_section data pos path ~what:"species" in
+  if not unmarshal then None
+  else begin
+    (* CRCs passed, so these bytes are exactly what [encode] wrote;
+       wrap residual Marshal failures as corruption anyway. *)
+    try
+      let meta : meta_snap = Marshal.from_bytes meta_b 0 in
+      let fields : fields_snap = Marshal.from_bytes fields_b 0 in
+      let species : species_snap list = Marshal.from_bytes species_b 0 in
+      Some (meta, fields, species)
+    with Failure reason -> raise (Corrupt { path; reason })
+  end
+
+let bytes_of_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let size = in_channel_length ic in
-      let mg = Bytes.create (String.length magic) in
-      (try really_input ic mg 0 (String.length magic)
-       with End_of_file -> raise (Corrupt { path; reason = "truncated magic" }));
-      if Bytes.to_string mg <> magic then
-        raise (Corrupt { path; reason = "bad magic (not a checkpoint)" });
-      let found = read_u32 ic path in
-      if found <> format_version then
-        raise (Version_mismatch { path; found; expected = format_version });
-      let section what =
-        read_section ic path ~what ~remaining:(size - pos_in ic)
-      in
-      let meta_b = section "meta" in
-      let fields_b = section "fields" in
-      let species_b = section "species" in
-      if not unmarshal then None
-      else begin
-        (* CRCs passed, so these bytes are exactly what [save] wrote;
-           wrap residual Marshal failures as corruption anyway. *)
-        try
-          let meta : meta_snap = Marshal.from_bytes meta_b 0 in
-          let fields : fields_snap = Marshal.from_bytes fields_b 0 in
-          let species : species_snap list = Marshal.from_bytes species_b 0 in
-          Some (meta, fields, species)
-        with Failure reason -> raise (Corrupt { path; reason })
-      end)
+      let data = Bytes.create size in
+      (try really_input ic data 0 size
+       with End_of_file -> raise (Corrupt { path; reason = "short read" }));
+      data)
+
+let read_raw ~unmarshal path = decode_raw ~unmarshal ~path (bytes_of_file path)
 
 (* Checksum-verify [path] without unmarshalling or building a simulation. *)
 let verify path =
@@ -253,12 +272,7 @@ let verify path =
       Error (Printf.sprintf "format version %d, expected %d" found expected)
   | exception Sys_error reason -> Error reason
 
-let load ~coupler path =
-  let meta, fields, species =
-    match read_raw ~unmarshal:true path with
-    | Some x -> x
-    | None -> assert false
-  in
+let build ?perf ~coupler ~path (meta, fields, species) =
   let gs = meta.grid in
   let grid =
     Grid.make ~nx:gs.nx ~ny:gs.ny ~nz:gs.nz ~lx:gs.lx ~ly:gs.ly ~lz:gs.lz
@@ -271,7 +285,7 @@ let load ~coupler path =
       ~absorber_thickness:meta.absorber_thickness
       ~absorber_strength:meta.absorber_strength
       ~current_filter_passes:meta.current_filter_passes ~pusher:meta.pusher
-      ~interp_accum:meta.interp_accum ~grid ~coupler ()
+      ~interp_accum:meta.interp_accum ?perf ~grid ~coupler ()
   in
   t.Simulation.nstep <- meta.nstep;
   Rng.set_state t.Simulation.push_rng meta.push_rng;
@@ -306,6 +320,25 @@ let load ~coupler path =
     species;
   t
 
+let unpack x = match x with Some x -> x | None -> assert false
+
+let load ~coupler path =
+  build ~coupler ~path (unpack (read_raw ~unmarshal:true path))
+
+let decode ?expect_block ?perf ~coupler data =
+  let path = "<wire>" in
+  let ((meta, _, _) as snaps) = unpack (decode_raw ~unmarshal:true ~path data) in
+  (match expect_block with
+  | Some b when meta.block_id <> b ->
+      raise
+        (Corrupt
+           { path;
+             reason =
+               Printf.sprintf "encoded block %d arriving in slot %d"
+                 meta.block_id b })
+  | _ -> ());
+  build ?perf ~coupler ~path snaps
+
 (* -------------------------------------------------------- generations ---- *)
 
 (* A run directory holds one subdirectory per generation (one file per
@@ -322,11 +355,23 @@ let generation_dir ~dir ~gen = Filename.concat dir (Printf.sprintf "gen%08d" gen
 let generation_path ~dir ~gen ~rank =
   Filename.concat (generation_dir ~dir ~gen) (Printf.sprintf "rank%04d.ckpt" rank)
 
+(* Per-block files of an over-decomposed run: named by block id, not by
+   rank, so any rank can restore any block under a fresh ownership. *)
+let block_path ~dir ~gen ~block =
+  Filename.concat (generation_dir ~dir ~gen) (Printf.sprintf "blk%05d.ckpt" block)
+
 let mkdir_exist_ok d =
   try Unix.mkdir d 0o755
   with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
-type manifest = { nranks : int; generations : int list (* ascending *) }
+(* [nblocks] = 0 marks a classic one-file-per-rank run; > 0 an
+   over-decomposed one-file-per-block run (whose [nranks] is 0: block
+   files are rank-agnostic). *)
+type manifest = {
+  nranks : int;
+  nblocks : int;
+  generations : int list; (* ascending *)
+}
 
 let read_manifest dir =
   let path = manifest_path dir in
@@ -346,16 +391,20 @@ let read_manifest dir =
     in
     match lines with
     | hd :: rest when hd = manifest_magic ->
-        let nranks = ref 0 and gens = ref [] in
+        let nranks = ref 0 and nblocks = ref 0 and gens = ref [] in
         List.iter
           (fun l ->
             match String.split_on_char ' ' l with
             | [ "nranks"; n ] -> nranks := int_of_string n
+            | [ "nblocks"; n ] -> nblocks := int_of_string n
             | [ "gen"; g ] -> gens := int_of_string g :: !gens
             | [] | [ "" ] -> ()
             | _ -> raise (Corrupt { path; reason = "malformed line: " ^ l }))
           rest;
-        Some { nranks = !nranks; generations = List.sort compare !gens }
+        Some
+          { nranks = !nranks;
+            nblocks = !nblocks;
+            generations = List.sort compare !gens }
     | _ -> raise (Corrupt { path; reason = "bad manifest header" })
   end
 
@@ -368,6 +417,7 @@ let write_manifest dir m =
     (fun () ->
       output_string oc (manifest_magic ^ "\n");
       Printf.fprintf oc "nranks %d\n" m.nranks;
+      if m.nblocks > 0 then Printf.fprintf oc "nblocks %d\n" m.nblocks;
       List.iter (fun g -> Printf.fprintf oc "gen %d\n" g) m.generations);
   Sys.rename tmp path
 
@@ -402,6 +452,11 @@ let save_generation (t : Simulation.t) ~dir ~gen ~keep =
     let prev =
       match read_manifest dir with
       | Some m ->
+          if m.nblocks <> 0 then
+            raise
+              (Corrupt
+                 { path = manifest_path dir;
+                   reason = "manifest is for a per-block run" });
           if m.nranks <> 0 && m.nranks <> c.Coupler.nranks then
             raise
               (Corrupt
@@ -422,7 +477,8 @@ let save_generation (t : Simulation.t) ~dir ~gen ~keep =
            !i <= drop)
         all
     in
-    write_manifest dir { nranks = c.Coupler.nranks; generations = kept };
+    write_manifest dir
+      { nranks = c.Coupler.nranks; nblocks = 0; generations = kept };
     List.iter (fun g -> rm_rf_generation ~dir ~gen:g) dropped
   end
 
@@ -462,3 +518,108 @@ let load_latest_valid ~coupler ~dir =
   | None -> None
   | Some g ->
       Some (load ~coupler (generation_path ~dir ~gen:g ~rank:c.Coupler.rank), g)
+
+(* ------------------------------------------------- block generations ---- *)
+
+(* The over-decomposed analogue of [save_generation]: one file per
+   {e block}, written by whichever rank owns it at checkpoint time.  The
+   commit protocol is unchanged (write all, barrier, rank 0 manifests),
+   but the manifest records [nblocks] instead of a rank count — the
+   files are rank-agnostic, so a restore may run on any rank count and
+   any ownership. *)
+let save_generation_blocks ~dir ~gen ~keep ~rank ~nranks:_ ~nblocks
+    ~barrier ~owned =
+  Vpic_telemetry.Trace.with_span sid_checkpoint @@ fun () ->
+  assert (keep >= 1);
+  if rank = 0 then begin
+    mkdir_exist_ok dir;
+    mkdir_exist_ok (generation_dir ~dir ~gen)
+  end;
+  barrier ();
+  List.iter
+    (fun (b, sim) ->
+      let path = block_path ~dir ~gen ~block:b in
+      save ~block_id:b ~nblocks sim path;
+      Fault.checkpoint_written ~rank ~gen ~path)
+    owned;
+  barrier ();
+  if rank = 0 then begin
+    let prev =
+      match read_manifest dir with
+      | Some m ->
+          if m.nblocks <> 0 && m.nblocks <> nblocks then
+            raise
+              (Corrupt
+                 { path = manifest_path dir;
+                   reason =
+                     Printf.sprintf "manifest is for %d blocks, running %d"
+                       m.nblocks nblocks });
+          if m.nblocks = 0 && m.generations <> [] then
+            raise
+              (Corrupt
+                 { path = manifest_path dir;
+                   reason = "manifest is for a per-rank run" });
+          List.filter (fun g -> g <> gen) m.generations
+      | None -> []
+    in
+    let all = List.sort compare (gen :: prev) in
+    let drop = max 0 (List.length all - keep) in
+    let dropped, kept =
+      List.partition
+        (let i = ref 0 in
+         fun _ ->
+           incr i;
+           !i <= drop)
+        all
+    in
+    write_manifest dir { nranks = 0; nblocks; generations = kept };
+    List.iter (fun g -> rm_rf_generation ~dir ~gen:g) dropped
+  end
+
+(* Collective pick of the newest generation whose every block file
+   verifies, then each rank loads the blocks [owner] assigns to it
+   ([coupler_of b] supplies block [b]'s coupler; [perf] is shared).
+   Verification is split by the restoring ownership so each file is
+   checked exactly once across the world. *)
+let load_latest_valid_blocks ?perf ~dir ~rank ~nranks ~nblocks ~reduce_sum
+    ~owner ~coupler_of () =
+  let gens =
+    match read_manifest dir with
+    | None -> []
+    | Some m ->
+        if m.nblocks <> nblocks then
+          raise
+            (Corrupt
+               { path = manifest_path dir;
+                 reason =
+                   Printf.sprintf "manifest is for %d blocks, running %d"
+                     m.nblocks nblocks });
+        List.rev m.generations (* newest first *)
+  in
+  let mine = List.filter (fun b -> owner.(b) = rank) (List.init nblocks Fun.id) in
+  ignore nranks;
+  let rec pick = function
+    | [] -> None
+    | g :: rest ->
+        let ok =
+          List.fold_left
+            (fun acc b ->
+              match verify (block_path ~dir ~gen:g ~block:b) with
+              | Ok () -> acc +. 1.
+              | Error _ -> acc)
+            0. mine
+        in
+        if int_of_float (reduce_sum ok) = nblocks then Some g else pick rest
+  in
+  match pick gens with
+  | None -> None
+  | Some g ->
+      let blocks =
+        List.map
+          (fun b ->
+            let path = block_path ~dir ~gen:g ~block:b in
+            let data = bytes_of_file path in
+            (b, decode ~expect_block:b ?perf ~coupler:(coupler_of b) data))
+          mine
+      in
+      Some (blocks, g)

@@ -41,11 +41,32 @@ exception Corrupt of { path : string; reason : string }
 (** The file is a checkpoint, but from a different format version. *)
 exception Version_mismatch of { path : string; found : int; expected : int }
 
+(** {1 Wire image}
+
+    The same encoding that lands on disk also travels over the comm
+    layer when a live block relocates during a rebalance: {!encode} a
+    simulation into bytes, ship them, {!decode} on the receiver. *)
+
+(** Serialise to the full wire image (magic, version, checksummed
+    sections).  [block_id]/[nblocks] (default 0/1) stamp the
+    over-decomposition identity into the meta section. *)
+val encode : ?block_id:int -> ?nblocks:int -> Simulation.t -> bytes
+
+(** Rebuild a simulation from a wire image.  [expect_block] cross-checks
+    the encoded block id (raises {!Corrupt} on mismatch); [perf] shares
+    the caller's flop counters with the rebuilt simulation. *)
+val decode :
+  ?expect_block:int ->
+  ?perf:Vpic_util.Perf.counters ->
+  coupler:Coupler.t ->
+  bytes ->
+  Simulation.t
+
 (** {1 Single files} *)
 
 (** Write one checkpoint file atomically (temp + rename).  In a
     multi-rank run each rank saves its own file. *)
-val save : Simulation.t -> string -> unit
+val save : ?block_id:int -> ?nblocks:int -> Simulation.t -> string -> unit
 
 (** Restore.  [coupler] must describe the same topology/boundaries the
     checkpoint was taken with; the grid is rebuilt from the snapshot.
@@ -76,3 +97,44 @@ val committed_generations : dir:string -> int list
     the same decision.  [None] when no usable generation exists. *)
 val load_latest_valid :
   coupler:Coupler.t -> dir:string -> (Simulation.t * int) option
+
+(** {1 Per-block generations (over-decomposed runs)}
+
+    One file per {e block} — [blk%05d.ckpt], written by whichever rank
+    owns the block at checkpoint time — and a manifest recording
+    [nblocks] instead of a rank count.  Block files are rank-agnostic: a
+    restore may run on a different rank count or ownership than the
+    save. *)
+
+(** Block [block]'s file for generation [gen] under [dir]. *)
+val block_path : dir:string -> gen:int -> block:int -> string
+
+(** Collective.  Each rank passes the blocks it owns as [(id, sim)];
+    the commit protocol matches {!save_generation} ([barrier] must be a
+    world barrier). *)
+val save_generation_blocks :
+  dir:string ->
+  gen:int ->
+  keep:int ->
+  rank:int ->
+  nranks:int ->
+  nblocks:int ->
+  barrier:(unit -> unit) ->
+  owned:(int * Simulation.t) list ->
+  unit
+
+(** Collective.  Pick the newest committed generation whose every block
+    file verifies (validity counts are summed with [reduce_sum]); each
+    rank then loads and returns the blocks [owner] assigns to it, built
+    with [coupler_of block].  [None] when no usable generation exists. *)
+val load_latest_valid_blocks :
+  ?perf:Vpic_util.Perf.counters ->
+  dir:string ->
+  rank:int ->
+  nranks:int ->
+  nblocks:int ->
+  reduce_sum:(float -> float) ->
+  owner:int array ->
+  coupler_of:(int -> Coupler.t) ->
+  unit ->
+  ((int * Simulation.t) list * int) option

@@ -1,0 +1,549 @@
+(* Over-decomposed driver: each rank steps a *list* of relocatable
+   blocks instead of one rank-sized domain.  Block geometry comes from
+   [Vpic_grid.Block], ghost/mover routing from the block-keyed ports of
+   [Vpic_parallel.Exchange.Blocks], and each block is an ordinary
+   [Simulation.t] whose coupler does no communication at all — every
+   fill, fold, migration and reduction is driven from here, fused
+   across the owned blocks.  Because a block's push RNG is salted by
+   its *block id* (its coupler "rank"), trajectories are independent of
+   which rank happens to step it, which is what lets the rebalancer
+   ship blocks mid-run without perturbing the physics. *)
+
+module Grid = Vpic_grid.Grid
+module Bc = Vpic_grid.Bc
+module Axis = Vpic_grid.Axis
+module Sf = Vpic_grid.Scalar_field
+module Block = Vpic_grid.Block
+module Em_field = Vpic_field.Em_field
+module Boundary = Vpic_field.Boundary
+module Marder = Vpic_field.Marder
+module Diagnostics = Vpic_field.Diagnostics
+module Species = Vpic_particle.Species
+module Moments = Vpic_particle.Moments
+module Comm = Vpic_parallel.Comm
+module Exchange = Vpic_parallel.Exchange
+module Migrate = Vpic_parallel.Migrate
+module Rebalance = Vpic_parallel.Rebalance
+module Perf = Vpic_util.Perf
+module Trace = Vpic_telemetry.Trace
+module Metrics = Vpic_telemetry.Metrics
+
+let sid_step = Trace.intern "step"
+let sid_fill = Trace.intern "exchange.fill"
+let sid_fold = Trace.intern "exchange.fold"
+let sid_migrate = Trace.intern "migrate"
+let sid_clean = Trace.intern "clean"
+let sid_rebalance = Trace.intern "rebalance"
+
+(* One owned block: its simulation plus memoised component lists (the
+   routing closures are called every step) and a Marder scratch mesh. *)
+type block = {
+  id : int;
+  sim : Simulation.t;
+  err : Sf.t;
+  ems : Sf.t list;
+  es : Sf.t list;
+  js : Sf.t list;
+}
+
+type t = {
+  comm : Comm.t option;
+  rank : int;
+  nranks : int;
+  layout : Block.t;
+  global_bc : Bc.t;
+  ownership : Block.Ownership.t;
+  blocks : block option array;  (* indexed by block id; Some iff owned *)
+  ports : Exchange.Blocks.t;
+  perf : Perf.counters;  (* shared by every local block simulation *)
+  reattach : int -> Simulation.t -> unit;
+      (* re-install closures (laser antennas) on a freshly decoded sim *)
+  mutable views : Exchange.Blocks.view list;
+  mutable nstep : int;
+  (* step-loop parameters, mirrored from the block sims at creation *)
+  sort_interval : int;
+  clean_div_interval : int;
+  marder_passes : int;
+  (* dynamic load balancing *)
+  rebalance_interval : int;
+  rebalance_threshold : float;  (* max/mean push cost; 0 = disabled *)
+  cost_model : [ `Wall | `Particles ];
+  push_cost : float array;  (* seconds this window, owned entries only *)
+  last_costs : float array;  (* last allreduced window, all blocks *)
+  mutable last_imbalance : float;
+  mutable migrations : int;  (* blocks this rank shipped out, cumulative *)
+  mutable ship_bytes : float;
+}
+
+(* ------------------------------------------------------------ geometry ---- *)
+
+(* A block's coupler performs no communication: ghost traffic, mover
+   routing and reductions all run in the driver, fused across blocks.
+   Its [rank] is the *block id*, making the push RNG salt — and thus
+   every trajectory — independent of block ownership. *)
+let block_coupler layout ~global_bc ~id =
+  let nblocks = Block.count layout in
+  let bc = Block.bc layout ~global:global_bc ~id in
+  if nblocks = 1 then Coupler.local bc
+  else begin
+    let no_route what _ =
+      failwith ("Multiblock: block coupler does not route " ^ what)
+    in
+    { Coupler.bc;
+      fill_em = no_route "fill_em";
+      fill_em_begin = no_route "fill_em_begin";
+      fill_em_finish = no_route "fill_em_finish";
+      fill_e = no_route "fill_e";
+      fill_scalar = no_route "fill_scalar";
+      fill_list = no_route "fill_list";
+      migrate =
+        (fun ?accum:_ _ _ movers ->
+          assert (Vpic_particle.Push.Movers.count movers = 0));
+      fold_currents = no_route "fold_currents";
+      fold_rho = no_route "fold_rho";
+      reduce_sum = Fun.id;
+      reduce_max = Fun.id;
+      barrier = (fun () -> ());
+      comm_bytes = (fun () -> 0.);
+      migrate_rng = Some (Vpic_util.Rng.of_int (0x5EED + id));
+      rank = id;
+      nranks = nblocks }
+  end
+
+let coupler t ~id = block_coupler t.layout ~global_bc:t.global_bc ~id
+
+let get t id =
+  match t.blocks.(id) with
+  | Some b -> b
+  | None ->
+      invalid_arg (Printf.sprintf "Multiblock: block %d not owned here" id)
+
+(* Owned blocks in ascending id order — the collective iteration order
+   every rank's routing relies on. *)
+let owned t =
+  Array.to_list t.blocks |> List.filter_map Fun.id
+
+let mk_block id sim =
+  { id;
+    sim;
+    err = Sf.create sim.Simulation.grid;
+    ems = Em_field.em_components sim.Simulation.fields;
+    es = Em_field.e_components sim.Simulation.fields;
+    js = Em_field.j_components sim.Simulation.fields }
+
+let refresh_views t =
+  t.views <-
+    List.map
+      (fun b ->
+        { Exchange.Blocks.id = b.id;
+          bc = b.sim.Simulation.coupler.Coupler.bc;
+          g = b.sim.Simulation.grid })
+      (owned t)
+
+(* ------------------------------------------------------------- routing ---- *)
+
+let fill_em_all t =
+  Trace.begin_span sid_fill;
+  Exchange.Blocks.fill_ghosts t.ports ~views:t.views
+    ~scalars:(fun id -> (get t id).ems);
+  Trace.end_span ()
+
+let fill_e_all t =
+  Exchange.Blocks.fill_ghosts t.ports ~views:t.views
+    ~scalars:(fun id -> (get t id).es)
+
+let fill_err_all t =
+  Exchange.Blocks.fill_ghosts t.ports ~views:t.views
+    ~scalars:(fun id -> [ (get t id).err ])
+
+let fold_currents_all t =
+  Trace.begin_span sid_fold;
+  Exchange.Blocks.fold_ghosts t.ports ~views:t.views
+    ~scalars:(fun id -> (get t id).js);
+  Trace.end_span ()
+
+let fold_rho_all t =
+  Exchange.Blocks.fold_ghosts t.ports ~views:t.views
+    ~scalars:(fun id -> [ (get t id).sim.Simulation.fields.Em_field.rho ])
+
+let reduce_sum t x =
+  match t.comm with Some c -> Comm.allreduce_sum c x | None -> x
+
+let reduce_max t x =
+  match t.comm with Some c -> Comm.allreduce_max c x | None -> x
+
+let barrier t = match t.comm with Some c -> Comm.barrier c | None -> ()
+
+(* -------------------------------------------------------------- create ---- *)
+
+let create ?comm ?(rebalance_interval = 10) ?(rebalance_threshold = 0.)
+    ?(cost_model = `Wall) ?(reattach = fun _ _ -> ()) ~layout ~global_bc
+    ~build () =
+  let nblocks = Block.count layout in
+  let rank, nranks =
+    match comm with Some c -> (Comm.rank c, Comm.size c) | None -> (0, 1)
+  in
+  let ownership = Block.Ownership.initial ~nblocks ~nranks in
+  let perf = Perf.create () in
+  let blocks = Array.make nblocks None in
+  List.iter
+    (fun id ->
+      let coupler = block_coupler layout ~global_bc ~id in
+      let sim = build ~id ~coupler ~perf in
+      if sim.Simulation.coupler != coupler then
+        invalid_arg "Multiblock.create: build must use the supplied coupler";
+      blocks.(id) <- Some (mk_block id sim))
+    (Block.Ownership.owned ownership ~rank);
+  let ports =
+    Exchange.Blocks.create ?comm ~nblocks
+      ~owner:(Block.Ownership.snapshot ownership)
+      ~max_plane:(Block.max_plane_floats layout) ()
+  in
+  let first =
+    match blocks.(List.hd (Block.Ownership.owned ownership ~rank)) with
+    | Some b -> b.sim
+    | None -> assert false
+  in
+  if first.Simulation.current_filter_passes > 0 && nblocks > 1 then
+    invalid_arg "Multiblock.create: current filtering not supported";
+  let t =
+    { comm;
+      rank;
+      nranks;
+      layout;
+      global_bc;
+      ownership;
+      blocks;
+      ports;
+      perf;
+      reattach;
+      views = [];
+      nstep = 0;
+      sort_interval = first.Simulation.sort_interval;
+      clean_div_interval = first.Simulation.clean_div_interval;
+      marder_passes = first.Simulation.marder_passes;
+      rebalance_interval = max 1 rebalance_interval;
+      rebalance_threshold;
+      cost_model;
+      push_cost = Array.make nblocks 0.;
+      last_costs = Array.make nblocks 0.;
+      last_imbalance = 1.;
+      migrations = 0;
+      ship_bytes = 0. }
+  in
+  refresh_views t;
+  (* Pre-register the reduction-visible metric names on every rank so
+     the collective metric reduce sees an identical name set even
+     before the first rebalance window closes. *)
+  if Metrics.enabled () then begin
+    let m = Metrics.default () in
+    Metrics.counter_add m "rebalance.migrations" 0.;
+    Metrics.counter_add m "rebalance.bytes" 0.;
+    for b = 0 to nblocks - 1 do
+      Metrics.gauge_set m (Printf.sprintf "push.cost.b%d" b) 0.
+    done
+  end;
+  t
+
+let nblocks t = Block.count t.layout
+let nstep t = t.nstep
+let owners t = Block.Ownership.snapshot t.ownership
+let owned_sims t = List.map (fun b -> (b.id, b.sim)) (owned t)
+let time t = (owned t |> List.hd).sim |> Simulation.time
+let perf t = t.perf
+let migrations t = t.migrations
+let ship_bytes t = t.ship_bytes
+let last_imbalance t = t.last_imbalance
+let block_costs t = Array.copy t.last_costs
+let comm_bytes t =
+  let f, fo, m = Exchange.Blocks.byte_counts t.ports in
+  f +. fo +. m +. t.ship_bytes
+
+(* ----------------------------------------------------------- rebalance ---- *)
+
+(* Collect this window's per-block push seconds, allreduce them so every
+   rank sees the same cost vector, plan greedily, and execute the moves
+   by shipping whole blocks over the checkpoint wire image.  Runs at a
+   step boundary: no exchange traffic is in flight, so the mailbox is
+   free for block payloads. *)
+let rebalance_now t =
+  let nblocks = nblocks t in
+  let costs =
+    match t.comm with
+    | Some c -> Comm.allreduce_sum_array c t.push_cost
+    | None -> Array.copy t.push_cost
+  in
+  Array.blit costs 0 t.last_costs 0 nblocks;
+  if Metrics.enabled () then begin
+    let m = Metrics.default () in
+    for b = 0 to nblocks - 1 do
+      Metrics.gauge_set m (Printf.sprintf "push.cost.b%d" b) costs.(b)
+    done
+  end;
+  t.last_imbalance <-
+    Rebalance.imbalance
+      (Rebalance.rank_loads ~costs ~owner:(owners t) ~nranks:t.nranks);
+  let moved = ref 0 in
+  if t.rebalance_threshold > 0. && t.nranks > 1 then begin
+    let plan =
+      Rebalance.plan ~costs ~owner:(owners t) ~nranks:t.nranks
+        ~threshold:t.rebalance_threshold ()
+    in
+    List.iter
+      (fun (b, dst) ->
+        let src = Block.Ownership.owner t.ownership b in
+        let comm = match t.comm with Some c -> c | None -> assert false in
+        if src <> dst then begin
+          if src = t.rank then begin
+            let blk = get t b in
+            let image =
+              Checkpoint.encode ~block_id:b ~nblocks blk.sim
+            in
+            Comm.send comm ~dst ~tag:(Rebalance.ship_tag b)
+              (Rebalance.floats_of_bytes image);
+            t.blocks.(b) <- None;
+            t.migrations <- t.migrations + 1;
+            t.ship_bytes <- t.ship_bytes +. float_of_int (Bytes.length image);
+            if Metrics.enabled () then begin
+              let m = Metrics.default () in
+              Metrics.counter_add m "rebalance.migrations" 1.;
+              Metrics.counter_add m "rebalance.bytes"
+                (float_of_int (Bytes.length image))
+            end
+          end
+          else if dst = t.rank then begin
+            let payload = Comm.recv comm ~src ~tag:(Rebalance.ship_tag b) in
+            let image = Rebalance.bytes_of_floats payload in
+            let sim =
+              Checkpoint.decode ~expect_block:b ~perf:t.perf
+                ~coupler:(coupler t ~id:b) image
+            in
+            t.reattach b sim;
+            t.blocks.(b) <- Some (mk_block b sim)
+          end;
+          incr moved
+        end;
+        Block.Ownership.apply t.ownership [ (b, dst) ])
+      plan.Rebalance.moves;
+    if !moved > 0 then begin
+      Exchange.Blocks.set_owners t.ports (owners t);
+      refresh_views t;
+      t.last_imbalance <- plan.Rebalance.imbalance_after
+    end
+  end;
+  Array.fill t.push_cost 0 nblocks 0.;
+  !moved
+
+let maybe_rebalance t =
+  if (t.nstep + 1) mod t.rebalance_interval = 0 then begin
+    Trace.begin_span sid_rebalance;
+    let n = rebalance_now t in
+    Trace.end_span ();
+    n
+  end
+  else 0
+
+(* ---------------------------------------------------------------- step ---- *)
+
+let interval_due t interval = interval > 0 && (t.nstep + 1) mod interval = 0
+
+(* Deposit and fold rho across all owned blocks (no filtering: the
+   multiblock world rejects current filtering at creation). *)
+let deposit_rho_all t =
+  List.iter
+    (fun b ->
+      Em_field.clear_rho b.sim.Simulation.fields;
+      List.iter
+        (fun s ->
+          Moments.deposit_rho ~perf:t.perf s
+            ~rho:b.sim.Simulation.fields.Em_field.rho)
+        (Simulation.species b.sim))
+    (owned t);
+  fold_rho_all t
+
+(* The Marder clean, fused across blocks: each relaxation pass needs
+   globally consistent E and err ghosts, so the per-pass fills run over
+   all owned blocks between the per-block stencil sweeps — the same
+   sequence [Marder.clean] performs against a single domain. *)
+let marder_passes_all t ~passes =
+  for _ = 1 to passes do
+    fill_e_all t;
+    List.iter (fun b -> Marder.compute_err b.sim.Simulation.fields b.err) (owned t);
+    fill_err_all t;
+    List.iter (fun b -> Marder.apply_err b.sim.Simulation.fields b.err) (owned t)
+  done;
+  fill_e_all t;
+  List.iter
+    (fun b -> Marder.add_flops ~perf:t.perf ~passes b.sim.Simulation.fields)
+    (owned t)
+
+let step_blocks t =
+  Trace.with_span sid_step @@ fun () ->
+  fill_em_all t;
+  let pushes =
+    List.map (fun b -> (b, Simulation.phase_clear_and_load b.sim)) (owned t)
+  in
+  (* The ghosts are already complete, so the interior/boundary split
+     runs back to back per block — same per-particle order as the
+     classic step — and the cost of the trio is the per-block gauge the
+     rebalancer feeds on: wall seconds by default, or the deterministic
+     particle count (classic VPIC choice; immune to timer noise and CPU
+     oversubscription, e.g. many ranks timesharing few cores). *)
+  List.iter
+    (fun (b, ss) ->
+      let t0 = Perf.now () in
+      Simulation.phase_push_interior b.sim ss;
+      Simulation.phase_load_boundary b.sim;
+      Simulation.phase_push_boundary b.sim ss;
+      let cost =
+        match t.cost_model with
+        | `Wall -> Perf.now () -. t0
+        | `Particles ->
+            List.fold_left
+              (fun a (s, _) -> a +. float_of_int (Species.count s))
+              0. ss
+      in
+      t.push_cost.(b.id) <- t.push_cost.(b.id) +. cost)
+    pushes;
+  List.iter (fun (b, _) -> Simulation.phase_lasers b.sim) pushes;
+  List.iter (fun (_, ss) -> Simulation.mover_metrics ss) pushes;
+  (* Movers route by block ownership: local hops finish directly into
+     the sibling block, remote hops ride the block-keyed ports. *)
+  Trace.begin_span sid_migrate;
+  let nspecies =
+    match pushes with (_, ss) :: _ -> List.length ss | [] -> 0
+  in
+  let nb = nblocks t in
+  for si = 0 to nspecies - 1 do
+    let targets = Array.make nb None in
+    List.iter
+      (fun (b, ss) ->
+        let s, sc = List.nth ss si in
+        targets.(b.id) <-
+          Some
+            { Migrate.id = b.id;
+              bc = b.sim.Simulation.coupler.Coupler.bc;
+              species = s;
+              fields = b.sim.Simulation.fields;
+              accum = Option.map snd b.sim.Simulation.interp_accum;
+              rng = b.sim.Simulation.coupler.Coupler.migrate_rng;
+              movers = sc.Simulation.movers })
+      pushes;
+    ignore
+      (Migrate.exchange_blocks t.ports ~targets
+         ~extent:(fun b axis -> Block.axis_cells t.layout ~id:b ~axis))
+  done;
+  Trace.end_span ();
+  List.iter (fun (b, _) -> Simulation.phase_unload_accum b.sim) pushes;
+  fold_currents_all t;
+  List.iter (fun b -> Simulation.phase_advance_b b.sim ~frac:0.5) (owned t);
+  fill_em_all t;
+  List.iter (fun b -> Simulation.phase_advance_e b.sim) (owned t);
+  if interval_due t t.clean_div_interval then begin
+    Trace.begin_span sid_clean;
+    deposit_rho_all t;
+    marder_passes_all t ~passes:t.marder_passes;
+    Trace.end_span ()
+  end;
+  fill_em_all t;
+  List.iter
+    (fun b ->
+      Simulation.phase_advance_b b.sim ~frac:0.5;
+      Simulation.phase_absorb b.sim)
+    (owned t);
+  if interval_due t t.sort_interval then
+    List.iter (fun b -> Simulation.phase_sort b.sim) (owned t);
+  List.iter
+    (fun b -> b.sim.Simulation.nstep <- b.sim.Simulation.nstep + 1)
+    (owned t);
+  ignore (maybe_rebalance t);
+  t.nstep <- t.nstep + 1
+
+let step t =
+  (* A 1-block single-rank world is exactly the classic serial loop —
+     delegate, so the over-decomposed path is bitwise identical to
+     [Simulation.step] in that degenerate case. *)
+  if nblocks t = 1 && Option.is_none t.comm then begin
+    Simulation.step (get t 0).sim;
+    t.nstep <- t.nstep + 1
+  end
+  else step_blocks t
+
+let run t ~steps ?(every = 0) ?diag () =
+  for _ = 1 to steps do
+    step t;
+    match diag with
+    | Some f when every > 0 && t.nstep mod every = 0 -> f t
+    | _ -> ()
+  done
+
+(* --------------------------------------------------------- diagnostics ---- *)
+
+let energies t =
+  let fe = ref 0. and fb = ref 0. in
+  let parts = Hashtbl.create 4 in
+  let names = ref [] in
+  List.iter
+    (fun b ->
+      let e, bm = Diagnostics.field_energy b.sim.Simulation.fields in
+      fe := !fe +. e;
+      fb := !fb +. bm;
+      List.iter
+        (fun s ->
+          let n = s.Species.name in
+          if not (Hashtbl.mem parts n) then names := n :: !names;
+          Hashtbl.replace parts n
+            ((try Hashtbl.find parts n with Not_found -> 0.)
+            +. Species.kinetic_energy s))
+        (Simulation.species b.sim))
+    (owned t);
+  let fe = reduce_sum t !fe and fb = reduce_sum t !fb in
+  let parts =
+    List.rev_map (fun n -> (n, reduce_sum t (Hashtbl.find parts n))) !names
+  in
+  { Simulation.field_e = fe;
+    field_b = fb;
+    particles = parts;
+    total = fe +. fb +. List.fold_left (fun a (_, e) -> a +. e) 0. parts }
+
+let total_particles t =
+  let local =
+    List.fold_left
+      (fun acc b ->
+        List.fold_left
+          (fun acc s -> acc + Species.count s)
+          acc
+          (Simulation.species b.sim))
+      0 (owned t)
+  in
+  int_of_float (reduce_sum t (float_of_int local))
+
+let gauss_residual t =
+  deposit_rho_all t;
+  fill_e_all t;
+  reduce_max t
+    (List.fold_left
+       (fun acc b ->
+         Float.max acc (Diagnostics.gauss_residual b.sim.Simulation.fields))
+       0. (owned t))
+
+let div_b_max t =
+  fill_em_all t;
+  reduce_max t
+    (List.fold_left
+       (fun acc b ->
+         Float.max acc (Diagnostics.div_b_max b.sim.Simulation.fields))
+       0. (owned t))
+
+let settle_fields t ~passes =
+  deposit_rho_all t;
+  marder_passes_all t ~passes;
+  fill_em_all t
+
+(* -------------------------------------------------------- checkpointing ---- *)
+
+let save_generation t ~dir ~gen ~keep =
+  Checkpoint.save_generation_blocks ~dir ~gen ~keep ~rank:t.rank
+    ~nranks:t.nranks ~nblocks:(nblocks t)
+    ~barrier:(fun () -> barrier t)
+    ~owned:(List.map (fun b -> (b.id, b.sim)) (owned t))

@@ -90,8 +90,9 @@ let add_stats (a : Push.stats) (b : Push.stats) : Push.stats =
 let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     ?(absorber_thickness = 8) ?(absorber_strength = 0.15)
     ?(current_filter_passes = 0) ?(pusher = Push.Boris)
-    ?(interp_accum = true) ~grid ~coupler () =
+    ?(interp_accum = true) ?perf ~grid ~coupler () =
   assert (current_filter_passes = 0 || clean_div_interval > 0);
+  let perf = match perf with Some p -> p | None -> Perf.create () in
   { grid;
     fields = Em_field.create grid;
     coupler;
@@ -118,7 +119,7 @@ let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     push_stats = zero_stats;
     scratch_rev = [];
     monitor = None;
-    perf = Perf.create () }
+    perf }
 
 let species t = List.rev t.species_rev
 let lasers t = List.rev t.lasers_rev
@@ -161,6 +162,142 @@ let scratch_for t s =
       t.scratch_rev <- (s, sc) :: t.scratch_rev;
       sc
 
+(* --- Step phases -------------------------------------------------------
+   The step is decomposed into phase helpers so an external driver (the
+   over-decomposed [Multiblock] world) can interleave many blocks' phases
+   with its own ghost routing while [step] below remains the verbatim
+   historical sequence for the single-block case.  Spans live inside the
+   helpers: the Scoreboard sees identical phase names either way. *)
+
+let phase_clear_and_load t =
+  Em_field.clear_currents t.fields;
+  let interp = Option.map fst t.interp_accum in
+  (* Interior voxels' interpolator blocks read no ghosts: build them
+     while the x-plane fill is still in flight, like the interior push
+     they feed.  The smoothed path instead loads from the filtered copy
+     in [step]. *)
+  (match (interp, t.smoothed) with
+  | Some ip, None ->
+      Trace.begin_span sid_load_interp;
+      Interpolator.load_interior ~perf:t.perf ip t.fields;
+      Trace.end_span ()
+  | _ -> ());
+  let species_scratch = List.map (fun s -> (s, scratch_for t s)) (species t) in
+  List.iter
+    (fun (_, sc) ->
+      Push.Movers.clear sc.movers;
+      Push.Defer.clear sc.defer)
+    species_scratch;
+  species_scratch
+
+(* Interior pass: every particle whose cell does not touch the ghost
+   layer — independent of any in-flight fill. *)
+let phase_push_interior t species_scratch =
+  let interp = Option.map fst t.interp_accum in
+  let accum = Option.map snd t.interp_accum in
+  Trace.begin_span sid_push_interior;
+  List.iter
+    (fun (s, sc) ->
+      let st =
+        Push.advance ~perf:t.perf ~region:(`Interior sc.defer)
+          ?interp ?accum ~rng:t.push_rng ~pusher:t.pusher s t.fields
+          t.coupler.Coupler.bc
+      in
+      t.push_stats <- add_stats t.push_stats st)
+    species_scratch;
+  Trace.end_span ()
+
+(* The hi-face slabs read freshly filled ghosts; load them before the
+   deferred shell particles evaluate their blocks. *)
+let phase_load_boundary t =
+  match Option.map fst t.interp_accum with
+  | Some ip ->
+      Trace.begin_span sid_load_interp;
+      Interpolator.load_boundary ~perf:t.perf ip t.fields;
+      Trace.end_span ()
+  | None -> ()
+
+(* Boundary pass: the deferred shell particles, now that their gather
+   stencils see fresh ghosts.  Only these can become movers. *)
+let phase_push_boundary t species_scratch =
+  let interp = Option.map fst t.interp_accum in
+  let accum = Option.map snd t.interp_accum in
+  Trace.begin_span sid_push_boundary;
+  List.iter
+    (fun (s, sc) ->
+      let st =
+        Push.advance ~perf:t.perf ~region:(`Deferred sc.defer)
+          ~movers:sc.movers ?interp ?accum ~rng:t.push_rng
+          ~pusher:t.pusher s t.fields t.coupler.Coupler.bc
+      in
+      t.push_stats <- add_stats t.push_stats st)
+    species_scratch;
+  Trace.end_span ()
+
+let phase_lasers t =
+  Trace.begin_span sid_laser;
+  List.iter (fun l -> Laser.drive l t.fields ~time:(time t)) (lasers t);
+  Trace.end_span ()
+
+(* Fold the accumulator into the J meshes after migration (finished
+   movers deposit into it) and before the ghost-current fold. *)
+let phase_unload_accum t =
+  match Option.map snd t.interp_accum with
+  | Some ac ->
+      Trace.begin_span sid_unload_accum;
+      Accumulator.unload ~perf:t.perf ac t.fields;
+      Trace.end_span ()
+  | None -> ()
+
+let phase_advance_b t ~frac =
+  Trace.begin_span sid_field;
+  Maxwell.advance_b ~perf:t.perf t.fields ~frac;
+  Trace.end_span ()
+
+let phase_advance_e t =
+  Trace.begin_span sid_field;
+  Maxwell.advance_e ~perf:t.perf t.fields;
+  Boundary.enforce_pec t.coupler.Coupler.bc t.fields;
+  Trace.end_span ()
+
+let phase_absorb t =
+  Trace.begin_span sid_field;
+  Boundary.Absorber.apply t.absorber t.fields;
+  Trace.end_span ()
+
+let phase_sort t =
+  Trace.begin_span sid_sort;
+  let metrics = Metrics.enabled () in
+  List.iter
+    (fun s ->
+      (* Pre-sort locality: how far the population drifted since the
+         last sort (post-sort it is 1.0 by construction). *)
+      let locality = if metrics then Sort.locality_score s else 0. in
+      Sort.by_voxel ~perf:t.perf s;
+      if metrics then begin
+        let m = Metrics.default () in
+        let occ_max, occ_mean = Sort.occupancy s in
+        let n = s.Species.name in
+        Metrics.gauge_set m ("sort.locality." ^ n) locality;
+        Metrics.gauge_set m ("sort.occ_max." ^ n) (float_of_int occ_max);
+        Metrics.gauge_set m ("sort.occ_mean." ^ n) occ_mean
+      end)
+    (species t);
+  Trace.end_span ()
+
+let mover_metrics species_scratch =
+  if Metrics.enabled () then begin
+    let m = Metrics.default () in
+    let movers =
+      List.fold_left
+        (fun acc (_, sc) -> acc + Push.Movers.count sc.movers)
+        0 species_scratch
+    in
+    Metrics.counter_add m "migrate.movers" (float_of_int movers);
+    Metrics.counter_add m "migrate.bytes"
+      (float_of_int (movers * Push.Movers.stride * 4))
+  end
+
 let step t =
   Trace.with_span sid_step @@ fun () ->
   let c = t.coupler in
@@ -176,25 +313,9 @@ let step t =
   Trace.begin_span sid_fill_begin;
   c.Coupler.fill_em_begin t.fields;
   Trace.end_span ();
-  Em_field.clear_currents t.fields;
   let interp = Option.map fst t.interp_accum in
   let accum = Option.map snd t.interp_accum in
-  (* Interior voxels' interpolator blocks read no ghosts: build them
-     while the x-plane fill is still in flight, like the interior push
-     they feed.  The smoothed path instead loads from the filtered copy
-     below. *)
-  (match (interp, t.smoothed) with
-  | Some ip, None ->
-      Trace.begin_span sid_load_interp;
-      Interpolator.load_interior ~perf:t.perf ip t.fields;
-      Trace.end_span ()
-  | _ -> ());
-  let species_scratch = List.map (fun s -> (s, scratch_for t s)) (species t) in
-  List.iter
-    (fun (_, sc) ->
-      Push.Movers.clear sc.movers;
-      Push.Defer.clear sc.defer)
-    species_scratch;
+  let species_scratch = phase_clear_and_load t in
   (* Particle advance: inner loop of the paper. *)
   (match t.smoothed with
   | Some sm ->
@@ -232,77 +353,26 @@ let step t =
         species_scratch;
       Trace.end_span ()
   | None ->
-      (* Interior pass: every particle whose cell does not touch the
-         ghost layer — independent of the in-flight fill. *)
-      Trace.begin_span sid_push_interior;
-      List.iter
-        (fun (s, sc) ->
-          let st =
-            Push.advance ~perf:t.perf ~region:(`Interior sc.defer)
-              ?interp ?accum ~rng:t.push_rng ~pusher:t.pusher s t.fields
-              c.Coupler.bc
-          in
-          t.push_stats <- add_stats t.push_stats st)
-        species_scratch;
-      Trace.end_span ();
+      phase_push_interior t species_scratch;
       Trace.begin_span sid_fill_finish;
       c.Coupler.fill_em_finish t.fields;
       Trace.end_span ();
-      (* The hi-face slabs read freshly filled ghosts; load them before
-         the deferred shell particles evaluate their blocks. *)
-      (match interp with
-      | Some ip ->
-          Trace.begin_span sid_load_interp;
-          Interpolator.load_boundary ~perf:t.perf ip t.fields;
-          Trace.end_span ()
-      | None -> ());
-      (* Boundary pass: the deferred shell particles, now that their
-         gather stencils see fresh ghosts.  Only these can become
-         movers. *)
-      Trace.begin_span sid_push_boundary;
-      List.iter
-        (fun (s, sc) ->
-          let st =
-            Push.advance ~perf:t.perf ~region:(`Deferred sc.defer)
-              ~movers:sc.movers ?interp ?accum ~rng:t.push_rng
-              ~pusher:t.pusher s t.fields c.Coupler.bc
-          in
-          t.push_stats <- add_stats t.push_stats st)
-        species_scratch;
-      Trace.end_span ());
+      phase_load_boundary t;
+      phase_push_boundary t species_scratch);
   (* Fault-injection probe: die mid-step, after the push posted its ghost
      traffic but before migration/fold completes — peers must unblock via
      the comm layer's failed-rank poisoning, not drain cleanly. *)
   Vpic_util.Fault.kill_point ~rank:c.Coupler.rank ~step:(t.nstep + 1);
-  Trace.begin_span sid_laser;
-  List.iter (fun l -> Laser.drive l t.fields ~time:(time t)) (lasers t);
-  Trace.end_span ();
+  phase_lasers t;
   (* Migration must precede the current fold: finished movers deposit
      their remaining segments (including into ghost slots). *)
-  if Metrics.enabled () then begin
-    let m = Metrics.default () in
-    let movers =
-      List.fold_left
-        (fun acc (_, sc) -> acc + Push.Movers.count sc.movers)
-        0 species_scratch
-    in
-    Metrics.counter_add m "migrate.movers" (float_of_int movers);
-    Metrics.counter_add m "migrate.bytes"
-      (float_of_int (movers * Push.Movers.stride * 4))
-  end;
+  mover_metrics species_scratch;
   Trace.begin_span sid_migrate;
   List.iter
     (fun (s, sc) -> c.Coupler.migrate ?accum s t.fields sc.movers)
     species_scratch;
   Trace.end_span ();
-  (* Fold the accumulator into the J meshes after migration (finished
-     movers deposit into it) and before the ghost-current fold. *)
-  (match accum with
-  | Some ac ->
-      Trace.begin_span sid_unload_accum;
-      Accumulator.unload ~perf:t.perf ac t.fields;
-      Trace.end_span ()
-  | None -> ());
+  phase_unload_accum t;
   Trace.begin_span sid_fold;
   c.Coupler.fold_currents t.fields;
   if t.current_filter_passes > 0 then
@@ -310,16 +380,11 @@ let step t =
       ~fill:c.Coupler.fill_list t.fields;
   Trace.end_span ();
   (* Field advance. *)
-  Trace.begin_span sid_field;
-  Maxwell.advance_b ~perf:t.perf t.fields ~frac:0.5;
-  Trace.end_span ();
+  phase_advance_b t ~frac:0.5;
   Trace.begin_span sid_fill;
   c.Coupler.fill_em t.fields;
   Trace.end_span ();
-  Trace.begin_span sid_field;
-  Maxwell.advance_e ~perf:t.perf t.fields;
-  Boundary.enforce_pec c.Coupler.bc t.fields;
-  Trace.end_span ();
+  phase_advance_e t;
   if interval_due t t.clean_div_interval then begin
     Trace.begin_span sid_clean;
     deposit_rho t;
@@ -336,26 +401,7 @@ let step t =
   Maxwell.advance_b ~perf:t.perf t.fields ~frac:0.5;
   Boundary.Absorber.apply t.absorber t.fields;
   Trace.end_span ();
-  if interval_due t t.sort_interval then begin
-    Trace.begin_span sid_sort;
-    let metrics = Metrics.enabled () in
-    List.iter
-      (fun s ->
-        (* Pre-sort locality: how far the population drifted since the
-           last sort (post-sort it is 1.0 by construction). *)
-        let locality = if metrics then Sort.locality_score s else 0. in
-        Sort.by_voxel ~perf:t.perf s;
-        if metrics then begin
-          let m = Metrics.default () in
-          let occ_max, occ_mean = Sort.occupancy s in
-          let n = s.Species.name in
-          Metrics.gauge_set m ("sort.locality." ^ n) locality;
-          Metrics.gauge_set m ("sort.occ_max." ^ n) (float_of_int occ_max);
-          Metrics.gauge_set m ("sort.occ_mean." ^ n) occ_mean
-        end)
-      (species t);
-    Trace.end_span ()
-  end;
+  if interval_due t t.sort_interval then phase_sort t;
   t.nstep <- t.nstep + 1;
   (* Health monitor (sentinel) last: it sees the completed step and may
      raise; collective checks rely on every rank reaching the same

@@ -71,7 +71,10 @@ type t = {
     one 72-byte block per voxel before each push and scattered currents
     fold out of per-voxel accumulator blocks after migration; disable to
     gather/scatter directly against the strided meshes (identical
-    physics up to f32 coefficient rounding and addition order). *)
+    physics up to f32 coefficient rounding and addition order).
+    [perf] shares an existing flop/byte counter set between simulations
+    (the over-decomposed driver gives all its blocks one); by default
+    each simulation counts alone. *)
 val make :
   ?sort_interval:int ->
   ?clean_div_interval:int ->
@@ -81,6 +84,7 @@ val make :
   ?current_filter_passes:int ->
   ?pusher:Vpic_particle.Push.kind ->
   ?interp_accum:bool ->
+  ?perf:Vpic_util.Perf.counters ->
   grid:Grid.t ->
   coupler:Coupler.t ->
   unit ->
@@ -109,6 +113,53 @@ val time : t -> float
     ["field"], ["clean"], ["sort"] — the names
     [Vpic_telemetry.Scoreboard] aggregates. *)
 val step : t -> unit
+
+(** {1 Step phases}
+
+    [step] decomposed, for external drivers that interleave many
+    blocks' phases with their own ghost routing ({!Multiblock}).  Called
+    in [step]'s order — clear/load, push interior, load boundary
+    interpolators, push boundary, lasers, (migrate), unload accumulator,
+    (fold), B half-advance, (fill), E advance, (clean), (fill), B
+    half-advance + absorb, sort — with the parenthesised steps provided
+    by the driver, these reproduce [step] exactly.  Spans are recorded
+    inside each phase, so the Scoreboard is driver-agnostic.  The
+    interior/boundary split assumes no current filter ([smoothed =
+    None]). *)
+
+(** Clear current meshes, load interior interpolator blocks, clear each
+    species' push scratch; returns the per-species scratch list the push
+    and migration phases consume. *)
+val phase_clear_and_load : t -> (Species.t * push_scratch) list
+
+val phase_push_interior : t -> (Species.t * push_scratch) list -> unit
+
+(** Load the boundary-shell interpolator slabs (ghosts must be fresh). *)
+val phase_load_boundary : t -> unit
+
+val phase_push_boundary : t -> (Species.t * push_scratch) list -> unit
+val phase_lasers : t -> unit
+val phase_unload_accum : t -> unit
+val phase_advance_b : t -> frac:float -> unit
+
+(** Advance E and re-clamp PEC faces. *)
+val phase_advance_e : t -> unit
+
+val phase_absorb : t -> unit
+
+(** Voxel-sort every species (unconditionally; the caller gates on
+    {!interval_due}). *)
+val phase_sort : t -> unit
+
+(** [interval_due t i]: does interval [i] fire on the step being
+    computed (nstep + 1)? *)
+val interval_due : t -> int -> bool
+
+(** The (created-on-first-use) push workspace of a species. *)
+val scratch_for : t -> Species.t -> push_scratch
+
+(** Publish the step's mover-count metrics from the scratch list. *)
+val mover_metrics : (Species.t * push_scratch) list -> unit
 
 (** [run t ~steps ?every ?diag ()] steps [steps] times, invoking [diag]
     every [every] steps (default: never). *)

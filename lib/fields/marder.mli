@@ -29,3 +29,21 @@ val clean :
   hooks:hooks ->
   Em_field.t ->
   float
+
+(** {1 Split passes}
+
+    The two halves of one Marder pass, for drivers that interleave the
+    ghost fills themselves (the multi-block stepper fills every block
+    between the halves).  One {!clean} pass is exactly: fill E ghosts,
+    [compute_err], fill [err] ghosts, [apply_err]. *)
+
+(** Write div E - rho into [err] on interior nodes (ghosts of E must be
+    valid). *)
+val compute_err : Em_field.t -> Sf.t -> unit
+
+(** E += d grad err on the interior ([err] ghosts must be valid). *)
+val apply_err : ?relax:float -> Em_field.t -> Sf.t -> unit
+
+(** Credit the analytic flop count of [passes] passes over [f]. *)
+val add_flops :
+  ?perf:Vpic_util.Perf.counters -> passes:int -> Em_field.t -> unit

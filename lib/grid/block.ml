@@ -1,0 +1,54 @@
+type t = { decomp : Decomp.t }
+
+let over decomp = { decomp }
+let decomp t = t.decomp
+let count t = Decomp.size t.decomp
+let grid t ~dt ~id = Decomp.local_grid t.decomp ~dt ~rank:id
+let bc t ~global ~id = Decomp.local_bc t.decomp ~global ~rank:id
+let neighbor t ~id ~axis ~side = Decomp.neighbor t.decomp ~rank:id ~axis ~side
+let dims t ~id = Decomp.dims_of t.decomp ~rank:id
+
+let axis_cells t ~id ~axis =
+  let cx, cy, cz = Decomp.coords_of_rank t.decomp id in
+  let coord = match axis with Axis.X -> cx | Axis.Y -> cy | Axis.Z -> cz in
+  Decomp.axis_cells t.decomp ~axis ~coord
+
+let max_plane_floats t =
+  let m = ref 0 in
+  for id = 0 to count t - 1 do
+    let nx, ny, nz = dims t ~id in
+    let gx = nx + 2 and gy = ny + 2 and gz = nz + 2 in
+    m := max !m (max (gy * gz) (max (gx * gz) (gx * gy)))
+  done;
+  !m
+
+module Ownership = struct
+  type t = { owner : int array; mutable version : int }
+
+  let initial ~nblocks ~nranks =
+    if nranks < 1 || nblocks < nranks then
+      invalid_arg "Block.Ownership.initial: need nblocks >= nranks >= 1";
+    { owner = Array.init nblocks (fun b -> b * nranks / nblocks); version = 0 }
+
+  let of_array owner = { owner = Array.copy owner; version = 0 }
+  let nblocks t = Array.length t.owner
+  let owner t b = t.owner.(b)
+  let snapshot t = Array.copy t.owner
+  let version t = t.version
+
+  let owned t ~rank =
+    let acc = ref [] in
+    for b = nblocks t - 1 downto 0 do
+      if t.owner.(b) = rank then acc := b :: !acc
+    done;
+    !acc
+
+  let apply t moves =
+    List.iter
+      (fun (b, dst) ->
+        if b < 0 || b >= nblocks t then
+          invalid_arg "Block.Ownership.apply: bad block id";
+        t.owner.(b) <- dst)
+      moves;
+    if moves <> [] then t.version <- t.version + 1
+end

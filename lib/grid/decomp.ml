@@ -13,10 +13,9 @@ type t = {
 let make ~px ~py ~pz ~gnx ~gny ~gnz ~lx ~ly ~lz =
   let check p g name =
     if p < 1 then invalid_arg (Printf.sprintf "Decomp.make: p%s < 1" name);
-    if g mod p <> 0 then
+    if g < p then
       invalid_arg
-        (Printf.sprintf "Decomp.make: p%s=%d does not divide gn%s=%d" name p
-           name g)
+        (Printf.sprintf "Decomp.make: p%s=%d exceeds gn%s=%d" name p name g)
   in
   check px gnx "x";
   check py gny "y";
@@ -54,17 +53,48 @@ let neighbor_wraps t ~rank ~axis ~side =
 
 let local_dims t = (t.gnx / t.px, t.gny / t.py, t.gnz / t.pz)
 
-let local_grid t ~dt ~rank =
-  let nx, ny, nz = local_dims t in
+(* Cells and first global cell index of brick [c] along an axis of [g]
+   cells split [p] ways: each brick gets [g/p]; the first [g mod p]
+   bricks absorb one remainder cell each (deterministic, left-packed). *)
+let axis_geom p g c =
+  let base = g / p and rem = g mod p in
+  let n = base + if c < rem then 1 else 0 in
+  let c0 = (c * base) + min c rem in
+  (n, c0)
+
+let axis_p t = function Axis.X -> t.px | Axis.Y -> t.py | Axis.Z -> t.pz
+let axis_g t = function Axis.X -> t.gnx | Axis.Y -> t.gny | Axis.Z -> t.gnz
+
+let axis_cells t ~axis ~coord =
+  fst (axis_geom (axis_p t axis) (axis_g t axis) coord)
+
+let axis_cell0 t ~axis ~coord =
+  snd (axis_geom (axis_p t axis) (axis_g t axis) coord)
+
+let dims_of t ~rank =
   let cx, cy, cz = coords_of_rank t rank in
-  let llx = t.lx /. float_of_int t.px in
-  let lly = t.ly /. float_of_int t.py in
-  let llz = t.lz /. float_of_int t.pz in
-  Grid.make ~nx ~ny ~nz ~lx:llx ~ly:lly ~lz:llz ~dt
-    ~x0:(float_of_int cx *. llx)
-    ~y0:(float_of_int cy *. lly)
-    ~z0:(float_of_int cz *. llz)
-    ()
+  ( fst (axis_geom t.px t.gnx cx),
+    fst (axis_geom t.py t.gny cy),
+    fst (axis_geom t.pz t.gnz cz) )
+
+let local_grid t ~dt ~rank =
+  let cx, cy, cz = coords_of_rank t rank in
+  (* On a divisible axis keep the historical length/origin arithmetic
+     ([l /. p] and [c *. ll]) so existing decompositions stay bitwise
+     identical; remainder axes place brick edges on global cell edges. *)
+  let dim p g c l =
+    let n, c0 = axis_geom p g c in
+    if g mod p = 0 then
+      let ll = l /. float_of_int p in
+      (n, ll, float_of_int c *. ll)
+    else
+      let d = l /. float_of_int g in
+      (n, float_of_int n *. d, float_of_int c0 *. d)
+  in
+  let nx, llx, x0 = dim t.px t.gnx cx t.lx in
+  let ny, lly, y0 = dim t.py t.gny cy t.ly in
+  let nz, llz, z0 = dim t.pz t.gnz cz t.lz in
+  Grid.make ~nx ~ny ~nz ~lx:llx ~ly:lly ~lz:llz ~dt ~x0 ~y0 ~z0 ()
 
 let local_bc t ~global ~rank =
   let face axis side =

@@ -17,7 +17,10 @@ type t = private {
   lz : float;
 }
 
-(** Raises [Invalid_argument] unless each pn divides gn. *)
+(** Raises [Invalid_argument] if some pn < 1 or pn > gn.  Extents need
+    not divide evenly: along each axis every brick gets [gn/pn] cells
+    and the first [gn mod pn] bricks absorb one extra cell each
+    (deterministic, left-packed). *)
 val make :
   px:int -> py:int -> pz:int -> gnx:int -> gny:int -> gnz:int ->
   lx:float -> ly:float -> lz:float -> t
@@ -32,10 +35,23 @@ val neighbor : t -> rank:int -> axis:Axis.t -> side:[ `Lo | `Hi ] -> int
 (** Whether moving across this face wraps around the global box. *)
 val neighbor_wraps : t -> rank:int -> axis:Axis.t -> side:[ `Lo | `Hi ] -> bool
 
-(** Local interior dimensions (identical for all ranks). *)
+(** Base interior dimensions [gn/pn] (what every rank gets when the
+    extents divide evenly; remainder bricks have one more cell on the
+    affected axes — see {!dims_of}). *)
 val local_dims : t -> int * int * int
 
-(** Local grid for [rank], with the correct physical origin. *)
+(** Interior cell count of the brick at [coord] along [axis]. *)
+val axis_cells : t -> axis:Axis.t -> coord:int -> int
+
+(** First global cell index of the brick at [coord] along [axis]. *)
+val axis_cell0 : t -> axis:Axis.t -> coord:int -> int
+
+(** Interior dimensions of [rank]'s brick (remainder-aware). *)
+val dims_of : t -> rank:int -> int * int * int
+
+(** Local grid for [rank], with the correct physical origin.  Divisible
+    axes reproduce the historical arithmetic bitwise; remainder axes
+    place brick edges on global cell edges. *)
 val local_grid : t -> dt:float -> rank:int -> Grid.t
 
 (** Boundary conditions for [rank]: faces shared with a neighbouring brick

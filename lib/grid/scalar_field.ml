@@ -157,6 +157,38 @@ let accumulate_plane t ~axis ~src ~dst =
     done
   done
 
+(* Cross-field variants: move a plane between two fields on different
+   grids (sibling blocks share their transverse dims across a face, so
+   the plane shapes match even though the grids differ). *)
+
+let copy_plane_between ~src ~src_index ~dst ~dst_index ~axis =
+  let s0, ssi, sni, sso, sno = plane_geom src.g ~axis ~index:src_index in
+  let d0, dsi, dni, dso, dno = plane_geom dst.g ~axis ~index:dst_index in
+  assert (sni = dni && sno = dno);
+  let sa = src.a and da = dst.a in
+  for o = 0 to sno - 1 do
+    let sb = s0 + (o * sso) and db = d0 + (o * dso) in
+    for i = 0 to sni - 1 do
+      Bigarray.Array1.unsafe_set da (db + (i * dsi))
+        (Bigarray.Array1.unsafe_get sa (sb + (i * ssi)))
+    done
+  done
+
+let accumulate_plane_between ~src ~src_index ~dst ~dst_index ~axis =
+  let s0, ssi, sni, sso, sno = plane_geom src.g ~axis ~index:src_index in
+  let d0, dsi, dni, dso, dno = plane_geom dst.g ~axis ~index:dst_index in
+  assert (sni = dni && sno = dno);
+  let sa = src.a and da = dst.a in
+  for o = 0 to sno - 1 do
+    let sb = s0 + (o * sso) and db = d0 + (o * dso) in
+    for i = 0 to sni - 1 do
+      let d = db + (i * dsi) in
+      Bigarray.Array1.unsafe_set da d
+        (Bigarray.Array1.unsafe_get da d
+        +. Bigarray.Array1.unsafe_get sa (sb + (i * ssi)))
+    done
+  done
+
 (* Plane traffic into caller-provided Float32 wire buffers: the comm layer
    owns the storage, these routines only move values (narrowing f64 -> f32
    on pack, widening on unpack).  Same slot order as [iter_plane], so pack

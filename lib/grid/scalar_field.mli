@@ -67,6 +67,17 @@ val copy_plane : t -> axis:Axis.t -> src:int -> dst:int -> unit
 (** [accumulate_plane f ~axis ~src ~dst] adds plane [src] into plane [dst]. *)
 val accumulate_plane : t -> axis:Axis.t -> src:int -> dst:int -> unit
 
+(** Copy a plane from one field into another (co-resident sibling
+    blocks exchange ghosts this way, full f64, no wire).  The two grids
+    must agree on the transverse extents of the plane. *)
+val copy_plane_between :
+  src:t -> src_index:int -> dst:t -> dst_index:int -> axis:Axis.t -> unit
+
+(** Accumulate a plane of [src] into a plane of [dst] (current folding
+    between sibling blocks). *)
+val accumulate_plane_between :
+  src:t -> src_index:int -> dst:t -> dst_index:int -> axis:Axis.t -> unit
+
 (** {1 Wire-buffer plane traffic}
 
     Allocation-free variants over caller-provided Float32 buffers (the

@@ -1,6 +1,7 @@
 module Grid = Vpic_grid.Grid
 module Bc = Vpic_grid.Bc
 module Decomp = Vpic_grid.Decomp
+module Block = Vpic_grid.Block
 module Comm = Vpic_parallel.Comm
 module Laser = Vpic_field.Laser
 module Species = Vpic_particle.Species
@@ -8,6 +9,7 @@ module Loader = Vpic_particle.Loader
 module Rng = Vpic_util.Rng
 module Simulation = Vpic.Simulation
 module Coupler = Vpic.Coupler
+module Multiblock = Vpic.Multiblock
 
 type config = {
   nr : float;
@@ -25,6 +27,7 @@ type config = {
   ion_mass : float;
   filter_passes : int;
   t_rise : float;
+  y_skew : float;
   rng_seed : int;
 }
 
@@ -44,6 +47,7 @@ let default =
     ion_mass = 1836.;
     filter_passes = 0;
     t_rise = 15.;
+    y_skew = 0.;
     rng_seed = 2008 }
 
 let electron_rest_kev = 510.99895
@@ -73,6 +77,53 @@ let load_colocated_ions rng (electrons : Species.t) (ions : Species.t) ~uth_i =
           ux = uth_i *. Rng.normal rng;
           uy = uth_i *. Rng.normal rng;
           uz = uth_i *. Rng.normal rng })
+
+(* Layout of the vacuum buffer (in cells): the sponge absorber takes the
+   outer third, the antenna sits just inside it, the reflectivity probe
+   halfway between antenna and plasma.  x keeps its global extent under
+   every decomposition used here (y-only slicing), so these are valid
+   local indices on every rank and every block. *)
+let plane_indices c =
+  let vac_cells = int_of_float (c.vacuum /. c.dx) in
+  let absorber_thickness = max 4 (vac_cells / 3) in
+  let antenna_i = absorber_thickness + 3 in
+  let seed_i = c.nx - antenna_i in
+  let probe_i = antenna_i + max 2 ((vac_cells - antenna_i) / 2) in
+  assert (probe_i < vac_cells && seed_i > antenna_i);
+  (vac_cells, absorber_thickness, antenna_i, seed_i, probe_i)
+
+(* Trapezoidal x-profile (with ~1 c/omega_pe entrance/exit ramps that
+   suppress the Fresnel reflection a sharp slab edge would add to the
+   backscatter), optionally tilted linearly along y: [y_skew] = s scales
+   the density by 1 + s*(y/L - 1/2), clamped at 0 — a deliberately
+   unbalanced load for exercising the block rebalancer. *)
+let density_profile c ~plasma_x_lo ~plasma_x_hi =
+  let ramp = Float.min 1. ((plasma_x_hi -. plasma_x_lo) /. 6.) in
+  let shape x =
+    if x < plasma_x_lo || x > plasma_x_hi then 0.
+    else if x < plasma_x_lo +. ramp then (x -. plasma_x_lo) /. ramp
+    else if x > plasma_x_hi -. ramp then (plasma_x_hi -. x) /. ramp
+    else 1.0
+  in
+  if c.y_skew = 0. then fun ~x ~y:_ ~z:_ -> shape x
+  else fun ~x ~y ~z:_ ->
+    shape x
+    *. Float.max 0. (1. +. (c.y_skew *. ((y /. c.l_transverse) -. 0.5)))
+
+(* Pump and (optional) seed antennas.  Lasers are closures, so this also
+   serves as the re-attachment hook for simulations freshly decoded from
+   a checkpoint image or a block-relocation payload. *)
+let attach_lasers c ~(matching : Srs_theory.matching) sim =
+  let _, _, antenna_i, seed_i, _ = plane_indices c in
+  let e0 = e0_of c in
+  Simulation.add_laser sim
+    (Laser.make ~omega:matching.Srs_theory.omega0 ~e0 ~plane_i:antenna_i
+       ~t_rise:c.t_rise ());
+  if c.r_seed > 0. then
+    Simulation.add_laser sim
+      (Laser.make ~omega:matching.Srs_theory.omega_s
+         ~e0:(sqrt c.r_seed *. e0)
+         ~plane_i:seed_i ~t_rise:c.t_rise ())
 
 let build ?comm c =
   assert (c.vacuum >= 2. && float_of_int c.nx *. c.dx > 2. *. c.vacuum +. 2.);
@@ -116,11 +167,7 @@ let build ?comm c =
         (grid, Coupler.parallel cm bc ~grid, rank)
   in
   let clean_div_interval = if c.ion_mass > 0. then 50 else 0 in
-  (* Layout of the vacuum buffer (in cells): the sponge absorber takes the
-     outer third, the antenna sits just inside it, the reflectivity probe
-     halfway between antenna and plasma. *)
-  let vac_cells = int_of_float (c.vacuum /. c.dx) in
-  let absorber_thickness = max 4 (vac_cells / 3) in
+  let _, absorber_thickness, _, _, probe_i = plane_indices c in
   let clean_div_interval =
     if c.filter_passes > 0 && clean_div_interval = 0 then 50
     else clean_div_interval
@@ -135,15 +182,7 @@ let build ?comm c =
   in
   let matching = Srs_theory.matching plasma in
   let plasma_x_lo = c.vacuum and plasma_x_hi = lx -. c.vacuum in
-  (* Trapezoidal profile: ~1 c/omega_pe entrance/exit ramps suppress the
-     Fresnel reflection a sharp slab edge would add to the backscatter. *)
-  let ramp = Float.min 1. ((plasma_x_hi -. plasma_x_lo) /. 6.) in
-  let slab ~x ~y:_ ~z:_ =
-    if x < plasma_x_lo || x > plasma_x_hi then 0.
-    else if x < plasma_x_lo +. ramp then (x -. plasma_x_lo) /. ramp
-    else if x > plasma_x_hi -. ramp then (plasma_x_hi -. x) /. ramp
-    else 1.0
-  in
+  let slab = density_profile c ~plasma_x_lo ~plasma_x_hi in
   let rng = Rng.of_int (c.rng_seed + (7919 * rank)) in
   let electrons = Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1. in
   ignore
@@ -159,18 +198,7 @@ let build ?comm c =
     load_colocated_ions (Rng.split rng 2) electrons ions ~uth_i
   end;
   let e0 = e0_of c in
-  let antenna_i = absorber_thickness + 3 in
-  let seed_i = c.nx - antenna_i in
-  let probe_i = antenna_i + max 2 ((vac_cells - antenna_i) / 2) in
-  assert (probe_i < vac_cells && seed_i > antenna_i);
-  Simulation.add_laser sim
-    (Laser.make ~omega:matching.Srs_theory.omega0 ~e0 ~plane_i:antenna_i
-       ~t_rise:c.t_rise ());
-  if c.r_seed > 0. then
-    Simulation.add_laser sim
-      (Laser.make ~omega:matching.Srs_theory.omega_s
-         ~e0:(sqrt c.r_seed *. e0)
-         ~plane_i:seed_i ~t_rise:c.t_rise ());
+  attach_lasers c ~matching sim;
   let refl = Reflectivity.create ~plane_i:probe_i ~e0 () in
   { sim;
     refl;
@@ -187,6 +215,133 @@ let run setup ~steps =
     Reflectivity.sample setup.refl setup.sim.Simulation.fields
   done;
   Reflectivity.reflectivity setup.refl
+
+(* ------------------------------------------------------ over-decomposed ---- *)
+
+type block_setup = {
+  mb : Multiblock.t;
+  refl : Reflectivity.t;
+  plasma : Srs_theory.plasma;
+  matching : Srs_theory.matching;
+  plasma_x_lo : float;
+  plasma_x_hi : float;
+  e0 : float;
+  config : config;
+}
+
+let build_over ?comm ?(rebalance_interval = 10) ?(rebalance_threshold = 0.)
+    ?cost_model ~blocks c =
+  assert (c.vacuum >= 2. && float_of_int c.nx *. c.dx > 2. *. c.vacuum +. 2.);
+  if blocks < 1 then invalid_arg "Deck.build_over: blocks must be >= 1";
+  let lx = float_of_int c.nx *. c.dx in
+  let dy = c.l_transverse /. float_of_int c.ny in
+  let dz = c.l_transverse /. float_of_int c.nz in
+  let dt = Grid.courant_dt ~dx:c.dx ~dy ~dz () in
+  let bc_global =
+    { Bc.xlo = Bc.Absorbing;
+      xhi = Bc.Absorbing;
+      ylo = Bc.Periodic;
+      yhi = Bc.Periodic;
+      zlo = Bc.Periodic;
+      zhi = Bc.Periodic }
+  in
+  (* Blocks slice along y only, like the classic parallel deck — but
+     through the remainder-safe [Decomp], so [ny] need not divide by the
+     block count: block grids just differ by one y-plane. *)
+  let dec =
+    Decomp.make ~px:1 ~py:blocks ~pz:1 ~gnx:c.nx ~gny:c.ny ~gnz:c.nz ~lx
+      ~ly:c.l_transverse ~lz:c.l_transverse
+  in
+  let layout = Block.over dec in
+  let plasma =
+    { Srs_theory.nr = c.nr;
+      uth = sqrt (c.te_kev /. electron_rest_kev) }
+  in
+  let matching = Srs_theory.matching plasma in
+  let plasma_x_lo = c.vacuum and plasma_x_hi = lx -. c.vacuum in
+  let density = density_profile c ~plasma_x_lo ~plasma_x_hi in
+  let clean_div_interval = if c.ion_mass > 0. then 50 else 0 in
+  let clean_div_interval =
+    if c.filter_passes > 0 && clean_div_interval = 0 then 50
+    else clean_div_interval
+  in
+  let _, absorber_thickness, _, _, probe_i = plane_indices c in
+  let build ~id ~coupler ~perf =
+    let grid = Block.grid layout ~dt ~id in
+    let sim =
+      Simulation.make ~grid ~coupler ~perf ~clean_div_interval
+        ~absorber_thickness ~absorber_strength:0.6
+        ~current_filter_passes:c.filter_passes ()
+    in
+    (* Salted by block id, not rank: loading — like the push RNG the
+       coupler carries — must be independent of which rank builds or
+       later owns the block, or relocation would perturb the physics. *)
+    let rng = Rng.of_int (c.rng_seed + (7919 * id)) in
+    (* The loader places a fixed count per cell and varies weights, so a
+       tilted density alone leaves the push load flat.  Scale this
+       block's ppc by the tilt at its y-centre instead: weights stay
+       near-constant (charge density still follows [density] exactly)
+       and the macro-particle *count* — the actual push cost — carries
+       the skew, as constant-weight loading would. *)
+    let ppc =
+      if c.y_skew = 0. then c.ppc
+      else begin
+        let yc = grid.Grid.y0 +. (0.5 *. float_of_int grid.Grid.ny *. grid.Grid.dy) in
+        let tilt =
+          Float.max 0. (1. +. (c.y_skew *. ((yc /. c.l_transverse) -. 0.5)))
+        in
+        max 1 (int_of_float (Float.round (float_of_int c.ppc *. tilt)))
+      end
+    in
+    let electrons =
+      Simulation.add_species sim ~name:"electron" ~q:(-1.) ~m:1.
+    in
+    ignore
+      (Loader.maxwellian (Rng.split rng 1) electrons ~ppc
+         ~uth:plasma.uth ~density ());
+    if c.ion_mass > 0. then begin
+      let ions = Simulation.add_species sim ~name:"ion" ~q:1. ~m:c.ion_mass in
+      let uth_i =
+        sqrt (c.te_kev *. c.ti_over_te /. electron_rest_kev /. c.ion_mass)
+      in
+      load_colocated_ions (Rng.split rng 2) electrons ions ~uth_i
+    end;
+    attach_lasers c ~matching sim;
+    sim
+  in
+  let mb =
+    Multiblock.create ?comm ~rebalance_interval ~rebalance_threshold
+      ?cost_model
+      ~reattach:(fun _ sim -> attach_lasers c ~matching sim)
+      ~layout ~global_bc:bc_global ~build ()
+  in
+  let refl = Reflectivity.create ~plane_i:probe_i ~e0:(e0_of c) () in
+  { mb;
+    refl;
+    plasma;
+    matching;
+    plasma_x_lo;
+    plasma_x_hi;
+    e0 = e0_of c;
+    config = c }
+
+(* One probe sample over the owned blocks (area-weighted plane average —
+   matches the classic single-domain probe over their union).  Caveat:
+   probe *state* stays with the rank, so a mid-run block relocation
+   mixes windows; the final reduced estimate is still the cross-rank
+   mean. *)
+let sample_over bs =
+  Reflectivity.sample_many bs.refl
+    (List.map
+       (fun (_, sim) -> sim.Simulation.fields)
+       (Multiblock.owned_sims bs.mb))
+
+let run_over bs ~steps =
+  for _ = 1 to steps do
+    Multiblock.step bs.mb;
+    sample_over bs
+  done;
+  Reflectivity.reflectivity bs.refl
 
 let suggested_steps c =
   let lx = float_of_int c.nx *. c.dx in

@@ -30,6 +30,9 @@ type config = {
   filter_passes : int; (** binomial current/force smoothing passes (noise
                            control; see Vpic.Simulation) *)
   t_rise : float;
+  y_skew : float;    (** linear density tilt along y: n *= 1 + s*(y/L - 1/2),
+                         clamped at 0.  Deliberate load imbalance for
+                         exercising the block rebalancer; 0 = flat. *)
   rng_seed : int;
 }
 
@@ -66,3 +69,45 @@ val run : setup -> steps:int -> float
 (** Suggested number of steps for a converged reflectivity measurement
     (a few light transits of the box). *)
 val suggested_steps : config -> int
+
+(** {1 Over-decomposed builds}
+
+    The same deck split into [blocks] relocatable y-slabs stepped by a
+    {!Vpic.Multiblock} driver — more blocks than ranks, so the greedy
+    rebalancer can move load mid-run (pair with [y_skew] to create
+    some).  Per-block RNGs are salted by {e block id}, so results are
+    independent of the rank count and of any relocations; a
+    [blocks = 1] serial build steps bitwise-identically to {!build}. *)
+
+type block_setup = {
+  mb : Vpic.Multiblock.t;
+  refl : Reflectivity.t;  (** this rank's slice of the probe plane *)
+  plasma : Srs_theory.plasma;
+  matching : Srs_theory.matching;
+  plasma_x_lo : float;
+  plasma_x_hi : float;
+  e0 : float;
+  config : config;
+}
+
+(** Collective when [comm] is given (every rank, same arguments).
+    [blocks] need not divide [ny] (remainder-safe decomposition) but
+    must be >= the rank count.  [rebalance_interval] /
+    [rebalance_threshold] are passed to {!Vpic.Multiblock.create}
+    (threshold 0 = never rebalance). *)
+val build_over :
+  ?comm:Vpic_parallel.Comm.t ->
+  ?rebalance_interval:int ->
+  ?rebalance_threshold:float ->
+  ?cost_model:[ `Wall | `Particles ] ->
+  blocks:int ->
+  config ->
+  block_setup
+
+(** Sample the reflectivity probe over the owned blocks (area-weighted;
+    call once per step after {!Vpic.Multiblock.step}). *)
+val sample_over : block_setup -> unit
+
+(** Step [steps] times, sampling each step; returns this rank's final
+    reflectivity estimate (average across ranks for the world value). *)
+val run_over : block_setup -> steps:int -> float

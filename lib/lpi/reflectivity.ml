@@ -47,8 +47,7 @@ let plane_avg_characteristics f ~i =
   let n = float_of_int (g.Grid.ny * g.Grid.nz) in
   (!acc_b /. n, !acc_f /. n)
 
-let sample t f =
-  let b, fw = plane_avg_characteristics f ~i:t.plane_i in
+let record t b fw =
   Queue.push b t.back;
   Queue.push fw t.fwd;
   t.back_sum <- t.back_sum +. b;
@@ -60,6 +59,26 @@ let sample t f =
     (* track the burst peak once the window is full *)
     t.peak_back <- Float.max t.peak_back (t.back_sum /. float_of_int t.window)
   end
+
+let sample t f =
+  let b, fw = plane_avg_characteristics f ~i:t.plane_i in
+  record t b fw
+
+(* One sample from several co-resident blocks of an over-decomposed
+   run: each block contributes its slice of the measurement plane,
+   weighted by its transverse area, so the recorded value equals the
+   single-domain plane average over the union. *)
+let sample_many t fs =
+  let b, fw, n =
+    List.fold_left
+      (fun (b, fw, n) f ->
+        let g = f.Em_field.grid in
+        let w = float_of_int (g.Grid.ny * g.Grid.nz) in
+        let bb, ff = plane_avg_characteristics f ~i:t.plane_i in
+        (b +. (bb *. w), fw +. (ff *. w), n +. w))
+      (0., 0., 0.) fs
+  in
+  if n > 0. then record t (b /. n) (fw /. n)
 
 let n_avg t = Queue.length t.back
 

@@ -19,6 +19,12 @@ val create : ?window:int -> plane_i:int -> e0:float -> unit -> t
 (** Record one sample (call once per step, after the field advance). *)
 val sample : t -> Vpic_field.Em_field.t -> unit
 
+(** Record one sample from the co-resident blocks of an over-decomposed
+    run: each block's slice of the measurement plane is weighted by its
+    transverse area, so the value matches the single-domain plane
+    average over their union. *)
+val sample_many : t -> Vpic_field.Em_field.t list -> unit
+
 (** Current reflectivity estimate (0 until sampled). *)
 val reflectivity : t -> float
 

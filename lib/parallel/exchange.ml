@@ -312,6 +312,297 @@ let migrate_recv t ~axis ~dir =
 let add_migrate_bytes t floats =
   t.migrate_bytes <- t.migrate_bytes +. float_of_int (4 * floats)
 
+(* ------------------------------------------------------ block world ---- *)
+
+(* Over-decomposition routing: every rank registers the full
+   [nblocks * nslots] slot matrix up front (one collective handshake), so
+   a message for block [b] can be addressed to whichever rank currently
+   owns [b] — slot index [b * nslots + s] — without any re-registration
+   when the ownership table changes mid-run.  [Bc.Domain n] faces of a
+   block carry the neighbour {e block} id; faces whose neighbour block is
+   co-resident are exchanged by direct f64 plane copies instead of the
+   wire. *)
+module Blocks = struct
+  type view = { id : int; bc : Bc.t; g : Grid.t }
+
+  type t = {
+    comm : Comm.t option; (* None: single-rank world, all faces local *)
+    nblocks : int;
+    mutable owner : int array;
+    base : int;
+    send_cache : Comm.port option array; (* per global slot; cleared on move *)
+    recv_cache : Comm.port option array;
+    staging : Comm.buf32 array; (* migrate staging per global slot *)
+    mutable deadline : float option;
+    mutable fill_bytes : float;
+    mutable fold_bytes : float;
+    mutable migrate_bytes : float;
+  }
+
+  let gslot ~block ~purpose ~axis ~dir = (block * nslots) + slot ~purpose ~axis ~dir
+
+  let block_slot_name ~nblocks gs =
+    let b = gs / nslots and s = gs mod nslots in
+    let axis = axis_of_slot s in
+    Printf.sprintf "blk%d/%d %s %s->%s" b nblocks
+      (purpose_name (s / 6))
+      (String.lowercase_ascii (Axis.to_string axis))
+      (if s mod 2 = 1 then "hi" else "lo")
+
+  let create ?comm ~nblocks ~owner ~max_plane () =
+    assert (Array.length owner = nblocks);
+    let total = nblocks * nslots in
+    let cap s =
+      if s mod nslots / 6 = purpose_migrate then 64 * Movers.stride
+      else max_scalars * max_plane
+    in
+    let base =
+      match comm with
+      | None -> 0
+      | Some c ->
+          let capacities = Array.init total cap in
+          let names = Array.init total (block_slot_name ~nblocks) in
+          Comm.port_register ~names c ~capacities
+    in
+    { comm; nblocks;
+      owner = Array.copy owner;
+      base;
+      send_cache = Array.make total None;
+      recv_cache = Array.make total None;
+      staging = Array.init total (fun _ -> Comm.buf32_create 1);
+      deadline = None;
+      fill_bytes = 0.; fold_bytes = 0.; migrate_bytes = 0. }
+
+  let my_rank t = match t.comm with None -> 0 | Some c -> Comm.rank c
+  let owner_of t b = t.owner.(b)
+  let owners t = Array.copy t.owner
+  let set_deadline t d = t.deadline <- d
+  let byte_counts t = (t.fill_bytes, t.fold_bytes, t.migrate_bytes)
+
+  let set_owners t owner =
+    assert (Array.length owner = t.nblocks);
+    Array.blit owner 0 t.owner 0 t.nblocks;
+    Array.fill t.send_cache 0 (Array.length t.send_cache) None
+
+  let comm_exn t =
+    match t.comm with
+    | Some c -> c
+    | None -> invalid_arg "Exchange.Blocks: remote face in a single-rank world"
+
+  (* Port a message for [block] is posted into, wherever it lives now. *)
+  let send_to t ~block gs =
+    match t.send_cache.(gs) with
+    | Some p -> p
+    | None ->
+        let p = Comm.port (comm_exn t) ~rank:t.owner.(block) ~index:(t.base + gs) in
+        t.send_cache.(gs) <- Some p;
+        p
+
+  (* My own receive slot for [block] (valid whenever I own [block]). *)
+  let recv_of t gs =
+    match t.recv_cache.(gs) with
+    | Some p -> p
+    | None ->
+        let c = comm_exn t in
+        let p = Comm.port c ~rank:(Comm.rank c) ~index:(t.base + gs) in
+        t.recv_cache.(gs) <- Some p;
+        p
+
+  (* Fill/fold over the owned [views].  Axes complete globally in x, y, z
+     order — a sibling's y plane spans its x ghosts, so every block must
+     finish x before any block packs y.  Within an axis all reads come
+     from interior-index planes and all writes go to ghost planes (fill)
+     or interior planes disjoint from the reads (fold), so post / copy /
+     recv order between co-resident blocks is free. *)
+
+  let post_planes t ~purpose ~dest scalars ~axis ~index ~dir =
+    let gs = gslot ~block:dest ~purpose ~axis ~dir in
+    let port = send_to t ~block:dest gs in
+    let psize =
+      match scalars with
+      | [] -> 0
+      | f :: _ -> Sf.plane_size (Sf.grid f) ~axis
+    in
+    let len = List.length scalars * psize in
+    let buf = Comm.port_reserve port ~len in
+    List.iteri
+      (fun si f -> Sf.pack_plane f ~axis ~index ~buf ~off:(si * psize))
+      scalars;
+    Comm.port_commit port ~len;
+    len
+
+  let fill_ghosts t ~views ~scalars =
+    let me = my_rank t in
+    List.iter
+      (fun axis ->
+        (* 1. everything outbound for this axis *)
+        List.iter
+          (fun v ->
+            let sc = scalars v.id in
+            let n = interior_extent v.g axis in
+            List.iter
+              (fun side ->
+                match Bc.face v.bc axis side with
+                | Bc.Domain nbr when t.owner.(nbr) <> me ->
+                    let index, dir =
+                      match side with `Hi -> (n, 1) | `Lo -> (1, 0)
+                    in
+                    let len =
+                      post_planes t ~purpose:purpose_fill ~dest:nbr sc ~axis
+                        ~index ~dir
+                    in
+                    t.fill_bytes <- t.fill_bytes +. float_of_int (4 * len)
+                | _ -> ())
+              sides)
+          views;
+        (* 2. local faces and inbound *)
+        List.iter
+          (fun v ->
+            let sc = scalars v.id in
+            let n = interior_extent v.g axis in
+            let psize = Sf.plane_size v.g ~axis in
+            let nscal = List.length sc in
+            List.iter
+              (fun side ->
+                match Bc.face v.bc axis side with
+                | Bc.Domain nbr when t.owner.(nbr) = me ->
+                    (* sibling: my ghost <- its facing interior plane *)
+                    let nsc = scalars nbr in
+                    let nbr_n =
+                      match nsc with
+                      | [] -> 0
+                      | f :: _ -> interior_extent (Sf.grid f) axis
+                    in
+                    let dst_index, src_index =
+                      match side with
+                      | `Lo -> (0, nbr_n)
+                      | `Hi -> (n + 1, 1)
+                    in
+                    List.iter2
+                      (fun dstf srcf ->
+                        Sf.copy_plane_between ~src:srcf ~src_index ~dst:dstf
+                          ~dst_index ~axis)
+                      sc nsc
+                | Bc.Domain _ ->
+                    let index, dir =
+                      match side with `Lo -> (0, 1) | `Hi -> (n + 1, 0)
+                    in
+                    let gs =
+                      gslot ~block:v.id ~purpose:purpose_fill ~axis ~dir
+                    in
+                    Comm.port_wait ?deadline:t.deadline (recv_of t gs)
+                      ~f:(fun buf len ->
+                        assert (len = nscal * psize);
+                        List.iteri
+                          (fun si f ->
+                            Sf.unpack_plane f ~axis ~index ~buf
+                              ~off:(si * psize))
+                          sc)
+                | kind ->
+                    List.iter (fun f -> Boundary.fill_face kind f ~axis ~side) sc)
+              sides)
+          views)
+      Axis.all
+
+  let fold_ghosts t ~views ~scalars =
+    let me = my_rank t in
+    List.iter
+      (fun axis ->
+        (* 1. ship my ghost planes out (wire or direct), then zero them *)
+        List.iter
+          (fun v ->
+            let sc = scalars v.id in
+            let n = interior_extent v.g axis in
+            List.iter
+              (fun side ->
+                match Bc.face v.bc axis side with
+                | Bc.Domain nbr ->
+                    let index = match side with `Lo -> 0 | `Hi -> n + 1 in
+                    (if t.owner.(nbr) = me then begin
+                       (* sibling: add my ghost into its facing interior *)
+                       let nsc = scalars nbr in
+                       let nbr_n =
+                         match nsc with
+                         | [] -> 0
+                         | f :: _ -> interior_extent (Sf.grid f) axis
+                       in
+                       let dst_index =
+                         match side with `Lo -> nbr_n | `Hi -> 1
+                       in
+                       List.iter2
+                         (fun srcf dstf ->
+                           Sf.accumulate_plane_between ~src:srcf
+                             ~src_index:index ~dst:dstf ~dst_index ~axis)
+                         sc nsc
+                     end
+                     else begin
+                       let dir = match side with `Lo -> 0 | `Hi -> 1 in
+                       let len =
+                         post_planes t ~purpose:purpose_fold ~dest:nbr sc
+                           ~axis ~index ~dir
+                       in
+                       t.fold_bytes <- t.fold_bytes +. float_of_int (4 * len)
+                     end);
+                    List.iter (fun f -> Sf.fill_plane f ~axis ~index 0.) sc
+                | _ -> ())
+              sides)
+          views;
+        (* 2. local boundary folds and inbound accumulations *)
+        List.iter
+          (fun v ->
+            let sc = scalars v.id in
+            let n = interior_extent v.g axis in
+            let psize = Sf.plane_size v.g ~axis in
+            let nscal = List.length sc in
+            List.iter
+              (fun side ->
+                match Bc.face v.bc axis side with
+                | Bc.Domain nbr when t.owner.(nbr) = me -> ()
+                | Bc.Domain _ ->
+                    let index, dir =
+                      match side with `Hi -> (n, 0) | `Lo -> (1, 1)
+                    in
+                    let gs =
+                      gslot ~block:v.id ~purpose:purpose_fold ~axis ~dir
+                    in
+                    Comm.port_wait ?deadline:t.deadline (recv_of t gs)
+                      ~f:(fun buf len ->
+                        assert (len = nscal * psize);
+                        List.iteri
+                          (fun si f ->
+                            Sf.unpack_plane_add f ~axis ~index ~buf
+                              ~off:(si * psize))
+                          sc)
+                | kind ->
+                    List.iter (fun f -> Boundary.fold_face kind f ~axis ~side) sc)
+              sides)
+          views)
+      Axis.all
+
+  (* ------------------------------------------------ migration wire ---- *)
+
+  let migrate_staging t ~dest ~axis ~dir ~len =
+    let gs = gslot ~block:dest ~purpose:purpose_migrate ~axis ~dir in
+    if Bigarray.Array1.dim t.staging.(gs) < len then begin
+      let cap = ref (max 1 (Bigarray.Array1.dim t.staging.(gs))) in
+      while !cap < len do
+        cap := 2 * !cap
+      done;
+      t.staging.(gs) <- Comm.buf32_create !cap
+    end;
+    t.staging.(gs)
+
+  let migrate_post t ~dest ~axis ~dir stg ~len =
+    let gs = gslot ~block:dest ~purpose:purpose_migrate ~axis ~dir in
+    Comm.port_post (send_to t ~block:dest gs) stg ~len;
+    t.migrate_bytes <- t.migrate_bytes +. float_of_int (4 * len)
+
+  let migrate_recv t ~block ~axis ~dir =
+    recv_of t (gslot ~block ~purpose:purpose_migrate ~axis ~dir)
+
+  let deadline t = t.deadline
+end
+
 (* ---------------------------------------------------- legacy (shim) ---- *)
 
 (* The pre-port implementation over the blocking mailbox API, retained so

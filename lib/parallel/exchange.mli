@@ -85,6 +85,69 @@ val migrate_recv : t -> axis:Vpic_grid.Axis.t -> dir:int -> Comm.port
 (** Account [floats] payload floats of migration traffic. *)
 val add_migrate_bytes : t -> int -> unit
 
+(** {1 Block world}
+
+    Over-decomposition routing: the grid is split into more blocks than
+    ranks and a mutable ownership table maps blocks to ranks.  Every
+    rank registers the full [nblocks * 18] slot matrix up front, so a
+    message for block [b] is addressed to whichever rank owns [b] at
+    that moment — no re-registration when blocks migrate.  Faces whose
+    neighbour block is co-resident move by direct f64 plane copies
+    instead of the f32 wire. *)
+module Blocks : sig
+  type t
+
+  (** An owned block's geometry as the router sees it: [bc] faces carry
+      neighbour {e block} ids. *)
+  type view = { id : int; bc : Bc.t; g : Vpic_grid.Grid.t }
+
+  (** Collective when [comm] is given (every rank, same arguments).
+      [max_plane] is the largest ghost-inclusive plane (floats) over all
+      blocks and axes ([Vpic_grid.Block.max_plane_floats]); [owner] the
+      initial ownership.  Omit [comm] for a single-rank world (all
+      faces must then be local). *)
+  val create :
+    ?comm:Comm.t -> nblocks:int -> owner:int array -> max_plane:int ->
+    unit -> t
+
+  val my_rank : t -> int
+  val owner_of : t -> int -> int
+  val owners : t -> int array
+
+  (** Install a new ownership table (after a collectively-agreed
+      rebalance); drops cached send routes. *)
+  val set_owners : t -> int array -> unit
+
+  val set_deadline : t -> float option -> unit
+  val deadline : t -> float option
+
+  (** Cumulative payload bytes posted as (fill, fold, migrate); only
+      wire traffic counts, direct sibling copies are free. *)
+  val byte_counts : t -> float * float * float
+
+  (** Fused ghost fill across the owned [views]: [scalars id] yields
+      block [id]'s component list (must also resolve co-resident
+      sibling ids).  Axes complete globally in x, y, z order.
+      Collective. *)
+  val fill_ghosts : t -> views:view list -> scalars:(int -> Sf.t list) -> unit
+
+  (** Fused ghost fold (currents, rho) across the owned [views].
+      Collective. *)
+  val fold_ghosts : t -> views:view list -> scalars:(int -> Sf.t list) -> unit
+
+  (** {2 Migration wire} (used by {!Migrate.exchange_blocks}) *)
+
+  val migrate_staging :
+    t -> dest:int -> axis:Vpic_grid.Axis.t -> dir:int -> len:int -> Comm.buf32
+
+  val migrate_post :
+    t -> dest:int -> axis:Vpic_grid.Axis.t -> dir:int -> Comm.buf32 ->
+    len:int -> unit
+
+  val migrate_recv :
+    t -> block:int -> axis:Vpic_grid.Axis.t -> dir:int -> Comm.port
+end
+
 (** {1 Legacy blocking path}
 
     The pre-port implementation over the mailbox API (one allocated

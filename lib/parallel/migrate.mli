@@ -43,3 +43,33 @@ val exchange :
   Vpic_field.Em_field.t ->
   Vpic_particle.Push.Movers.t ->
   stats
+
+(** {1 Block-routed migration}
+
+    The over-decomposed analogue of {!exchange}: one species stepped on
+    many blocks, with movers routed by the block ownership table.
+    Movers bound for a co-resident block finish directly into it; the
+    rest travel through the block-keyed migrate ports of
+    {!Exchange.Blocks}. *)
+
+(** One species' state on one owned block; [bc] faces carry neighbour
+    {e block} ids. *)
+type block_target = {
+  id : int;
+  bc : Vpic_grid.Bc.t;
+  species : Vpic_particle.Species.t;
+  fields : Vpic_field.Em_field.t;
+  accum : Vpic_particle.Accumulator.t option;
+  rng : Vpic_util.Rng.t option;
+  movers : Vpic_particle.Push.Movers.t;  (** pending buffer, consumed *)
+}
+
+(** [targets] is indexed by block id ([Some] = owned on this rank);
+    [extent b axis] is block [b]'s interior cell count along [axis] (the
+    rebasing offset — blocks differ under remainder-safe decomposition).
+    Collective across ranks owning adjacent blocks. *)
+val exchange_blocks :
+  Exchange.Blocks.t ->
+  targets:block_target option array ->
+  extent:(int -> Vpic_grid.Axis.t -> int) ->
+  stats

@@ -198,6 +198,27 @@ let totals t ~steps =
     run_sustained_flops = d_flops /. d_wall;
     run_inner_flops = safe_div d_flops push_mean }
 
+(* Per-block rollup of an over-decomposed run: one row per block from
+   the driver's last allreduced push-cost window and current ownership,
+   plus the cumulative relocation traffic (world values supplied by the
+   caller; this is a pure printer). *)
+let print_block_rollup ~owners ~costs ~migrations ~shipped_bytes =
+  let total = Array.fold_left ( +. ) 0. costs in
+  (* the cost column is whatever gauge the driver uses: wall seconds or
+     pushed macro-particles *)
+  let tb = Table.create [ "block"; "owner"; "push cost/window"; "% of window" ] in
+  Array.iteri
+    (fun b r ->
+      Table.add_row tb
+        [ string_of_int b;
+          string_of_int r;
+          Printf.sprintf "%.4f" costs.(b);
+          Printf.sprintf "%.1f" (100. *. safe_div costs.(b) total) ])
+    owners;
+  Table.print ~title:"block rollup" tb;
+  Printf.printf "rebalance: %g block migrations | %g payload bytes shipped\n"
+    migrations shipped_bytes
+
 let print_totals (tt : totals) =
   let steps = float_of_int (max 1 tt.steps) in
   let nr = float_of_int tt.nranks in

@@ -77,3 +77,14 @@ val totals : t -> steps:int -> totals
 (** The phase rollup table the srs deck prints at the end of a run
     (replaces the old hand-rolled phase-timing table). *)
 val print_totals : totals -> unit
+
+(** Per-block rollup of an over-decomposed run: one row per block
+    (owner rank, last push-cost window, share), then the cumulative
+    rebalance traffic.  Pure printer — the caller passes world-reduced
+    values (e.g. [Multiblock.owners]/[block_costs]). *)
+val print_block_rollup :
+  owners:int array ->
+  costs:float array ->
+  migrations:float ->
+  shipped_bytes:float ->
+  unit

@@ -186,11 +186,54 @@ let test_decomp_rank_coords_roundtrip () =
     Alcotest.(check int) "roundtrip" r (Decomp.rank_of_coords d cx cy cz)
   done
 
-let test_decomp_rejects_nondivisible () =
-  Alcotest.check_raises "non-divisible"
-    (Invalid_argument "Decomp.make: px=3 does not divide gnx=8")
+let test_decomp_rejects_oversplit () =
+  Alcotest.check_raises "more bricks than cells"
+    (Invalid_argument "Decomp.make: px=9 exceeds gnx=8")
     (fun () ->
-      ignore (Decomp.make ~px:3 ~py:1 ~pz:1 ~gnx:8 ~gny:8 ~gnz:8 ~lx:1. ~ly:1. ~lz:1.))
+      ignore (Decomp.make ~px:9 ~py:1 ~pz:1 ~gnx:8 ~gny:8 ~gnz:8 ~lx:1. ~ly:1. ~lz:1.))
+
+(* Remainder-safe decomposition: 8 cells over 3 bricks -> 3,3,2. *)
+let test_decomp_remainder_cells () =
+  let d = Decomp.make ~px:3 ~py:1 ~pz:1 ~gnx:8 ~gny:8 ~gnz:8 ~lx:1. ~ly:1. ~lz:1. in
+  let cells c = Decomp.axis_cells d ~axis:Axis.X ~coord:c in
+  let cell0 c = Decomp.axis_cell0 d ~axis:Axis.X ~coord:c in
+  Alcotest.(check (list int)) "3,3,2 split" [ 3; 3; 2 ] (List.map cells [ 0; 1; 2 ]);
+  Alcotest.(check (list int)) "offsets" [ 0; 3; 6 ] (List.map cell0 [ 0; 1; 2 ]);
+  (* cells tile the global extent exactly, in order *)
+  Alcotest.(check int) "sum" 8 (cells 0 + cells 1 + cells 2);
+  Alcotest.(check int) "contiguous" (cell0 1) (cell0 0 + cells 0);
+  let nx, ny, nz = Decomp.dims_of d ~rank:2 in
+  Alcotest.(check (list int)) "dims_of last" [ 2; 8; 8 ] [ nx; ny; nz ]
+
+let test_decomp_remainder_grids_tile () =
+  let d = Decomp.make ~px:3 ~py:2 ~pz:1 ~gnx:7 ~gny:5 ~gnz:3 ~lx:7. ~ly:5. ~lz:3. in
+  let dt = 0.05 in
+  let total = ref 0. in
+  for r = 0 to Decomp.size d - 1 do
+    let g = Decomp.local_grid d ~dt ~rank:r in
+    total := !total +. Grid.volume g;
+    (* every cell has the global spacing *)
+    check_close ~rtol:1e-12 "dx global" 1. g.Grid.dx;
+    check_close ~rtol:1e-12 "dy global" 1. g.Grid.dy
+  done;
+  check_close "volumes tile" (7. *. 5. *. 3.) !total;
+  (* brick origins sit on global cell edges and are contiguous *)
+  let g0 = Decomp.local_grid d ~dt ~rank:0 in
+  let g1 = Decomp.local_grid d ~dt ~rank:1 in
+  check_close ~rtol:1e-12 "origin after brick 0"
+    (g0.Grid.x0 +. (float_of_int g0.Grid.nx *. g0.Grid.dx))
+    g1.Grid.x0
+
+(* Divisible axes keep the historical float arithmetic bitwise. *)
+let test_decomp_divisible_bitwise () =
+  let d = mk_decomp () in
+  for r = 0 to Decomp.size d - 1 do
+    let g = Decomp.local_grid d ~dt:0.05 ~rank:r in
+    let cx, cy, _ = Decomp.coords_of_rank d r in
+    let llx = 8. /. 2. and lly = 8. /. 2. in
+    check_true "x0 bitwise" (g.Grid.x0 = (float_of_int cx *. llx));
+    check_true "y0 bitwise" (g.Grid.y0 = (float_of_int cy *. lly))
+  done
 
 let test_decomp_neighbors_wrap () =
   let d = mk_decomp () in
@@ -255,7 +298,10 @@ let suite =
     case "scalar: max abs diff" test_max_abs_diff;
     case "bc: face get/set" test_bc_faces;
     case "decomp: rank/coords roundtrip" test_decomp_rank_coords_roundtrip;
-    case "decomp: rejects non-divisible" test_decomp_rejects_nondivisible;
+    case "decomp: rejects oversplit" test_decomp_rejects_oversplit;
+    case "decomp: remainder cells" test_decomp_remainder_cells;
+    case "decomp: remainder grids tile" test_decomp_remainder_grids_tile;
+    case "decomp: divisible axes bitwise" test_decomp_divisible_bitwise;
     case "decomp: neighbors and wrap" test_decomp_neighbors_wrap;
     case "decomp: local grids tile box" test_decomp_local_grids_tile;
     case "decomp: local bc" test_decomp_local_bc ]

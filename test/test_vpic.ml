@@ -9,6 +9,7 @@ let () =
       ("interp", Suite_interp.suite);
       ("sim", Suite_sim.suite);
       ("parallel", Suite_parallel.suite);
+      ("block", Suite_block.suite);
       ("telemetry", Suite_telemetry.suite);
       ("fault", Suite_fault.suite);
       ("cell", Suite_cell.suite);
