@@ -27,6 +27,7 @@ module Sort = Vpic_particle.Sort
 module Moments = Vpic_particle.Moments
 module Loader = Vpic_particle.Loader
 module Comm = Vpic_parallel.Comm
+module Team = Vpic_parallel.Team
 module Simulation = Vpic.Simulation
 module Coupler = Vpic.Coupler
 module Roadrunner = Vpic_cell.Roadrunner
@@ -1360,6 +1361,104 @@ let bechamel_kernels () =
   write_bench_json ~file:"BENCH_kernels.json" ~bench:"kernels" ~ranks:1
     ~results:(List.rev !json_rows)
 
+
+(* ------------------------------------------------------------ smp bench *)
+
+(* Scalar-vs-team A/B on the srs deck: the identical stepped deck per
+   worker count, so particles/s, speedup and parallel efficiency compare
+   like against like.  Final energies are recorded next to the rates:
+   across team sizes (1/2/4/8 workers) they must be bitwise equal — the
+   Pool fixed-tile determinism contract — while the scalar baseline may
+   differ in the last bits (legacy summation order).  Speedup is bounded
+   by the machine's real core count, which is recorded in the results:
+   on a 1-core container every team size measures ~1x, honestly. *)
+let smp_bench ~quick () =
+  pf "\n###### smp: scalar vs worker-team on the srs deck ######\n";
+  let cores = Domain.recommended_domain_count () in
+  let config = { Deck.default with ppc = (if quick then 2 else 8) } in
+  let steps = if quick then 10 else 40 in
+  let run ~workers =
+    let setup = Deck.build config in
+    let sim = setup.Deck.sim in
+    let team = if workers >= 1 then Some (Team.create ~workers ()) else None in
+    Option.iter (fun tm -> Simulation.set_pool sim (Team.pool tm)) team;
+    let np = Simulation.total_particles sim in
+    let (), wall =
+      Perf.timed (fun () ->
+          for _ = 1 to steps do
+            Simulation.step sim
+          done)
+    in
+    Option.iter Team.shutdown team;
+    let en = (Simulation.energies sim).Simulation.total in
+    (np, wall, en)
+  in
+  let np, wall_scalar, en_scalar = run ~workers:0 in
+  let sweep = [ 1; 2; 4; 8 ] in
+  let team_runs = List.map (fun w -> (w, run ~workers:w)) sweep in
+  let rate wall = float_of_int np *. float_of_int steps /. wall in
+  let _, wall_1w, en_1w = List.assoc 1 team_runs in
+  let t =
+    Table.create
+      [ "mode"; "wall s"; "psteps/s"; "speedup vs 1w"; "efficiency";
+        "final energy" ]
+  in
+  Table.add_row t
+    [ "scalar"; Printf.sprintf "%.3f" wall_scalar;
+      Printf.sprintf "%.3e" (rate wall_scalar); "-"; "-";
+      Printf.sprintf "%.10e" en_scalar ];
+  List.iter
+    (fun (w, (_, wall, en)) ->
+      let speedup = wall_1w /. wall in
+      Table.add_row t
+        [ Printf.sprintf "%d workers" w;
+          Printf.sprintf "%.3f" wall;
+          Printf.sprintf "%.3e" (rate wall);
+          Printf.sprintf "%.2f" speedup;
+          Printf.sprintf "%.2f" (speedup /. float_of_int w);
+          Printf.sprintf "%.10e" en ])
+    team_runs;
+  Table.print
+    ~title:
+      (Printf.sprintf "smp A/B: %d particles, %d steps, %d cores" np steps
+         cores)
+    t;
+  let invariant =
+    List.for_all (fun (_, (_, _, en)) -> en = en_1w) team_runs
+  in
+  pf "team energies bitwise invariant across 1/2/4/8 workers: %b\n" invariant;
+  if not invariant then
+    List.iter
+      (fun (w, (_, _, en)) -> pf "  %d workers: %.17e\n" w en)
+      team_runs;
+  write_bench_json ~file:"BENCH_smp.json" ~bench:"smp" ~ranks:1
+    ~results:
+      ([ ("particles", string_of_int np);
+         ("steps", string_of_int steps);
+         ("cores", string_of_int cores);
+         ( "scalar",
+           json_obj
+             [ ("wall_s", json_num wall_scalar);
+               ("particle_steps_per_sec", json_num (rate wall_scalar));
+               ("final_energy", Printf.sprintf "%.17e" en_scalar) ] ) ]
+      @ List.map
+          (fun (w, (_, wall, en)) ->
+            ( Printf.sprintf "workers_%d" w,
+              json_obj
+                [ ("workers", string_of_int w);
+                  ("wall_s", json_num wall);
+                  ("particle_steps_per_sec", json_num (rate wall));
+                  ("speedup_vs_1w", json_num (wall_1w /. wall));
+                  ( "efficiency",
+                    json_num (wall_1w /. wall /. float_of_int w) );
+                  ("final_energy", Printf.sprintf "%.17e" en) ] ))
+          team_runs
+      @ [ ( "speedup_4w",
+            json_num
+              (let _, wall4, _ = List.assoc 4 team_runs in
+               wall_1w /. wall4) );
+          ("energies_invariant", string_of_bool invariant) ])
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
@@ -1404,8 +1503,10 @@ let () =
     | "exchange" -> exchange_bench ()
     | "step" -> step_bench ()
     | "rebalance" -> rebalance_bench ()
+    | "smp" -> smp_bench ~quick ()
     | other ->
-        pf "unknown section %s (e1..e6, v1, v2, push, exchange, step, rebalance, kernels, figures)\n"
+        pf "unknown section %s (e1..e6, v1, v2, push, exchange, step, \
+            rebalance, smp, kernels, figures)\n"
           other
   in
   List.iter run sections;

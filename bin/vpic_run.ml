@@ -36,6 +36,7 @@ module Srs_theory = Vpic_lpi.Srs_theory
 module Perf_model = Vpic_cell.Perf_model
 module Roadrunner = Vpic_cell.Roadrunner
 module Comm = Vpic_parallel.Comm
+module Team = Vpic_parallel.Team
 module Multiblock = Vpic.Multiblock
 module Trace = Vpic_telemetry.Trace
 module Metrics = Vpic_telemetry.Metrics
@@ -129,6 +130,21 @@ let two_stream_cmd =
 
 (* ------------------------------------------------------------------ srs *)
 
+(* The rank's worker team ([--workers N]; 0 = the classic one-domain
+   rank, bitwise-identical to every run before this flag existed).
+   Worker lanes arm their own trace buffers on spawn and wrap each
+   region they join in a span, so Chrome-trace rows carry the worker id
+   ([tid] = rank + 4096*worker).  [Trace.intern] memoises, so the
+   per-region intern is a hashtable hit, not a growth. *)
+let make_team ~rank ~workers =
+  if workers <= 0 then None
+  else
+    Some
+      (Team.create ~workers
+         ~on_start:(fun ~lane -> Trace.enable_worker ~rank ~worker:lane ())
+         ~on_span:(fun ~label f -> Trace.with_span (Trace.intern label) f)
+         ())
+
 (* Trace buffers are registered globally at [Trace.enable] and survive
    their domains, so the export happens once, after every rank joined. *)
 let export_trace = function
@@ -149,8 +165,8 @@ let export_trace = function
    periodic per-block checkpoint generations, scoreboard/metrics/trace;
    resume/sentinel/final-checkpoint stay on the classic path. *)
 let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
-    ~cost_model ~steps ~ranks ~ckpt_dir ~ckpt_every ~keep ~trace_file
-    ~metrics_file ~scoreboard_every =
+    ~cost_model ~steps ~ranks ~workers ~ckpt_dir ~ckpt_every ~keep
+    ~trace_file ~metrics_file ~scoreboard_every =
   (* Every block keeps at least two transverse cells (remainder-safe
      decomposition still wants non-degenerate slabs). *)
   let config =
@@ -170,9 +186,14 @@ let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
     | Some _ -> Metrics.install_comm_wait_observer ()
     | None -> ());
     let registry = Metrics.default () in
+    let team = make_team ~rank ~workers in
+    Fun.protect ~finally:(fun () -> Option.iter Team.shutdown team)
+    @@ fun () ->
     let bs =
-      Deck.build_over ?comm:comm_opt ~rebalance_interval:rebalance_every
-        ~rebalance_threshold ~cost_model ~blocks config
+      Deck.build_over ?comm:comm_opt
+        ?pool:(Option.map Team.pool team)
+        ~rebalance_interval:rebalance_every ~rebalance_threshold ~cost_model
+        ~blocks config
     in
     let mb = bs.Deck.mb in
     let steps =
@@ -192,8 +213,10 @@ let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
         blocks nranks config.Deck.y_skew rebalance_every rebalance_threshold
         nparticles steps;
     let board =
-      Scoreboard.create ~metrics:registry ~perf:(Multiblock.perf mb) ~nranks
-        ~reduce_sum ~reduce_max ()
+      Scoreboard.create
+        ?worker_busy:(Option.map (fun tm () -> Team.busy_seconds tm) team)
+        ~metrics:registry ~perf:(Multiblock.perf mb) ~nranks ~reduce_sum
+        ~reduce_max ()
     in
     let metrics_oc =
       if root then Option.map open_out metrics_file else None
@@ -274,7 +297,7 @@ let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
   export_trace trace_file
 
 let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-    sentinel_every sentinel_log kill_step fault_seed ranks trace_file
+    sentinel_every sentinel_log kill_step fault_seed ranks workers trace_file
     metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
     cost_model y_skew =
   (* Fault injection is armed before anything else so even the first
@@ -297,8 +320,8 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
     if sentinel_every > 0 then
       prerr_endline "vpic_run: --sentinel-every is ignored with --blocks";
     run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
-      ~cost_model ~steps ~ranks ~ckpt_dir ~ckpt_every ~keep ~trace_file
-      ~metrics_file ~scoreboard_every
+      ~cost_model ~steps ~ranks ~workers ~ckpt_dir ~ckpt_every ~keep
+      ~trace_file ~metrics_file ~scoreboard_every
   end
   else begin
   (* Parallel runs decompose along y; widen the (quasi-1D) transverse
@@ -324,6 +347,9 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
     | Some _ -> Metrics.install_comm_wait_observer ()
     | None -> ());
     let registry = Metrics.default () in
+    let team = make_team ~rank ~workers in
+    Fun.protect ~finally:(fun () -> Option.iter Team.shutdown team)
+    @@ fun () ->
     let setup = Deck.build ?comm:comm_opt config in
     let steps =
       match steps with Some s -> s | None -> Deck.suggested_steps config
@@ -355,6 +381,10 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
             { setup with Deck.sim }
     in
     let sim = setup.Deck.sim in
+    (* Install the team on the (possibly restored) simulation: the pool
+       holds closures and is never checkpointed, so a resume re-installs
+       the live one here. *)
+    Option.iter (fun tm -> Simulation.set_pool sim (Team.pool tm)) team;
     (if sentinel_every > 0 then begin
        let log =
          match sentinel_log with
@@ -378,7 +408,9 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
         "SRS deck: a0=%.3f nr=%.2f Te=%.1f keV, %d particles, %d steps\n%!" a0
         nr te nparticles steps;
     let board =
-      Scoreboard.create ~metrics:registry ~perf:sim.Simulation.perf ~nranks
+      Scoreboard.create
+        ?worker_busy:(Option.map (fun tm () -> Team.busy_seconds tm) team)
+        ~metrics:registry ~perf:sim.Simulation.perf ~nranks
         ~reduce_sum:sim.Simulation.coupler.Coupler.reduce_sum
         ~reduce_max:sim.Simulation.coupler.Coupler.reduce_max ()
     in
@@ -471,14 +503,14 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
    code (2 = unusable checkpoint, 3 = injected fault, 4 = health abort)
    so the CI smoke job can tell them apart. *)
 let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-    sentinel_every sentinel_log kill_step fault_seed ranks trace_file
+    sentinel_every sentinel_log kill_step fault_seed ranks workers trace_file
     metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
     cost_model y_skew =
   try
     run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-      sentinel_every sentinel_log kill_step fault_seed ranks trace_file
-      metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
-      cost_model y_skew
+      sentinel_every sentinel_log kill_step fault_seed ranks workers
+      trace_file metrics_file scoreboard_every blocks rebalance_every
+      rebalance_threshold cost_model y_skew
   with
   | Checkpoint.Version_mismatch { path; found; expected } ->
       Printf.eprintf
@@ -558,6 +590,16 @@ let srs_cmd =
              ~doc:"Run the deck decomposed over N ranks (domains); the \
                    transverse box is widened if needed so y divides evenly.")
   in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ]
+             ~doc:"Per-rank worker team size: each rank's compute phases \
+                   (interior push, sort, interpolator load, clean, \
+                   moments) fan out over N domains inside the rank.  The \
+                   tile decomposition is fixed, so stepped results are \
+                   bitwise identical for any N >= 1.  0 (default) is the \
+                   classic one-domain rank (legacy summation order).")
+  in
   let trace_file =
     Arg.(value & opt (some string) None
          & info [ "trace" ]
@@ -618,9 +660,9 @@ let srs_cmd =
     (Cmd.info "srs" ~doc:"Laser-plasma SRS deck (one parameter-study point)")
     Term.(const run_srs $ a0 $ nr $ te $ nx $ ppc $ steps $ ckpt $ ckpt_dir
           $ ckpt_every $ keep $ resume $ sentinel_every $ sentinel_log
-          $ kill_step $ fault_seed $ ranks $ trace_file $ metrics_file
-          $ scoreboard_every $ blocks $ rebalance_every $ rebalance_threshold
-          $ cost_model $ y_skew)
+          $ kill_step $ fault_seed $ ranks $ workers $ trace_file
+          $ metrics_file $ scoreboard_every $ blocks $ rebalance_every
+          $ rebalance_threshold $ cost_model $ y_skew)
 
 (* ---------------------------------------------------------------- sweep *)
 

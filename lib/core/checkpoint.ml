@@ -7,7 +7,7 @@ module Crc32 = Vpic_util.Crc32
 module Rng = Vpic_util.Rng
 module Fault = Vpic_util.Fault
 
-let format_version = 6
+let format_version = 7
 
 exception Corrupt of { path : string; reason : string }
 exception Version_mismatch of { path : string; found : int; expected : int }
@@ -49,6 +49,11 @@ type meta_snap = {
      wire bytes against the slot they are about to fill. *)
   block_id : int;
   nblocks : int;
+  (* v7: worker-team lanes of the saving rank — informational (the team
+     never affects physics: results are worker-count invariant).  A
+     restore does NOT recreate the team from this; the restoring driver
+     installs its own live pool via [Simulation.set_pool]. *)
+  workers : int;
 }
 
 (* Particle data is serialised as the store's own Float32/Int32
@@ -186,7 +191,8 @@ let snap_meta ~block_id ~nblocks (t : Simulation.t) =
     migrate_rng =
       Option.map Rng.state t.Simulation.coupler.Coupler.migrate_rng;
     block_id;
-    nblocks }
+    nblocks;
+    workers = (Simulation.pool t).Vpic_util.Pool.lanes }
 
 let encode ?(block_id = 0) ?(nblocks = 1) (t : Simulation.t) =
   let meta = Marshal.to_bytes (snap_meta ~block_id ~nblocks t) [] in
@@ -288,6 +294,9 @@ let build ?perf ~coupler ~path (meta, fields, species) =
       ~interp_accum:meta.interp_accum ?perf ~grid ~coupler ()
   in
   t.Simulation.nstep <- meta.nstep;
+  (* meta.workers is a provenance note only — the restoring driver owns
+     the live team (Simulation.set_pool); do not resurrect it here. *)
+  ignore meta.workers;
   Rng.set_state t.Simulation.push_rng meta.push_rng;
   (match (coupler.Coupler.migrate_rng, meta.migrate_rng) with
   | Some r, Some st -> Rng.set_state r st

@@ -56,6 +56,9 @@ type t = {
   blocks : block option array;  (* indexed by block id; Some iff owned *)
   ports : Exchange.Blocks.t;
   perf : Perf.counters;  (* shared by every local block simulation *)
+  pool : Vpic_util.Pool.t;
+      (* the rank's worker team; every owned block (including blocks
+         received from a rebalance) steps through it *)
   reattach : int -> Simulation.t -> unit;
       (* re-install closures (laser antennas) on a freshly decoded sim *)
   mutable views : Exchange.Blocks.view list;
@@ -176,7 +179,8 @@ let barrier t = match t.comm with Some c -> Comm.barrier c | None -> ()
 
 (* -------------------------------------------------------------- create ---- *)
 
-let create ?comm ?(rebalance_interval = 10) ?(rebalance_threshold = 0.)
+let create ?comm ?(pool = Vpic_util.Pool.serial)
+    ?(rebalance_interval = 10) ?(rebalance_threshold = 0.)
     ?(cost_model = `Wall) ?(reattach = fun _ _ -> ()) ~layout ~global_bc
     ~build () =
   let nblocks = Block.count layout in
@@ -192,6 +196,7 @@ let create ?comm ?(rebalance_interval = 10) ?(rebalance_threshold = 0.)
       let sim = build ~id ~coupler ~perf in
       if sim.Simulation.coupler != coupler then
         invalid_arg "Multiblock.create: build must use the supplied coupler";
+      Simulation.set_pool sim pool;
       blocks.(id) <- Some (mk_block id sim))
     (Block.Ownership.owned ownership ~rank);
   let ports =
@@ -216,6 +221,7 @@ let create ?comm ?(rebalance_interval = 10) ?(rebalance_threshold = 0.)
       blocks;
       ports;
       perf;
+      pool;
       reattach;
       views = [];
       nstep = 0;
@@ -318,6 +324,7 @@ let rebalance_now t =
               Checkpoint.decode ~expect_block:b ~perf:t.perf
                 ~coupler:(coupler t ~id:b) image
             in
+            Simulation.set_pool sim t.pool;
             t.reattach b sim;
             t.blocks.(b) <- Some (mk_block b sim)
           end;
@@ -355,7 +362,7 @@ let deposit_rho_all t =
       Em_field.clear_rho b.sim.Simulation.fields;
       List.iter
         (fun s ->
-          Moments.deposit_rho ~perf:t.perf s
+          Moments.deposit_rho ~perf:t.perf ~pool:t.pool s
             ~rho:b.sim.Simulation.fields.Em_field.rho)
         (Simulation.species b.sim))
     (owned t);
@@ -368,9 +375,13 @@ let deposit_rho_all t =
 let marder_passes_all t ~passes =
   for _ = 1 to passes do
     fill_e_all t;
-    List.iter (fun b -> Marder.compute_err b.sim.Simulation.fields b.err) (owned t);
+    List.iter
+      (fun b -> Marder.compute_err ~pool:t.pool b.sim.Simulation.fields b.err)
+      (owned t);
     fill_err_all t;
-    List.iter (fun b -> Marder.apply_err b.sim.Simulation.fields b.err) (owned t)
+    List.iter
+      (fun b -> Marder.apply_err ~pool:t.pool b.sim.Simulation.fields b.err)
+      (owned t)
   done;
   fill_e_all t;
   List.iter

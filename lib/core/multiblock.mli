@@ -41,9 +41,14 @@ val block_coupler : Block.t -> global_bc:Bc.t -> id:int -> Coupler.t
     per-block cost gauge: [`Wall] (default) measures wall seconds around
     the push trio; [`Particles] counts macro-particles pushed —
     deterministic, so plans reproduce across machines and stay sane when
-    ranks timeshare few cores. *)
+    ranks timeshare few cores.
+    [pool] is the rank's worker team (default
+    {!Vpic_util.Pool.serial}): it is installed on every owned block
+    simulation — including blocks received from a rebalance — so the
+    whole rank's compute fans out over one team. *)
 val create :
   ?comm:Comm.t ->
+  ?pool:Vpic_util.Pool.t ->
   ?rebalance_interval:int ->
   ?rebalance_threshold:float ->
   ?cost_model:[ `Wall | `Particles ] ->

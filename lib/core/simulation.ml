@@ -42,6 +42,7 @@ let sid_sort = Trace.intern "sort"
 type push_scratch = {
   movers : Push.Movers.t;
   defer : Push.Defer.t;
+  team : Push.Team_scratch.t;  (* per-tile defers/ledgers of the team push *)
 }
 
 type t = {
@@ -73,6 +74,11 @@ type t = {
   mutable monitor : (t -> unit) option;
       (* health hook, called after every completed step (see Sentinel) *)
   perf : Perf.counters;
+  mutable pool : Vpic_util.Pool.t;
+      (* the rank's worker team ([Pool.serial] = the classic one-domain
+         rank); mutable so [Multiblock] and checkpoint restore can
+         install the team on simulations they construct.  Holds
+         closures: never serialised (checkpoints rebuild it). *)
 }
 
 let zero_stats : Push.stats =
@@ -90,7 +96,8 @@ let add_stats (a : Push.stats) (b : Push.stats) : Push.stats =
 let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     ?(absorber_thickness = 8) ?(absorber_strength = 0.15)
     ?(current_filter_passes = 0) ?(pusher = Push.Boris)
-    ?(interp_accum = true) ?perf ~grid ~coupler () =
+    ?(interp_accum = true) ?perf ?(pool = Vpic_util.Pool.serial) ~grid
+    ~coupler () =
   assert (current_filter_passes = 0 || clean_div_interval > 0);
   let perf = match perf with Some p -> p | None -> Perf.create () in
   { grid;
@@ -119,7 +126,8 @@ let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     push_stats = zero_stats;
     scratch_rev = [];
     monitor = None;
-    perf }
+    perf;
+    pool }
 
 let species t = List.rev t.species_rev
 let lasers t = List.rev t.lasers_rev
@@ -136,12 +144,16 @@ let find_species t name =
   | None -> invalid_arg ("Simulation.find_species: no species " ^ name)
 
 let add_laser t l = t.lasers_rev <- l :: t.lasers_rev
+let set_pool t pool = t.pool <- pool
+let pool t = t.pool
 let time t = float_of_int t.nstep *. t.grid.Grid.dt
 
 let deposit_rho t =
   Em_field.clear_rho t.fields;
   List.iter
-    (fun s -> Moments.deposit_rho ~perf:t.perf s ~rho:t.fields.Em_field.rho)
+    (fun s ->
+      Moments.deposit_rho ~perf:t.perf ~pool:t.pool s
+        ~rho:t.fields.Em_field.rho)
     (species t);
   t.coupler.Coupler.fold_rho t.fields;
   (* With current filtering on, filter rho identically: the smoothed
@@ -158,7 +170,11 @@ let scratch_for t s =
   match List.assq_opt s t.scratch_rev with
   | Some sc -> sc
   | None ->
-      let sc = { movers = Push.Movers.create (); defer = Push.Defer.create () } in
+      let sc =
+        { movers = Push.Movers.create ();
+          defer = Push.Defer.create ();
+          team = Push.Team_scratch.create () }
+      in
       t.scratch_rev <- (s, sc) :: t.scratch_rev;
       sc
 
@@ -179,7 +195,7 @@ let phase_clear_and_load t =
   (match (interp, t.smoothed) with
   | Some ip, None ->
       Trace.begin_span sid_load_interp;
-      Interpolator.load_interior ~perf:t.perf ip t.fields;
+      Interpolator.load_interior ~perf:t.perf ~pool:t.pool ip t.fields;
       Trace.end_span ()
   | _ -> ());
   let species_scratch = List.map (fun s -> (s, scratch_for t s)) (species t) in
@@ -199,9 +215,9 @@ let phase_push_interior t species_scratch =
   List.iter
     (fun (s, sc) ->
       let st =
-        Push.advance ~perf:t.perf ~region:(`Interior sc.defer)
-          ?interp ?accum ~rng:t.push_rng ~pusher:t.pusher s t.fields
-          t.coupler.Coupler.bc
+        Push.advance_team ~perf:t.perf ~pool:t.pool ~scratch:sc.team
+          ~defer:sc.defer ?interp ?accum ~rng:t.push_rng ~pusher:t.pusher s
+          t.fields t.coupler.Coupler.bc
       in
       t.push_stats <- add_stats t.push_stats st)
     species_scratch;
@@ -245,6 +261,9 @@ let phase_unload_accum t =
   match Option.map snd t.interp_accum with
   | Some ac ->
       Trace.begin_span sid_unload_accum;
+      (* fold the team push's private slabs (fixed tile order) before
+         the per-voxel blocks unload into the J meshes *)
+      Accumulator.reduce ~pool:t.pool ~perf:t.perf ac;
       Accumulator.unload ~perf:t.perf ac t.fields;
       Trace.end_span ()
   | None -> ()
@@ -273,7 +292,7 @@ let phase_sort t =
       (* Pre-sort locality: how far the population drifted since the
          last sort (post-sort it is 1.0 by construction). *)
       let locality = if metrics then Sort.locality_score s else 0. in
-      Sort.by_voxel ~perf:t.perf s;
+      Sort.by_voxel ~perf:t.perf ~pool:t.pool s;
       if metrics then begin
         let m = Metrics.default () in
         let occ_max, occ_mean = Sort.occupancy s in
@@ -389,7 +408,7 @@ let step t =
     Trace.begin_span sid_clean;
     deposit_rho t;
     ignore
-      (Marder.clean ~perf:t.perf ~passes:t.marder_passes
+      (Marder.clean ~perf:t.perf ~pool:t.pool ~passes:t.marder_passes
          ~hooks:(Coupler.marder_hooks c t.fields)
          t.fields);
     Trace.end_span ()
@@ -456,7 +475,7 @@ let div_b_max t =
 let settle_fields t ~passes =
   deposit_rho t;
   ignore
-    (Marder.clean ~perf:t.perf ~passes
+    (Marder.clean ~perf:t.perf ~pool:t.pool ~passes
        ~hooks:(Coupler.marder_hooks t.coupler t.fields)
        t.fields);
   t.coupler.Coupler.fill_em t.fields

@@ -22,6 +22,8 @@ module Species = Vpic_particle.Species
 type push_scratch = {
   movers : Vpic_particle.Push.Movers.t;
   defer : Vpic_particle.Push.Defer.t;
+  team : Vpic_particle.Push.Team_scratch.t;
+      (** per-tile defer lists and perf ledgers of the team push *)
 }
 
 type t = {
@@ -55,6 +57,12 @@ type t = {
       (** health hook, run after every completed step on every rank (see
           [Sentinel.attach]); may raise to abort the run *)
   perf : Vpic_util.Perf.counters;
+  mutable pool : Vpic_util.Pool.t;
+      (** the rank's worker team; every tiled phase (interior push, sort,
+          interpolator load, accumulator reduce, Marder clean, rho
+          deposit) runs through it.  [Pool.serial] (the default) is the
+          classic one-domain rank.  Never serialised — checkpoint restore
+          re-installs the live team via {!set_pool}. *)
 }
 
 (** [make ~grid ~coupler ()] builds an empty simulation.
@@ -74,7 +82,9 @@ type t = {
     physics up to f32 coefficient rounding and addition order).
     [perf] shares an existing flop/byte counter set between simulations
     (the over-decomposed driver gives all its blocks one); by default
-    each simulation counts alone. *)
+    each simulation counts alone.
+    [pool] is the worker team the per-rank compute phases fan out over
+    (default {!Vpic_util.Pool.serial}); see {!set_pool}. *)
 val make :
   ?sort_interval:int ->
   ?clean_div_interval:int ->
@@ -85,10 +95,18 @@ val make :
   ?pusher:Vpic_particle.Push.kind ->
   ?interp_accum:bool ->
   ?perf:Vpic_util.Perf.counters ->
+  ?pool:Vpic_util.Pool.t ->
   grid:Grid.t ->
   coupler:Coupler.t ->
   unit ->
   t
+
+(** Install (or replace) the worker team driving this simulation's tiled
+    phases.  Safe between steps; [Multiblock] and checkpoint restore use
+    it to hand every block the rank's one team. *)
+val set_pool : t -> Vpic_util.Pool.t -> unit
+
+val pool : t -> Vpic_util.Pool.t
 
 (** Create, register and return a new species on this simulation's grid. *)
 val add_species : t -> name:string -> q:float -> m:float -> Species.t

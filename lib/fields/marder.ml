@@ -8,43 +8,73 @@ let local_hooks bc f =
   { fill_e = (fun () -> Boundary.fill_scalars bc (Em_field.e_components f));
     fill_scalar = (fun s -> Boundary.fill_scalars bc [ s ]) }
 
-let compute_err f err =
+(* Both halves of a pass are per-voxel pure (each interior node writes
+   only its own slots and reads meshes the pass never writes), so they
+   tile over interior (j,k) rows with no determinism caveat: any lane
+   may take any row.  The row order matches [Grid.iter_interior]
+   (x fastest, then y, then z). *)
+let iter_rows ~(pool : Vpic_util.Pool.t) ~label g do_row =
+  let nj = g.Grid.ny and nk = g.Grid.nz in
+  let rows = nj * nk in
+  if pool.Vpic_util.Pool.tiles <= 1 then
+    for r = 0 to rows - 1 do
+      do_row (1 + (r mod nj)) (1 + (r / nj))
+    done
+  else
+    pool.Vpic_util.Pool.run ~label ~tiles:pool.Vpic_util.Pool.tiles
+      (fun ~lane:_ ~tile ->
+        let lo, hi =
+          Vpic_util.Pool.split ~total:rows
+            ~tiles:pool.Vpic_util.Pool.tiles ~tile
+        in
+        for r = lo to hi - 1 do
+          do_row (1 + (r mod nj)) (1 + (r / nj))
+        done)
+
+let compute_err ?(pool = Vpic_util.Pool.serial) f err =
   let g = f.Em_field.grid in
   let rx = 1. /. g.Grid.dx and ry = 1. /. g.Grid.dy and rz = 1. /. g.Grid.dz in
   (* err = div E - rho on interior nodes *)
-  Grid.iter_interior g (fun i j k ->
-      let de =
-        ((Sf.get f.ex i j k -. Sf.get f.ex (i - 1) j k) *. rx)
-        +. ((Sf.get f.ey i j k -. Sf.get f.ey i (j - 1) k) *. ry)
-        +. ((Sf.get f.ez i j k -. Sf.get f.ez i j (k - 1)) *. rz)
-      in
-      Sf.set err i j k (de -. Sf.get f.rho i j k))
+  iter_rows ~pool ~label:"clean" g (fun j k ->
+      for i = 1 to g.Grid.nx do
+        let de =
+          ((Sf.get f.ex i j k -. Sf.get f.ex (i - 1) j k) *. rx)
+          +. ((Sf.get f.ey i j k -. Sf.get f.ey i (j - 1) k) *. ry)
+          +. ((Sf.get f.ez i j k -. Sf.get f.ez i j (k - 1)) *. rz)
+        in
+        Sf.set err i j k (de -. Sf.get f.rho i j k)
+      done)
 
-let apply_err ?(relax = 0.8) f err =
+let apply_err ?(relax = 0.8) ?(pool = Vpic_util.Pool.serial) f err =
   let g = f.Em_field.grid in
   let rx = 1. /. g.Grid.dx and ry = 1. /. g.Grid.dy and rz = 1. /. g.Grid.dz in
   let d = relax *. 0.5 /. ((rx *. rx) +. (ry *. ry) +. (rz *. rz)) in
   (* E += d grad err, componentwise on the staggered slots *)
-  Grid.iter_interior g (fun i j k ->
-      Sf.add f.ex i j k (d *. rx *. (Sf.get err (i + 1) j k -. Sf.get err i j k));
-      Sf.add f.ey i j k (d *. ry *. (Sf.get err i (j + 1) k -. Sf.get err i j k));
-      Sf.add f.ez i j k (d *. rz *. (Sf.get err i j (k + 1) -. Sf.get err i j k)))
+  iter_rows ~pool ~label:"clean" g (fun j k ->
+      for i = 1 to g.Grid.nx do
+        Sf.add f.ex i j k
+          (d *. rx *. (Sf.get err (i + 1) j k -. Sf.get err i j k));
+        Sf.add f.ey i j k
+          (d *. ry *. (Sf.get err i (j + 1) k -. Sf.get err i j k));
+        Sf.add f.ez i j k
+          (d *. rz *. (Sf.get err i j (k + 1) -. Sf.get err i j k))
+      done)
 
 let add_flops ?(perf = Perf.global) ~passes f =
   let nvox = float_of_int (Grid.interior_count f.Em_field.grid) in
   Perf.add_flops perf (float_of_int passes *. 20. *. nvox)
 
-let clean ?perf ?(passes = 2) ?(relax = 0.8) ~hooks f =
+let clean ?perf ?pool ?(passes = 2) ?(relax = 0.8) ~hooks f =
   assert (passes >= 1 && relax > 0. && relax <= 1.);
   let g = f.Em_field.grid in
   let err = Sf.create g in
   let residual = ref nan in
   for pass = 1 to passes do
     hooks.fill_e ();
-    compute_err f err;
+    compute_err ?pool f err;
     if pass = 1 then residual := Sf.max_abs_interior err;
     hooks.fill_scalar err;
-    apply_err ~relax f err
+    apply_err ~relax ?pool f err
   done;
   hooks.fill_e ();
   add_flops ?perf ~passes f;

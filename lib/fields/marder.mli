@@ -21,9 +21,12 @@ val local_hooks : Vpic_grid.Bc.t -> Em_field.t -> hooks
 (** Run [passes] Marder passes (default 2) with relaxation [relax]
     (default 0.8 of the diffusive limit).  Expects [f.rho] to hold the
     current deposited-and-folded charge density.  Returns the max
-    |div E - rho| {e before} cleaning, for diagnostics. *)
+    |div E - rho| {e before} cleaning, for diagnostics.  [pool] tiles
+    each half-pass over interior (j,k) rows; both halves are per-voxel
+    pure, so results are identical for any tile/worker count. *)
 val clean :
   ?perf:Vpic_util.Perf.counters ->
+  ?pool:Vpic_util.Pool.t ->
   ?passes:int ->
   ?relax:float ->
   hooks:hooks ->
@@ -39,10 +42,11 @@ val clean :
 
 (** Write div E - rho into [err] on interior nodes (ghosts of E must be
     valid). *)
-val compute_err : Em_field.t -> Sf.t -> unit
+val compute_err : ?pool:Vpic_util.Pool.t -> Em_field.t -> Sf.t -> unit
 
 (** E += d grad err on the interior ([err] ghosts must be valid). *)
-val apply_err : ?relax:float -> Em_field.t -> Sf.t -> unit
+val apply_err :
+  ?relax:float -> ?pool:Vpic_util.Pool.t -> Em_field.t -> Sf.t -> unit
 
 (** Credit the analytic flop count of [passes] passes over [f]. *)
 val add_flops :

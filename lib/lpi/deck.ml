@@ -229,8 +229,8 @@ type block_setup = {
   config : config;
 }
 
-let build_over ?comm ?(rebalance_interval = 10) ?(rebalance_threshold = 0.)
-    ?cost_model ~blocks c =
+let build_over ?comm ?pool ?(rebalance_interval = 10)
+    ?(rebalance_threshold = 0.) ?cost_model ~blocks c =
   assert (c.vacuum >= 2. && float_of_int c.nx *. c.dx > 2. *. c.vacuum +. 2.);
   if blocks < 1 then invalid_arg "Deck.build_over: blocks must be >= 1";
   let lx = float_of_int c.nx *. c.dx in
@@ -310,7 +310,7 @@ let build_over ?comm ?(rebalance_interval = 10) ?(rebalance_threshold = 0.)
     sim
   in
   let mb =
-    Multiblock.create ?comm ~rebalance_interval ~rebalance_threshold
+    Multiblock.create ?comm ?pool ~rebalance_interval ~rebalance_threshold
       ?cost_model
       ~reattach:(fun _ sim -> attach_lasers c ~matching sim)
       ~layout ~global_bc:bc_global ~build ()

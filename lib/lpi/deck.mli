@@ -94,9 +94,11 @@ type block_setup = {
     [blocks] need not divide [ny] (remainder-safe decomposition) but
     must be >= the rank count.  [rebalance_interval] /
     [rebalance_threshold] are passed to {!Vpic.Multiblock.create}
-    (threshold 0 = never rebalance). *)
+    (threshold 0 = never rebalance); [pool] is the rank's worker team,
+    installed on every owned block. *)
 val build_over :
   ?comm:Vpic_parallel.Comm.t ->
+  ?pool:Vpic_util.Pool.t ->
   ?rebalance_interval:int ->
   ?rebalance_threshold:float ->
   ?cost_model:[ `Wall | `Particles ] ->

@@ -1,3 +1,15 @@
+(* Concurrency/ownership rule (audited for the worker-team refactor):
+   every shared structure here (inboxes, ports, barrier, the [dead]
+   flag) is mutex-guarded, so the layer is memory-safe under any caller
+   domain — but the *protocol* is rank-scoped: sends, receives,
+   collectives and barriers must be issued by the rank's own domain
+   only, never from a team worker lane.  Collectives are counted per
+   rank (a worker joining a barrier would deadlock or double-count), a
+   port's consumer is its registering rank, and the wait observer is
+   Domain.DLS-keyed to the rank's domain.  The team keeps this invariant
+   structurally: workers run only tile closures handed to
+   [Vpic_util.Pool.run], and no tiled kernel touches Comm. *)
+
 exception Comm_timeout of { port : string; waited : float }
 exception Rank_failed of { rank : int; error : string }
 

@@ -1,0 +1,152 @@
+module Pool = Vpic_util.Pool
+module Perf = Vpic_util.Perf
+
+(* One fork-join region.  [next] is the shared tile counter every lane
+   claims from; [remaining] counts unfinished tiles (the join gate);
+   [failed] keeps the first exception to re-raise at the join. *)
+type job = {
+  label : string;
+  tiles : int;
+  f : lane:int -> tile:int -> unit;
+  next : int Atomic.t;
+  remaining : int Atomic.t;
+  failed : exn option Atomic.t;
+}
+
+type t = {
+  nlanes : int;
+  tiles : int;
+  mu : Mutex.t;
+  cv : Condition.t;  (* workers park here between regions *)
+  done_cv : Condition.t;  (* the caller parks here at the join *)
+  mutable job : job option;  (* current region; read/written under [mu] *)
+  mutable epoch : int;  (* bumped per region so workers join each once *)
+  mutable stop : bool;
+  busy : float array;  (* per-lane cumulative tile-execution seconds *)
+  on_span : (label:string -> (unit -> unit) -> unit) option;
+  mutable domains : unit Domain.t list;
+  mutable shut : bool;
+}
+
+(* Claim-and-run until the region's tile counter is drained.  Tile
+   exceptions are captured (first wins) and the tile still counts as
+   finished so the join always completes.  The last finished tile wakes
+   the caller. *)
+let drain t ~lane (j : job) =
+  let rec claim () =
+    let tile = Atomic.fetch_and_add j.next 1 in
+    if tile < j.tiles then begin
+      (try j.f ~lane ~tile
+       with e -> ignore (Atomic.compare_and_set j.failed None (Some e)));
+      if Atomic.fetch_and_add j.remaining (-1) = 1 then begin
+        Mutex.lock t.mu;
+        Condition.broadcast t.done_cv;
+        Mutex.unlock t.mu
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let participate t ~lane (j : job) =
+  let body () = drain t ~lane j in
+  let t0 = Perf.now () in
+  (match t.on_span with
+  | Some wrap when lane > 0 -> wrap ~label:j.label body
+  | _ -> body ());
+  t.busy.(lane) <- t.busy.(lane) +. (Perf.now () -. t0)
+
+let worker_loop t ~lane =
+  let rec loop last_epoch =
+    Mutex.lock t.mu;
+    while (not t.stop) && t.epoch = last_epoch do
+      Condition.wait t.cv t.mu
+    done;
+    let stop = t.stop and epoch = t.epoch and job = t.job in
+    Mutex.unlock t.mu;
+    if not stop then begin
+      (match job with Some j -> participate t ~lane j | None -> ());
+      loop epoch
+    end
+  in
+  loop 0
+
+let run t ~label ~tiles f =
+  if t.shut then invalid_arg "Team.run: team is shut down";
+  if tiles > 0 then
+    if t.nlanes = 1 then begin
+      (* no worker domains: lane 0 executes every tile inline *)
+      let t0 = Perf.now () in
+      for tile = 0 to tiles - 1 do
+        f ~lane:0 ~tile
+      done;
+      t.busy.(0) <- t.busy.(0) +. (Perf.now () -. t0)
+    end
+    else begin
+      let j =
+        { label;
+          tiles;
+          f;
+          next = Atomic.make 0;
+          remaining = Atomic.make tiles;
+          failed = Atomic.make None }
+      in
+      Mutex.lock t.mu;
+      t.job <- Some j;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.cv;
+      Mutex.unlock t.mu;
+      participate t ~lane:0 j;
+      Mutex.lock t.mu;
+      while Atomic.get j.remaining > 0 do
+        Condition.wait t.done_cv t.mu
+      done;
+      (* workers yet to wake will find the counter drained and re-park *)
+      t.job <- None;
+      Mutex.unlock t.mu;
+      match Atomic.get j.failed with Some e -> raise e | None -> ()
+    end
+
+let create ?(tiles = Pool.default_tiles) ?on_start ?on_span ~workers () =
+  if workers < 1 then invalid_arg "Team.create: workers must be >= 1";
+  if tiles < 1 then invalid_arg "Team.create: tiles must be >= 1";
+  let t =
+    { nlanes = workers;
+      tiles;
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      done_cv = Condition.create ();
+      job = None;
+      epoch = 0;
+      stop = false;
+      busy = Array.make workers 0.;
+      on_span;
+      domains = [];
+      shut = false }
+  in
+  t.domains <-
+    List.init (workers - 1) (fun i ->
+        let lane = i + 1 in
+        Domain.spawn (fun () ->
+            (match on_start with Some h -> h ~lane | None -> ());
+            worker_loop t ~lane));
+  t
+
+let workers t = t.nlanes
+let pool t = { Pool.lanes = t.nlanes; tiles = t.tiles; run = run t }
+let busy_seconds t = Array.copy t.busy
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Mutex.lock t.mu;
+    t.stop <- true;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_team ?tiles ?on_start ?on_span ~workers f =
+  let t = create ?tiles ?on_start ?on_span ~workers () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

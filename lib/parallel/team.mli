@@ -1,0 +1,74 @@
+(** The worker team: a persistent pool of worker domains {e inside} a
+    rank, implementing the {!Vpic_util.Pool} fork-join contract over
+    tile ranges — the paper's hierarchy (MPI across nodes, threads/SPEs
+    within) mapped onto OCaml domains nested inside [Comm.run]'s rank
+    domains.  After this layer, "a rank" means "a team": every sized
+    compute pass of the step (interior push, sort, interpolator load,
+    accumulator reduce, Marder clean, moments) executes through the
+    team's pool.
+
+    Scheduling is dynamic (workers claim tiles from a shared atomic
+    counter) but the {e decomposition} is static per the [Pool]
+    contract: a fixed tile count independent of the worker count, with
+    per-tile outputs merged in tile order by the kernels, keeps stepped
+    results bitwise identical across [--workers 1/2/4/...].
+
+    Ownership rules under worker domains (see the audits in [Trace],
+    [Metrics] and [Comm]): worker lanes touch only the tile function's
+    private slabs and their own trace ring ([on_start] installs it);
+    all [Comm] traffic and all [Metrics] recording stay on the rank's
+    main domain (lane 0, outside [run]). *)
+
+type t
+
+(** [create ~workers ()] builds a team of [workers] >= 1 lanes: lane 0
+    is the calling rank domain (which participates in every region) and
+    lanes 1..workers-1 are freshly spawned domains that park on a
+    condition variable between regions.  [workers = 1] spawns nothing —
+    the team path with inline execution, still tiled ([tiles], default
+    {!Vpic_util.Pool.default_tiles}) so its results match any larger
+    team bitwise.
+
+    [on_start ~lane] runs once on each spawned worker domain before it
+    first parks — the hook for [Vpic_telemetry.Trace.enable_worker].
+    [on_span ~label f] wraps each worker lane's participation in a
+    region named [label] — the hook for [Trace.with_span] so
+    Chrome-trace rows carry the worker id (lane 0 is not wrapped; the
+    caller's enclosing phase span already covers it).  Both hooks are
+    injected as closures because this library sits below
+    [vpic_telemetry]. *)
+val create :
+  ?tiles:int ->
+  ?on_start:(lane:int -> unit) ->
+  ?on_span:(label:string -> (unit -> unit) -> unit) ->
+  workers:int ->
+  unit ->
+  t
+
+(** Lane count (spawned workers + the caller). *)
+val workers : t -> int
+
+(** The team as a {!Vpic_util.Pool} to hand to kernels.  [run] may only
+    be entered from the domain that created the team, and must not be
+    re-entered from inside a tile function (no nested regions). *)
+val pool : t -> Vpic_util.Pool.t
+
+(** Cumulative seconds each lane has spent executing tiles (index =
+    lane; a copy).  Read between regions on the creating domain; the
+    Scoreboard turns window deltas of this into the per-worker
+    push-imbalance gauge. *)
+val busy_seconds : t -> float array
+
+(** Join the worker domains.  Idempotent; call before [Comm.run]'s rank
+    body returns.  After shutdown the pool must not be used. *)
+val shutdown : t -> unit
+
+(** [with_team ~workers f] = create, run [f] on the team, shutdown
+    (exception-safe). *)
+val with_team :
+  ?tiles:int ->
+  ?on_start:(lane:int -> unit) ->
+  ?on_span:(label:string -> (unit -> unit) -> unit) ->
+  workers:int ->
+  (t -> 'a) ->
+  'a

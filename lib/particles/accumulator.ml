@@ -28,19 +28,62 @@ let bytes_per_voxel = float_of_int (slots_per_voxel * 8)
 type t = {
   grid : Grid.t;
   data : Sf.data; (* nv * 12, voxel-major, f64 *)
+  mutable slabs : t array;
+      (* private per-tile scatter targets of the team push, created on
+         first [slab] request and reused; empty on slab views *)
 }
 
-let create grid =
+let alloc grid =
   let data =
     Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
       (grid.Grid.nv * slots_per_voxel)
   in
   Bigarray.Array1.fill data 0.;
-  { grid; data }
+  data
 
+let create grid = { grid; data = alloc grid; slabs = [||] }
 let grid t = t.grid
 let data t = t.data
 let clear t = Bigarray.Array1.fill t.data 0.
+
+(* Each slab is itself an accumulator (same grid, its own slot array),
+   so the push scatters into a slab through the unchanged [?accum]
+   interface.  Slabs are views: they never have slabs of their own. *)
+let slab t ~n ~tile =
+  if n < 1 then invalid_arg "Accumulator.slab: n must be >= 1";
+  if tile < 0 || tile >= n then invalid_arg "Accumulator.slab: tile out of range";
+  if Array.length t.slabs <> n then
+    t.slabs <- Array.init n (fun _ -> { grid = t.grid; data = alloc t.grid; slabs = [||] });
+  t.slabs.(tile)
+
+(* Fold the slabs into the base slot array and zero them.  The inner
+   sum at every slot runs in ascending slab (= tile) order regardless
+   of which lane handles the voxel range, so the reduction is bitwise
+   invariant in the worker count — the determinism half of the private-
+   slab scheme.  Voxel ranges are disjoint writes, so the fold itself
+   parallelises freely. *)
+let reduce ?(pool = Vpic_util.Pool.serial) ?(perf = Perf.global) t =
+  let ns = Array.length t.slabs in
+  if ns > 0 then begin
+    let total = t.grid.Grid.nv * slots_per_voxel in
+    let base = t.data in
+    let open Bigarray.Array1 in
+    pool.Vpic_util.Pool.run ~label:"accum.reduce" ~tiles:pool.Vpic_util.Pool.tiles
+      (fun ~lane:_ ~tile ->
+        let lo, hi = Vpic_util.Pool.split ~total ~tiles:pool.Vpic_util.Pool.tiles ~tile in
+        for s = 0 to ns - 1 do
+          let d = t.slabs.(s).data in
+          for idx = lo to hi - 1 do
+            let v = unsafe_get d idx in
+            if v <> 0. then
+              unsafe_set base idx (unsafe_get base idx +. v);
+            unsafe_set d idx 0.
+          done
+        done);
+    let nvox = float_of_int (Grid.interior_count t.grid) in
+    Perf.add_flops perf (nvox *. float_of_int (slots_per_voxel * ns));
+    Perf.add_bytes perf (nvox *. bytes_per_voxel *. float_of_int (2 * ns))
+  end
 
 (* Fold every interior voxel's block into the J meshes and zero it, so
    the accumulator is ready for the next step's deposits. *)

@@ -33,3 +33,20 @@ val clear : t -> unit
     deposit into the accumulator too) and before the ghost-current
     fold. *)
 val unload : ?perf:Vpic_util.Perf.counters -> t -> Vpic_field.Em_field.t -> unit
+
+(** {1 Private per-tile slabs} (the team push's scatter targets)
+
+    [slab t ~n ~tile] returns tile [tile]'s private accumulator out of
+    [n] (created zero-filled on first use at count [n], cached on [t]):
+    an ordinary accumulator on the same grid, handed to [Push.advance
+    ?accum] so each tile of the split interior push scatters with no
+    write sharing.  [reduce t] then folds every slab into [t] (and
+    zeroes the slabs) {e in ascending tile order at each slot}, so the
+    summed currents are bitwise invariant in the worker count; call it
+    before {!unload}.  [reduce] is a no-op when no slabs were created;
+    [pool] parallelises the fold over disjoint voxel ranges. *)
+
+val slab : t -> n:int -> tile:int -> t
+
+val reduce :
+  ?pool:Vpic_util.Pool.t -> ?perf:Vpic_util.Perf.counters -> t -> unit

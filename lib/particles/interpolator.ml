@@ -62,8 +62,12 @@ let grid t = t.grid
 let data t = t.data
 
 (* Load the coefficients of the voxel box [i0,i1]x[j0,j1]x[k0,k1]
-   (cell indices; empty ranges are fine). *)
-let load_box ?(perf = Perf.global) t f ~i0 ~i1 ~j0 ~j1 ~k0 ~k1 =
+   (cell indices; empty ranges are fine).  With a multi-tile [pool] the
+   (j,k) rows of the box split over worker lanes: a voxel's
+   coefficients are a pure function of the (read-only) meshes and rows
+   write disjoint blocks, so tiling changes nothing about the result. *)
+let load_box ?(perf = Perf.global) ?(pool = Vpic_util.Pool.serial) t f ~i0 ~i1
+    ~j0 ~j1 ~k0 ~k1 =
   let g = t.grid in
   assert (g == f.Vpic_field.Em_field.grid);
   let gx = g.Grid.gx in
@@ -76,8 +80,26 @@ let load_box ?(perf = Perf.global) t f ~i0 ~i1 ~j0 ~j1 ~k0 ~k1 =
   and dbz = Sf.data f.Vpic_field.Em_field.bz in
   let d = t.data in
   let open Bigarray.Array1 in
-  for k = k0 to k1 do
-    for j = j0 to j1 do
+  let nj = max 0 (j1 - j0 + 1) and nk = max 0 (k1 - k0 + 1) in
+  let rows = nj * nk in
+  let iter_rows do_row =
+    if pool.Vpic_util.Pool.tiles <= 1 then
+      for r = 0 to rows - 1 do
+        do_row r
+      done
+    else
+      pool.Vpic_util.Pool.run ~label:"interp.load"
+        ~tiles:pool.Vpic_util.Pool.tiles (fun ~lane:_ ~tile ->
+          let lo, hi =
+            Vpic_util.Pool.split ~total:rows
+              ~tiles:pool.Vpic_util.Pool.tiles ~tile
+          in
+          for r = lo to hi - 1 do
+            do_row r
+          done)
+  in
+  iter_rows (fun r ->
+      let k = k0 + (r / nj) and j = j0 + (r mod nj) in
       let vrow = Grid.voxel g i0 j k in
       for i = 0 to i1 - i0 do
         let v = vrow + i in
@@ -122,9 +144,7 @@ let load_box ?(perf = Perf.global) t f ~i0 ~i1 ~j0 ~j1 ~k0 ~k1 =
         let b0 = unsafe_get dbz v in
         unsafe_set d (o + 16) b0;
         unsafe_set d (o + 17) (unsafe_get dbz (v + gxy) -. b0)
-      done
-    done
-  done;
+      done);
   let nvox =
     float_of_int
       (max 0 (i1 - i0 + 1) * max 0 (j1 - j0 + 1) * max 0 (k1 - k0 + 1))
@@ -133,15 +153,15 @@ let load_box ?(perf = Perf.global) t f ~i0 ~i1 ~j0 ~j1 ~k0 ~k1 =
   (* ~24 mesh doubles read + 72 B of coefficients written per voxel *)
   Perf.add_bytes perf (nvox *. ((24. *. 8.) +. bytes_per_voxel))
 
-let load ?perf t f =
+let load ?perf ?pool t f =
   let g = t.grid in
-  load_box ?perf t f ~i0:1 ~i1:g.Grid.nx ~j0:1 ~j1:g.Grid.ny ~k0:1
+  load_box ?perf ?pool t f ~i0:1 ~i1:g.Grid.nx ~j0:1 ~j1:g.Grid.ny ~k0:1
     ~k1:g.Grid.nz
 
-let load_interior ?perf t f =
+let load_interior ?perf ?pool t f =
   let g = t.grid in
-  load_box ?perf t f ~i0:1 ~i1:(g.Grid.nx - 1) ~j0:1 ~j1:(g.Grid.ny - 1)
-    ~k0:1 ~k1:(g.Grid.nz - 1)
+  load_box ?perf ?pool t f ~i0:1 ~i1:(g.Grid.nx - 1) ~j0:1
+    ~j1:(g.Grid.ny - 1) ~k0:1 ~k1:(g.Grid.nz - 1)
 
 let load_boundary ?perf t f =
   let g = t.grid in

@@ -40,15 +40,27 @@ val data : t -> Store.f32
 (** the flat coefficient array, [coeffs_per_voxel] per voxel *)
 
 (** [load t f] rebuilds the coefficients of every interior voxel from
-    [f]'s E and B meshes (which must have valid hi-side ghosts). *)
-val load : ?perf:Vpic_util.Perf.counters -> t -> Vpic_field.Em_field.t -> unit
+    [f]'s E and B meshes (which must have valid hi-side ghosts).
+    [pool] tiles the load over the box's (j,k) voxel rows; coefficients
+    are a per-voxel pure function of the meshes, so tiling never
+    changes the result. *)
+val load :
+  ?perf:Vpic_util.Perf.counters ->
+  ?pool:Vpic_util.Pool.t ->
+  t ->
+  Vpic_field.Em_field.t ->
+  unit
 
 (** [load_interior] covers the voxels whose stencil stays off the ghost
     layer (valid while the ghost fill is still in flight);
     [load_boundary] the remaining hi-face slabs (requires the fill to
     have landed).  Together they equal [load]. *)
 val load_interior :
-  ?perf:Vpic_util.Perf.counters -> t -> Vpic_field.Em_field.t -> unit
+  ?perf:Vpic_util.Perf.counters ->
+  ?pool:Vpic_util.Pool.t ->
+  t ->
+  Vpic_field.Em_field.t ->
+  unit
 
 val load_boundary :
   ?perf:Vpic_util.Perf.counters -> t -> Vpic_field.Em_field.t -> unit

@@ -7,34 +7,71 @@ module Perf = Vpic_util.Perf
 (* All moments read the f32 store into f64 registers and accumulate in
    f64 (into f64 fields or scalars) — the mixed-precision contract. *)
 
-let deposit_rho ?(perf = Vpic_util.Perf.global) (s : Species.t) ~rho =
+let deposit_rho ?(perf = Vpic_util.Perf.global)
+    ?(pool = Vpic_util.Pool.serial) (s : Species.t) ~rho =
+  let module P = Vpic_util.Pool in
   let g = s.Species.grid in
   assert (g == Sf.grid rho);
   let inv_dv = 1. /. Grid.cell_volume g in
   let gx = g.Grid.gx in
   let gxy = g.Grid.gx * g.Grid.gy in
-  let a = Sf.data rho in
   let st = s.Species.store in
   let svox = st.Store.voxel in
   let sfx = st.Store.fx and sfy = st.Store.fy and sfz = st.Store.fz in
   let sw = st.Store.w in
+  let np = Species.count s in
   let open Bigarray.Array1 in
-  let add idx v = unsafe_set a idx (unsafe_get a idx +. v) in
-  for n = 0 to Species.count s - 1 do
-    let v = Int32.to_int (unsafe_get svox n) in
-    let fx = unsafe_get sfx n and fy = unsafe_get sfy n and fz = unsafe_get sfz n in
-    let q = s.Species.q *. unsafe_get sw n *. inv_dv in
-    let mx = 1. -. fx and my = 1. -. fy and mz = 1. -. fz in
-    add v (q *. mx *. my *. mz);
-    add (v + 1) (q *. fx *. my *. mz);
-    add (v + gx) (q *. mx *. fy *. mz);
-    add (v + gx + 1) (q *. fx *. fy *. mz);
-    add (v + gxy) (q *. mx *. my *. fz);
-    add (v + gxy + 1) (q *. fx *. my *. fz);
-    add (v + gxy + gx) (q *. mx *. fy *. fz);
-    add (v + gxy + gx + 1) (q *. fx *. fy *. fz)
-  done;
-  Perf.add_flops perf (float_of_int (Species.count s) *. 30.)
+  let deposit_range (a : Sf.data) lo hi =
+    let add idx v = unsafe_set a idx (unsafe_get a idx +. v) in
+    for n = lo to hi - 1 do
+      let v = Int32.to_int (unsafe_get svox n) in
+      let fx = unsafe_get sfx n
+      and fy = unsafe_get sfy n
+      and fz = unsafe_get sfz n in
+      let q = s.Species.q *. unsafe_get sw n *. inv_dv in
+      let mx = 1. -. fx and my = 1. -. fy and mz = 1. -. fz in
+      add v (q *. mx *. my *. mz);
+      add (v + 1) (q *. fx *. my *. mz);
+      add (v + gx) (q *. mx *. fy *. mz);
+      add (v + gx + 1) (q *. fx *. fy *. mz);
+      add (v + gxy) (q *. mx *. my *. fz);
+      add (v + gxy + 1) (q *. fx *. my *. fz);
+      add (v + gxy + gx) (q *. mx *. fy *. fz);
+      add (v + gxy + gx + 1) (q *. fx *. fy *. fz)
+    done
+  in
+  if pool.P.tiles <= 1 then deposit_range (Sf.data rho) 0 np
+  else begin
+    (* The CIC scatter shares nodes between neighbouring particles, so
+       tiles deposit into private zero-filled slabs, folded into [rho]
+       in ascending tile order at every node — the same private-slab
+       determinism scheme as the accumulator (bitwise invariant in the
+       worker count). *)
+    let tiles = pool.P.tiles in
+    let nv = g.Grid.nv in
+    let slabs =
+      Array.init tiles (fun _ ->
+          let a =
+            Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout nv
+          in
+          Bigarray.Array1.fill a 0.;
+          a)
+    in
+    pool.P.run ~label:"moments.rho" ~tiles (fun ~lane:_ ~tile ->
+        let lo, hi = P.split ~total:np ~tiles ~tile in
+        deposit_range slabs.(tile) lo hi);
+    let a = Sf.data rho in
+    pool.P.run ~label:"moments.rho" ~tiles (fun ~lane:_ ~tile ->
+        let lo, hi = P.split ~total:nv ~tiles ~tile in
+        for t = 0 to tiles - 1 do
+          let d = slabs.(t) in
+          for idx = lo to hi - 1 do
+            let v = unsafe_get d idx in
+            if v <> 0. then unsafe_set a idx (unsafe_get a idx +. v)
+          done
+        done)
+  end;
+  Perf.add_flops perf (float_of_int np *. 30.)
 
 let total_current (s : Species.t) =
   let st = s.Species.store in

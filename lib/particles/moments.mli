@@ -8,8 +8,16 @@ module Sf = Vpic_grid.Scalar_field
 (** Accumulate q w / dV with trilinear node weights into [rho] (adds; the
     caller clears and folds ghosts).  Node (i,j,k) carries weight
     (1-fx)(1-fy)(1-fz) etc, matching the continuity equation of the
-    current deposition exactly. *)
-val deposit_rho : ?perf:Vpic_util.Perf.counters -> Species.t -> rho:Sf.t -> unit
+    current deposition exactly.  With a multi-tile [pool], particle
+    chunks scatter into private per-tile slabs folded into [rho] in
+    ascending tile order — bitwise invariant in the worker count (but a
+    different summation order from the serial 1-tile pass). *)
+val deposit_rho :
+  ?perf:Vpic_util.Perf.counters ->
+  ?pool:Vpic_util.Pool.t ->
+  Species.t ->
+  rho:Sf.t ->
+  unit
 
 (** Sum of q w v over particles (total current), for conservation tests. *)
 val total_current : Species.t -> Vpic_util.Vec3.t

@@ -84,6 +84,25 @@ module Defer = struct
     end;
     unsafe_set t.idx t.n (Int32.of_int v);
     t.n <- t.n + 1
+
+  (* Append [src]'s indices to [dst] — how the team push merges its
+     per-tile defer lists back into the step's one, in tile order. *)
+  let append dst src =
+    let open Bigarray.Array1 in
+    if src.n > 0 then begin
+      let need = dst.n + src.n in
+      if need > dim dst.idx then begin
+        let cap = ref (2 * dim dst.idx) in
+        while !cap < need do
+          cap := 2 * !cap
+        done;
+        let nidx = Store.i32_create !cap in
+        if dst.n > 0 then blit (sub dst.idx 0 dst.n) (sub nidx 0 dst.n);
+        dst.idx <- nidx
+      end;
+      blit (sub src.idx 0 src.n) (sub dst.idx dst.n src.n);
+      dst.n <- need
+    end
 end
 
 type stats = {
@@ -762,6 +781,94 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
     reflected = !reflected;
     refluxed = !refluxed;
     outbound = !outbound }
+
+(* ------------------------------------------------------- team driver ---- *)
+
+(* Reusable per-tile workspace of the team interior push: one defer
+   list and one flop ledger per tile, sized on first use to the pool's
+   tile count and kept across steps. *)
+module Team_scratch = struct
+  type t = {
+    mutable defers : Defer.t array;
+    mutable perfs : Perf.counters array;
+  }
+
+  let create () = { defers = [||]; perfs = [||] }
+
+  let sized t tiles =
+    if Array.length t.defers <> tiles then begin
+      t.defers <- Array.init tiles (fun _ -> Defer.create ());
+      t.perfs <- Array.init tiles (fun _ -> Perf.create ())
+    end;
+    Array.iter Defer.clear t.defers
+end
+
+let zero_stats =
+  { advanced = 0;
+    segments = 0;
+    absorbed = 0;
+    reflected = 0;
+    refluxed = 0;
+    outbound = 0 }
+
+let sum_stats a b =
+  { advanced = a.advanced + b.advanced;
+    segments = a.segments + b.segments;
+    absorbed = a.absorbed + b.absorbed;
+    reflected = a.reflected + b.reflected;
+    refluxed = a.refluxed + b.refluxed;
+    outbound = a.outbound + b.outbound }
+
+(* The `Interior pass over [pool.tiles] contiguous particle chunks.
+   Safe to fan out: an interior particle cannot reach a wall or a
+   domain face (the shell is deferred before walking), so no tile
+   removes particles, consumes the RNG or needs a mover buffer; store
+   writes are disjoint per tile and each tile scatters currents into
+   its private accumulator slab.  Determinism: the chunk decomposition
+   is a function of the tile count alone and every merge below (defer
+   lists, perf ledgers, stats, slab reduction at unload) runs in
+   ascending tile order, so results are bitwise invariant in the lane
+   count.  Without an accumulator the tiles would share the J meshes,
+   so that configuration (and a 1-tile pool) takes the fused serial
+   path. *)
+let advance_team ?(perf = Perf.global) ?gather_from ?interp ?accum ?rng
+    ?(pusher = Boris) ~pool ~scratch ~defer (s : Species.t) f bc =
+  let module P = Vpic_util.Pool in
+  let tiles = pool.P.tiles in
+  match accum with
+  | _ when tiles <= 1 ->
+      advance ~perf ?gather_from ?interp ?accum ?rng ~pusher
+        ~region:(`Interior defer) s f bc
+  | None ->
+      advance ~perf ?gather_from ?interp ?rng ~pusher
+        ~region:(`Interior defer) s f bc
+  | Some acc ->
+      Team_scratch.sized scratch tiles;
+      (* allocate all slabs before the fork: [slab] caches the array on
+         first use and concurrent first calls would race *)
+      ignore (Accumulator.slab acc ~n:tiles ~tile:0);
+      let np = Species.count s in
+      let stats = Array.make tiles zero_stats in
+      pool.P.run ~label:"push.interior" ~tiles (fun ~lane:_ ~tile ->
+          let lo, hi = P.split ~total:np ~tiles ~tile in
+          if hi > lo then
+            stats.(tile) <-
+              advance
+                ~perf:scratch.Team_scratch.perfs.(tile)
+                ~first:lo ~count:(hi - lo) ?gather_from ?interp
+                ~accum:(Accumulator.slab acc ~n:tiles ~tile)
+                ?rng ~pusher
+                ~region:(`Interior scratch.Team_scratch.defers.(tile))
+                s f bc);
+      let total = ref zero_stats in
+      for tile = 0 to tiles - 1 do
+        Defer.append defer scratch.Team_scratch.defers.(tile);
+        let c = scratch.Team_scratch.perfs.(tile) in
+        Perf.merge_into ~dst:perf c;
+        Perf.reset c;
+        total := sum_stats !total stats.(tile)
+      done;
+      !total
 
 let finish_movers ?(perf = Perf.global) ?movers_out ?accum ?rng
     (s : Species.t) f bc (incoming : Movers.t) =

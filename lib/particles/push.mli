@@ -133,6 +133,42 @@ val advance :
     arithmetic; the caller unloads once per step).  The two are
     independent. *)
 
+(** Reusable per-tile workspace (defer lists + flop ledgers) of
+    {!advance_team}.  One per species, kept across steps. *)
+module Team_scratch : sig
+  type t
+
+  val create : unit -> t
+end
+
+(** [advance_team ~pool ~scratch ~defer s f bc] is the worker-team form
+    of [advance ~region:(`Interior defer)]: the species splits into
+    [pool.tiles] contiguous particle chunks, each pushed (possibly on a
+    different worker lane) with its own defer list, perf ledger and
+    private {!Accumulator.slab} as the scatter target; the per-tile
+    outputs merge back in ascending tile order, so the result — defer
+    order included — is bitwise invariant in the worker count at a
+    fixed tile count.  The interior region never deletes particles,
+    creates movers or consumes [rng], which is what makes the fan-out
+    safe.  The caller must run {!Accumulator.reduce} on [accum] before
+    unloading it.  With a 1-tile pool, or without [accum] (tiles would
+    share the J meshes), this is exactly [advance
+    ~region:(`Interior defer)]. *)
+val advance_team :
+  ?perf:Vpic_util.Perf.counters ->
+  ?gather_from:Vpic_field.Em_field.t ->
+  ?interp:Interpolator.t ->
+  ?accum:Accumulator.t ->
+  ?rng:Vpic_util.Rng.t ->
+  ?pusher:kind ->
+  pool:Vpic_util.Pool.t ->
+  scratch:Team_scratch.t ->
+  defer:Defer.t ->
+  Species.t ->
+  Vpic_field.Em_field.t ->
+  Vpic_grid.Bc.t ->
+  stats
+
 (** Complete the moves of movers arriving from a neighbouring rank (cell
     indices already rebased to this rank, interior at the entry face).
     Settled particles are appended to the species; movers that stop at a

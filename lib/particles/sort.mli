@@ -9,8 +9,19 @@
     a voxel.  The O(np + nv) workspace (a double-buffered attribute set,
     a histogram and a destination array) lives on the species' store and
     is reused: after the first call, sorting a steady-state population
-    allocates nothing. *)
-val by_voxel : ?perf:Vpic_util.Perf.counters -> Species.t -> unit
+    allocates nothing.
+
+    With a multi-tile [pool] the sort runs as a two-pass tiled counting
+    sort — parallel per-tile histograms over contiguous particle
+    chunks, a serial voxel-major/tile-minor scan into per-tile write
+    offsets, and a parallel scatter to disjoint slots — whose output is
+    {e bitwise identical} to the serial sort for any tile or worker
+    count. *)
+val by_voxel :
+  ?perf:Vpic_util.Perf.counters ->
+  ?pool:Vpic_util.Pool.t ->
+  Species.t ->
+  unit
 
 (** True when the species is voxel-sorted (for tests/benches). *)
 val is_sorted : Species.t -> bool

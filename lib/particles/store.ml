@@ -29,6 +29,7 @@ type t = {
   mutable sort_buf : t option;
   mutable sort_counts : int array;
   mutable sort_dst : int array;
+  mutable sort_tile_counts : int array array;
 }
 
 let f32_create n = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n
@@ -58,7 +59,8 @@ let create ?(capacity = 1024) () =
     w = f32_create capacity;
     sort_buf = None;
     sort_counts = [||];
-    sort_dst = [||] }
+    sort_dst = [||];
+    sort_tile_counts = [||] }
 
 let count t = t.np
 

@@ -1,5 +1,17 @@
 module Comm = Vpic_parallel.Comm
 
+(* Concurrency/ownership rule (audited for the worker-team refactor):
+   a [t] is single-writer — all record fields mutate without locks, so a
+   table belongs to exactly one domain.  The [default] registry is
+   Domain.DLS-keyed: each domain (rank or team worker) that asks gets
+   its own table, so a worker can never scribble on its rank's metrics
+   by accident.  The consequence the team honours: everything a rank
+   reports (including the per-worker busy gauges, fed from
+   [Team.busy_seconds]'s plain-array snapshot taken after the fork-join
+   barrier) is written by the rank's own domain, between parallel
+   regions.  Worker domains do not record metrics of their own — their
+   only telemetry is their Trace buffer. *)
+
 (* Histogram geometry: 16 log buckets per decade over [1e-12, 1e12).
    Bucket width is 10^(1/16) ~ 1.155, so a mid-bucket quantile estimate
    is within ~7.5% of the true value. *)

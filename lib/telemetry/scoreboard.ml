@@ -45,9 +45,13 @@ type t = {
   nranks : int;
   reduce_sum : float -> float;
   reduce_max : float -> float;
+  worker_busy : (unit -> float array) option;
+      (* cumulative per-lane busy seconds of the rank's worker team
+         (Vpic_parallel.Team.busy_seconds); lane 0 = the rank's domain *)
   base : cum;
   mutable prev : cum;
   mutable prev_step : int;
+  mutable prev_busy : float array;
 }
 
 let read (metrics : Metrics.t) (perf : Perf.counters) =
@@ -67,10 +71,24 @@ let read (metrics : Metrics.t) (perf : Perf.counters) =
     movers = Metrics.value metrics "migrate.movers";
     mbytes = Metrics.value metrics "migrate.bytes" }
 
-let create ~metrics ~perf ~nranks ~reduce_sum ~reduce_max () =
+let worker_gauge lane = Printf.sprintf "team.worker.busy_s.w%d" lane
+
+let create ?worker_busy ~metrics ~perf ~nranks ~reduce_sum ~reduce_max () =
   let base = read metrics perf in
-  { metrics; perf; nranks; reduce_sum; reduce_max; base; prev = base;
-    prev_step = 0 }
+  let prev_busy =
+    match worker_busy with Some f -> f () | None -> [||]
+  in
+  (* Pre-register the team gauges so the collective metric reduce sees
+     an identical (sorted) name set on every rank from the first window
+     — the worker count is a global run parameter, so all ranks register
+     the same names (or none). *)
+  if worker_busy <> None then begin
+    Array.iteri (fun lane _ -> Metrics.gauge_set metrics (worker_gauge lane) 0.)
+      prev_busy;
+    Metrics.gauge_set metrics "team.push_imbalance" 1.
+  end;
+  { metrics; perf; nranks; reduce_sum; reduce_max; worker_busy; base;
+    prev = base; prev_step = 0; prev_busy }
 
 type sample = {
   step : int;
@@ -84,6 +102,7 @@ type sample = {
   movers : float;
   mover_bytes : float;
   imbalance : float;
+  worker_imbalance : float;
 }
 
 let safe_div a b = if b > 0. then a /. b else 0.
@@ -106,7 +125,33 @@ let rates t ~(from : cum) =
   (c, d_wall, d_flops, d_ps, d_vox, d_push_sum, d_push_max, d_park, d_movers,
    d_mbytes, push_mean)
 
+(* Publish the team gauges and return this rank's max/mean busy-seconds
+   ratio over the window (1.0 without a team or with an idle window).
+   Local, not reduced: imbalance *within* the rank's own team. *)
+let worker_window t =
+  match t.worker_busy with
+  | None -> 1.
+  | Some f ->
+      let now = f () in
+      let lanes = Array.length now in
+      let wmax = ref 0. and wsum = ref 0. in
+      for lane = 0 to lanes - 1 do
+        let prev =
+          if lane < Array.length t.prev_busy then t.prev_busy.(lane) else 0.
+        in
+        let d = Float.max 0. (now.(lane) -. prev) in
+        Metrics.gauge_set t.metrics (worker_gauge lane) now.(lane);
+        if d > !wmax then wmax := d;
+        wsum := !wsum +. d
+      done;
+      t.prev_busy <- now;
+      let mean = safe_div !wsum (float_of_int (max 1 lanes)) in
+      let imb = if mean > 0. then !wmax /. mean else 1. in
+      Metrics.gauge_set t.metrics "team.push_imbalance" imb;
+      imb
+
 let sample t ~step =
+  let worker_imbalance = worker_window t in
   let ( c, d_wall, d_flops, d_ps, d_vox, _d_push_sum, d_push_max, d_park,
         d_movers, d_mbytes, push_mean ) =
     rates t ~from:t.prev
@@ -122,7 +167,8 @@ let sample t ~step =
       comm_wait_frac = d_park /. (float_of_int t.nranks *. d_wall);
       movers = d_movers;
       mover_bytes = d_mbytes;
-      imbalance = (if push_mean > 0. then d_push_max /. push_mean else 1.) }
+      imbalance = (if push_mean > 0. then d_push_max /. push_mean else 1.);
+      worker_imbalance }
   in
   t.prev <- c;
   t.prev_step <- step;
@@ -143,11 +189,11 @@ let sample_to_json s =
     "{\"type\":\"scoreboard\",\"step\":%d,\"window_steps\":%d,\"wall_s\":%s,\
      \"particle_rate\":%s,\"voxel_rate\":%s,\"sustained_flops\":%s,\
      \"inner_flops\":%s,\"comm_wait_frac\":%s,\"movers\":%s,\
-     \"mover_bytes\":%s,\"imbalance\":%s}"
+     \"mover_bytes\":%s,\"imbalance\":%s,\"worker_imbalance\":%s}"
     s.step s.window_steps (num s.wall_s) (num s.particle_rate)
     (num s.voxel_rate) (num s.sustained_flops) (num s.inner_flops)
     (num s.comm_wait_frac) (num s.movers) (num s.mover_bytes)
-    (num s.imbalance)
+    (num s.imbalance) (num s.worker_imbalance)
 
 type totals = {
   steps : int;

@@ -15,8 +15,15 @@ type t
 
 (** One per rank, on the rank's own domain, after {!Trace.enable} /
     {!Metrics.enable}.  [reduce_sum] / [reduce_max] are the world
-    scalar collectives (identity on a serial run). *)
+    scalar collectives (identity on a serial run).
+    [worker_busy] (when the rank runs a worker team) returns the team's
+    cumulative per-lane busy seconds ([Vpic_parallel.Team.busy_seconds]);
+    each {!sample} then publishes a ["team.worker.busy_s.w<lane>"] gauge
+    per lane and a ["team.push_imbalance"] gauge (window max/mean lane
+    busy) — pass it on every rank or none, so the collective metric
+    reduce sees one name set. *)
 val create :
+  ?worker_busy:(unit -> float array) ->
   metrics:Metrics.t ->
   perf:Vpic_util.Perf.counters ->
   nranks:int ->
@@ -37,6 +44,9 @@ type sample = {
   movers : float;           (** migrated particles, world *)
   mover_bytes : float;      (** migration wire bytes, world *)
   imbalance : float;        (** max/mean push seconds across ranks *)
+  worker_imbalance : float;
+      (** max/mean busy seconds across this rank's team lanes (1.0
+          without a team) *)
 }
 
 (** Collective.  Advances the window. *)

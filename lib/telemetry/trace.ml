@@ -38,10 +38,23 @@ let name_of id =
 
 (* ---------------------------------------------------------- buffers ---- *)
 
+(* Concurrency/ownership rule (audited for the worker-team refactor):
+   every mutable field below is domain-local — a buffer is created by
+   [enable]/[enable_worker] ON the domain that will write it, reached
+   only through [Domain.DLS], and never shared.  Worker domains of a
+   rank's team therefore each arm their own buffer (distinct [worker]
+   ids) rather than writing the rank's; the only cross-domain state is
+   the interned-name table (mutex-guarded above), the [armed] atomic and
+   the buffer [registry] (mutex-guarded; appended on enable, read only
+   after the writing domains have quiesced — export runs after
+   [Comm.run]/team shutdown joins them, and joining publishes their
+   writes). *)
+
 let max_depth = 64
 
 type buffer = {
   rank : int;
+  worker : int;  (* 0 = the rank's own domain; >0 = team worker lane *)
   cap : int;
   (* ring of completed spans, slot = total mod cap *)
   ring_name : int array;
@@ -69,10 +82,11 @@ let key : buffer option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 let reg_mu = Mutex.create ()
 let registry : buffer list ref = ref []
 
-let enable ?(capacity = 65536) ~rank () =
+let enable_worker ?(capacity = 65536) ~rank ~worker () =
   let cap = max 16 capacity in
   let b =
     { rank;
+      worker;
       cap;
       ring_name = Array.make cap 0;
       ring_depth = Array.make cap 0;
@@ -90,6 +104,8 @@ let enable ?(capacity = 65536) ~rank () =
   registry := b :: !registry;
   Mutex.unlock reg_mu;
   Atomic.set armed true
+
+let enable ?capacity ~rank () = enable_worker ?capacity ~rank ~worker:0 ()
 
 let disable () = Atomic.set armed false
 
@@ -177,7 +193,14 @@ let phase_totals () =
       done;
       !out
 
-type entry = { rank : int; name : string; t0 : float; t1 : float; depth : int }
+type entry = {
+  rank : int;
+  worker : int;
+  name : string;
+  t0 : float;
+  t1 : float;
+  depth : int;
+}
 
 let buffers () =
   Mutex.lock reg_mu;
@@ -191,6 +214,7 @@ let buffer_entries b =
   List.init kept (fun i ->
       let slot = (first + i) mod b.cap in
       { rank = b.rank;
+        worker = b.worker;
         name = name_of b.ring_name.(slot);
         t0 = b.ring_t0.(slot);
         t1 = b.ring_t1.(slot);
@@ -205,6 +229,12 @@ let dropped_entries () =
   List.fold_left (fun acc b -> acc + max 0 (b.total - b.cap)) 0 (buffers ())
 
 (* ----------------------------------------------------------- export ---- *)
+
+(* One Chrome track per (rank, worker).  The rank's own domain keeps
+   tid = rank — existing tooling that asserts tids = ranks still holds
+   on workerless runs — and worker lanes land far away at
+   rank + worker * 4096 so they can never collide with a real rank. *)
+let tid e = if e.worker = 0 then e.rank else e.rank + (e.worker * 4096)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -236,7 +266,7 @@ let export_chrome oc =
         (json_escape e.name)
         ((e.t0 -. t_min) *. 1e6)
         ((e.t1 -. e.t0) *. 1e6)
-        e.rank)
+        (tid e))
     es;
   output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n"
 
@@ -244,6 +274,7 @@ let export_jsonl oc =
   List.iter
     (fun e ->
       Printf.fprintf oc
-        "{\"rank\":%d,\"name\":\"%s\",\"t0\":%.9f,\"t1\":%.9f,\"dur\":%.9f,\"depth\":%d}\n"
-        e.rank (json_escape e.name) e.t0 e.t1 (e.t1 -. e.t0) e.depth)
+        "{\"rank\":%d,\"worker\":%d,\"name\":\"%s\",\"t0\":%.9f,\"t1\":%.9f,\"dur\":%.9f,\"depth\":%d}\n"
+        e.rank e.worker (json_escape e.name) e.t0 e.t1 (e.t1 -. e.t0)
+        e.depth)
     (entries ())

@@ -31,6 +31,13 @@ val name_of : int -> string
     returns. *)
 val enable : ?capacity:int -> rank:int -> unit -> unit
 
+(** [enable] for a worker lane of rank [rank]'s team: the calling worker
+    domain gets its own buffer (buffers are strictly domain-local —
+    workers never write the rank's ring) whose spans carry [worker] into
+    the exports.  The rank's own domain is worker 0 ([enable] =
+    [enable_worker ~worker:0]). *)
+val enable_worker : ?capacity:int -> rank:int -> worker:int -> unit -> unit
+
 (** Disarm globally.  Buffers are kept (exportable); spans stop
     recording. *)
 val disable : unit -> unit
@@ -65,6 +72,7 @@ val phase_totals : unit -> (string * float * int) list
 
 type entry = {
   rank : int;
+  worker : int; (** 0 = the rank's own domain; >0 = team worker lane *)
   name : string;
   t0 : float;   (** [Perf.now] at begin *)
   t1 : float;
@@ -84,9 +92,11 @@ val dropped_entries : unit -> int
 (** {1 Export} *)
 
 (** Chrome trace-event JSON: [{"traceEvents": [...]}] with one complete
-    ("ph":"X") event per span, [tid] = rank, microsecond timestamps
-    relative to the earliest recorded span. *)
+    ("ph":"X") event per span, microsecond timestamps relative to the
+    earliest recorded span.  One track per (rank, worker): [tid] = rank
+    for the rank's own domain (worker 0), [rank + 4096 * worker] for
+    team worker lanes. *)
 val export_chrome : out_channel -> unit
 
-(** One JSON object per line: rank, name, t0, t1, dur, depth. *)
+(** One JSON object per line: rank, worker, name, t0, t1, dur, depth. *)
 val export_jsonl : out_channel -> unit

@@ -13,4 +13,5 @@ let () =
       ("telemetry", Suite_telemetry.suite);
       ("fault", Suite_fault.suite);
       ("cell", Suite_cell.suite);
-      ("lpi", Suite_lpi.suite) ]
+      ("lpi", Suite_lpi.suite);
+      ("team", Suite_team.suite) ]
