@@ -7,7 +7,9 @@
                           [--checkpoint-dir DIR] [--checkpoint-every N]
                           [--keep-generations K] [--resume auto]
                           [--sentinel-every N] [--sentinel-log FILE]
-                          [--fault-kill-step N] [--fault-seed S]
+                          [--fault-kill-step N] [--fault-kill-rank R]
+                          [--fault-seed S] [--recover auto]
+                          [--max-recoveries K]
                           [--ranks N] [--trace FILE] [--metrics FILE]
                           [--scoreboard-every N]
      vpic_run sweep       [--a0s 0.02,0.04,...] [--ppc 32] [--with-noise-run]
@@ -166,7 +168,8 @@ let export_trace = function
    resume/sentinel/final-checkpoint stay on the classic path. *)
 let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
     ~cost_model ~steps ~ranks ~workers ~ckpt_dir ~ckpt_every ~keep
-    ~trace_file ~metrics_file ~scoreboard_every =
+    ~trace_file ~metrics_file ~scoreboard_every ~recover_auto
+    ~max_recoveries =
   (* Every block keeps at least two transverse cells (remainder-safe
      decomposition still wants non-degenerate slabs). *)
   let config =
@@ -228,11 +231,15 @@ let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
           flush oc
       | None -> ()
     in
-    for step = 1 to steps do
-      Multiblock.step mb;
-      Deck.sample_over bs;
-      if ckpt_every > 0 && step mod ckpt_every = 0 then
-        Multiblock.save_generation mb ~dir:ckpt_dir ~gen:step ~keep;
+    (* The live root: lowest surviving rank.  Identical to [root] until
+       a recovery shrinks the world; console prints follow it so a run
+       that lost rank 0 still reports.  The metrics file stays on the
+       original rank 0 (its channel cannot migrate), so killing rank 0
+       ends metrics.jsonl emission — a documented limitation. *)
+    let live_root () =
+      match comm_opt with Some cm -> rank = Comm.root cm | None -> root
+    in
+    let scoreboard_tail step =
       if scoreboard_every > 0 && step mod scoreboard_every = 0 then begin
         let s = Scoreboard.sample board ~step in
         let snap =
@@ -240,13 +247,26 @@ let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
           | Some cm -> Metrics.reduce_comm cm registry
           | None -> Metrics.snapshot_local registry
         in
-        if root then begin
-          Scoreboard.print s;
-          emit (Scoreboard.sample_to_json s);
-          emit (Metrics.snapshot_to_json ~step snap)
-        end
+        if live_root () then Scoreboard.print s;
+        emit (Scoreboard.sample_to_json s);
+        emit (Metrics.snapshot_to_json ~step snap)
       end
-    done;
+    in
+    (if recover_auto then
+       ignore
+         (Vpic.Recover.supervise ~max_recoveries
+            ~after_step:(fun ~step ->
+              Deck.sample_over bs;
+              scoreboard_tail step)
+            ~dir:ckpt_dir ~keep ~ckpt_every ~steps mb)
+     else
+       for step = 1 to steps do
+         Multiblock.step mb;
+         Deck.sample_over bs;
+         if ckpt_every > 0 && step mod ckpt_every = 0 then
+           Multiblock.save_generation mb ~dir:ckpt_dir ~gen:step ~keep;
+         scoreboard_tail step
+       done);
     let r =
       reduce_sum (Reflectivity.reflectivity bs.Deck.refl)
       /. float_of_int nranks
@@ -276,7 +296,7 @@ let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
     in
     let report = Report.make ~totals ~workload () in
     let en = Multiblock.energies mb in
-    if root then begin
+    if live_root () then begin
       Printf.printf "reflectivity = %.4e\n" r;
       Scoreboard.print_totals totals;
       Scoreboard.print_block_rollup ~owners:(Multiblock.owners mb)
@@ -293,20 +313,55 @@ let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
     end
   in
   (if ranks <= 1 then body None
-   else ignore (Comm.run ~ranks (fun cm -> body (Some cm))));
+   else if not recover_auto then
+     ignore (Comm.run ~ranks (fun cm -> body (Some cm)))
+   else begin
+     (* Self-healing run: rank deaths are expected, so per-rank outcomes
+        come back as results.  One surviving rank means the world
+        absorbed its losses — success.  All dead means the failure beat
+        the recovery budget: re-raise the most meaningful exception
+        (recoveries-exhausted preferred over the death it chased). *)
+     let results = Comm.run_recoverable ~ranks (fun cm -> body (Some cm)) in
+     let survived =
+       Array.exists (function Ok _ -> true | Error _ -> false) results
+     in
+     if not survived then begin
+       let pick =
+         Array.fold_left
+           (fun acc r ->
+             match (acc, r) with
+             | Some (Vpic.Recover.Recoveries_exhausted _), _ -> acc
+             | _, Error (Vpic.Recover.Recoveries_exhausted _ as e) -> Some e
+             | None, Error e -> Some e
+             | acc, _ -> acc)
+           None results
+       in
+       match pick with Some e -> raise e | None -> ()
+     end
+   end);
   export_trace trace_file
 
 let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
     sentinel_every sentinel_log kill_step fault_seed ranks workers trace_file
     metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
-    cost_model y_skew =
+    cost_model y_skew kill_rank recover_auto max_recoveries =
   (* Fault injection is armed before anything else so even the first
      steps are covered; it is a no-op unless these flags are given. *)
   (match kill_step with
   | Some s ->
       Fault.enable ~seed:fault_seed;
-      Fault.arm (Fault.Kill_rank { rank = 0; step = s })
+      Fault.arm (Fault.Kill_rank { rank = kill_rank; step = s })
   | None -> ());
+  if recover_auto then begin
+    if blocks <= 0 then
+      invalid_arg "vpic_run: --recover auto requires --blocks";
+    if ckpt_every <= 0 then
+      invalid_arg
+        "vpic_run: --recover auto requires --checkpoint-every > 0 (rollback \
+         needs checkpoint generations)";
+    if ranks <= 1 then
+      invalid_arg "vpic_run: --recover auto requires --ranks >= 2"
+  end;
   let config = { Deck.default with a0; nr; te_kev = te; nx; ppc; y_skew } in
   if blocks > 0 then begin
     if ranks > blocks then
@@ -321,7 +376,8 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
       prerr_endline "vpic_run: --sentinel-every is ignored with --blocks";
     run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
       ~cost_model ~steps ~ranks ~workers ~ckpt_dir ~ckpt_every ~keep
-      ~trace_file ~metrics_file ~scoreboard_every
+      ~trace_file ~metrics_file ~scoreboard_every ~recover_auto
+      ~max_recoveries
   end
   else begin
   (* Parallel runs decompose along y; widen the (quasi-1D) transverse
@@ -500,18 +556,12 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
   end
 
 (* Typed failures get a readable one-line report and a distinct exit
-   code (2 = unusable checkpoint, 3 = injected fault, 4 = health abort)
-   so the CI smoke job can tell them apart. *)
-let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-    sentinel_every sentinel_log kill_step fault_seed ranks workers trace_file
-    metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
-    cost_model y_skew =
-  try
-    run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-      sentinel_every sentinel_log kill_step fault_seed ranks workers
-      trace_file metrics_file scoreboard_every blocks rebalance_every
-      rebalance_threshold cost_model y_skew
-  with
+   code (2 = unusable checkpoint, 3 = injected fault, 4 = health abort,
+   5 = recoveries exhausted) so the CI smoke jobs can tell them apart.
+   A [Team.Worker_failed] wrapper is peeled off first: the worker's
+   underlying failure decides the code. *)
+let rec classify_failure = function
+  | Team.Worker_failed { error; _ } -> classify_failure error
   | Checkpoint.Version_mismatch { path; found; expected } ->
       Printf.eprintf
         "vpic_run: %s is a format-%d checkpoint; this build reads format %d\n"
@@ -528,6 +578,25 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
       Printf.eprintf "vpic_run: health sentinel abort: %s\n"
         (Sentinel.diagnosis_to_string d);
       exit 4
+  | Vpic.Recover.Recoveries_exhausted { attempts; last } as e ->
+      Printf.eprintf
+        "vpic_run: recovery budget exhausted after %d recoveries (last \
+         failure: %s)\n"
+        attempts (Printexc.to_string last);
+      exit (Option.value ~default:1 (Vpic.Recover.classify_exit e))
+  | e -> raise e
+
+let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
+    sentinel_every sentinel_log kill_step fault_seed ranks workers trace_file
+    metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
+    cost_model y_skew kill_rank recover_auto max_recoveries =
+  try
+    run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
+      sentinel_every sentinel_log kill_step fault_seed ranks workers
+      trace_file metrics_file scoreboard_every blocks rebalance_every
+      rebalance_threshold cost_model y_skew kill_rank recover_auto
+      max_recoveries
+  with e -> classify_failure e
 
 let srs_cmd =
   let a0 = Arg.(value & opt float 0.09 & info [ "a0" ] ~doc:"Pump amplitude.") in
@@ -579,6 +648,28 @@ let srs_cmd =
     Arg.(value & opt (some int) None
          & info [ "fault-kill-step" ]
              ~doc:"Fault injection: kill the run during step N.")
+  in
+  let kill_rank =
+    Arg.(value & opt int 0
+         & info [ "fault-kill-rank" ]
+             ~doc:"With --fault-kill-step: the rank to kill (default 0).")
+  in
+  let recover =
+    let modes = Arg.enum [ ("auto", true); ("off", false) ] in
+    Arg.(value & opt modes false
+         & info [ "recover" ]
+             ~doc:"$(b,auto): survive rank deaths by shrinking the world — \
+                   survivors agree on the dead, roll back collectively to \
+                   the newest valid checkpoint generation, adopt the \
+                   orphaned blocks and resume (requires --blocks, --ranks \
+                   >= 2 and --checkpoint-every > 0).  $(b,off) (default): \
+                   any rank death aborts the run.")
+  in
+  let max_recoveries =
+    Arg.(value & opt int 3
+         & info [ "max-recoveries" ]
+             ~doc:"With --recover auto: recovery budget; one more death \
+                   exits with code 5.")
   in
   let fault_seed =
     Arg.(value & opt int 1
@@ -662,7 +753,8 @@ let srs_cmd =
           $ ckpt_every $ keep $ resume $ sentinel_every $ sentinel_log
           $ kill_step $ fault_seed $ ranks $ workers $ trace_file
           $ metrics_file $ scoreboard_every $ blocks $ rebalance_every
-          $ rebalance_threshold $ cost_model $ y_skew)
+          $ rebalance_threshold $ cost_model $ y_skew $ kill_rank $ recover
+          $ max_recoveries)
 
 (* ---------------------------------------------------------------- sweep *)
 

@@ -217,12 +217,11 @@ let encode ?(block_id = 0) ?(nblocks = 1) (t : Simulation.t) =
   buf_section b species;
   Buffer.to_bytes b
 
-let save ?block_id ?nblocks (t : Simulation.t) path =
-  let image = encode ?block_id ?nblocks t in
-  (* Atomic: land the complete file under a temporary name in the same
-     directory, then rename over [path].  A crash mid-write leaves the
-     previous checkpoint (or nothing) — never a short file under the
-     committed name. *)
+(* Atomic: land the complete file under a temporary name in the same
+   directory, then rename over [path].  A crash mid-write leaves the
+   previous checkpoint (or nothing) — never a short file under the
+   committed name; the temp file is unlinked on every failure. *)
+let write_image image path =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
@@ -231,6 +230,51 @@ let save ?block_id ?nblocks (t : Simulation.t) path =
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
   Sys.rename tmp path
+
+let save ?block_id ?nblocks (t : Simulation.t) path =
+  write_image (encode ?block_id ?nblocks t) path
+
+let save_attempts = 3
+let retry_backoff_base = 0.002
+
+(* Bounded retry for transient checkpoint I/O: up to [save_attempts]
+   tries with exponential backoff and seed-deterministic jitter (keyed
+   on the path and the attempt number, so reruns sleep the same
+   schedule).  [write_image] unlinks the temp file on every failed
+   attempt, so retries never collide with debris.  The
+   [Fault.io_failure] probe simulates a transient failure after the
+   temp file has been written — exercising exactly the
+   unlink-then-retry path. *)
+let save_retrying ?block_id ?nblocks ~rank (t : Simulation.t) path =
+  let image = encode ?block_id ?nblocks t in
+  let attempt_once () =
+    if Fault.io_failure ~rank ~path then begin
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_bytes oc image);
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise (Sys_error (path ^ ": injected transient I/O failure"))
+    end
+    else write_image image path
+  in
+  let rec go attempt =
+    match attempt_once () with
+    | () -> ()
+    | exception (Sys_error _ as e) ->
+        if attempt >= save_attempts then raise e
+        else begin
+          let r = Rng.of_int (Hashtbl.hash (path, attempt)) in
+          let jitter = float_of_int (Rng.int r 1000) /. 1000. in
+          Unix.sleepf
+            (retry_backoff_base
+            *. float_of_int (1 lsl (attempt - 1))
+            *. (1. +. jitter));
+          go (attempt + 1)
+        end
+  in
+  go 1
 
 (* -------------------------------------------------------------- load ---- *)
 
@@ -373,6 +417,146 @@ let mkdir_exist_ok d =
   try Unix.mkdir d 0o755
   with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
+let load_block ?expect_block ?perf ~coupler path =
+  decode ?expect_block ?perf ~coupler (bytes_of_file path)
+
+(* ---------------------------------------------------- recovery manifest ---- *)
+
+(* While a recovery is in progress the world has agreed to roll back to
+   one specific generation; this side manifest records that agreement so
+   (a) the retention pruner never deletes the generation out from under
+   the rollback, and (b) a post-mortem can see what the world decided.
+   Written atomically by the recovery root, cleared by the next
+   successful checkpoint commit (at which point the newer generation
+   supersedes the pinned one). *)
+
+type recovery = { rollback_gen : int; epoch : int; dead : int list }
+
+let recovery_manifest_path dir = Filename.concat dir "RECOVERY"
+let recovery_magic = "vpic-recovery-manifest 1"
+
+let write_recovery_manifest ~dir r =
+  mkdir_exist_ok dir;
+  let path = recovery_manifest_path dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (recovery_magic ^ "\n");
+      Printf.fprintf oc "gen %d\n" r.rollback_gen;
+      Printf.fprintf oc "epoch %d\n" r.epoch;
+      List.iter (fun rk -> Printf.fprintf oc "dead %d\n" rk) r.dead);
+  Sys.rename tmp path
+
+let read_recovery_manifest ~dir =
+  let path = recovery_manifest_path dir in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | l -> go (l :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    in
+    match lines with
+    | hd :: rest when hd = recovery_magic ->
+        let g = ref (-1) and ep = ref 0 and dead = ref [] in
+        List.iter
+          (fun l ->
+            match String.split_on_char ' ' l with
+            | [ "gen"; n ] -> g := int_of_string n
+            | [ "epoch"; n ] -> ep := int_of_string n
+            | [ "dead"; n ] -> dead := int_of_string n :: !dead
+            | [] | [ "" ] -> ()
+            | _ -> raise (Corrupt { path; reason = "malformed line: " ^ l }))
+          rest;
+        Some { rollback_gen = !g; epoch = !ep; dead = List.sort compare !dead }
+    | _ -> raise (Corrupt { path; reason = "bad recovery manifest header" })
+  end
+
+let clear_recovery_manifest ~dir =
+  try Sys.remove (recovery_manifest_path dir) with Sys_error _ -> ()
+
+(* keep-K retention partition, with the pruning-safety guard: the
+   generation pinned by an in-progress recovery manifest is never
+   dropped, whatever the retention window says. *)
+let retention ~dir ~keep all =
+  let drop = max 0 (List.length all - keep) in
+  let dropped, kept =
+    List.partition
+      (let i = ref 0 in
+       fun _ ->
+         incr i;
+         !i <= drop)
+      all
+  in
+  match read_recovery_manifest ~dir with
+  | Some r when List.mem r.rollback_gen dropped ->
+      ( List.filter (fun g -> g <> r.rollback_gen) dropped,
+        List.sort compare (r.rollback_gen :: kept) )
+  | _ -> (dropped, kept)
+
+(* ------------------------------------------------- generation ownership ---- *)
+
+(* Each committed generation records the block -> rank ownership at save
+   time ("b r" lines).  Recovery reads it back as the pre-failure
+   baseline for {!Vpic_parallel.Rebalance.adopt}: runtime ownership may
+   have diverged across ranks when a rank died mid-rebalance, but the
+   checkpoint-time table is on shared disk and therefore agreed. *)
+
+let owners_path ~dir ~gen =
+  Filename.concat (generation_dir ~dir ~gen) "OWNERS"
+
+let write_gen_owners ~dir ~gen owners =
+  let path = owners_path ~dir ~gen in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Array.iteri (fun b r -> Printf.fprintf oc "%d %d\n" b r) owners);
+  Sys.rename tmp path
+
+let read_gen_owners ~dir ~gen ~nblocks =
+  let path = owners_path ~dir ~gen in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let owners = Array.make nblocks (-1) in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | l ->
+              (match String.split_on_char ' ' l with
+              | [ b; r ] ->
+                  let b = int_of_string b in
+                  if b >= 0 && b < nblocks then owners.(b) <- int_of_string r
+              | _ -> raise (Corrupt { path; reason = "malformed line: " ^ l }));
+              go ()
+          | exception End_of_file -> ()
+        in
+        go ());
+    Some owners
+  end
+
+(* Per-block checkpoint file sizes of a generation: the deterministic
+   shared-disk cost vector recovery feeds to the adoption planner (file
+   size is dominated by particle count, i.e. push cost).  Missing files
+   cost 0. *)
+let block_file_sizes ~dir ~gen ~nblocks =
+  Array.init nblocks (fun b ->
+      match Unix.stat (block_path ~dir ~gen ~block:b) with
+      | s -> float_of_int s.Unix.st_size
+      | exception Unix.Unix_error _ -> 0.)
+
 (* [nblocks] = 0 marks a classic one-file-per-rank run; > 0 an
    over-decomposed one-file-per-block run (whose [nranks] is 0: block
    files are rank-agnostic). *)
@@ -477,15 +661,7 @@ let save_generation (t : Simulation.t) ~dir ~gen ~keep =
       | None -> []
     in
     let all = List.sort compare (gen :: prev) in
-    let drop = max 0 (List.length all - keep) in
-    let dropped, kept =
-      List.partition
-        (let i = ref 0 in
-         fun _ ->
-           incr i;
-           !i <= drop)
-        all
-    in
+    let dropped, kept = retention ~dir ~keep all in
     write_manifest dir
       { nranks = c.Coupler.nranks; nblocks = 0; generations = kept };
     List.iter (fun g -> rm_rf_generation ~dir ~gen:g) dropped
@@ -536,11 +712,11 @@ let load_latest_valid ~coupler ~dir =
    but the manifest records [nblocks] instead of a rank count — the
    files are rank-agnostic, so a restore may run on any rank count and
    any ownership. *)
-let save_generation_blocks ~dir ~gen ~keep ~rank ~nranks:_ ~nblocks
-    ~barrier ~owned =
+let save_generation_blocks ?(root = 0) ?owners ~dir ~gen ~keep ~rank ~nranks:_
+    ~nblocks ~barrier ~owned () =
   Vpic_telemetry.Trace.with_span sid_checkpoint @@ fun () ->
   assert (keep >= 1);
-  if rank = 0 then begin
+  if rank = root then begin
     mkdir_exist_ok dir;
     mkdir_exist_ok (generation_dir ~dir ~gen)
   end;
@@ -548,11 +724,15 @@ let save_generation_blocks ~dir ~gen ~keep ~rank ~nranks:_ ~nblocks
   List.iter
     (fun (b, sim) ->
       let path = block_path ~dir ~gen ~block:b in
-      save ~block_id:b ~nblocks sim path;
+      save_retrying ~block_id:b ~nblocks ~rank sim path;
       Fault.checkpoint_written ~rank ~gen ~path)
     owned;
+  (* Die-during-checkpoint window: block files are on disk but the
+     generation is not yet committed.  A recovery started here must not
+     see this generation in the manifest. *)
+  Fault.checkpoint_kill_point ~rank ~gen;
   barrier ();
-  if rank = 0 then begin
+  if rank = root then begin
     let prev =
       match read_manifest dir with
       | Some m ->
@@ -572,26 +752,27 @@ let save_generation_blocks ~dir ~gen ~keep ~rank ~nranks:_ ~nblocks
       | None -> []
     in
     let all = List.sort compare (gen :: prev) in
-    let drop = max 0 (List.length all - keep) in
-    let dropped, kept =
-      List.partition
-        (let i = ref 0 in
-         fun _ ->
-           incr i;
-           !i <= drop)
-        all
-    in
+    let dropped, kept = retention ~dir ~keep all in
+    (* Ownership-at-save lands next to the block files, then the
+       manifest commits both atomically (the manifest is the commit
+       point; an OWNERS file without a manifest entry is inert). *)
+    Option.iter (fun o -> write_gen_owners ~dir ~gen o) owners;
     write_manifest dir { nranks = 0; nblocks; generations = kept };
-    List.iter (fun g -> rm_rf_generation ~dir ~gen:g) dropped
+    List.iter (fun g -> rm_rf_generation ~dir ~gen:g) dropped;
+    (* A freshly committed generation supersedes any rollback target an
+       earlier recovery pinned. *)
+    clear_recovery_manifest ~dir
   end
 
-(* Collective pick of the newest generation whose every block file
-   verifies, then each rank loads the blocks [owner] assigns to it
-   ([coupler_of b] supplies block [b]'s coupler; [perf] is shared).
-   Verification is split by the restoring ownership so each file is
-   checked exactly once across the world. *)
-let load_latest_valid_blocks ?perf ~dir ~rank ~nranks ~nblocks ~reduce_sum
-    ~owner ~coupler_of () =
+(* Collective pick of the newest manifest generation whose every block
+   file verifies.  [mine] is this rank's verification slice — callers
+   split the [nblocks] files so each is checked exactly once across the
+   world — and the pass/fail decision is taken in lockstep through
+   [reduce_sum] (1.0 per valid file, summed).  Recovery reuses this with
+   a mod-slice over the {e live} rank list, so a shrunken world agrees
+   on the rollback target the same way a restart agrees on its restore
+   point. *)
+let pick_latest_valid_gen ~dir ~nblocks ~mine ~reduce_sum =
   let gens =
     match read_manifest dir with
     | None -> []
@@ -605,8 +786,6 @@ let load_latest_valid_blocks ?perf ~dir ~rank ~nranks ~nblocks ~reduce_sum
                      m.nblocks nblocks });
         List.rev m.generations (* newest first *)
   in
-  let mine = List.filter (fun b -> owner.(b) = rank) (List.init nblocks Fun.id) in
-  ignore nranks;
   let rec pick = function
     | [] -> None
     | g :: rest ->
@@ -620,15 +799,23 @@ let load_latest_valid_blocks ?perf ~dir ~rank ~nranks ~nblocks ~reduce_sum
         in
         if int_of_float (reduce_sum ok) = nblocks then Some g else pick rest
   in
-  match pick gens with
+  pick gens
+
+(* Pick the newest valid generation, then each rank loads the blocks
+   [owner] assigns to it ([coupler_of b] supplies block [b]'s coupler;
+   [perf] is shared).  Verification is split by the restoring ownership. *)
+let load_latest_valid_blocks ?perf ~dir ~rank ~nranks ~nblocks ~reduce_sum
+    ~owner ~coupler_of () =
+  ignore nranks;
+  let mine = List.filter (fun b -> owner.(b) = rank) (List.init nblocks Fun.id) in
+  match pick_latest_valid_gen ~dir ~nblocks ~mine ~reduce_sum with
   | None -> None
   | Some g ->
       let blocks =
         List.map
           (fun b ->
             let path = block_path ~dir ~gen:g ~block:b in
-            let data = bytes_of_file path in
-            (b, decode ~expect_block:b ?perf ~coupler:(coupler_of b) data))
+            (b, load_block ~expect_block:b ?perf ~coupler:(coupler_of b) path))
           mine
       in
       Some (blocks, g)

@@ -68,6 +68,16 @@ val decode :
     multi-rank run each rank saves its own file. *)
 val save : ?block_id:int -> ?nblocks:int -> Simulation.t -> string -> unit
 
+(** Like {!save}, with bounded retry for transient I/O failures: up to
+    {!save_attempts} tries, exponential backoff with seed-deterministic
+    jitter (keyed on path and attempt number).  The temporary file is
+    unlinked on every failed attempt.  [rank] feeds the
+    [Fault.io_failure] injection probe. *)
+val save_retrying :
+  ?block_id:int -> ?nblocks:int -> rank:int -> Simulation.t -> string -> unit
+
+val save_attempts : int
+
 (** Restore.  [coupler] must describe the same topology/boundaries the
     checkpoint was taken with; the grid is rebuilt from the snapshot.
     Raises {!Corrupt} or {!Version_mismatch}. *)
@@ -109,10 +119,25 @@ val load_latest_valid :
 (** Block [block]'s file for generation [gen] under [dir]. *)
 val block_path : dir:string -> gen:int -> block:int -> string
 
+(** Rebuild one block from its checkpoint file (a {!decode} of the
+    file's bytes — same arguments, same errors). *)
+val load_block :
+  ?expect_block:int ->
+  ?perf:Vpic_util.Perf.counters ->
+  coupler:Coupler.t ->
+  string ->
+  Simulation.t
+
 (** Collective.  Each rank passes the blocks it owns as [(id, sim)];
     the commit protocol matches {!save_generation} ([barrier] must be a
-    world barrier). *)
+    world barrier).  [root] (default 0) is the committing rank — a
+    recovered world passes its lowest live rank.  [owners], when given,
+    is the full block → rank table at save time, recorded next to the
+    block files as the generation's [OWNERS] file (recovery's agreed
+    pre-failure baseline).  Block writes go through {!save_retrying}. *)
 val save_generation_blocks :
+  ?root:int ->
+  ?owners:int array ->
   dir:string ->
   gen:int ->
   keep:int ->
@@ -121,7 +146,20 @@ val save_generation_blocks :
   nblocks:int ->
   barrier:(unit -> unit) ->
   owned:(int * Simulation.t) list ->
+  unit ->
   unit
+
+(** Collective.  Newest committed generation whose every block file
+    passes checksum verification.  [mine] is this rank's verification
+    slice of the block ids (callers partition [0..nblocks-1] so each
+    file is checked exactly once world-wide); per-rank validity counts
+    are summed with [reduce_sum] and all ranks take the same decision. *)
+val pick_latest_valid_gen :
+  dir:string ->
+  nblocks:int ->
+  mine:int list ->
+  reduce_sum:(float -> float) ->
+  int option
 
 (** Collective.  Pick the newest committed generation whose every block
     file verifies (validity counts are summed with [reduce_sum]); each
@@ -138,3 +176,34 @@ val load_latest_valid_blocks :
   coupler_of:(int -> Coupler.t) ->
   unit ->
   ((int * Simulation.t) list * int) option
+
+(** {1 Recovery support}
+
+    Shared-disk state the self-healing protocol reads and writes: the
+    generation ownership table ([OWNERS], written at commit), per-block
+    file sizes (the deterministic cost vector for block adoption), and
+    the [RECOVERY] side manifest pinning an in-progress rollback's
+    target generation against retention pruning. *)
+
+(** Ownership recorded at [gen]'s commit; [None] if the generation has
+    no [OWNERS] file (pre-recovery checkpoint layouts). *)
+val read_gen_owners : dir:string -> gen:int -> nblocks:int -> int array option
+
+(** Size in bytes of each block's file in [gen] (0 when missing) — the
+    cost vector recovery feeds to the adoption planner. *)
+val block_file_sizes : dir:string -> gen:int -> nblocks:int -> float array
+
+(** The agreement record of an in-progress recovery: rollback target,
+    the world epoch that decided it, and the casualty list. *)
+type recovery = { rollback_gen : int; epoch : int; dead : int list }
+
+(** Atomically record the agreement ([dir/RECOVERY]); written by the
+    recovery root before survivors start reloading.  While present, the
+    retention pruner never deletes [rollback_gen]. *)
+val write_recovery_manifest : dir:string -> recovery -> unit
+
+val read_recovery_manifest : dir:string -> recovery option
+
+(** Remove the record; also done automatically by the next successful
+    checkpoint commit. *)
+val clear_recovery_manifest : dir:string -> unit

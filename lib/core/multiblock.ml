@@ -253,6 +253,7 @@ let create ?comm ?(pool = Vpic_util.Pool.serial)
 
 let nblocks t = Block.count t.layout
 let nstep t = t.nstep
+let comm t = t.comm
 let owners t = Block.Ownership.snapshot t.ownership
 let owned_sims t = List.map (fun b -> (b.id, b.sim)) (owned t)
 let time t = (owned t |> List.hd).sim |> Simulation.time
@@ -286,13 +287,20 @@ let rebalance_now t =
       Metrics.gauge_set m (Printf.sprintf "push.cost.b%d" b) costs.(b)
     done
   end;
+  (* Plan over the *live* rank set: after a recovery, dead ranks must
+     never be donors or targets and their zero load is not imbalance. *)
+  let alive =
+    match t.comm with
+    | Some c -> Array.init t.nranks (fun r -> Comm.alive c ~rank:r)
+    | None -> Array.make t.nranks true
+  in
   t.last_imbalance <-
-    Rebalance.imbalance
+    Rebalance.imbalance_live ~alive
       (Rebalance.rank_loads ~costs ~owner:(owners t) ~nranks:t.nranks);
   let moved = ref 0 in
   if t.rebalance_threshold > 0. && t.nranks > 1 then begin
     let plan =
-      Rebalance.plan ~costs ~owner:(owners t) ~nranks:t.nranks
+      Rebalance.plan ~alive ~costs ~owner:(owners t) ~nranks:t.nranks
         ~threshold:t.rebalance_threshold ()
     in
     List.iter
@@ -328,7 +336,12 @@ let rebalance_now t =
             t.reattach b sim;
             t.blocks.(b) <- Some (mk_block b sim)
           end;
-          incr moved
+          incr moved;
+          (* Die-during-rebalance window: some ranks have applied this
+             move, others haven't — runtime ownership is divergent, which
+             is exactly why recovery replans from the checkpoint's OWNERS
+             table instead of anyone's live table. *)
+          Vpic_util.Fault.rebalance_kill_point ~rank:t.rank ~step:t.nstep
         end;
         Block.Ownership.apply t.ownership [ (b, dst) ])
       plan.Rebalance.moves;
@@ -390,6 +403,9 @@ let marder_passes_all t ~passes =
 
 let step_blocks t =
   Trace.with_span sid_step @@ fun () ->
+  (* Keyed by *rank* (block couplers carry block ids): the injected
+     death a self-healing run recovers from. *)
+  Vpic_util.Fault.kill_point ~rank:t.rank ~step:(t.nstep + 1);
   fill_em_all t;
   let pushes =
     List.map (fun b -> (b, Simulation.phase_clear_and_load b.sim)) (owned t)
@@ -554,7 +570,48 @@ let settle_fields t ~passes =
 (* -------------------------------------------------------- checkpointing ---- *)
 
 let save_generation t ~dir ~gen ~keep =
-  Checkpoint.save_generation_blocks ~dir ~gen ~keep ~rank:t.rank
-    ~nranks:t.nranks ~nblocks:(nblocks t)
+  let root = match t.comm with Some c -> Comm.root c | None -> 0 in
+  Checkpoint.save_generation_blocks ~root ~owners:(owners t) ~dir ~gen ~keep
+    ~rank:t.rank ~nranks:t.nranks ~nblocks:(nblocks t)
     ~barrier:(fun () -> barrier t)
     ~owned:(List.map (fun b -> (b.id, b.sim)) (owned t))
+    ()
+
+(* ------------------------------------------------------------ recovery ---- *)
+
+(* Collective (over the surviving ranks).  Discard every in-memory block,
+   force the ownership table to [owner] (the adoption plan), and reload
+   this rank's share of generation [gen] from disk.  Because block push
+   RNGs are salted by block id, the reloaded world's trajectory is the
+   checkpointed trajectory regardless of which survivor adopted which
+   block. *)
+let rollback_to t ~dir ~gen ~owner =
+  let nb = nblocks t in
+  Array.fill t.blocks 0 nb None;
+  let moves = ref [] in
+  for b = nb - 1 downto 0 do
+    if Block.Ownership.owner t.ownership b <> owner.(b) then
+      moves := (b, owner.(b)) :: !moves
+  done;
+  Block.Ownership.apply t.ownership !moves;
+  let mine = List.filter (fun b -> owner.(b) = t.rank) (List.init nb Fun.id) in
+  List.iter
+    (fun b ->
+      let path = Checkpoint.block_path ~dir ~gen ~block:b in
+      let sim =
+        Checkpoint.load_block ~expect_block:b ~perf:t.perf
+          ~coupler:(coupler t ~id:b) path
+      in
+      Simulation.set_pool sim t.pool;
+      t.reattach b sim;
+      t.blocks.(b) <- Some (mk_block b sim))
+    mine;
+  Exchange.Blocks.set_owners t.ports (owners t);
+  refresh_views t;
+  (match owned t with
+  | b :: _ -> t.nstep <- b.sim.Simulation.nstep
+  | [] -> t.nstep <- gen);
+  (* Pre-failure cost windows describe a world that no longer exists. *)
+  Array.fill t.push_cost 0 nb 0.;
+  Array.fill t.last_costs 0 nb 0.;
+  t.last_imbalance <- 1.

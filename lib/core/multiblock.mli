@@ -110,8 +110,25 @@ val gauss_residual : t -> float
 val div_b_max : t -> float
 val settle_fields : t -> passes:int -> unit
 
+(** The comm handle the world was created with (None in serial runs). *)
+val comm : t -> Comm.t option
+
 (** {1 Checkpointing} *)
 
 (** Collective: {!Checkpoint.save_generation_blocks} over the owned
-    blocks. *)
+    blocks — committed by the lowest live rank, with the current
+    ownership table recorded as the generation's [OWNERS] file. *)
 val save_generation : t -> dir:string -> gen:int -> keep:int -> unit
+
+(** {1 Recovery}
+
+    Collective over the {e surviving} ranks.  [rollback_to t ~dir ~gen
+    ~owner] discards every in-memory block, forces the ownership table
+    to [owner] (the agreed adoption plan over the shrunken world) and
+    reloads this rank's share of generation [gen] from disk; worker
+    teams and laser antennas are re-installed through the same
+    [set_pool]/[reattach] hooks a rebalance arrival uses, and the step
+    counter rewinds to the restored simulations'.  Block-id-salted RNGs
+    make the resumed trajectory identical to an uninterrupted run from
+    that checkpoint, whoever adopted which block. *)
+val rollback_to : t -> dir:string -> gen:int -> owner:int array -> unit

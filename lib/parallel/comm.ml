@@ -12,11 +12,15 @@
 
 exception Comm_timeout of { port : string; waited : float }
 exception Rank_failed of { rank : int; error : string }
+exception Excluded of { rank : int }
 
+(* Mailbox payloads carry the sender's world epoch so messages queued
+   before a recovery rollback are silently discarded by post-recovery
+   receivers (see [recover] below). *)
 type inbox = {
   mu : Mutex.t;
   cv : Condition.t;
-  queues : (int * int, float array Queue.t) Hashtbl.t;
+  queues : (int * int, (int * float array) Queue.t) Hashtbl.t;
 }
 
 type buf32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
@@ -32,6 +36,7 @@ type port = {
   pcv : Condition.t;
   ring : buf32 array; (* length port_depth; elements replaced on growth *)
   lens : int array;
+  pepochs : int array; (* world epoch at commit time, per ring entry *)
   mutable posted : int;
   mutable consumed : int;
   mutable waiters : int;
@@ -53,10 +58,25 @@ and world = {
   port_cv : Condition.t;
   port_tables : port array array; (* per rank; grows by registration *)
   (* First rank whose domain died by exception, with that error rendered
-     to a string.  Set once by [mark_failed]; every blocking wait checks
-     it so peers raise [Rank_failed] instead of hanging on a message that
-     will never arrive. *)
+     to a string.  Set by [mark_failed]; every blocking wait checks it so
+     peers raise [Rank_failed] instead of hanging on a message that will
+     never arrive.  [recover] clears it once every survivor has agreed on
+     the casualty list, so the flag is "a death this epoch has not yet
+     absorbed", while [failed] below is the permanent record. *)
   mutable dead : (int * string) option;
+  (* Permanent per-rank death record, updated by every [mark_failed]
+     (unlike [dead], which records only the first).  Read unlocked by the
+     survivor-aware collectives: the array is monotonic (false -> true
+     only), and a rank acting on a stale value is woken into
+     [Rank_failed] by the [mark_failed] broadcast, converging on the
+     recovery path either way. *)
+  failed : bool array;
+  (* World epoch: bumped by each completed [recover] round.  Messages
+     stamped with an older epoch are pre-rollback traffic and are
+     discarded un-read. *)
+  mutable epoch : int;
+  (* Ranks currently parked inside [recover] this round. *)
+  mutable rec_count : int;
 }
 
 type t = { world : world; my_rank : int }
@@ -72,6 +92,7 @@ let raise_dead (rank, error) = raise (Rank_failed { rank; error })
    [Rank_failed] cascades it caused). *)
 let mark_failed w rank exn_text =
   Mutex.lock w.bar_mu;
+  w.failed.(rank) <- true;
   if w.dead = None then w.dead <- Some (rank, exn_text);
   Condition.broadcast w.bar_cv;
   Mutex.unlock w.bar_mu;
@@ -108,10 +129,103 @@ let make_world nranks =
     port_mu = Mutex.create ();
     port_cv = Condition.create ();
     port_tables = Array.make nranks [||];
-    dead = None }
+    dead = None;
+    failed = Array.make nranks false;
+    epoch = 0;
+    rec_count = 0 }
 
 let rank t = t.my_rank
 let size t = t.world.nranks
+
+(* ----------------------------------------------------- shrunken world ---- *)
+
+let live_count_locked w =
+  let n = ref 0 in
+  Array.iter (fun f -> if not f then incr n) w.failed;
+  !n
+
+(* Lowest live rank: the root of every survivor-aware collective.  In a
+   world that never lost a rank this is 0 — the historical root. *)
+let live_root w =
+  let r = ref 0 in
+  while !r < w.nranks - 1 && w.failed.(!r) do
+    incr r
+  done;
+  !r
+
+let iter_live w f =
+  for r = 0 to w.nranks - 1 do
+    if not w.failed.(r) then f r
+  done
+
+let alive t ~rank = not t.world.failed.(rank)
+let epoch t = t.world.epoch
+let root t = live_root t.world
+
+let live_ranks t =
+  let acc = ref [] in
+  for r = t.world.nranks - 1 downto 0 do
+    if not t.world.failed.(r) then acc := r :: !acc
+  done;
+  !acc
+
+let accuse t ~peer ~error =
+  assert (peer >= 0 && peer < t.world.nranks);
+  mark_failed t.world peer error
+
+(* The failure-detector barrier.  Every survivor that catches a
+   [Rank_failed] (or a timeout shadowing one) funnels here; the round
+   completes when every still-live rank has arrived.  The predicate
+   re-evaluates [live_count_locked] on each wake, so further deaths
+   during the round shrink the quorum instead of deadlocking it.  The
+   last arriver resets the world for the next epoch: the death flag is
+   cleared, the barrier generation is bumped with its arrival count
+   zeroed (wiping contributions from barriers the dead rank poisoned),
+   and the epoch advance retroactively invalidates every message still
+   sitting in a port ring or mailbox queue.  The reset is safe exactly
+   because all live ranks are parked here — nobody can be mid-send with
+   the old epoch.  Returns the agreed casualty list. *)
+let recover t =
+  let w = t.world in
+  Mutex.lock w.bar_mu;
+  if w.failed.(t.my_rank) then begin
+    Mutex.unlock w.bar_mu;
+    raise (Excluded { rank = t.my_rank })
+  end;
+  let e0 = w.epoch in
+  w.rec_count <- w.rec_count + 1;
+  Condition.broadcast w.bar_cv;
+  let excluded = ref false in
+  while
+    (not !excluded) && w.epoch = e0 && w.rec_count < live_count_locked w
+  do
+    Condition.wait w.bar_cv w.bar_mu;
+    (* Accused while parked (a peer timed out on us mid-round): withdraw
+       our arrival and die, instead of stalling the survivors' quorum. *)
+    if w.failed.(t.my_rank) then excluded := true
+  done;
+  if !excluded then begin
+    if w.epoch = e0 then begin
+      w.rec_count <- w.rec_count - 1;
+      Condition.broadcast w.bar_cv
+    end;
+    Mutex.unlock w.bar_mu;
+    raise (Excluded { rank = t.my_rank })
+  end;
+  if w.epoch = e0 then begin
+    w.epoch <- e0 + 1;
+    w.rec_count <- 0;
+    w.dead <- None;
+    w.bar_count <- 0;
+    w.bar_gen <- w.bar_gen + 1;
+    Condition.broadcast w.bar_cv
+  end;
+  let dead = ref [] in
+  for r = w.nranks - 1 downto 0 do
+    if w.failed.(r) then dead := r :: !dead
+  done;
+  Mutex.unlock w.bar_mu;
+  !dead
 
 (* Reserved tag space for collectives; user tags are >= 0. *)
 let tag_reduce = -1
@@ -144,6 +258,7 @@ let port_register ?names t ~capacities =
       pcv = Condition.create ();
       ring = Array.init port_depth (fun _ -> buf32_create cap);
       lens = Array.make port_depth 0;
+      pepochs = Array.make port_depth 0;
       posted = 0;
       consumed = 0;
       waiters = 0;
@@ -217,6 +332,7 @@ let port_commit p ~len =
   let i = p.posted mod port_depth in
   assert (len <= Bigarray.Array1.dim p.ring.(i));
   p.lens.(i) <- len;
+  p.pepochs.(i) <- p.pworld.epoch;
   p.posted <- p.posted + 1;
   if p.waiters > 0 then Condition.broadcast p.pcv;
   Mutex.unlock p.pmu
@@ -245,13 +361,29 @@ let port_finish_consume p =
    (pending messages are still delivered after a death). *)
 let deadline_poll = 0.0005
 
+(* Caller holds [pmu].  Skip ring entries committed before the current
+   world epoch: they are pre-rollback traffic a recovery invalidated.
+   Bumping [consumed] releases any sender back-pressured on the stale
+   ring, hence the broadcast. *)
+let rec port_drop_stale p =
+  if
+    p.posted > p.consumed
+    && p.pepochs.(p.consumed mod port_depth) < p.pworld.epoch
+  then begin
+    p.consumed <- p.consumed + 1;
+    if p.waiters > 0 then Condition.broadcast p.pcv;
+    port_drop_stale p
+  end
+
 let port_wait_pending p ~deadline =
   match deadline with
   | None ->
+      port_drop_stale p;
       while p.posted = p.consumed && p.pworld.dead = None do
         p.waiters <- p.waiters + 1;
         Condition.wait p.pcv p.pmu;
-        p.waiters <- p.waiters - 1
+        p.waiters <- p.waiters - 1;
+        port_drop_stale p
       done;
       if p.posted = p.consumed then begin
         let d = Option.get p.pworld.dead in
@@ -261,6 +393,7 @@ let port_wait_pending p ~deadline =
   | Some limit ->
       let t0 = Unix.gettimeofday () in
       let rec poll () =
+        port_drop_stale p;
         if p.posted = p.consumed then begin
           match p.pworld.dead with
           | Some d ->
@@ -331,6 +464,7 @@ let port_wait ?deadline p ~f =
 
 let port_try_recv p ~f =
   Mutex.lock p.pmu;
+  port_drop_stale p;
   let ready = p.posted > p.consumed in
   if not ready then begin
     Mutex.unlock p.pmu;
@@ -360,7 +494,7 @@ let send_internal t ~dst ~tag payload =
         Hashtbl.add ib.queues key q;
         q
   in
-  Queue.push payload q;
+  Queue.push (t.world.epoch, payload) q;
   Condition.broadcast ib.cv;
   Mutex.unlock ib.mu
 
@@ -392,7 +526,10 @@ let recv_internal ?deadline t ~src ~tag =
   let t0 = Unix.gettimeofday () in
   let rec wait () =
     match Hashtbl.find_opt ib.queues key with
-    | Some q when not (Queue.is_empty q) -> pop_locked q
+    | Some q when not (Queue.is_empty q) ->
+        let ep, payload = pop_locked q in
+        (* Stale epoch: pre-rollback traffic, discard un-read. *)
+        if ep < w.epoch then wait () else payload
     | _ -> (
         match w.dead with
         | Some d -> fail_locked (fun () -> raise_dead d)
@@ -434,9 +571,15 @@ let recv ?deadline t ~src ~tag =
 let barrier t =
   let w = t.world in
   Mutex.lock w.bar_mu;
+  if w.failed.(t.my_rank) then begin
+    Mutex.unlock w.bar_mu;
+    raise (Excluded { rank = t.my_rank })
+  end;
   let gen = w.bar_gen in
   w.bar_count <- w.bar_count + 1;
-  if w.bar_count = w.nranks then begin
+  (* Completion quorum is the live count, so a shrunken world's barriers
+     keep working without the dead ranks' arrivals. *)
+  if w.bar_count >= live_count_locked w then begin
     w.bar_count <- 0;
     w.bar_gen <- gen + 1;
     Condition.broadcast w.bar_cv
@@ -457,82 +600,81 @@ let barrier t =
 let reduce_with t combine x =
   (* Root accumulates, then broadcasts.  O(P) messages: fine for the rank
      counts a 2-core host can exercise; the perf model, not this runtime,
-     captures large-P communication costs. *)
-  if t.my_rank = 0 then begin
+     captures large-P communication costs.  The root is the lowest live
+     rank and only live ranks participate — identical to the historical
+     root-0 all-ranks shape until a rank dies. *)
+  let w = t.world in
+  let root = live_root w in
+  if t.my_rank = root then begin
     let acc = ref x in
-    for src = 1 to t.world.nranks - 1 do
-      let v = recv_internal t ~src ~tag:tag_reduce in
-      acc := combine !acc v.(0)
-    done;
-    for dst = 1 to t.world.nranks - 1 do
-      send_internal t ~dst ~tag:tag_reduce [| !acc |]
-    done;
+    iter_live w (fun src ->
+        if src <> root then begin
+          let v = recv_internal t ~src ~tag:tag_reduce in
+          acc := combine !acc v.(0)
+        end);
+    iter_live w (fun dst ->
+        if dst <> root then send_internal t ~dst ~tag:tag_reduce [| !acc |]);
     !acc
   end
   else begin
-    send_internal t ~dst:0 ~tag:tag_reduce [| x |];
-    (recv_internal t ~src:0 ~tag:tag_reduce).(0)
+    send_internal t ~dst:root ~tag:tag_reduce [| x |];
+    (recv_internal t ~src:root ~tag:tag_reduce).(0)
   end
 
 let allreduce_sum t x = reduce_with t ( +. ) x
 let allreduce_min t x = reduce_with t Float.min x
 let allreduce_max t x = reduce_with t Float.max x
 
-let allreduce_sum_array t xs =
-  if t.world.nranks = 1 then Array.copy xs
-  else if t.my_rank = 0 then begin
-    let acc = Array.copy xs in
-    for src = 1 to t.world.nranks - 1 do
-      let v = recv_internal t ~src ~tag:tag_reduce in
-      assert (Array.length v = Array.length acc);
-      Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x) v
-    done;
-    for dst = 1 to t.world.nranks - 1 do
-      send_internal t ~dst ~tag:tag_reduce acc
-    done;
-    acc
-  end
+let allreduce_array t ~merge xs =
+  let w = t.world in
+  if w.nranks = 1 then Array.copy xs
   else begin
-    send_internal t ~dst:0 ~tag:tag_reduce xs;
-    recv_internal t ~src:0 ~tag:tag_reduce
+    let root = live_root w in
+    if t.my_rank = root then begin
+      let acc = Array.copy xs in
+      iter_live w (fun src ->
+          if src <> root then begin
+            let v = recv_internal t ~src ~tag:tag_reduce in
+            assert (Array.length v = Array.length acc);
+            Array.iteri (fun i x -> acc.(i) <- merge acc.(i) x) v
+          end);
+      iter_live w (fun dst ->
+          if dst <> root then send_internal t ~dst ~tag:tag_reduce acc);
+      acc
+    end
+    else begin
+      send_internal t ~dst:root ~tag:tag_reduce xs;
+      recv_internal t ~src:root ~tag:tag_reduce
+    end
   end
 
-let allreduce_max_array t xs =
-  if t.world.nranks = 1 then Array.copy xs
-  else if t.my_rank = 0 then begin
-    let acc = Array.copy xs in
-    for src = 1 to t.world.nranks - 1 do
-      let v = recv_internal t ~src ~tag:tag_reduce in
-      assert (Array.length v = Array.length acc);
-      Array.iteri (fun i x -> acc.(i) <- Float.max acc.(i) x) v
-    done;
-    for dst = 1 to t.world.nranks - 1 do
-      send_internal t ~dst ~tag:tag_reduce acc
-    done;
-    acc
-  end
-  else begin
-    send_internal t ~dst:0 ~tag:tag_reduce xs;
-    recv_internal t ~src:0 ~tag:tag_reduce
-  end
+let allreduce_sum_array t xs = allreduce_array t ~merge:( +. ) xs
+let allreduce_max_array t xs = allreduce_array t ~merge:Float.max xs
 
 let bcast t ~root x =
-  if t.world.nranks = 1 then x
-  else if t.my_rank = root then begin
-    for dst = 0 to t.world.nranks - 1 do
-      if dst <> root then send_internal t ~dst ~tag:tag_bcast x
-    done;
-    x
+  let w = t.world in
+  if w.nranks = 1 then x
+  else begin
+    (* A dead root would strand every receiver: substitute the lowest
+       live rank (callers hardcode root 0, which can die). *)
+    let root = if w.failed.(root) then live_root w else root in
+    if t.my_rank = root then begin
+      iter_live w (fun dst ->
+          if dst <> root then send_internal t ~dst ~tag:tag_bcast x);
+      x
+    end
+    else recv_internal t ~src:root ~tag:tag_bcast
   end
-  else recv_internal t ~src:root ~tag:tag_bcast
 
 let gather t ~root x =
+  let w = t.world in
+  let root = if w.failed.(root) then live_root w else root in
   if t.my_rank = root then begin
-    let out = Array.make t.world.nranks [||] in
+    (* Dead ranks' slots stay [||]. *)
+    let out = Array.make w.nranks [||] in
     out.(root) <- x;
-    for src = 0 to t.world.nranks - 1 do
-      if src <> root then out.(src) <- recv_internal t ~src ~tag:tag_gather
-    done;
+    iter_live w (fun src ->
+        if src <> root then out.(src) <- recv_internal t ~src ~tag:tag_gather);
     Some out
   end
   else begin
@@ -570,3 +712,20 @@ let run ~ranks f =
           (* mark_failed recorded a rank that later returned Ok: cannot
              happen, but fail loudly rather than silently succeed. *)
           assert false)
+
+(* Like [run], but rank deaths are expected: each rank's outcome is
+   returned as a [result] instead of re-raising the first casualty's
+   error.  Used by supervised runs where survivors absorb deaths through
+   [recover] and complete normally — the caller decides what a partial
+   success means. *)
+let run_recoverable ~ranks f =
+  assert (ranks >= 1);
+  let world = make_world ranks in
+  let wrap r () =
+    try Ok (f { world; my_rank = r })
+    with e ->
+      mark_failed world r (Printexc.to_string e);
+      Error e
+  in
+  let domains = Array.init ranks (fun r -> Domain.spawn (wrap r)) in
+  Array.map Domain.join domains

@@ -25,6 +25,11 @@ exception Comm_timeout of { port : string; waited : float }
 (** Another rank's domain died; [error] is its rendered exception. *)
 exception Rank_failed of { rank : int; error : string }
 
+(** Raised by a blocking operation issued by a rank the world has marked
+    dead (e.g. one accused of hanging by a peer's timeout): the rank must
+    stand down, it is no longer part of any quorum. *)
+exception Excluded of { rank : int }
+
 (** [run ~ranks f] spawns [ranks] domains, runs [f handle] on each and
     returns the per-rank results (index = rank).  If any rank raises, the
     world is poisoned (waiters on the other ranks raise {!Rank_failed}),
@@ -39,6 +44,52 @@ val poison : t -> error:string -> unit
 
 val rank : t -> int
 val size : t -> int
+
+(** {1 Shrinking-world recovery}
+
+    A world can survive rank deaths instead of aborting.  Survivors that
+    catch a {!Rank_failed} funnel into {!recover}: a failure-detector
+    barrier that completes when every still-live rank has arrived (the
+    quorum re-shrinks if further ranks die mid-round).  The last arriver
+    resets the world for the next {e epoch} — the death flag clears, the
+    barrier arrival count re-zeroes, and every message still sitting in
+    a port ring or mailbox queue is invalidated: ports and mailboxes
+    stamp each message with the sender's epoch, and consumers silently
+    discard stamps older than the current epoch, so pre-rollback traffic
+    can never corrupt the recovered run.  Collectives and barriers are
+    survivor-aware throughout: the root is the lowest live rank, only
+    live ranks participate, and a barrier's completion quorum is the
+    live count.  In a world that never lost a rank all of this reduces
+    to the historical root-0, all-ranks behaviour. *)
+
+(** [recover t] enters the failure-detector barrier and returns the
+    agreed (sorted) casualty list once every survivor has arrived.
+    Raises {!Excluded} if this rank is itself on the casualty list.
+    Call only after catching a failure; all live ranks must call it. *)
+val recover : t -> int list
+
+(** Mark [peer] dead by hand — the accusation a rank makes when a
+    deadline expired with no recorded death (the peer is presumed hung).
+    Wakes every parked waiter in the world, like any other death. *)
+val accuse : t -> peer:int -> error:string -> unit
+
+(** False once [rank] has died (or been accused) in any epoch. *)
+val alive : t -> rank:int -> bool
+
+(** Live ranks, ascending. *)
+val live_ranks : t -> int list
+
+(** The lowest live rank: root of the survivor-aware collectives. *)
+val root : t -> int
+
+(** Current world epoch (0 until the first completed recovery). *)
+val epoch : t -> int
+
+(** Like {!run} but rank deaths are expected: per-rank outcomes are
+    returned as [result]s and nothing is re-raised, so a world in which
+    survivors absorbed deaths via {!recover} still returns normally.
+    Index = rank; dead ranks hold [Error] with their original exception. *)
+val run_recoverable : ranks:int -> (t -> 'a) -> ('a, exn) result array
 
 (** {1 Persistent ports}
 

@@ -333,6 +333,14 @@ module Blocks = struct
     send_cache : Comm.port option array; (* per global slot; cleared on move *)
     recv_cache : Comm.port option array;
     staging : Comm.buf32 array; (* migrate staging per global slot *)
+    mutable sibling_buf : Comm.buf32;
+        (* f32 staging for co-resident faces: sibling plane exchange
+           quantizes through the same Float32 wire format as remote
+           faces, so the stepped physics is a function of the block
+           decomposition only — never of where blocks happen to live.
+           That placement invariance is what lets a recovered (shrunken)
+           world and a rebalanced world reproduce the static trajectory
+           to reduction round-off. *)
     mutable deadline : float option;
     mutable fill_bytes : float;
     mutable fold_bytes : float;
@@ -370,6 +378,7 @@ module Blocks = struct
       send_cache = Array.make total None;
       recv_cache = Array.make total None;
       staging = Array.init total (fun _ -> Comm.buf32_create 1);
+      sibling_buf = Comm.buf32_create 1;
       deadline = None;
       fill_bytes = 0.; fold_bytes = 0.; migrate_bytes = 0. }
 
@@ -388,6 +397,11 @@ module Blocks = struct
     match t.comm with
     | Some c -> c
     | None -> invalid_arg "Exchange.Blocks: remote face in a single-rank world"
+
+  let sibling_scratch t ~len =
+    if Bigarray.Array1.dim t.sibling_buf < len then
+      t.sibling_buf <- Comm.buf32_create len;
+    t.sibling_buf
 
   (* Port a message for [block] is posted into, wherever it lives now. *)
   let send_to t ~block gs =
@@ -466,7 +480,9 @@ module Blocks = struct
               (fun side ->
                 match Bc.face v.bc axis side with
                 | Bc.Domain nbr when t.owner.(nbr) = me ->
-                    (* sibling: my ghost <- its facing interior plane *)
+                    (* sibling: my ghost <- its facing interior plane,
+                       round-tripped through the f32 wire format so the
+                       result is bitwise what the remote path delivers *)
                     let nsc = scalars nbr in
                     let nbr_n =
                       match nsc with
@@ -478,11 +494,17 @@ module Blocks = struct
                       | `Lo -> (0, nbr_n)
                       | `Hi -> (n + 1, 1)
                     in
-                    List.iter2
-                      (fun dstf srcf ->
-                        Sf.copy_plane_between ~src:srcf ~src_index ~dst:dstf
-                          ~dst_index ~axis)
-                      sc nsc
+                    let buf = sibling_scratch t ~len:(nscal * psize) in
+                    List.iteri
+                      (fun si srcf ->
+                        Sf.pack_plane srcf ~axis ~index:src_index ~buf
+                          ~off:(si * psize))
+                      nsc;
+                    List.iteri
+                      (fun si dstf ->
+                        Sf.unpack_plane dstf ~axis ~index:dst_index ~buf
+                          ~off:(si * psize))
+                      sc
                 | Bc.Domain _ ->
                     let index, dir =
                       match side with `Lo -> (0, 1) | `Hi -> (n + 1, 0)
@@ -519,7 +541,8 @@ module Blocks = struct
                 | Bc.Domain nbr ->
                     let index = match side with `Lo -> 0 | `Hi -> n + 1 in
                     (if t.owner.(nbr) = me then begin
-                       (* sibling: add my ghost into its facing interior *)
+                       (* sibling: add my ghost into its facing interior,
+                          f32-quantized exactly like the remote path *)
                        let nsc = scalars nbr in
                        let nbr_n =
                          match nsc with
@@ -529,11 +552,20 @@ module Blocks = struct
                        let dst_index =
                          match side with `Lo -> nbr_n | `Hi -> 1
                        in
-                       List.iter2
-                         (fun srcf dstf ->
-                           Sf.accumulate_plane_between ~src:srcf
-                             ~src_index:index ~dst:dstf ~dst_index ~axis)
-                         sc nsc
+                       let psize = Sf.plane_size v.g ~axis in
+                       let buf =
+                         sibling_scratch t ~len:(List.length sc * psize)
+                       in
+                       List.iteri
+                         (fun si srcf ->
+                           Sf.pack_plane srcf ~axis ~index ~buf
+                             ~off:(si * psize))
+                         sc;
+                       List.iteri
+                         (fun si dstf ->
+                           Sf.unpack_plane_add dstf ~axis ~index:dst_index
+                             ~buf ~off:(si * psize))
+                         nsc
                      end
                      else begin
                        let dir = match side with `Lo -> 0 | `Hi -> 1 in

@@ -17,15 +17,28 @@ let imbalance load =
     if mean > 0. then mx /. mean else 1.
   end
 
-let argmax a =
-  let best = ref 0 in
-  Array.iteri (fun i v -> if v > a.(!best) then best := i) a;
+(* arg-extrema restricted to a live mask: dead ranks are never donors
+   (they own nothing) and must never be targets. *)
+let argmax ~alive a =
+  let best = ref (-1) in
+  Array.iteri
+    (fun i v -> if alive.(i) && (!best < 0 || v > a.(!best)) then best := i)
+    a;
   !best
 
-let argmin a =
-  let best = ref 0 in
-  Array.iteri (fun i v -> if v < a.(!best) then best := i) a;
+let argmin ~alive a =
+  let best = ref (-1) in
+  Array.iteri
+    (fun i v -> if alive.(i) && (!best < 0 || v < a.(!best)) then best := i)
+    a;
   !best
+
+(* max/mean over the live entries only — a dead rank's permanent zero
+   load must not masquerade as imbalance. *)
+let imbalance_live ~alive load =
+  let lv = ref [] in
+  Array.iteri (fun i v -> if alive.(i) then lv := v :: !lv) load;
+  imbalance (Array.of_list !lv)
 
 type plan = {
   moves : (int * int) list;  (* (block, destination rank), in order *)
@@ -41,21 +54,28 @@ let no_moves load =
    rank, choosing the block whose transfer lands the pair closest to
    even.  A source rank always keeps at least one block, and a move must
    strictly reduce the donor pair's larger side, so the loop
-   terminates. *)
-let plan ?(max_moves = max_int) ~costs ~owner ~nranks ~threshold () =
-  if nranks < 2 then no_moves (rank_loads ~costs ~owner ~nranks:(max 1 nranks))
+   terminates.  [alive] (default all-true) restricts the plan to the
+   surviving rank set after a recovery: dead ranks are never picked as
+   donor or target, and the imbalance verdict ignores their zero load. *)
+let plan ?(max_moves = max_int) ?alive ~costs ~owner ~nranks ~threshold () =
+  let alive =
+    match alive with Some a -> a | None -> Array.make (max 1 nranks) true
+  in
+  let nlive = Array.fold_left (fun n a -> if a then n + 1 else n) 0 alive in
+  if nranks < 2 || nlive < 2 then
+    no_moves (rank_loads ~costs ~owner ~nranks:(max 1 nranks))
   else begin
     let owner = Array.copy owner in
     let load = rank_loads ~costs ~owner ~nranks in
     let count = Array.make nranks 0 in
     Array.iter (fun r -> count.(r) <- count.(r) + 1) owner;
-    let before = imbalance load in
+    let before = imbalance_live ~alive load in
     let moves = ref [] in
     let nmoves = ref 0 in
     let continue_ = ref (before > threshold) in
     while !continue_ && !nmoves < max_moves do
-      let src = argmax load in
-      let dst = argmin load in
+      let src = argmax ~alive load in
+      let dst = argmin ~alive load in
       if src = dst || count.(src) <= 1 then continue_ := false
       else begin
         (* block of [src] minimising the donor pair's post-move spread;
@@ -88,13 +108,54 @@ let plan ?(max_moves = max_int) ~costs ~owner ~nranks ~threshold () =
           load.(dst) <- new_dst;
           moves := (b, dst) :: !moves;
           incr nmoves;
-          continue_ := imbalance load > threshold
+          continue_ := imbalance_live ~alive load > threshold
         end
       end
     done;
     { moves = List.rev !moves; imbalance_before = before;
-      imbalance_after = imbalance load }
+      imbalance_after = imbalance_live ~alive load }
   end
+
+(* ----------------------------------------------------- shrunken world ---- *)
+
+(* Post-failure re-plan: blocks whose checkpoint-time owner survives stay
+   put; orphaned blocks (owner dead, out of range, or negative) are
+   adopted heaviest-first by the least-loaded live rank.  Pure function
+   of (costs, prev_owner, alive) with total deterministic tie-breaks, so
+   every survivor derives the same table from shared on-disk data — the
+   rebalance-planner property, extended to a shrunken rank set.  Dead
+   ranks can never be targets: only [alive] indices receive blocks. *)
+let adopt ~costs ~prev_owner ~alive =
+  let nranks = Array.length alive in
+  let nblocks = Array.length prev_owner in
+  assert (Array.length costs = nblocks);
+  assert (Array.exists (fun a -> a) alive);
+  let owner = Array.copy prev_owner in
+  let load = Array.make nranks 0. in
+  let orphans = ref [] in
+  Array.iteri
+    (fun b r ->
+      if r >= 0 && r < nranks && alive.(r) then
+        load.(r) <- load.(r) +. costs.(b)
+      else orphans := b :: !orphans)
+    owner;
+  let orphans =
+    List.sort
+      (fun a b ->
+        match compare costs.(b) costs.(a) with 0 -> compare a b | c -> c)
+      !orphans
+  in
+  List.iter
+    (fun b ->
+      (* least-loaded live rank; ties toward the lowest rank id *)
+      let best = ref (-1) in
+      Array.iteri
+        (fun r a -> if a && (!best < 0 || load.(r) < load.(!best)) then best := r)
+        alive;
+      owner.(b) <- !best;
+      load.(!best) <- load.(!best) +. costs.(b))
+    orphans;
+  owner
 
 (* ------------------------------------------------------------- wire ---- *)
 

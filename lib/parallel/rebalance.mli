@@ -25,15 +25,33 @@ type plan = {
     the best-fitting block from the most- to the least-loaded rank.  A
     donor always keeps at least one block, and every move must strictly
     improve the donor pair, so the plan is finite and deterministic.
-    Returns an empty move list when already balanced (or [nranks] < 2). *)
+    Returns an empty move list when already balanced (or fewer than two
+    live ranks).  [alive] (default all-true) restricts the plan to the
+    surviving rank set: dead ranks are never donors or targets and
+    their zero load is excluded from the imbalance verdict. *)
 val plan :
   ?max_moves:int ->
+  ?alive:bool array ->
   costs:float array ->
   owner:int array ->
   nranks:int ->
   threshold:float ->
   unit ->
   plan
+
+(** {!imbalance} over the live entries of a load vector only. *)
+val imbalance_live : alive:bool array -> float array -> float
+
+(** [adopt ~costs ~prev_owner ~alive] re-plans ownership over a shrunken
+    world after rank deaths: blocks whose previous owner is still alive
+    stay put, orphaned blocks are adopted heaviest-first by the
+    least-loaded live rank (deterministic tie-breaks).  Pure: every
+    survivor computes the identical table from shared data (checkpoint
+    file sizes as costs, the checkpoint generation's recorded ownership
+    as [prev_owner]), so no broadcast is needed.  Dead ranks are never
+    assigned blocks.  Raises if [alive] is all-false. *)
+val adopt :
+  costs:float array -> prev_owner:int array -> alive:bool array -> int array
 
 (** {1 Block shipping wire}
 

@@ -1,16 +1,27 @@
 module Pool = Vpic_util.Pool
 module Perf = Vpic_util.Perf
 
+exception Worker_failed of { worker : int; error : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failed { worker; error } ->
+        Some
+          (Printf.sprintf "Team.Worker_failed(worker %d: %s)" worker
+             (Printexc.to_string error))
+    | _ -> None)
+
 (* One fork-join region.  [next] is the shared tile counter every lane
    claims from; [remaining] counts unfinished tiles (the join gate);
-   [failed] keeps the first exception to re-raise at the join. *)
+   [failed] keeps the first exception and the lane that raised it, to
+   re-raise on lane 0 at the join as {!Worker_failed}. *)
 type job = {
   label : string;
   tiles : int;
   f : lane:int -> tile:int -> unit;
   next : int Atomic.t;
   remaining : int Atomic.t;
-  failed : exn option Atomic.t;
+  failed : (int * exn) option Atomic.t;
 }
 
 type t = {
@@ -29,15 +40,19 @@ type t = {
 }
 
 (* Claim-and-run until the region's tile counter is drained.  Tile
-   exceptions are captured (first wins) and the tile still counts as
-   finished so the join always completes.  The last finished tile wakes
-   the caller. *)
+   exceptions are contained per lane: the first (lane, exn) pair wins
+   the [failed] slot, and every lane — including the failing one — keeps
+   {e claiming} tiles but skips {e executing} them once a failure is
+   recorded, so the remaining counter still drains to zero, the join
+   always completes, and no lane is left parked behind a poisoned
+   region.  The last finished tile wakes the caller. *)
 let drain t ~lane (j : job) =
   let rec claim () =
     let tile = Atomic.fetch_and_add j.next 1 in
     if tile < j.tiles then begin
-      (try j.f ~lane ~tile
-       with e -> ignore (Atomic.compare_and_set j.failed None (Some e)));
+      (if Atomic.get j.failed = None then
+         try j.f ~lane ~tile
+         with e -> ignore (Atomic.compare_and_set j.failed None (Some (lane, e))));
       if Atomic.fetch_and_add j.remaining (-1) = 1 then begin
         Mutex.lock t.mu;
         Condition.broadcast t.done_cv;
@@ -75,12 +90,17 @@ let run t ~label ~tiles f =
   if t.shut then invalid_arg "Team.run: team is shut down";
   if tiles > 0 then
     if t.nlanes = 1 then begin
-      (* no worker domains: lane 0 executes every tile inline *)
+      (* no worker domains: lane 0 executes every tile inline.  Failures
+         surface as {!Worker_failed} here too, so callers see one
+         exception shape whatever the team size. *)
       let t0 = Perf.now () in
-      for tile = 0 to tiles - 1 do
-        f ~lane:0 ~tile
-      done;
-      t.busy.(0) <- t.busy.(0) +. (Perf.now () -. t0)
+      Fun.protect
+        ~finally:(fun () -> t.busy.(0) <- t.busy.(0) +. (Perf.now () -. t0))
+        (fun () ->
+          for tile = 0 to tiles - 1 do
+            try f ~lane:0 ~tile
+            with e -> raise (Worker_failed { worker = 0; error = e })
+          done)
     end
     else begin
       let j =
@@ -104,7 +124,9 @@ let run t ~label ~tiles f =
       (* workers yet to wake will find the counter drained and re-park *)
       t.job <- None;
       Mutex.unlock t.mu;
-      match Atomic.get j.failed with Some e -> raise e | None -> ()
+      match Atomic.get j.failed with
+      | Some (worker, error) -> raise (Worker_failed { worker; error })
+      | None -> ()
     end
 
 let create ?(tiles = Pool.default_tiles) ?on_start ?on_span ~workers () =

@@ -21,6 +21,16 @@
 
 type t
 
+(** A tile function raised on worker lane [worker]; [error] is the
+    original exception.  Containment protocol: the first failing lane
+    records its (lane, exception) pair, every lane keeps claiming tiles
+    but skips executing them from then on (so the region's tile counter
+    still drains, the join completes, and no lane is left parked), and
+    lane 0 re-raises this at the join.  Raised with [worker = 0] by the
+    inline single-lane path too, so callers see one exception shape
+    whatever the team size. *)
+exception Worker_failed of { worker : int; error : exn }
+
 (** [create ~workers ()] builds a team of [workers] >= 1 lanes: lane 0
     is the calling rank domain (which participates in every region) and
     lanes 1..workers-1 are freshly spawned domains that park on a

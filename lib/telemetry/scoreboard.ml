@@ -265,6 +265,14 @@ let print_block_rollup ~owners ~costs ~migrations ~shipped_bytes =
   Printf.printf "rebalance: %g block migrations | %g payload bytes shipped\n"
     migrations shipped_bytes
 
+let print_recovery ~step ~rollback_gen ~casualties ~adopted ~lost_steps =
+  Printf.printf
+    "recover: lost rank%s %s | rolled back to gen %d (now at step %d, %d \
+     steps replayed) | %d orphaned blocks adopted\n%!"
+    (if List.length casualties = 1 then "" else "s")
+    (String.concat "," (List.map string_of_int casualties))
+    rollback_gen step lost_steps adopted
+
 let print_totals (tt : totals) =
   let steps = float_of_int (max 1 tt.steps) in
   let nr = float_of_int tt.nranks in

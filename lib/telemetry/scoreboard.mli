@@ -98,3 +98,14 @@ val print_block_rollup :
   migrations:float ->
   shipped_bytes:float ->
   unit
+
+(** One line per completed recovery: casualties, rollback target, replay
+    cost, adopted-block count.  Pure printer; the recovery supervisor
+    calls it on the surviving root. *)
+val print_recovery :
+  step:int ->
+  rollback_gen:int ->
+  casualties:int list ->
+  adopted:int ->
+  lost_steps:int ->
+  unit

@@ -5,6 +5,9 @@ type injection =
   | Corrupt_checkpoint of { rank : int; gen : int }
   | Poison_field of { rank : int; step : int }
   | Delay_port of { rank : int; name_substring : string; seconds : float }
+  | Kill_in_rebalance of { rank : int }
+  | Kill_in_checkpoint of { rank : int; gen : int }
+  | Fail_checkpoint_io of { rank : int; path_substring : string; times : int }
 
 (* [armed] gates every probe: the registry below is only consulted after
    a true atomic load, so the probes cost one load on production paths.
@@ -101,12 +104,52 @@ let checkpoint_written ~rank ~gen ~path =
     | Some () -> corrupt_file path
     | None -> ()
 
+let rebalance_kill_point ~rank ~step =
+  if Atomic.get armed then
+    match
+      take (function
+        | Kill_in_rebalance k when k.rank = rank -> Some ()
+        | _ -> None)
+    with
+    | Some () -> raise (Injected_kill { rank; step })
+    | None -> ()
+
+let checkpoint_kill_point ~rank ~gen =
+  if Atomic.get armed then
+    match
+      take (function
+        | Kill_in_checkpoint k when k.rank = rank && k.gen = gen -> Some ()
+        | _ -> None)
+    with
+    | Some () -> raise (Injected_kill { rank; step = gen })
+    | None -> ()
+
 let contains ~sub s =
   let ls = String.length s and lb = String.length sub in
   lb = 0
   ||
   let rec at i = i + lb <= ls && (String.sub s i lb = sub || at (i + 1)) in
   at 0
+
+(* Transient I/O failure: each matching probe consumes one of the
+   injection's [times] charges; the injection disarms itself when the
+   last charge is spent, so a bounded retry loop eventually succeeds. *)
+let io_failure ~rank ~path =
+  Atomic.get armed
+  && locked (fun () ->
+         let hit = ref false in
+         injections :=
+           List.filter_map
+             (function
+               | Fail_checkpoint_io f
+                 when (not !hit) && f.rank = rank
+                      && contains ~sub:f.path_substring path ->
+                   hit := true;
+                   if f.times <= 1 then None
+                   else Some (Fail_checkpoint_io { f with times = f.times - 1 })
+               | i -> Some i)
+             !injections;
+         !hit)
 
 let port_delay ~rank ~name =
   if Atomic.get armed then begin

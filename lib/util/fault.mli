@@ -28,6 +28,19 @@ type injection =
   | Delay_port of { rank : int; name_substring : string; seconds : float }
       (** sleep [seconds] before each wait on any of [rank]'s ports whose
           name contains [name_substring] *)
+  | Kill_in_rebalance of { rank : int }
+      (** raise {!Injected_kill} from rank [rank] in the middle of the
+          next block-rebalance move loop — after ownership has started
+          to change but before every survivor has applied it *)
+  | Kill_in_checkpoint of { rank : int; gen : int }
+      (** raise {!Injected_kill} from rank [rank] during the generation
+          [gen] checkpoint — after its block files are written but
+          before the manifest commit barrier, leaving a
+          partially-written generation on disk *)
+  | Fail_checkpoint_io of { rank : int; path_substring : string; times : int }
+      (** make the next [times] checkpoint writes on [rank] whose path
+          contains [path_substring] fail with a transient [Sys_error];
+          the injection disarms itself after the last charge *)
 
 (** Turn the framework on (explicit hook: nothing fires, and no probe
     does more than one atomic load, until this is called). *)
@@ -52,3 +65,14 @@ val poison_due : rank:int -> step:int -> bool
 val checkpoint_written : rank:int -> gen:int -> path:string -> unit
 
 val port_delay : rank:int -> name:string -> unit
+
+(** Raises {!Injected_kill} if a matching [Kill_in_rebalance] is armed
+    ([step] only labels the exception). *)
+val rebalance_kill_point : rank:int -> step:int -> unit
+
+(** Raises {!Injected_kill} if a matching [Kill_in_checkpoint] is armed. *)
+val checkpoint_kill_point : rank:int -> gen:int -> unit
+
+(** True while a matching [Fail_checkpoint_io] still has charges left;
+    each call consumes one charge. *)
+val io_failure : rank:int -> path:string -> bool

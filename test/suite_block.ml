@@ -215,8 +215,9 @@ let stepped_energies ?comm ?rebalance_threshold ?cost_model ~blocks ~ppc_of
   (List.rev !out, Multiblock.total_particles mb, migrations)
 
 (* The same 4-block world on 1 rank and on 2: block-id-salted RNGs make
-   the physics rank-count independent up to the f32 ghost/mover wire
-   (cross-rank faces ride it; sibling faces are direct f64 copies). *)
+   the physics rank-count independent — sibling faces quantize through
+   the same f32 scratch the cross-rank wire uses, so only f64 reduction
+   order distinguishes the two placements. *)
 let test_rank_count_parity () =
   let steps = 30 and ppc_of id = 4 + (4 * id) in
   let serial_e, serial_np, _ =

@@ -160,6 +160,42 @@ let test_team_multiblock_compose () =
   let e2 = blocks_energies ~workers:2 in
   check_energies_bitwise "2 ranks x 4 blocks, 1 vs 2 workers" e1 e2
 
+(* --- exception containment: a failing tile names its lane, the team
+   survives --- *)
+
+let test_worker_failure_contained () =
+  Team.with_team ~workers:3 (fun tm ->
+      let pool = Team.pool tm in
+      (match
+         pool.Pool.run ~label:"boom" ~tiles:8 (fun ~lane:_ ~tile ->
+             if tile = 5 then failwith "boom")
+       with
+      | () -> Alcotest.fail "expected Worker_failed"
+      | exception Team.Worker_failed { worker; error = Failure m } ->
+          check_true "failing lane is named" (worker >= 0 && worker < 3);
+          Alcotest.(check string) "original error carried" "boom" m
+      | exception e ->
+          Alcotest.failf "unexpected: %s" (Printexc.to_string e));
+      (* containment drained the region: no lane is left parked, and the
+         team keeps working *)
+      let hits = Array.make 8 0 in
+      pool.Pool.run ~label:"after" ~tiles:8 (fun ~lane:_ ~tile ->
+          hits.(tile) <- hits.(tile) + 1);
+      Array.iteri
+        (fun t h -> Alcotest.(check int) (Printf.sprintf "tile %d ran once" t) 1 h)
+        hits);
+  (* the inline single-lane path wraps failures the same way *)
+  Team.with_team ~workers:1 (fun tm ->
+      let pool = Team.pool tm in
+      match
+        pool.Pool.run ~label:"boom1" ~tiles:4 (fun ~lane:_ ~tile ->
+            if tile = 2 then failwith "pow")
+      with
+      | () -> Alcotest.fail "expected Worker_failed"
+      | exception Team.Worker_failed { worker = 0; error = Failure m } ->
+          Alcotest.(check string) "original error carried" "pow" m
+      | exception e -> Alcotest.failf "unexpected: %s" (Printexc.to_string e))
+
 let suite =
   [ case "team: srs energies bitwise invariant in worker count"
       test_srs_worker_invariance;
@@ -168,4 +204,6 @@ let suite =
     case "team: slab current reduction matches direct deposit"
       test_slab_current_reduction;
     case "team: 2 ranks x 4 blocks x workers compose"
-      test_team_multiblock_compose ]
+      test_team_multiblock_compose;
+    case "team: a failing tile is contained and names its lane"
+      test_worker_failure_contained ]

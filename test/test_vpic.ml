@@ -12,6 +12,7 @@ let () =
       ("block", Suite_block.suite);
       ("telemetry", Suite_telemetry.suite);
       ("fault", Suite_fault.suite);
+      ("recover", Suite_recover.suite);
       ("cell", Suite_cell.suite);
       ("lpi", Suite_lpi.suite);
       ("team", Suite_team.suite) ]
