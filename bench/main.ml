@@ -1459,6 +1459,84 @@ let smp_bench ~quick () =
                wall_1w /. wall4) );
           ("energies_invariant", string_of_bool invariant) ])
 
+(* ------------------------------------------------------------- campaign *)
+
+let campaign_bench ~quick () =
+  let module Campaign = Vpic_campaign.Service in
+  let module Campaign_spec = Vpic_campaign.Spec in
+  let module Campaign_queue = Vpic_campaign.Queue in
+  let module Campaign_store = Vpic_campaign.Store in
+  pf "\n###### campaign: lease queue + content-hash-cached store ######\n";
+  let root = Filename.temp_file "vpic_campbench" "" in
+  Sys.remove root;
+  let rec rm_rf p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+        Unix.rmdir p
+      end
+      else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let base = { Deck.default with nx = 128; ppc = (if quick then 4 else 16) } in
+  let steps = if quick then 30 else 80 in
+  let spec =
+    Campaign_spec.make ~base ~a0s:[ 0.02; 0.05; 0.08; 0.11 ] ~seeds:[ 1; 2 ]
+      ~steps:[ steps ] ()
+  in
+  let q = Campaign_queue.create ~root in
+  let store = Campaign_store.open_ ~root in
+  let params =
+    { Campaign.default_params with
+      Campaign.workers = 2;
+      checkpoint_every = 0;
+      sentinel_every = 0 }
+  in
+  ignore (Campaign.submit q store spec);
+  let cold, cold_wall = Perf.timed (fun () -> Campaign.work ~params q store) in
+  (* Identical resubmit: every job is served from the results store. *)
+  ignore (Campaign.submit q store spec);
+  let warm, warm_wall = Perf.timed (fun () -> Campaign.work ~params q store) in
+  let t = Table.create [ "pass"; "wall s"; "completed"; "cache hits"; "sim steps" ] in
+  Table.add_row t
+    [ "cold"; Printf.sprintf "%.3f" cold_wall;
+      string_of_int cold.Campaign.completed;
+      string_of_int cold.Campaign.cache_hits;
+      string_of_int cold.Campaign.sim_steps ];
+  Table.add_row t
+    [ "warm"; Printf.sprintf "%.3f" warm_wall;
+      string_of_int warm.Campaign.completed;
+      string_of_int warm.Campaign.cache_hits;
+      string_of_int warm.Campaign.sim_steps ];
+  Table.print
+    ~title:
+      (Printf.sprintf "campaign A/B: %d jobs x %d steps, 2 workers"
+         (Campaign_spec.cardinality spec) steps)
+    t;
+  pf "warm resubmit: %d/%d cache hits, %d simulation steps (%.0fx faster)\n"
+    warm.Campaign.cache_hits
+    (Campaign_spec.cardinality spec)
+    warm.Campaign.sim_steps
+    (cold_wall /. Float.max warm_wall 1e-9);
+  write_bench_json ~file:"BENCH_campaign.json" ~bench:"campaign" ~ranks:1
+    ~results:
+      [ ("jobs", string_of_int (Campaign_spec.cardinality spec));
+        ("steps_per_job", string_of_int steps);
+        ("workers", "2");
+        ( "cold",
+          json_obj
+            [ ("wall_s", json_num cold_wall);
+              ("completed", string_of_int cold.Campaign.completed);
+              ("cache_hits", string_of_int cold.Campaign.cache_hits);
+              ("sim_steps", string_of_int cold.Campaign.sim_steps) ] );
+        ( "warm",
+          json_obj
+            [ ("wall_s", json_num warm_wall);
+              ("completed", string_of_int warm.Campaign.completed);
+              ("cache_hits", string_of_int warm.Campaign.cache_hits);
+              ("sim_steps", string_of_int warm.Campaign.sim_steps) ] );
+        ("cold_over_warm", json_num (cold_wall /. Float.max warm_wall 1e-9)) ]
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
@@ -1504,9 +1582,10 @@ let () =
     | "step" -> step_bench ()
     | "rebalance" -> rebalance_bench ()
     | "smp" -> smp_bench ~quick ()
+    | "campaign" -> campaign_bench ~quick ()
     | other ->
         pf "unknown section %s (e1..e6, v1, v2, push, exchange, step, \
-            rebalance, smp, kernels, figures)\n"
+            rebalance, smp, campaign, kernels, figures)\n"
           other
   in
   List.iter run sections;

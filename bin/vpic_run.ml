@@ -13,6 +13,9 @@
                           [--ranks N] [--trace FILE] [--metrics FILE]
                           [--scoreboard-every N]
      vpic_run sweep       [--a0s 0.02,0.04,...] [--ppc 32] [--with-noise-run]
+                          [--steps N] [--noise-floor R] [--json FILE]
+                          [--campaign DIR] [--workers N]
+     vpic_run campaign    submit|work|status|results [--dir DIR] [--json] ...
      vpic_run model       [--cus 17] [--particles 1e12] [--voxels 1.36e8]
 *)
 
@@ -44,6 +47,11 @@ module Trace = Vpic_telemetry.Trace
 module Metrics = Vpic_telemetry.Metrics
 module Scoreboard = Vpic_telemetry.Scoreboard
 module Report = Vpic_telemetry.Report
+module Json = Vpic_util.Json
+module Campaign = Vpic_campaign.Service
+module Campaign_spec = Vpic_campaign.Spec
+module Campaign_queue = Vpic_campaign.Queue
+module Campaign_store = Vpic_campaign.Store
 open Cmdliner
 
 (* ------------------------------------------------------------- langmuir *)
@@ -758,11 +766,63 @@ let srs_cmd =
 
 (* ---------------------------------------------------------------- sweep *)
 
-let run_sweep a0s ppc with_noise =
-  let base = { Deck.default with ppc } in
-  let points =
-    Sweep.reflectivity_vs_intensity ~base ~with_noise_run:with_noise ~a0s ()
-  in
+let iso_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+(* The bench artifact envelope ({"schema":"vpic-bench/1",...}) shared
+   with bench/main.ml, built on Vpic_util.Json. *)
+let bench_json ~bench ~ranks results =
+  Json.Obj
+    [ ("schema", Json.Str "vpic-bench/1");
+      ("bench", Json.Str bench);
+      ( "meta",
+        Json.Obj
+          [ ("git", Json.Str (git_describe ()));
+            ("date", Json.Str (iso_now ()));
+            ("ranks", Json.Num (float_of_int ranks)) ] );
+      ("results", Json.Obj results) ]
+
+let write_json_file ~file json =
+  let oc = open_out file in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let sweep_point_json (p : Sweep.point) =
+  Json.Obj
+    [ ("a0", Json.Num p.Sweep.a0);
+      ("intensity_w_cm2", Json.Num p.Sweep.intensity_w_cm2);
+      ("gain_theory", Json.Num p.Sweep.gain_theory);
+      ("r_theory", Json.Num p.Sweep.r_theory);
+      ("r_measured", Json.Num p.Sweep.r_measured);
+      ("r_noise", Json.Num p.Sweep.r_noise);
+      ("r_peak", Json.Num p.Sweep.r_peak);
+      ("hot_fraction", Json.Num p.Sweep.hot_fraction);
+      ("flattening", Json.Num p.Sweep.flattening) ]
+
+let campaign_stats_json (s : Campaign.stats) =
+  Json.Obj
+    [ ("completed", Json.Num (float_of_int s.Campaign.completed));
+      ("failed", Json.Num (float_of_int s.Campaign.failed));
+      ("exhausted", Json.Num (float_of_int s.Campaign.exhausted));
+      ("retried", Json.Num (float_of_int s.Campaign.retried));
+      ("cache_hits", Json.Num (float_of_int s.Campaign.cache_hits));
+      ("sim_steps", Json.Num (float_of_int s.Campaign.sim_steps)) ]
+
+let print_sweep_table points =
   let t =
     Table.create
       [ "a0"; "I(W/cm^2)"; "R seeded"; "R peak"; "R noise-seeded"; "R theory";
@@ -781,6 +841,45 @@ let run_sweep a0s ppc with_noise =
     points;
   Table.print ~title:"reflectivity vs intensity" t
 
+let run_sweep a0s ppc with_noise steps noise_floor json_file campaign_dir
+    workers =
+  let base = { Deck.default with ppc } in
+  let points, stats =
+    match campaign_dir with
+    | None ->
+        ( Sweep.reflectivity_vs_intensity ~base ?steps
+            ~with_noise_run:with_noise ?noise_floor ~a0s (),
+          None )
+    | Some dir ->
+        let q = Campaign_queue.create ~root:dir in
+        let store = Campaign_store.open_ ~root:dir in
+        let params = { Campaign.default_params with Campaign.workers } in
+        let points, stats =
+          Campaign.sweep ~params ~base ?steps ~with_noise_run:with_noise
+            ?noise_floor ~a0s q store
+        in
+        (points, Some stats)
+  in
+  print_sweep_table points;
+  (match stats with
+  | None -> ()
+  | Some s ->
+      Printf.printf
+        "campaign: %d completed, %d cache hits, %d retried, %d sim steps\n"
+        s.Campaign.completed s.Campaign.cache_hits s.Campaign.retried
+        s.Campaign.sim_steps);
+  match json_file with
+  | None -> ()
+  | Some file ->
+      let results =
+        ("points", Json.Arr (List.map sweep_point_json points))
+        ::
+        (match stats with
+        | None -> []
+        | Some s -> [ ("campaign", campaign_stats_json s) ])
+      in
+      write_json_file ~file (bench_json ~bench:"sweep" ~ranks:1 results)
+
 let sweep_cmd =
   let a0s =
     Arg.(value
@@ -791,11 +890,286 @@ let sweep_cmd =
   let sub =
     Arg.(value & flag
          & info [ "with-noise-run" ]
-             ~doc:"Also run each point with the seed off (noise-seeded SRS).")
+             ~doc:"Also run each point with the seed off (noise-seeded SRS). \
+                   Up to doubles the sweep cost; points whose seeded run \
+                   stays below the noise floor skip the second pass.")
+  in
+  let steps =
+    Arg.(value & opt (some int) None
+         & info [ "steps" ] ~doc:"Override the per-point step count.")
+  in
+  let noise_floor =
+    Arg.(value & opt (some float) None
+         & info [ "noise-floor" ]
+             ~doc:"Reflectivity below which the seed-off noise run is \
+                   skipped (default 5x the seed ratio; 0 forces the noise \
+                   run everywhere).")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ]
+             ~doc:"Write the sweep as a vpic-bench/1 JSON artifact.")
+  in
+  let campaign_dir =
+    Arg.(value & opt (some string) None
+         & info [ "campaign" ]
+             ~doc:"Route the sweep through the campaign service rooted at \
+                   this directory: points become content-hashed jobs, \
+                   already-computed points are served from the results \
+                   cache without simulating.")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ]
+             ~doc:"With --campaign: worker pool size (jobs run \
+                   concurrently, one domain each).")
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Reflectivity-vs-intensity parameter study (E3)")
-    Term.(const run_sweep $ a0s $ ppc $ sub)
+    Term.(const run_sweep $ a0s $ ppc $ sub $ steps $ noise_floor $ json_file
+          $ campaign_dir $ workers)
+
+(* ------------------------------------------------------------- campaign *)
+
+let campaign_open dir =
+  let q = Campaign_queue.create ~root:dir in
+  let store = Campaign_store.open_ ~root:dir in
+  (q, store)
+
+let run_campaign_submit dir a0s nrs seeds steps nr te nx ppc as_json =
+  let base = { Deck.default with nr; te_kev = te; nx; ppc } in
+  let q, store = campaign_open dir in
+  let spec = Campaign_spec.make ~a0s ~nrs ~seeds ~steps ~base () in
+  let r = Campaign.submit q store spec in
+  if as_json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("jobs", Json.Num (float_of_int r.Campaign.jobs));
+              ("submitted", Json.Num (float_of_int r.Campaign.submitted));
+              ("reopened", Json.Num (float_of_int r.Campaign.reopened));
+              ("in_flight", Json.Num (float_of_int r.Campaign.in_flight));
+              ("precached", Json.Num (float_of_int r.Campaign.precached)) ]))
+  else
+    Printf.printf
+      "campaign %s: %d jobs (%d submitted, %d reopened, %d in flight, %d \
+       already cached)\n"
+      dir r.Campaign.jobs r.Campaign.submitted r.Campaign.reopened
+      r.Campaign.in_flight r.Campaign.precached
+
+let run_campaign_work dir workers lease_s retry_budget ckpt_every keep
+    sentinel_every kill_step fault_seed trace_file as_json =
+  (match kill_step with
+  | Some s ->
+      Fault.enable ~seed:fault_seed;
+      Fault.arm (Fault.Kill_rank { rank = 0; step = s })
+  | None -> ());
+  if trace_file <> None then Trace.enable ~rank:0 ();
+  Metrics.enable ();
+  let q, store = campaign_open dir in
+  let params =
+    { Campaign.workers;
+      lease_s;
+      retry_budget;
+      checkpoint_every = ckpt_every;
+      keep;
+      sentinel_every;
+      poll_s = Campaign.default_params.Campaign.poll_s }
+  in
+  let stats =
+    try Campaign.work ~params q store with e -> classify_failure e
+  in
+  export_trace trace_file;
+  if as_json then print_endline (Json.to_string (campaign_stats_json stats))
+  else begin
+    let (pending, leased, done_, failed), cached = Campaign.status q store in
+    Printf.printf
+      "campaign %s: %d completed, %d cache hits, %d retried, %d failed \
+       attempts, %d exhausted, %d sim steps\n"
+      dir stats.Campaign.completed stats.Campaign.cache_hits
+      stats.Campaign.retried stats.Campaign.failed stats.Campaign.exhausted
+      stats.Campaign.sim_steps;
+    Printf.printf
+      "queue: %d pending, %d leased, %d done, %d failed; %d results cached\n"
+      pending leased done_ failed cached
+  end
+
+let run_campaign_status dir as_json =
+  let q, store = campaign_open dir in
+  let (pending, leased, done_, failed), cached = Campaign.status q store in
+  if as_json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("pending", Json.Num (float_of_int pending));
+              ("leased", Json.Num (float_of_int leased));
+              ("done", Json.Num (float_of_int done_));
+              ("failed", Json.Num (float_of_int failed));
+              ("cached", Json.Num (float_of_int cached)) ]))
+  else
+    Printf.printf
+      "campaign %s: %d pending, %d leased, %d done, %d failed; %d results \
+       cached\n"
+      dir pending leased done_ failed cached
+
+let run_campaign_results dir as_json =
+  let _q, store = campaign_open dir in
+  let rows = Campaign_store.rows store in
+  if as_json then
+    print_endline
+      (Json.to_string
+         (Json.Arr (List.map Campaign_store.row_to_json rows)))
+  else begin
+    let t =
+      Table.create
+        [ "hash"; "a0"; "nr"; "seed"; "steps"; "R"; "R peak"; "hot frac";
+          "elapsed s"; "resumed"; "worker" ]
+    in
+    List.iter
+      (fun (r : Campaign_store.row) ->
+        Table.add_row t
+          [ String.sub r.Campaign_store.hash 0 12;
+            Table.cell_f r.Campaign_store.a0;
+            Table.cell_f r.Campaign_store.nr;
+            string_of_int r.Campaign_store.seed;
+            string_of_int r.Campaign_store.steps;
+            Printf.sprintf "%.3e" r.Campaign_store.r_measured;
+            Printf.sprintf "%.3e" r.Campaign_store.r_peak;
+            Printf.sprintf "%.2e" r.Campaign_store.hot_fraction;
+            Printf.sprintf "%.2f" r.Campaign_store.elapsed_s;
+            string_of_int r.Campaign_store.resumed_gen;
+            string_of_int r.Campaign_store.worker ])
+      rows;
+    Table.print ~title:(Printf.sprintf "campaign results (%s)" dir) t
+  end
+
+let campaign_cmd =
+  let dir =
+    Arg.(value & opt string "campaign"
+         & info [ "dir" ] ~doc:"Campaign root directory.")
+  in
+  let as_json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit machine-readable JSON on stdout.")
+  in
+  let submit =
+    let a0s =
+      Arg.(value & opt (list float) []
+           & info [ "a0s" ]
+               ~doc:"Pump amplitudes (grid axis; empty = the base value).")
+    in
+    let nrs =
+      Arg.(value & opt (list float) []
+           & info [ "nrs" ] ~doc:"Densities n_e/n_cr (grid axis).")
+    in
+    let seeds =
+      Arg.(value & opt (list int) []
+           & info [ "seeds" ] ~doc:"RNG seeds (grid axis).")
+    in
+    let steps =
+      Arg.(value & opt (list int) []
+           & info [ "steps" ]
+               ~doc:"Step counts (grid axis; empty = the deck's suggested \
+                     count per point).")
+    in
+    let nr =
+      Arg.(value & opt float Deck.default.Deck.nr
+           & info [ "nr" ] ~doc:"Base density n_e/n_cr.")
+    in
+    let te =
+      Arg.(value & opt float Deck.default.Deck.te_kev
+           & info [ "te" ] ~doc:"Te in keV.")
+    in
+    let nx =
+      Arg.(value & opt int Deck.default.Deck.nx
+           & info [ "nx" ] ~doc:"Cells along x.")
+    in
+    let ppc =
+      Arg.(value & opt int Deck.default.Deck.ppc
+           & info [ "ppc" ] ~doc:"Particles per cell.")
+    in
+    Cmd.v
+      (Cmd.info "submit"
+         ~doc:"Expand a parameter grid into content-hashed jobs and enqueue \
+               them (done/failed jobs are reopened; previously computed \
+               results will be served from the cache).")
+      Term.(const run_campaign_submit $ dir $ a0s $ nrs $ seeds $ steps $ nr
+            $ te $ nx $ ppc $ as_json)
+  in
+  let work =
+    let workers =
+      Arg.(value & opt int 2
+           & info [ "workers" ] ~doc:"Worker pool size (domains).")
+    in
+    let lease_s =
+      Arg.(value & opt float 30.
+           & info [ "lease-s" ]
+               ~doc:"Lease duration in seconds; a dead worker's job is \
+                     reclaimed this long after its last renewal.")
+    in
+    let retry_budget =
+      Arg.(value & opt int 3
+           & info [ "retry-budget" ]
+               ~doc:"Leases granted per job before it lands in failed/.")
+    in
+    let ckpt_every =
+      Arg.(value & opt int 25
+           & info [ "checkpoint-every" ]
+               ~doc:"Steps between per-job checkpoint generations (0 = \
+                     never; retried jobs then restart from step 0).")
+    in
+    let keep =
+      Arg.(value & opt int 2
+           & info [ "keep-generations" ]
+               ~doc:"Checkpoint generations retained per job.")
+    in
+    let sentinel_every =
+      Arg.(value & opt int 50
+           & info [ "sentinel-every" ]
+               ~doc:"Numerical-health sentinel interval, steps (0 = off).")
+    in
+    let kill_step =
+      Arg.(value & opt (some int) None
+           & info [ "fault-kill-step" ]
+               ~doc:"Fault injection: kill a worker during simulation step \
+                     N of whichever job reaches it first (the whole pool \
+                     aborts, simulating process death; held leases are \
+                     left to expire).")
+    in
+    let fault_seed =
+      Arg.(value & opt int 1
+           & info [ "fault-seed" ] ~doc:"Fault injection RNG seed.")
+    in
+    let trace_file =
+      Arg.(value & opt (some string) None
+           & info [ "trace" ]
+               ~doc:"Write per-job trace spans (Chrome trace JSON, or \
+                     JSONL if the file ends in .jsonl).")
+    in
+    Cmd.v
+      (Cmd.info "work"
+         ~doc:"Run a worker pool until the queue drains: lease, simulate \
+               (resuming from the newest valid checkpoint), append the \
+               result, complete.  Expired leases are reclaimed and retried.")
+      Term.(const run_campaign_work $ dir $ workers $ lease_s $ retry_budget
+            $ ckpt_every $ keep $ sentinel_every $ kill_step $ fault_seed
+            $ trace_file $ as_json)
+  in
+  let status =
+    Cmd.v
+      (Cmd.info "status" ~doc:"Queue state counts and cached-result count.")
+      Term.(const run_campaign_status $ dir $ as_json)
+  in
+  let results =
+    Cmd.v
+      (Cmd.info "results" ~doc:"Dump the results store.")
+      Term.(const run_campaign_results $ dir $ as_json)
+  in
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:"Lease-based work queue + worker pool + content-hash-cached \
+             results store for parameter studies.")
+    [ submit; work; status; results ]
 
 (* ---------------------------------------------------------------- model *)
 
@@ -835,4 +1209,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ langmuir_cmd; two_stream_cmd; srs_cmd; sweep_cmd; model_cmd ]))
+          [ langmuir_cmd; two_stream_cmd; srs_cmd; sweep_cmd; campaign_cmd;
+            model_cmd ]))

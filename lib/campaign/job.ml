@@ -1,0 +1,148 @@
+module Deck = Vpic_lpi.Deck
+module Json = Vpic_util.Json
+module Crc32 = Vpic_util.Crc32
+
+type t = {
+  id : string;
+  config : Deck.config;
+  steps : int;
+  attempts : int;
+  lease_gen : int;
+  worker : int;
+  deadline : float;
+}
+
+let canonical_string ~config ~steps =
+  Deck.to_canonical_string config ^ Printf.sprintf "steps=%d\n" steps
+
+(* 64-bit FNV-1a.  CRC-32 alone leaves ~50% collision odds at ~80k
+   distinct decks (birthday bound); the concatenation is 96 bits. *)
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let hash ~config ~steps =
+  let s = canonical_string ~config ~steps in
+  Printf.sprintf "%08lx%016Lx" (Crc32.string s) (fnv64 s)
+
+let make ~config ~steps =
+  { id = hash ~config ~steps;
+    config;
+    steps;
+    attempts = 0;
+    lease_gen = 0;
+    worker = -1;
+    deadline = 0. }
+
+(* ----------------------------------------------------------------- JSON *)
+
+let schema = "vpic-campaign-job/1"
+
+let config_to_json (c : Deck.config) =
+  Json.Obj
+    [ ("nr", Json.Num c.Deck.nr);
+      ("te_kev", Json.Num c.Deck.te_kev);
+      ("ti_over_te", Json.Num c.Deck.ti_over_te);
+      ("a0", Json.Num c.Deck.a0);
+      ("r_seed", Json.Num c.Deck.r_seed);
+      ("nx", Json.Num (float_of_int c.Deck.nx));
+      ("ny", Json.Num (float_of_int c.Deck.ny));
+      ("nz", Json.Num (float_of_int c.Deck.nz));
+      ("dx", Json.Num c.Deck.dx);
+      ("l_transverse", Json.Num c.Deck.l_transverse);
+      ("vacuum", Json.Num c.Deck.vacuum);
+      ("ppc", Json.Num (float_of_int c.Deck.ppc));
+      ("ion_mass", Json.Num c.Deck.ion_mass);
+      ("filter_passes", Json.Num (float_of_int c.Deck.filter_passes));
+      ("t_rise", Json.Num c.Deck.t_rise);
+      ("y_skew", Json.Num c.Deck.y_skew);
+      ("rng_seed", Json.Num (float_of_int c.Deck.rng_seed)) ]
+
+let to_json j =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("id", Json.Str j.id);
+      ("steps", Json.Num (float_of_int j.steps));
+      ("attempts", Json.Num (float_of_int j.attempts));
+      ("lease_gen", Json.Num (float_of_int j.lease_gen));
+      ("worker", Json.Num (float_of_int j.worker));
+      ("deadline", Json.Num j.deadline);
+      ("config", config_to_json j.config) ]
+
+(* Field extraction that names the missing/ill-typed field in the error
+   (the queue logs it when it quarantines a corrupt job file). *)
+exception Missing of string
+
+let need_float obj key =
+  match Option.bind (Json.member key obj) Json.to_float_opt with
+  | Some v -> v
+  | None -> raise (Missing key)
+
+let need_int obj key =
+  match Option.bind (Json.member key obj) Json.to_int_opt with
+  | Some v -> v
+  | None -> raise (Missing key)
+
+let config_of_json obj =
+  { Deck.nr = need_float obj "nr";
+    te_kev = need_float obj "te_kev";
+    ti_over_te = need_float obj "ti_over_te";
+    a0 = need_float obj "a0";
+    r_seed = need_float obj "r_seed";
+    nx = need_int obj "nx";
+    ny = need_int obj "ny";
+    nz = need_int obj "nz";
+    dx = need_float obj "dx";
+    l_transverse = need_float obj "l_transverse";
+    vacuum = need_float obj "vacuum";
+    ppc = need_int obj "ppc";
+    ion_mass = need_float obj "ion_mass";
+    filter_passes = need_int obj "filter_passes";
+    t_rise = need_float obj "t_rise";
+    y_skew = need_float obj "y_skew";
+    rng_seed = need_int obj "rng_seed" }
+
+let of_json json =
+  match
+    (match Option.bind (Json.member "schema" json) Json.to_string_opt with
+    | Some s when s = schema -> ()
+    | Some s -> raise (Missing (Printf.sprintf "schema (found %S)" s))
+    | None -> raise (Missing "schema"));
+    let id =
+      match Option.bind (Json.member "id" json) Json.to_string_opt with
+      | Some s -> s
+      | None -> raise (Missing "id")
+    in
+    let config =
+      match Json.member "config" json with
+      | Some obj -> config_of_json obj
+      | None -> raise (Missing "config")
+    in
+    let steps = need_int json "steps" in
+    let expected = hash ~config ~steps in
+    if id <> expected then
+      Error
+        (Printf.sprintf "content hash mismatch: file says %s, config hashes %s"
+           id expected)
+    else
+      Ok
+        { id;
+          config;
+          steps;
+          attempts = need_int json "attempts";
+          lease_gen = need_int json "lease_gen";
+          worker = need_int json "worker";
+          deadline = need_float json "deadline" }
+  with
+  | r -> r
+  | exception Missing key -> Error ("bad job field: " ^ key)
+
+let to_file_string j = Json.to_string (to_json j) ^ "\n"
+
+let of_file_string s =
+  match Json.parse s with Ok v -> of_json v | Error e -> Error e

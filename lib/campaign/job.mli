@@ -1,0 +1,45 @@
+(** One schedulable unit of campaign work: a fully-resolved deck
+    configuration plus a step count, keyed by a canonical content hash.
+
+    The hash is computed over {!canonical_string} — the deck's
+    {!Vpic_lpi.Deck.to_canonical_string} plus a [steps=N] line — as
+    CRC-32 ({!Vpic_util.Crc32}) concatenated with 64-bit FNV-1a, both
+    over the same canonical bytes.  Two jobs share an id iff they would
+    run byte-identically, which is what makes the results store a safe
+    cache: a hash hit {e is} the simulation.
+
+    Lease bookkeeping ([attempts], [lease_gen], [worker], [deadline])
+    travels inside the job file so every state transition of the on-disk
+    queue is a single atomic file move. *)
+
+type t = {
+  id : string;          (** content hash, [crc32 ^ fnv64] in hex *)
+  config : Vpic_lpi.Deck.config;
+  steps : int;
+  attempts : int;       (** leases granted so far (retry budget basis) *)
+  lease_gen : int;      (** bumped on every lease; a holder whose
+                            generation no longer matches the file has
+                            lost the job to a reclaim *)
+  worker : int;         (** last leaseholder lane, -1 when unleased *)
+  deadline : float;     (** lease expiry (epoch seconds), 0 = unleased *)
+}
+
+(** The canonical bytes the id is hashed over. *)
+val canonical_string : config:Vpic_lpi.Deck.config -> steps:int -> string
+
+(** Content hash of a (config, steps) pair. *)
+val hash : config:Vpic_lpi.Deck.config -> steps:int -> string
+
+(** A fresh, unleased job (id computed). *)
+val make : config:Vpic_lpi.Deck.config -> steps:int -> t
+
+val to_json : t -> Vpic_util.Json.t
+
+(** Rejects missing/ill-typed fields and ids that do not match the
+    recomputed content hash. *)
+val of_json : Vpic_util.Json.t -> (t, string) result
+
+(** The job-file payload ([to_json] rendered, newline-terminated). *)
+val to_file_string : t -> string
+
+val of_file_string : string -> (t, string) result

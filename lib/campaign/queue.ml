@@ -1,0 +1,258 @@
+type state = Pending | Leased | Done | Failed
+
+let state_to_string = function
+  | Pending -> "pending"
+  | Leased -> "leased"
+  | Done -> "done"
+  | Failed -> "failed"
+
+type t = { root : string; lock : Mutex.t }
+
+let root t = t.root
+let state_dir t s = Filename.concat t.root (state_to_string s)
+let ckpt_dir t ~id = Filename.concat (Filename.concat t.root "ckpt") id
+let job_path t s id = Filename.concat (state_dir t s) (id ^ ".json")
+
+let mkdir_exist_ok d =
+  try Unix.mkdir d 0o755
+  with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* Unique-enough temporary names: transitions also hold the process
+   mutex, so the counter only disambiguates across processes. *)
+let tmp_counter = Atomic.make 0
+
+let tmp_path t =
+  Filename.concat t.root
+    (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ())
+       (Atomic.fetch_and_add tmp_counter 1))
+
+(* Atomic write: bytes land under a temporary name in the queue root
+   (same filesystem), then rename into place. *)
+let write_file_atomic t path content =
+  let tmp = tmp_path t in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc content)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_job path =
+  match read_file path with
+  | s -> Job.of_file_string s
+  | exception Sys_error e -> Error e
+
+let ids_in t s =
+  match Sys.readdir (state_dir t s) with
+  | files ->
+      let ids =
+        Array.to_list files
+        |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".json" f)
+      in
+      List.sort compare ids
+  | exception Sys_error _ -> []
+
+(* A crash between "write the destination file" and "unlink the source"
+   can leave one id in two state directories.  The destination of every
+   transition is the more advanced state, so keeping the most advanced
+   copy and dropping the rest reconstructs the pre-crash intent
+   (ordering: done/failed > leased > pending). *)
+let fsck t =
+  let advance = [ (Pending, 0); (Leased, 1); (Done, 2); (Failed, 2) ] in
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun (s, rank_) ->
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt best id with
+          | Some (r, _) when r >= rank_ -> ()
+          | _ -> Hashtbl.replace best id (rank_, s))
+        (ids_in t s))
+    advance;
+  List.iter
+    (fun (s, rank_) ->
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt best id with
+          | Some (r, keep) when r > rank_ || (r = rank_ && keep <> s) ->
+              (try Sys.remove (job_path t s id) with Sys_error _ -> ())
+          | _ -> ())
+        (ids_in t s))
+    advance;
+  (* Orphaned temporaries from a crashed writer. *)
+  (match Sys.readdir t.root with
+  | files ->
+      Array.iter
+        (fun f ->
+          if String.length f > 5 && String.sub f 0 5 = ".tmp." then
+            try Sys.remove (Filename.concat t.root f) with Sys_error _ -> ())
+        files
+  | exception Sys_error _ -> ())
+
+let create ~root =
+  mkdir_exist_ok root;
+  let t = { root; lock = Mutex.create () } in
+  List.iter
+    (fun s -> mkdir_exist_ok (state_dir t s))
+    [ Pending; Leased; Done; Failed ];
+  mkdir_exist_ok (Filename.concat root "ckpt");
+  fsck t;
+  t
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find_state t id =
+  List.find_opt
+    (fun s -> Sys.file_exists (job_path t s id))
+    [ Done; Failed; Leased; Pending ]
+
+let submit t (job : Job.t) =
+  locked t @@ fun () ->
+  match find_state t job.Job.id with
+  | Some s -> `Already s
+  | None ->
+      write_file_atomic t
+        (job_path t Pending job.Job.id)
+        (Job.to_file_string job);
+      `Submitted
+
+(* Move a parsed job into [dst] with updated contents, then drop the
+   source file.  Both steps are atomic renames; the fsck rule above
+   covers a crash between them. *)
+let transition t ~src ~dst (job : Job.t) =
+  write_file_atomic t (job_path t dst job.Job.id) (Job.to_file_string job);
+  try Sys.remove (job_path t src job.Job.id) with Sys_error _ -> ()
+
+let quarantine t ~src id reason =
+  Printf.eprintf "campaign: quarantining corrupt job file %s: %s\n%!"
+    (job_path t src id) reason;
+  try
+    Sys.rename (job_path t src id)
+      (Filename.concat (state_dir t Failed) (id ^ ".json.corrupt"))
+  with Sys_error _ -> ()
+
+let lease t ~worker ~now ~duration =
+  locked t @@ fun () ->
+  let rec try_ids = function
+    | [] -> None
+    | id :: rest -> (
+        match read_job (job_path t Pending id) with
+        | Error reason ->
+            quarantine t ~src:Pending id reason;
+            try_ids rest
+        | Ok job ->
+            let job =
+              { job with
+                Job.attempts = job.Job.attempts + 1;
+                lease_gen = job.Job.lease_gen + 1;
+                worker;
+                deadline = now +. duration }
+            in
+            transition t ~src:Pending ~dst:Leased job;
+            Some job)
+  in
+  try_ids (ids_in t Pending)
+
+(* Re-read the on-disk lease and check the fencing token: the holder's
+   view is authoritative only while the file still carries its
+   generation. *)
+let with_current_lease t (job : Job.t) f =
+  match read_job (job_path t Leased job.Job.id) with
+  | Error _ -> None
+  | Ok current when current.Job.lease_gen <> job.Job.lease_gen -> None
+  | Ok current -> Some (f current)
+
+let renew t job ~now ~duration =
+  locked t @@ fun () ->
+  match
+    with_current_lease t job (fun current ->
+        write_file_atomic t
+          (job_path t Leased current.Job.id)
+          (Job.to_file_string { current with Job.deadline = now +. duration }))
+  with
+  | Some () -> true
+  | None -> false
+
+let complete t job =
+  locked t @@ fun () ->
+  match
+    with_current_lease t job (fun current ->
+        transition t ~src:Leased ~dst:Done current)
+  with
+  | Some () -> true
+  | None -> false
+
+let requeue t (job : Job.t) ~retry_budget =
+  let unleased = { job with Job.worker = -1; deadline = 0. } in
+  if job.Job.attempts >= retry_budget then begin
+    transition t ~src:Leased ~dst:Failed unleased;
+    `Failed
+  end
+  else begin
+    transition t ~src:Leased ~dst:Pending unleased;
+    `Requeued
+  end
+
+let fail t job ~retry_budget =
+  locked t @@ fun () ->
+  match with_current_lease t job (fun current -> requeue t current ~retry_budget) with
+  | Some r -> r
+  | None -> `Stale
+
+let reopen t ~id =
+  locked t @@ fun () ->
+  let from_state s =
+    match read_job (job_path t s id) with
+    | Error reason ->
+        quarantine t ~src:s id reason;
+        false
+    | Ok job ->
+        (* Fresh attempt budget; [lease_gen] stays monotonic so any
+           fencing token from the job's previous life is still dead. *)
+        transition t ~src:s ~dst:Pending
+          { job with Job.attempts = 0; worker = -1; deadline = 0. };
+        true
+  in
+  if Sys.file_exists (job_path t Done id) then from_state Done
+  else if Sys.file_exists (job_path t Failed id) then from_state Failed
+  else false
+
+let reclaim_expired t ~now ~retry_budget =
+  locked t @@ fun () ->
+  List.fold_left
+    (fun (requeued, exhausted) id ->
+      match read_job (job_path t Leased id) with
+      | Error reason ->
+          quarantine t ~src:Leased id reason;
+          (requeued, exhausted)
+      | Ok job ->
+          (* deadline = 0 in leased/ can only be a crash inside the
+             lease transition itself (the stamped file never has it):
+             reclaim immediately. *)
+          if job.Job.deadline > now then (requeued, exhausted)
+          else begin
+            match requeue t job ~retry_budget with
+            | `Requeued -> (requeued + 1, exhausted)
+            | `Failed -> (requeued, exhausted + 1)
+          end)
+    (0, 0) (ids_in t Leased)
+
+let jobs_in t s =
+  List.filter_map
+    (fun id -> Result.to_option (read_job (job_path t s id)))
+    (ids_in t s)
+
+let counts t =
+  let n s = List.length (ids_in t s) in
+  (n Pending, n Leased, n Done, n Failed)

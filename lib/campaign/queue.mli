@@ -1,0 +1,93 @@
+(** Crash-safe on-disk work queue.
+
+    One JSON job file per state directory under the campaign root —
+    [pending/], [leased/], [done/], [failed/] — named [<hash>.json].
+    Every state transition is an atomic [rename] (writes land under a
+    temporary name first, the checkpoint idiom), so a crash at any
+    instant leaves each job in exactly one well-defined state; a
+    lightweight fsck at {!create} resolves the one cross-directory
+    ambiguity a mid-transition crash can leave (the same id in two
+    directories keeps only its most-advanced state).
+
+    {b Leases.}  A worker claims a job by moving it [pending/] →
+    [leased/] and stamping a deadline, its lane id and a bumped
+    {e lease generation} into the file.  A worker that dies mid-run
+    simply stops renewing: once the deadline passes, {!reclaim_expired}
+    moves the file back to [pending/] (or to [failed/] when the retry
+    budget is exhausted).  The generation counter is the fencing token —
+    a resurrected worker whose lease was reclaimed fails the generation
+    check in {!complete}/{!renew}/{!fail} and its effects are discarded.
+
+    {b Concurrency.}  Transitions from concurrent domains of one
+    process are serialized by an internal mutex.  Concurrent {e
+    processes} are safe against double-grant by the atomicity of
+    [rename] (one winner), but the intended deployment is one campaign
+    process per root at a time; a crashed process's leases are recovered
+    via deadline expiry, never by guessing at liveness. *)
+
+type t
+
+type state = Pending | Leased | Done | Failed
+
+val state_to_string : state -> string
+
+(** Open (creating directories as needed) and fsck the queue root. *)
+val create : root:string -> t
+
+val root : t -> string
+
+(** Directory a state's job files live in. *)
+val state_dir : t -> state -> string
+
+(** This job's per-job checkpoint directory ([<root>/ckpt/<id>]),
+    created on demand by the worker. *)
+val ckpt_dir : t -> id:string -> string
+
+(** Enqueue a fresh job.  [`Already s] if the id is anywhere in the
+    queue already (including [done/] — resubmitting a computed job is a
+    no-op at the queue level; the results-store cache is checked by the
+    caller first). *)
+val submit : t -> Job.t -> [ `Submitted | `Already of state ]
+
+(** Claim the first pending job (lexicographic id order): moves it to
+    [leased/] with [attempts+1], [lease_gen+1], [worker] and
+    [deadline = now + duration] stamped in.  [None] when nothing is
+    pending. *)
+val lease :
+  t -> worker:int -> now:float -> duration:float -> Job.t option
+
+(** Extend a held lease to [now + duration].  [false] when the lease
+    was lost (reclaimed, or re-leased to someone else): the caller must
+    abandon the job without completing it. *)
+val renew : t -> Job.t -> now:float -> duration:float -> bool
+
+(** Move a held lease to [done/].  [false] when the lease was lost
+    (the job's effects, if any, must already be idempotent — results
+    land in the store before completion, so a duplicate run is only
+    wasted work, never wrong data). *)
+val complete : t -> Job.t -> bool
+
+(** Record a failed attempt: back to [pending/] while attempts <
+    [retry_budget], else to [failed/].  [`Stale] when the lease was
+    lost. *)
+val fail :
+  t -> Job.t -> retry_budget:int -> [ `Requeued | `Failed | `Stale ]
+
+(** Re-enqueue a finished job ([done/] or [failed/]) as pending with a
+    fresh attempt budget ([lease_gen] stays monotonic — the fencing
+    token from its previous life remains dead).  Resubmission path: a
+    reopened done job is served from the results cache without
+    simulating.  [false] when the id is not in a finished state. *)
+val reopen : t -> id:string -> bool
+
+(** Sweep [leased/] for expired deadlines (and deadline-0 leftovers of
+    a crash inside the lease transition itself): each goes back to
+    [pending/], or to [failed/] once [attempts >= retry_budget].
+    Returns (requeued, exhausted). *)
+val reclaim_expired : t -> now:float -> retry_budget:int -> int * int
+
+(** Parse every job file in a state (corrupt files are skipped). *)
+val jobs_in : t -> state -> Job.t list
+
+(** (pending, leased, done, failed) file counts. *)
+val counts : t -> int * int * int * int

@@ -1,0 +1,54 @@
+module Deck = Vpic_lpi.Deck
+
+type t = {
+  base : Deck.config;
+  a0s : float list;
+  nrs : float list;
+  seeds : int list;
+  steps : int list;
+}
+
+let make ?(a0s = []) ?(nrs = []) ?(seeds = []) ?(steps = []) ~base () =
+  { base; a0s; nrs; seeds; steps }
+
+let axes t =
+  let or_default xs d = if xs = [] then [ d ] else xs in
+  ( or_default t.a0s t.base.Deck.a0,
+    or_default t.nrs t.base.Deck.nr,
+    or_default t.seeds t.base.Deck.rng_seed )
+
+let cardinality t =
+  let a0s, nrs, seeds = axes t in
+  let nsteps = max 1 (List.length t.steps) in
+  List.length a0s * List.length nrs * List.length seeds * nsteps
+
+let expand t =
+  let a0s, nrs, seeds = axes t in
+  let jobs =
+    List.concat_map
+      (fun a0 ->
+        List.concat_map
+          (fun nr ->
+            List.concat_map
+              (fun seed ->
+                let config =
+                  { t.base with Deck.a0; nr; rng_seed = seed }
+                in
+                let steps =
+                  if t.steps = [] then [ Deck.suggested_steps config ]
+                  else t.steps
+                in
+                List.map (fun steps -> Job.make ~config ~steps) steps)
+              seeds)
+          nrs)
+      a0s
+  in
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (j : Job.t) ->
+      if Hashtbl.mem seen j.Job.id then false
+      else begin
+        Hashtbl.add seen j.Job.id ();
+        true
+      end)
+    jobs

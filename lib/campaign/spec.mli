@@ -1,0 +1,31 @@
+(** Parameter-study specification: the cross product of intensity (a0),
+    density (nr), RNG seed and step-count axes over a base deck config,
+    expanded into content-hashed jobs.
+
+    Expansion is deterministic (a0 outermost, then nr, seed, steps) and
+    deduplicates by content hash, so an axis listing the same value
+    twice — or two axis combinations resolving to the same config —
+    yields one job. *)
+
+type t = {
+  base : Vpic_lpi.Deck.config;
+  a0s : float list;   (** empty = [[base.a0]] *)
+  nrs : float list;   (** empty = [[base.nr]] *)
+  seeds : int list;   (** empty = [[base.rng_seed]] *)
+  steps : int list;   (** empty = [[Deck.suggested_steps]] of each config *)
+}
+
+val make :
+  ?a0s:float list ->
+  ?nrs:float list ->
+  ?seeds:int list ->
+  ?steps:int list ->
+  base:Vpic_lpi.Deck.config ->
+  unit ->
+  t
+
+(** Grid size before deduplication. *)
+val cardinality : t -> int
+
+(** Expanded, deduplicated job list in deterministic order. *)
+val expand : t -> Job.t list

@@ -1,0 +1,161 @@
+module Json = Vpic_util.Json
+
+type row = {
+  hash : string;
+  a0 : float;
+  nr : float;
+  seed : int;
+  steps : int;
+  r_measured : float;
+  r_peak : float;
+  hot_fraction : float;
+  flattening : float;
+  elapsed_s : float;
+  resumed_gen : int;
+  worker : int;
+}
+
+type t = {
+  path : string;
+  index : (string, row) Hashtbl.t;
+  mutable offset : int;
+}
+
+let schema = "vpic-campaign-result/1"
+
+let open_ ~root =
+  { path = Filename.concat root "results.jsonl";
+    index = Hashtbl.create 64;
+    offset = 0 }
+
+let path t = t.path
+
+let row_to_json r =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("hash", Json.Str r.hash);
+      ("a0", Json.Num r.a0);
+      ("nr", Json.Num r.nr);
+      ("seed", Json.Num (float_of_int r.seed));
+      ("steps", Json.Num (float_of_int r.steps));
+      ("r_measured", Json.Num r.r_measured);
+      ("r_peak", Json.Num r.r_peak);
+      ("hot_fraction", Json.Num r.hot_fraction);
+      ("flattening", Json.Num r.flattening);
+      ("elapsed_s", Json.Num r.elapsed_s);
+      ("resumed_gen", Json.Num (float_of_int r.resumed_gen));
+      ("worker", Json.Num (float_of_int r.worker)) ]
+
+exception Missing of string
+
+let need_float obj key =
+  match Option.bind (Json.member key obj) Json.to_float_opt with
+  | Some v -> v
+  | None -> raise (Missing key)
+
+let need_int obj key =
+  match Option.bind (Json.member key obj) Json.to_int_opt with
+  | Some v -> v
+  | None -> raise (Missing key)
+
+let row_of_json json =
+  match
+    let hash =
+      match Option.bind (Json.member "hash" json) Json.to_string_opt with
+      | Some h -> h
+      | None -> raise (Missing "hash")
+    in
+    Ok
+      { hash;
+        a0 = need_float json "a0";
+        nr = need_float json "nr";
+        seed = need_int json "seed";
+        steps = need_int json "steps";
+        r_measured = need_float json "r_measured";
+        r_peak = need_float json "r_peak";
+        hot_fraction = need_float json "hot_fraction";
+        flattening = need_float json "flattening";
+        elapsed_s = need_float json "elapsed_s";
+        resumed_gen = need_int json "resumed_gen";
+        worker = need_int json "worker" }
+  with
+  | r -> r
+  | exception Missing key -> Error ("bad result field: " ^ key)
+
+let parse_line line =
+  if String.trim line = "" then None
+  else
+    match Json.parse line with
+    | Error _ -> None
+    | Ok v -> Result.to_option (row_of_json v)
+
+(* Consume complete lines appended since [offset]; a trailing partial
+   line (a writer mid-append in another process) is left for the next
+   refresh. *)
+let refresh t =
+  match open_in_bin t.path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          if len > t.offset then begin
+            seek_in ic t.offset;
+            let chunk = really_input_string ic (len - t.offset) in
+            let upto =
+              match String.rindex_opt chunk '\n' with
+              | None -> 0
+              | Some i -> i + 1
+            in
+            String.split_on_char '\n' (String.sub chunk 0 upto)
+            |> List.iter (fun line ->
+                   match parse_line line with
+                   | Some row ->
+                       if not (Hashtbl.mem t.index row.hash) then
+                         Hashtbl.add t.index row.hash row
+                   | None -> ());
+            t.offset <- t.offset + upto
+          end)
+
+let mem t ~hash =
+  refresh t;
+  Hashtbl.mem t.index hash
+
+let find t ~hash =
+  refresh t;
+  Hashtbl.find_opt t.index hash
+
+let cached t =
+  refresh t;
+  Hashtbl.length t.index
+
+let rows t =
+  match open_in_bin t.path with
+  | exception Sys_error _ -> []
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | line -> go (match parse_line line with
+                          | Some r -> r :: acc
+                          | None -> acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+
+let append t row =
+  let line = Json.to_string (row_to_json row) ^ "\n" in
+  let fd =
+    Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.of_string line in
+      let n = Unix.write fd b 0 (Bytes.length b) in
+      if n <> Bytes.length b then
+        failwith "campaign store: short append write");
+  if not (Hashtbl.mem t.index row.hash) then Hashtbl.add t.index row.hash row

@@ -1,0 +1,57 @@
+(** Append-only JSONL results store, indexed by content hash.
+
+    One line per completed job under [<root>/results.jsonl].  Appends
+    are single [O_APPEND] writes (atomic for line-sized payloads on
+    POSIX), so concurrent workers — and a reader racing a writer —
+    always see whole lines; the incremental reader only consumes
+    complete (newline-terminated) lines.
+
+    The store is the campaign's cache: a job whose hash already has a
+    row is served without running a single simulation step.  Because
+    results are appended {e before} the queue marks the job done, a
+    crash in between re-runs the job but the re-run cache-hits
+    immediately — duplicate rows are possible (first row wins on
+    lookup), wrong data is not. *)
+
+type row = {
+  hash : string;
+  a0 : float;
+  nr : float;
+  seed : int;
+  steps : int;
+  r_measured : float;
+  r_peak : float;
+  hot_fraction : float;
+  flattening : float;
+  elapsed_s : float;    (** wall seconds of the run that produced it *)
+  resumed_gen : int;    (** checkpoint generation resumed from, 0 = fresh *)
+  worker : int;         (** lane that ran it *)
+}
+
+type t
+
+(** Open (or create) the store under a campaign root.  Cheap: workers
+    open their own handle. *)
+val open_ : root:string -> t
+
+val path : t -> string
+
+(** Read any lines appended since the last refresh into the in-memory
+    index.  Called implicitly by {!mem}/{!find}. *)
+val refresh : t -> unit
+
+val mem : t -> hash:string -> bool
+
+(** First row appended for this hash. *)
+val find : t -> hash:string -> row option
+
+(** Every row, file order (re-reads the whole file). *)
+val rows : t -> row list
+
+(** Number of distinct hashes indexed. *)
+val cached : t -> int
+
+val append : t -> row -> unit
+
+val row_to_json : row -> Vpic_util.Json.t
+val row_of_json : Vpic_util.Json.t -> (row, string) result

@@ -54,6 +54,37 @@ let electron_rest_kev = 510.99895
 
 let e0_of c = c.a0 /. sqrt c.nr
 
+(* Canonical float rendering for the content-hash contract: one fixed
+   format for every float field (17 significant digits round-trips any
+   finite double), negative zero folded into zero.  Changing this —
+   or the field order below — changes every deck hash and silently
+   invalidates every campaign results cache; suite_campaign pins the
+   hash of [default] against exactly that. *)
+let canonical_float v =
+  if v = 0. then "0" else Printf.sprintf "%.17g" v
+
+let to_canonical_string c =
+  String.concat "\n"
+    [ "vpic-deck/1";
+      "nr=" ^ canonical_float c.nr;
+      "te_kev=" ^ canonical_float c.te_kev;
+      "ti_over_te=" ^ canonical_float c.ti_over_te;
+      "a0=" ^ canonical_float c.a0;
+      "r_seed=" ^ canonical_float c.r_seed;
+      "nx=" ^ string_of_int c.nx;
+      "ny=" ^ string_of_int c.ny;
+      "nz=" ^ string_of_int c.nz;
+      "dx=" ^ canonical_float c.dx;
+      "l_transverse=" ^ canonical_float c.l_transverse;
+      "vacuum=" ^ canonical_float c.vacuum;
+      "ppc=" ^ string_of_int c.ppc;
+      "ion_mass=" ^ canonical_float c.ion_mass;
+      "filter_passes=" ^ string_of_int c.filter_passes;
+      "t_rise=" ^ canonical_float c.t_rise;
+      "y_skew=" ^ canonical_float c.y_skew;
+      "rng_seed=" ^ string_of_int c.rng_seed ]
+  ^ "\n"
+
 type setup = {
   sim : Simulation.t;
   refl : Reflectivity.t;

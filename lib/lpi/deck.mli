@@ -41,6 +41,16 @@ val default : config
 (** Derived: pump field amplitude e0 = a0 * omega0. *)
 val e0_of : config -> float
 
+(** Canonical serialization of a fully-resolved config: a fixed header
+    line, then one [field=value] line per field {e in declaration
+    order}, floats rendered in one normalized format ([%.17g], negative
+    zero folded to [0]).  This is the campaign service's content-hash
+    contract: two configs hash equal iff their canonical strings are
+    byte-identical, so field reordering or float-formatting drift would
+    silently invalidate every cached result — a test pins the hash of
+    {!default} to catch exactly that. *)
+val to_canonical_string : config -> string
+
 type setup = {
   sim : Vpic.Simulation.t;
   refl : Reflectivity.t;

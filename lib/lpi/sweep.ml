@@ -12,6 +12,13 @@ type point = {
   flattening : float;
 }
 
+type measurement = {
+  r_avg : float;
+  r_pk : float;
+  hot_frac : float;
+  flat : float;
+}
+
 let lambda_nif = 351e-9
 
 let intensity_of_a0 a0 =
@@ -19,53 +26,74 @@ let intensity_of_a0 a0 =
 
 let default_a0s = [ 0.02; 0.04; 0.06; 0.08; 0.11; 0.15 ]
 
-let run_point ~with_noise_run base steps a0 =
-  let config = { base with Deck.a0 } in
+let electron_rest_kev = 510.99895
+
+(* Theory inputs are pure functions of the config (mirrors Deck.build's
+   plasma/extent computation), so a campaign-backed runner never needs a
+   built simulation just to fill the theory columns. *)
+let plasma_of (c : Deck.config) =
+  { Srs_theory.nr = c.Deck.nr;
+    uth = sqrt (c.Deck.te_kev /. electron_rest_kev) }
+
+let gain_length (c : Deck.config) =
+  (float_of_int c.Deck.nx *. c.Deck.dx) -. (2. *. c.Deck.vacuum)
+
+let default_noise_floor (c : Deck.config) = 5. *. c.Deck.r_seed
+
+let measure config ~steps =
   let setup = Deck.build config in
-  let r_measured = Deck.run setup ~steps in
-  let r_peak = Reflectivity.peak_reflectivity setup.Deck.refl in
-  (* A second run with the seed off isolates what grows from PIC thermal
-     noise alone: below threshold it is the statistical floor (falling as
-     1/pump when expressed as a reflectivity), above threshold genuine
-     noise-seeded SRS -- the sharpest threshold signature available at
-     scaled-down particle counts. *)
-  let r_noise =
-    if not with_noise_run then 0.
-    else begin
-      let off = Deck.build { config with Deck.r_seed = 0. } in
-      Deck.run off ~steps
-    end
-  in
-  let l = setup.Deck.plasma_x_hi -. setup.Deck.plasma_x_lo in
-  let gain_theory = Srs_theory.convective_gain setup.Deck.plasma ~a0 ~l in
-  let r_theory =
-    Srs_theory.seeded_reflectivity setup.Deck.plasma ~a0 ~l
-      ~r_seed:config.Deck.r_seed ()
-  in
+  let r_avg = Deck.run setup ~steps in
+  let r_pk = Reflectivity.peak_reflectivity setup.Deck.refl in
   let electrons = Simulation.find_species setup.Deck.sim "electron" in
-  let hot =
+  let hot_frac =
     Trapping.hot_fraction electrons
       ~threshold_kev:(3. *. config.Deck.te_kev)
   in
   let fv = Trapping.distribution electrons in
-  let flattening =
+  let flat =
     Trapping.flattening fv
       ~v_phase:setup.Deck.matching.Srs_theory.v_phase
       ~uth:setup.Deck.plasma.Srs_theory.uth ~width:0.05
+  in
+  { r_avg; r_pk; hot_frac; flat }
+
+let run_point ~with_noise_run ~noise_floor ~runner base steps a0 =
+  let config = { base with Deck.a0 } in
+  let m = runner config ~steps in
+  (* A second run with the seed off isolates what grows from PIC thermal
+     noise alone: below threshold it is the statistical floor (falling as
+     1/pump when expressed as a reflectivity), above threshold genuine
+     noise-seeded SRS -- the sharpest threshold signature available at
+     scaled-down particle counts.  Points whose seeded run already sits
+     below [noise_floor] are unambiguously sub-threshold (the seed was
+     not even amplified), so the second run would only double their cost
+     to measure a statistical zero -- skip it. *)
+  let r_noise =
+    if not (with_noise_run && m.r_avg >= noise_floor) then 0.
+    else (runner { config with Deck.r_seed = 0. } ~steps).r_avg
+  in
+  let plasma = plasma_of config in
+  let l = gain_length config in
+  let gain_theory = Srs_theory.convective_gain plasma ~a0 ~l in
+  let r_theory =
+    Srs_theory.seeded_reflectivity plasma ~a0 ~l ~r_seed:config.Deck.r_seed ()
   in
   { a0;
     intensity_w_cm2 = intensity_of_a0 a0;
     gain_theory;
     r_theory;
-    r_measured;
+    r_measured = m.r_avg;
     r_noise;
-    r_peak;
-    hot_fraction = hot;
-    flattening }
+    r_peak = m.r_pk;
+    hot_fraction = m.hot_frac;
+    flattening = m.flat }
 
 let reflectivity_vs_intensity ?(base = Deck.default) ?steps
-    ?(with_noise_run = false) ~a0s () =
+    ?(with_noise_run = false) ?noise_floor ?(runner = measure) ~a0s () =
   let steps =
     match steps with Some s -> s | None -> Deck.suggested_steps base
   in
-  List.map (run_point ~with_noise_run base steps) a0s
+  let noise_floor =
+    match noise_floor with Some f -> f | None -> default_noise_floor base
+  in
+  List.map (run_point ~with_noise_run ~noise_floor ~runner base steps) a0s

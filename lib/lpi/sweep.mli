@@ -19,19 +19,56 @@ type point = {
   flattening : float;       (** f(v) slope ratio at v_phase (1 = untouched) *)
 }
 
+(** What one simulation of one deck configuration measures — the unit of
+    work a {e runner} produces.  The default runner executes in-process;
+    the campaign service substitutes one backed by its work queue and
+    content-hash results store, giving the sweep caching and multi-worker
+    parallelism without this module knowing about either. *)
+type measurement = {
+  r_avg : float;     (** time-averaged reflectivity *)
+  r_pk : float;      (** peak windowed reflectivity *)
+  hot_frac : float;  (** electrons above 3 x Te *)
+  flat : float;      (** f(v) flattening at v_phase *)
+}
+
 (** Laser wavelength used to translate a0 to W/cm^2 (NIF 3-omega). *)
 val lambda_nif : float
 
 val intensity_of_a0 : float -> float
 
+(** The in-process runner: build the deck, run [steps], probe
+    reflectivity and trapping diagnostics. *)
+val measure : Deck.config -> steps:int -> measurement
+
+(** Default floor for skipping the seed-off run: [5 * r_seed].  A seeded
+    reflectivity below five times the injected seed ratio means the seed
+    was not meaningfully amplified (unambiguously sub-threshold), so a
+    noise run would measure a statistical zero. *)
+val default_noise_floor : Deck.config -> float
+
 (** Run the sweep.  [base] defaults to [Deck.default]; [steps] per point
-    defaults to [Deck.suggested_steps].  With [with_noise_run] (default
-    false; doubles the cost) each point also runs with the seed off,
-    recording the noise-seeded reflectivity in [r_noise]. *)
+    defaults to [Deck.suggested_steps].
+
+    With [with_noise_run] (default false) each point {e above the noise
+    floor} also runs with the seed off, recording the noise-seeded
+    reflectivity in [r_noise].  Beware the cost: every noise run is a
+    full second simulation of the point, so enabling this up to {e
+    doubles} the sweep's total simulation time.  Points whose seeded
+    reflectivity is below [noise_floor] (default
+    {!default_noise_floor}) skip the second run — their seeded result
+    already shows no amplification, so the noise pass could only
+    confirm a statistical zero at full price.  Pass [noise_floor:0.] to
+    force the old always-run behaviour.
+
+    [runner] (default {!measure}) executes one configuration; substitute
+    a campaign-backed runner to serve points from the content-hash cache
+    and run misses on a worker pool. *)
 val reflectivity_vs_intensity :
   ?base:Deck.config ->
   ?steps:int ->
   ?with_noise_run:bool ->
+  ?noise_floor:float ->
+  ?runner:(Deck.config -> steps:int -> measurement) ->
   a0s:float list ->
   unit ->
   point list

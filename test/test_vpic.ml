@@ -15,4 +15,5 @@ let () =
       ("recover", Suite_recover.suite);
       ("cell", Suite_cell.suite);
       ("lpi", Suite_lpi.suite);
-      ("team", Suite_team.suite) ]
+      ("team", Suite_team.suite);
+      ("campaign", Suite_campaign.suite) ]
