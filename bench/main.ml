@@ -956,6 +956,101 @@ let push_layout_bench ?(quick = false) () =
          np2)
     t;
   pf "interp/direct speedup: %.3fx\n" (r_int /. r_dir);
+  (* -------- A/B: scalar vs block-vectorized Push.advance on the
+     interpolator/accumulator fast path.  The coefficient load happens
+     once, outside the timers, and the current clear is hoisted into
+     the (untimed) per-rep setup, so the ratio isolates the kernel
+     restructuring: 8-wide particle blocks against one run-cached
+     72-byte interpolator block, fused gather/rotate/advance/deposit
+     passes, cell-crossers falling out to the scalar cleanup pass. *)
+  pf "\n###### push A/B: scalar vs block-vectorized kernel ######\n";
+  let width = Push.default_block_width in
+  Interpolator.load ip f2;
+  let scalar_kernel_pass () =
+    ignore (Push.advance ~interp:ip ~accum:ac s2 f2 Bc.periodic)
+  in
+  let lanes = ref 0 and cleanup = ref 0 in
+  let block_kernel_pass () =
+    let st =
+      Push.advance ~interp:ip ~accum:ac ~kernel:(Push.Block { width }) s2 f2
+        Bc.periodic
+    in
+    lanes := !lanes + st.Push.block_lanes;
+    cleanup := !cleanup + st.Push.block_cleanup
+  in
+  let pipe = Spe_pipeline.create Roadrunner.full in
+  let spe_pass () =
+    ignore
+      (Spe_pipeline.advance_species ~interp:ip ~accum:ac
+         ~kernel:(Push.Block { width }) pipe s2 f2 Bc.periodic)
+  in
+  let time_kernel acc pass =
+    Sort.by_voxel s2;
+    Em_field.clear_currents f2;
+    let _, d = Perf.timed pass in
+    acc := !acc +. d
+  in
+  (* warm up all three paths, then drop the warm-up lane counts *)
+  time_kernel (ref 0.) scalar_kernel_pass;
+  time_kernel (ref 0.) block_kernel_pass;
+  time_kernel (ref 0.) spe_pass;
+  lanes := 0;
+  cleanup := 0;
+  let d_sc = ref 0. and d_bl = ref 0. and d_spe = ref 0. in
+  for r = 1 to reps2 do
+    (* alternate order so slow drift biases neither path *)
+    if r land 1 = 1 then begin
+      time_kernel d_sc scalar_kernel_pass;
+      time_kernel d_bl block_kernel_pass;
+      time_kernel d_spe spe_pass
+    end
+    else begin
+      time_kernel d_spe spe_pass;
+      time_kernel d_bl block_kernel_pass;
+      time_kernel d_sc scalar_kernel_pass
+    end
+  done;
+  let r_sc = float_of_int (np2 * reps2) /. !d_sc in
+  let r_bl = float_of_int (np2 * reps2) /. !d_bl in
+  let r_spe = float_of_int (np2 * reps2) /. !d_spe in
+  let cleanup_frac =
+    if !lanes > 0 then float_of_int !cleanup /. float_of_int !lanes else 0.
+  in
+  let t = Table.create [ "kernel"; "Mparticles/s"; "ns/particle" ] in
+  let krow name r =
+    Table.add_row t
+      [ name; Printf.sprintf "%.2f" (r /. 1e6); Printf.sprintf "%.0f" (1e9 /. r) ]
+  in
+  krow "scalar (interp/accum)" r_sc;
+  krow (Printf.sprintf "block%d" width) r_bl;
+  krow (Printf.sprintf "spe stream (block%d)" width) r_spe;
+  Table.print
+    ~title:
+      (Printf.sprintf "push kernel A/B, %d sorted particles (load outside timer)"
+         np2)
+    t;
+  pf "block/scalar speedup: %.3fx (cleanup fraction %.4f)\n" (r_bl /. r_sc)
+    cleanup_frac;
+  pf "spe-stream/scalar speedup: %.3fx\n" (r_spe /. r_sc);
+  (* -------- energy parity: a short srs deck stepped under both
+     kernels must land on the bitwise-identical total energy — the
+     block kernel is a scheduling change, not a numerical one. *)
+  let parity_steps = if quick then 6 else 10 in
+  let parity_config =
+    { Deck.default with nx = 128; ny = 6; nz = 6; ppc = 2; vacuum = 3. }
+  in
+  let final_energy backend =
+    let setup = Deck.build ~push_backend:backend parity_config in
+    for _ = 1 to parity_steps do
+      Simulation.step setup.Deck.sim
+    done;
+    (Simulation.energies setup.Deck.sim).Simulation.total
+  in
+  let e_scalar = final_energy Simulation.Host_scalar in
+  let e_block = final_energy (Simulation.Host_block { width }) in
+  let e_diff = e_block -. e_scalar in
+  pf "energy parity over %d srs steps: scalar %.17g | block %.17g | diff %g\n"
+    parity_steps e_scalar e_block e_diff;
   write_bench_json ~file:"BENCH_push.json" ~bench:"push-layout" ~ranks:1
     ~results:
       [ ("particles", string_of_int np);
@@ -977,7 +1072,29 @@ let push_layout_bench ?(quick = false) () =
               ("interp_s", json_num (!d_int /. float_of_int reps2));
               ("direct_particles_per_sec", json_num r_dir);
               ("interp_particles_per_sec", json_num r_int);
-              ("speedup", Printf.sprintf "%.4f" (r_int /. r_dir)) ] ) ]
+              ("speedup", Printf.sprintf "%.4f" (r_int /. r_dir)) ] );
+        ( "block_push",
+          json_obj
+            [ ("particles", string_of_int np2);
+              ("reps", string_of_int reps2);
+              ("width", string_of_int width);
+              ("cleanup_frac", json_num cleanup_frac);
+              ("scalar_s", json_num (!d_sc /. float_of_int reps2));
+              ("block_s", json_num (!d_bl /. float_of_int reps2));
+              ("scalar_particles_per_sec", json_num r_sc);
+              ("block_particles_per_sec", json_num r_bl);
+              ("speedup", Printf.sprintf "%.4f" (r_bl /. r_sc));
+              ( "spe",
+                json_obj
+                  [ ("spe_s", json_num (!d_spe /. float_of_int reps2));
+                    ("host_particles_per_sec", json_num r_spe);
+                    ( "spe_particle_rate",
+                      json_num (Spe_pipeline.spe_particle_rate pipe) );
+                    ( "machine_particle_rate",
+                      json_num (Spe_pipeline.machine_particle_rate pipe) ) ] );
+              ("energy_scalar", json_num e_scalar);
+              ("energy_block", json_num e_block);
+              ("energy_diff", json_num e_diff) ] ) ]
 
 (* ------------------------------------------------------ exchange bench *)
 

@@ -12,6 +12,7 @@
                           [--max-recoveries K]
                           [--ranks N] [--trace FILE] [--metrics FILE]
                           [--scoreboard-every N]
+                          [--push-kernel scalar|block|spe] [--block-width W]
      vpic_run sweep       [--a0s 0.02,0.04,...] [--ppc 32] [--with-noise-run]
                           [--steps N] [--noise-floor R] [--json FILE]
                           [--campaign DIR] [--workers N]
@@ -169,6 +170,20 @@ let export_trace = function
       Printf.printf "trace written to %s (%d spans, %d dropped)\n" path
         (Trace.total_entries ()) (Trace.dropped_entries ())
 
+(* --push-kernel/--block-width map to the simulation's push execution
+   backend; the matching Report kernel keeps predicted-vs-measured
+   per-particle flop estimates comparing like with like. *)
+let push_backend_of ~push_kernel ~block_width =
+  match push_kernel with
+  | `Scalar -> Simulation.Host_scalar
+  | `Block -> Simulation.Host_block { width = block_width }
+  | `Spe -> Simulation.Spe_stream { width = block_width; dma_block = 512 }
+
+let report_kernel_of = function
+  | Simulation.Host_scalar -> `Scalar
+  | Simulation.Host_block { width } -> `Block width
+  | Simulation.Spe_stream _ -> `Spe
+
 (* Over-decomposed srs run: [blocks] relocatable y-slabs spread over
    [ranks], rebalanced every [rebalance_every] steps when the max/mean
    push cost exceeds [rebalance_threshold].  Supports the step loop,
@@ -177,7 +192,7 @@ let export_trace = function
 let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
     ~cost_model ~steps ~ranks ~workers ~ckpt_dir ~ckpt_every ~keep
     ~trace_file ~metrics_file ~scoreboard_every ~recover_auto
-    ~max_recoveries =
+    ~max_recoveries ~push_backend =
   (* Every block keeps at least two transverse cells (remainder-safe
      decomposition still wants non-degenerate slabs). *)
   let config =
@@ -203,8 +218,8 @@ let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
     let bs =
       Deck.build_over ?comm:comm_opt
         ?pool:(Option.map Team.pool team)
-        ~rebalance_interval:rebalance_every ~rebalance_threshold ~cost_model
-        ~blocks config
+        ~push_backend ~rebalance_interval:rebalance_every
+        ~rebalance_threshold ~cost_model ~blocks config
     in
     let mb = bs.Deck.mb in
     let steps =
@@ -302,7 +317,9 @@ let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
         steps_per_sort = sort_interval;
         ppc_effective = float_of_int nparticles /. voxels }
     in
-    let report = Report.make ~totals ~workload () in
+    let report =
+      Report.make ~kernel:(report_kernel_of push_backend) ~totals ~workload ()
+    in
     let en = Multiblock.energies mb in
     if live_root () then begin
       Printf.printf "reflectivity = %.4e\n" r;
@@ -349,10 +366,12 @@ let run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
    end);
   export_trace trace_file
 
-let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-    sentinel_every sentinel_log kill_step fault_seed ranks workers trace_file
-    metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
-    cost_model y_skew kill_rank recover_auto max_recoveries =
+let run_srs a0 nr te nx ny nz ppc steps checkpoint ckpt_dir ckpt_every keep
+    resume sentinel_every sentinel_log kill_step fault_seed ranks workers
+    trace_file metrics_file scoreboard_every blocks rebalance_every
+    rebalance_threshold cost_model y_skew kill_rank recover_auto
+    max_recoveries push_kernel block_width =
+  let push_backend = push_backend_of ~push_kernel ~block_width in
   (* Fault injection is armed before anything else so even the first
      steps are covered; it is a no-op unless these flags are given. *)
   (match kill_step with
@@ -370,7 +389,9 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
     if ranks <= 1 then
       invalid_arg "vpic_run: --recover auto requires --ranks >= 2"
   end;
-  let config = { Deck.default with a0; nr; te_kev = te; nx; ppc; y_skew } in
+  let config =
+    { Deck.default with a0; nr; te_kev = te; nx; ny; nz; ppc; y_skew }
+  in
   if blocks > 0 then begin
     if ranks > blocks then
       invalid_arg
@@ -385,7 +406,7 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
     run_srs_blocks config ~blocks ~rebalance_every ~rebalance_threshold
       ~cost_model ~steps ~ranks ~workers ~ckpt_dir ~ckpt_every ~keep
       ~trace_file ~metrics_file ~scoreboard_every ~recover_auto
-      ~max_recoveries
+      ~max_recoveries ~push_backend
   end
   else begin
   (* Parallel runs decompose along y; widen the (quasi-1D) transverse
@@ -414,7 +435,7 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
     let team = make_team ~rank ~workers in
     Fun.protect ~finally:(fun () -> Option.iter Team.shutdown team)
     @@ fun () ->
-    let setup = Deck.build ?comm:comm_opt config in
+    let setup = Deck.build ?comm:comm_opt ~push_backend config in
     let steps =
       match steps with Some s -> s | None -> Deck.suggested_steps config
     in
@@ -449,6 +470,10 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
        holds closures and is never checkpointed, so a resume re-installs
        the live one here. *)
     Option.iter (fun tm -> Simulation.set_pool sim (Team.pool tm)) team;
+    (* Like the pool, the backend is an execution choice and is never
+       checkpointed: a resumed simulation comes back scalar, so re-apply
+       the requested kernel here (a no-op on a fresh build). *)
+    Simulation.set_push_backend sim push_backend;
     (if sentinel_every > 0 then begin
        let log =
          match sentinel_log with
@@ -529,7 +554,9 @@ let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
            else max_int);
         ppc_effective = float_of_int nparticles /. voxels }
     in
-    let report = Report.make ~totals ~workload () in
+    let report =
+      Report.make ~kernel:(report_kernel_of push_backend) ~totals ~workload ()
+    in
     let en = Simulation.energies sim in
     if root then begin
       let electrons = Simulation.find_species setup.Deck.sim "electron" in
@@ -594,16 +621,17 @@ let rec classify_failure = function
       exit (Option.value ~default:1 (Vpic.Recover.classify_exit e))
   | e -> raise e
 
-let run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-    sentinel_every sentinel_log kill_step fault_seed ranks workers trace_file
-    metrics_file scoreboard_every blocks rebalance_every rebalance_threshold
-    cost_model y_skew kill_rank recover_auto max_recoveries =
+let run_srs a0 nr te nx ny nz ppc steps checkpoint ckpt_dir ckpt_every keep
+    resume sentinel_every sentinel_log kill_step fault_seed ranks workers
+    trace_file metrics_file scoreboard_every blocks rebalance_every
+    rebalance_threshold cost_model y_skew kill_rank recover_auto
+    max_recoveries push_kernel block_width =
   try
-    run_srs a0 nr te nx ppc steps checkpoint ckpt_dir ckpt_every keep resume
-      sentinel_every sentinel_log kill_step fault_seed ranks workers
+    run_srs a0 nr te nx ny nz ppc steps checkpoint ckpt_dir ckpt_every keep
+      resume sentinel_every sentinel_log kill_step fault_seed ranks workers
       trace_file metrics_file scoreboard_every blocks rebalance_every
       rebalance_threshold cost_model y_skew kill_rank recover_auto
-      max_recoveries
+      max_recoveries push_kernel block_width
   with e -> classify_failure e
 
 let srs_cmd =
@@ -611,6 +639,17 @@ let srs_cmd =
   let nr = Arg.(value & opt float 0.1 & info [ "nr" ] ~doc:"n_e / n_cr.") in
   let te = Arg.(value & opt float 2.5 & info [ "te" ] ~doc:"Te in keV.") in
   let nx = Arg.(value & opt int 192 & info [ "nx" ] ~doc:"Cells along x.") in
+  let ny =
+    Arg.(value & opt int Deck.default.Deck.ny
+         & info [ "ny" ]
+             ~doc:"Transverse cells along y (>= 3 gives the deck an \
+                   interior region, so the overlapped interior push — and \
+                   the block kernel — has particles to work on).")
+  in
+  let nz =
+    Arg.(value & opt int Deck.default.Deck.nz
+         & info [ "nz" ] ~doc:"Transverse cells along z.")
+  in
   let ppc = Arg.(value & opt int 32 & info [ "ppc" ] ~doc:"Particles per cell.") in
   let steps =
     Arg.(value & opt (some int) None & info [ "steps" ] ~doc:"Override step count.")
@@ -755,14 +794,36 @@ let srs_cmd =
                    s*(y/L - 1/2).  Creates a deliberate load imbalance \
                    for exercising --rebalance-threshold.")
   in
+  let push_kernel =
+    let kernels =
+      Arg.enum [ ("scalar", `Scalar); ("block", `Block); ("spe", `Spe) ]
+    in
+    Arg.(value & opt kernels `Scalar
+         & info [ "push-kernel" ]
+             ~doc:"Push execution backend. $(b,scalar) (default): the \
+                   classic per-particle loop.  $(b,block): block-vectorized \
+                   kernel — fixed-width particle blocks against one cached \
+                   72-byte interpolator block per voxel, cell-crossers \
+                   falling out to a scalar cleanup pass; stepped results \
+                   are bitwise identical to scalar.  $(b,spe): stream \
+                   block-kernel chunks through the Cell SPE pipeline's \
+                   double-buffered DMA accounting.")
+  in
+  let block_width =
+    Arg.(value & opt int Vpic_particle.Push.default_block_width
+         & info [ "block-width" ]
+             ~doc:"With --push-kernel block|spe: particles per block \
+                   (typically 4 or 8).")
+  in
   Cmd.v
     (Cmd.info "srs" ~doc:"Laser-plasma SRS deck (one parameter-study point)")
-    Term.(const run_srs $ a0 $ nr $ te $ nx $ ppc $ steps $ ckpt $ ckpt_dir
+    Term.(const run_srs $ a0 $ nr $ te $ nx $ ny $ nz $ ppc $ steps $ ckpt
+          $ ckpt_dir
           $ ckpt_every $ keep $ resume $ sentinel_every $ sentinel_log
           $ kill_step $ fault_seed $ ranks $ workers $ trace_file
           $ metrics_file $ scoreboard_every $ blocks $ rebalance_every
           $ rebalance_threshold $ cost_model $ y_skew $ kill_rank $ recover
-          $ max_recoveries)
+          $ max_recoveries $ push_kernel $ block_width)
 
 (* ---------------------------------------------------------------- sweep *)
 

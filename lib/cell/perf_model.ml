@@ -48,6 +48,41 @@ let default_calibration =
     field_flops_per_voxel = 27. +. 24. +. 10.;
     overhead_fraction = 0.18 }
 
+(* ------------------------------------------------ kernel calibration ---- *)
+
+(* Which push kernel a predicted-vs-measured comparison should assume.
+   The measured side (the Perf ledger) charges the interpolator
+   expansion's 24-flop gather on the fast path, not the paper's
+   staggered stencil, so a Report row computed against
+   [default_calibration] under `--push-kernel block` would compare
+   apples to oranges.  [`Spe] keeps the paper numbers: the SPE stream
+   models the published kernel. *)
+type push_kernel = [ `Scalar | `Block of int | `Spe ]
+
+let push_kernel_to_string = function
+  | `Scalar -> "scalar"
+  | `Block w -> "block" ^ string_of_int w
+  | `Spe -> "spe"
+
+(* Per-pass flop rows of the block kernel (per lane; deposit per
+   segment) — [Push.block_pass_flops] re-exported so report tables and
+   benches read the ledger split from one place. *)
+let block_pass_flops = Push.block_pass_flops
+
+let calibration_for = function
+  | `Spe -> default_calibration
+  | `Scalar | `Block _ ->
+      (* The host kernels ledger the interpolator gather; scalar and
+         block charge identical flops per particle (the block kernel's
+         pass split sums to the scalar ledger by construction), so both
+         host rows use the same per-particle estimate. *)
+      let avg_segments = default_calibration.avg_segments in
+      let flops_pp =
+        Vpic_particle.Interpolator.flops_per_gather +. Push.flops_per_push
+        +. (avg_segments *. Push.flops_per_segment)
+      in
+      { default_calibration with flops_pp }
+
 type breakdown = {
   t_push : float;
   t_field : float;

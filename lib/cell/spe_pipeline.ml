@@ -70,38 +70,47 @@ let no_absorbing bc =
       match k with Bc.Absorbing | Bc.Refluxing _ -> false | _ -> true)
     [ bc.Bc.xlo; bc.Bc.xhi; bc.Bc.ylo; bc.Bc.yhi; bc.Bc.zlo; bc.Bc.zhi ]
 
-let advance_species ?(perf = Perf.global) ?ppc_hint t s f bc =
-  if not (no_absorbing bc) then
-    invalid_arg "Spe_pipeline.advance_species: absorbing boundaries unsupported";
+let advance_species ?(perf = Perf.global) ?ppc_hint ?interp ?accum ?rng
+    ?(pusher = Push.Boris) ?(kernel = Push.Scalar) ?region t s f bc =
+  (* Absorbing walls would delete particles mid-stream, breaking the
+     fixed-count DMA block accounting — except over an `Interior region,
+     whose particles cannot reach a wall by construction. *)
+  (match region with
+  | Some (`Interior _) -> ()
+  | None ->
+      if not (no_absorbing bc) then
+        invalid_arg
+          "Spe_pipeline.advance_species: absorbing boundaries unsupported");
   let ppc =
     match ppc_hint with Some p -> Float.max 1. p | None -> average_ppc s
   in
   let np = Species.count s in
   let flops_pp =
-    Interp.flops_per_gather +. Push.flops_per_push +. Push.flops_per_segment
+    (match interp with
+    | Some _ -> Vpic_particle.Interpolator.flops_per_gather
+    | None -> Interp.flops_per_gather)
+    +. Push.flops_per_push +. Push.flops_per_segment
   in
   let spe_flops =
     t.machine.Roadrunner.spe_clock_hz
     *. t.machine.Roadrunner.spe_flops_per_cycle_sp
   in
   let bw = Roadrunner.bw_per_spe t.machine in
-  let totals = ref Vpic_particle.Push.{
-    advanced = 0; segments = 0; absorbed = 0; reflected = 0; refluxed = 0;
-    outbound = 0 }
-  in
+  let totals = ref Push.zero_stats in
   let first = ref 0 in
   while !first < np do
     let count = min t.block_size (np - !first) in
-    let st = Push.advance ~perf ~first:!first ~count s f bc in
+    let st =
+      match region with
+      | Some (`Interior d) ->
+          Push.advance ~perf ~first:!first ~count ?interp ?accum ?rng ~pusher
+            ~kernel ~region:(`Interior d) s f bc
+      | None ->
+          Push.advance ~perf ~first:!first ~count ?interp ?accum ?rng ~pusher
+            ~kernel s f bc
+    in
     assert (st.Push.absorbed = 0);
-    totals :=
-      Push.{
-        advanced = !totals.advanced + st.advanced;
-        segments = !totals.segments + st.segments;
-        absorbed = 0;
-        reflected = !totals.reflected + st.reflected;
-        refluxed = !totals.refluxed + st.refluxed;
-        outbound = !totals.outbound + st.outbound };
+    totals := Push.sum_stats !totals st;
     (* DMA ledger for this block.  Interpolator/accumulator traffic is
        amortised over the ppc particles sharing each voxel (the benefit of
        voxel sorting the paper depends on). *)

@@ -45,6 +45,31 @@ type push_scratch = {
   team : Push.Team_scratch.t;  (* per-tile defers/ledgers of the team push *)
 }
 
+(* Which engine runs the interior push.  Host backends fan out over the
+   worker team ([Push.advance_team]); [Spe_stream] instead streams each
+   species serially through [Vpic_cell.Spe_pipeline]'s double-buffered
+   DMA accounting in fixed-size blocks (the paper's SPE control flow),
+   with the block kernel inside each block.  Scalar and block host
+   backends are bitwise identical; the SPE stream is worker-invariant
+   by construction (serial) but folds currents in stream order rather
+   than slab order, so it is its own numerical lineage.  A backend is
+   an execution strategy, not physics: it is not part of the deck hash
+   or the checkpoint image. *)
+type push_backend =
+  | Host_scalar
+  | Host_block of { width : int }
+  | Spe_stream of { width : int; dma_block : int }
+
+let push_backend_to_string = function
+  | Host_scalar -> "scalar"
+  | Host_block { width } -> "block" ^ string_of_int width
+  | Spe_stream { width; dma_block } ->
+      "spe" ^ string_of_int width ^ "x" ^ string_of_int dma_block
+
+let push_backend_kernel = function
+  | Host_scalar -> Push.Scalar
+  | Host_block { width } | Spe_stream { width; _ } -> Push.Block { width }
+
 type t = {
   grid : Grid.t;
   fields : Em_field.t;
@@ -63,6 +88,12 @@ type t = {
   marder_passes : int;
   current_filter_passes : int;
   pusher : Push.kind;
+  mutable push_backend : push_backend;
+      (* interior-push engine; mutable so restores and relocated blocks
+         can re-apply the run's selection (never serialised) *)
+  mutable spe : Vpic_cell.Spe_pipeline.t option;
+      (* DMA-accounted pipeline, created when [push_backend] is
+         [Spe_stream]; its ledger persists across steps *)
   interp_accum : (Interpolator.t * Accumulator.t) option;
       (* VPIC inner-loop memory system: per-voxel field-coefficient and
          current-accumulator blocks (None = direct strided gather/scatter) *)
@@ -81,23 +112,20 @@ type t = {
          closures: never serialised (checkpoints rebuild it). *)
 }
 
-let zero_stats : Push.stats =
-  { advanced = 0; segments = 0; absorbed = 0; reflected = 0; refluxed = 0;
-    outbound = 0 }
+let zero_stats : Push.stats = Push.zero_stats
+let add_stats = Push.sum_stats
 
-let add_stats (a : Push.stats) (b : Push.stats) : Push.stats =
-  { advanced = a.advanced + b.advanced;
-    segments = a.segments + b.segments;
-    absorbed = a.absorbed + b.absorbed;
-    reflected = a.reflected + b.reflected;
-    refluxed = a.refluxed + b.refluxed;
-    outbound = a.outbound + b.outbound }
+let spe_pipeline_for = function
+  | Spe_stream { dma_block; _ } ->
+      Some (Vpic_cell.Spe_pipeline.create ~block_size:dma_block
+              Vpic_cell.Roadrunner.full)
+  | Host_scalar | Host_block _ -> None
 
 let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     ?(absorber_thickness = 8) ?(absorber_strength = 0.15)
     ?(current_filter_passes = 0) ?(pusher = Push.Boris)
-    ?(interp_accum = true) ?perf ?(pool = Vpic_util.Pool.serial) ~grid
-    ~coupler () =
+    ?(push_backend = Host_scalar) ?(interp_accum = true) ?perf
+    ?(pool = Vpic_util.Pool.serial) ~grid ~coupler () =
   assert (current_filter_passes = 0 || clean_div_interval > 0);
   let perf = match perf with Some p -> p | None -> Perf.create () in
   { grid;
@@ -115,6 +143,8 @@ let make ?(sort_interval = 25) ?(clean_div_interval = 50) ?(marder_passes = 2)
     marder_passes;
     current_filter_passes;
     pusher;
+    push_backend;
+    spe = spe_pipeline_for push_backend;
     interp_accum =
       (if interp_accum then
          Some (Interpolator.create grid, Accumulator.create grid)
@@ -145,6 +175,15 @@ let find_species t name =
 
 let add_laser t l = t.lasers_rev <- l :: t.lasers_rev
 let set_pool t pool = t.pool <- pool
+
+let set_push_backend t b =
+  if b <> t.push_backend then begin
+    t.push_backend <- b;
+    t.spe <- spe_pipeline_for b
+  end
+
+let push_backend t = t.push_backend
+let spe_pipeline t = t.spe
 let pool t = t.pool
 let time t = float_of_int t.nstep *. t.grid.Grid.dt
 
@@ -206,21 +245,58 @@ let phase_clear_and_load t =
     species_scratch;
   species_scratch
 
+(* Gauges/counters of the block kernel's lane economics, published once
+   per interior pass so the Scoreboard can window a cleanup fraction.
+   The backend is a global run parameter, so every rank publishes the
+   same metric names — the collective reduce's contract. *)
+let block_metrics t (ph : Push.stats) =
+  if Metrics.enabled () then
+    match t.push_backend with
+    | Host_scalar -> ()
+    | Host_block { width } | Spe_stream { width; _ } ->
+        let m = Metrics.default () in
+        Metrics.gauge_set m "push.block.width" (float_of_int width);
+        Metrics.counter_add m "push.block.lanes"
+          (float_of_int ph.Push.block_lanes);
+        Metrics.counter_add m "push.block.cleanup"
+          (float_of_int ph.Push.block_cleanup)
+
 (* Interior pass: every particle whose cell does not touch the ghost
    layer — independent of any in-flight fill. *)
 let phase_push_interior t species_scratch =
   let interp = Option.map fst t.interp_accum in
   let accum = Option.map snd t.interp_accum in
+  let kernel = push_backend_kernel t.push_backend in
   Trace.begin_span sid_push_interior;
-  List.iter
-    (fun (s, sc) ->
-      let st =
-        Push.advance_team ~perf:t.perf ~pool:t.pool ~scratch:sc.team
-          ~defer:sc.defer ?interp ?accum ~rng:t.push_rng ~pusher:t.pusher s
-          t.fields t.coupler.Coupler.bc
-      in
-      t.push_stats <- add_stats t.push_stats st)
-    species_scratch;
+  let phase = ref zero_stats in
+  (match t.spe with
+  | Some pipe ->
+      (* SPE-stream backend: each species streams serially through the
+         pipeline in DMA-sized blocks (compute/DMA ledger per block),
+         depositing into the base accumulator — no team fan-out, no
+         slabs, trivially worker-invariant. *)
+      List.iter
+        (fun (s, sc) ->
+          let st =
+            Vpic_cell.Spe_pipeline.advance_species ~perf:t.perf ?interp
+              ?accum ~rng:t.push_rng ~pusher:t.pusher ~kernel
+              ~region:(`Interior sc.defer) pipe s t.fields
+              t.coupler.Coupler.bc
+          in
+          phase := add_stats !phase st)
+        species_scratch
+  | None ->
+      List.iter
+        (fun (s, sc) ->
+          let st =
+            Push.advance_team ~perf:t.perf ~pool:t.pool ~scratch:sc.team
+              ~defer:sc.defer ?interp ?accum ~rng:t.push_rng
+              ~pusher:t.pusher ~kernel s t.fields t.coupler.Coupler.bc
+          in
+          phase := add_stats !phase st)
+        species_scratch);
+  t.push_stats <- add_stats t.push_stats !phase;
+  block_metrics t !phase;
   Trace.end_span ()
 
 (* The hi-face slabs read freshly filled ghosts; load them before the
@@ -361,15 +437,19 @@ let step t =
           Trace.end_span ()
       | None -> ());
       Trace.begin_span sid_push;
+      let phase = ref zero_stats in
       List.iter
         (fun (s, sc) ->
           let st =
             Push.advance ~perf:t.perf ~movers:sc.movers ~gather_from:sm
-              ?interp ?accum ~rng:t.push_rng ~pusher:t.pusher s t.fields
+              ?interp ?accum ~rng:t.push_rng ~pusher:t.pusher
+              ~kernel:(push_backend_kernel t.push_backend) s t.fields
               c.Coupler.bc
           in
-          t.push_stats <- add_stats t.push_stats st)
+          phase := add_stats !phase st)
         species_scratch;
+      t.push_stats <- add_stats t.push_stats !phase;
+      block_metrics t !phase;
       Trace.end_span ()
   | None ->
       phase_push_interior t species_scratch;

@@ -26,6 +26,27 @@ type push_scratch = {
       (** per-tile defer lists and perf ledgers of the team push *)
 }
 
+(** The engine running the interior push: host backends fan out over
+    the rank's worker team; [Spe_stream] streams each species serially
+    through [Vpic_cell.Spe_pipeline] in [dma_block]-particle blocks,
+    charging the modelled double-buffered DMA ledger as it goes.
+    [Host_scalar] and [Host_block] are bitwise identical (the block
+    kernel's contract); the SPE stream deposits in stream order rather
+    than team-slab order, so it is worker-invariant but its own
+    numerical lineage.  A backend is an execution strategy, not
+    physics: it enters neither the deck hash nor the checkpoint image
+    (restores default to [Host_scalar]; re-apply with
+    {!set_push_backend}). *)
+type push_backend =
+  | Host_scalar
+  | Host_block of { width : int }
+  | Spe_stream of { width : int; dma_block : int }
+
+val push_backend_to_string : push_backend -> string
+
+(** The {!Vpic_particle.Push.kernel} a backend runs inside each chunk. *)
+val push_backend_kernel : push_backend -> Vpic_particle.Push.kernel
+
 type t = {
   grid : Grid.t;
   fields : Em_field.t;
@@ -42,6 +63,12 @@ type t = {
   marder_passes : int;
   current_filter_passes : int;
   pusher : Vpic_particle.Push.kind;
+  mutable push_backend : push_backend;
+      (** interior-push engine (see {!push_backend}); set via [make] or
+          {!set_push_backend} *)
+  mutable spe : Vpic_cell.Spe_pipeline.t option;
+      (** the DMA-accounted pipeline backing [Spe_stream]; its ledger
+          accumulates across steps (read it for rate models) *)
   interp_accum :
     (Vpic_particle.Interpolator.t * Vpic_particle.Accumulator.t) option;
       (** the VPIC inner-loop memory system: per-voxel interpolator
@@ -93,6 +120,7 @@ val make :
   ?absorber_strength:float ->
   ?current_filter_passes:int ->
   ?pusher:Vpic_particle.Push.kind ->
+  ?push_backend:push_backend ->
   ?interp_accum:bool ->
   ?perf:Vpic_util.Perf.counters ->
   ?pool:Vpic_util.Pool.t ->
@@ -107,6 +135,15 @@ val make :
 val set_pool : t -> Vpic_util.Pool.t -> unit
 
 val pool : t -> Vpic_util.Pool.t
+
+(** Select the interior-push engine between steps (creates or drops the
+    SPE pipeline as needed).  Used by run drivers after checkpoint
+    restore and by [Deck.build_over]'s reattach hook on relocated
+    blocks, since the backend is never serialised. *)
+val set_push_backend : t -> push_backend -> unit
+
+val push_backend : t -> push_backend
+val spe_pipeline : t -> Vpic_cell.Spe_pipeline.t option
 
 (** Create, register and return a new species on this simulation's grid. *)
 val add_species : t -> name:string -> q:float -> m:float -> Species.t

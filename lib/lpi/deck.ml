@@ -156,7 +156,7 @@ let attach_lasers c ~(matching : Srs_theory.matching) sim =
          ~e0:(sqrt c.r_seed *. e0)
          ~plane_i:seed_i ~t_rise:c.t_rise ())
 
-let build ?comm c =
+let build ?comm ?push_backend c =
   assert (c.vacuum >= 2. && float_of_int c.nx *. c.dx > 2. *. c.vacuum +. 2.);
   let lx = float_of_int c.nx *. c.dx in
   let dy = c.l_transverse /. float_of_int c.ny in
@@ -204,8 +204,9 @@ let build ?comm c =
     else clean_div_interval
   in
   let sim =
-    Simulation.make ~grid ~coupler ~clean_div_interval ~absorber_thickness
-      ~absorber_strength:0.6 ~current_filter_passes:c.filter_passes ()
+    Simulation.make ~grid ~coupler ?push_backend ~clean_div_interval
+      ~absorber_thickness ~absorber_strength:0.6
+      ~current_filter_passes:c.filter_passes ()
   in
   let plasma =
     { Srs_theory.nr = c.nr;
@@ -260,7 +261,7 @@ type block_setup = {
   config : config;
 }
 
-let build_over ?comm ?pool ?(rebalance_interval = 10)
+let build_over ?comm ?pool ?push_backend ?(rebalance_interval = 10)
     ?(rebalance_threshold = 0.) ?cost_model ~blocks c =
   assert (c.vacuum >= 2. && float_of_int c.nx *. c.dx > 2. *. c.vacuum +. 2.);
   if blocks < 1 then invalid_arg "Deck.build_over: blocks must be >= 1";
@@ -300,7 +301,7 @@ let build_over ?comm ?pool ?(rebalance_interval = 10)
   let build ~id ~coupler ~perf =
     let grid = Block.grid layout ~dt ~id in
     let sim =
-      Simulation.make ~grid ~coupler ~perf ~clean_div_interval
+      Simulation.make ~grid ~coupler ~perf ?push_backend ~clean_div_interval
         ~absorber_thickness ~absorber_strength:0.6
         ~current_filter_passes:c.filter_passes ()
     in
@@ -343,7 +344,14 @@ let build_over ?comm ?pool ?(rebalance_interval = 10)
   let mb =
     Multiblock.create ?comm ?pool ~rebalance_interval ~rebalance_threshold
       ?cost_model
-      ~reattach:(fun _ sim -> attach_lasers c ~matching sim)
+      ~reattach:(fun _ sim ->
+        attach_lasers c ~matching sim;
+        (* Decoded / adopted / relocated blocks come back through here:
+           re-apply the run's push backend (an execution choice, not
+           physics — it is deliberately absent from block payloads). *)
+        match push_backend with
+        | Some b -> Simulation.set_push_backend sim b
+        | None -> ())
       ~layout ~global_bc:bc_global ~build ()
   in
   let refl = Reflectivity.create ~plane_i:probe_i ~e0:(e0_of c) () in

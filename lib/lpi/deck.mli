@@ -69,8 +69,15 @@ type setup = {
     probe and absorber are unchanged) — [ny] must divide by the rank
     count, and every rank builds collectively with its own rank-salted
     particle RNG.  Without [comm] the build is exactly the original
-    serial deck. *)
-val build : ?comm:Vpic_parallel.Comm.t -> config -> setup
+    serial deck.  [push_backend] selects the push execution strategy
+    ({!Vpic.Simulation.push_backend}: scalar, block-vectorized or SPE
+    stream) — an execution choice, not physics, so it is absent from
+    the config record and its canonical hash. *)
+val build :
+  ?comm:Vpic_parallel.Comm.t ->
+  ?push_backend:Vpic.Simulation.push_backend ->
+  config ->
+  setup
 
 (** Step the setup [steps] times, sampling the reflectivity probe each
     step.  Returns the final reflectivity estimate. *)
@@ -105,10 +112,13 @@ type block_setup = {
     must be >= the rank count.  [rebalance_interval] /
     [rebalance_threshold] are passed to {!Vpic.Multiblock.create}
     (threshold 0 = never rebalance); [pool] is the rank's worker team,
-    installed on every owned block. *)
+    installed on every owned block.  [push_backend] is applied to every
+    built block and re-applied (via the reattach hook) to blocks that
+    arrive later through relocation, adoption or recovery decode. *)
 val build_over :
   ?comm:Vpic_parallel.Comm.t ->
   ?pool:Vpic_util.Pool.t ->
+  ?push_backend:Vpic.Simulation.push_backend ->
   ?rebalance_interval:int ->
   ?rebalance_threshold:float ->
   ?cost_model:[ `Wall | `Particles ] ->

@@ -6,6 +6,34 @@ module Perf = Vpic_util.Perf
 let flops_per_push = 70.
 let flops_per_segment = 57.
 
+(* Per-lane flop split of the block kernel's fused passes.  gather is
+   the interpolator expansion ([Interpolator.flops_per_gather]); rotate
+   (Boris) plus advance (inverse gamma, displacement, crossing mask) sum
+   to [flops_per_push] and deposit is one Villasenor-Buneman segment —
+   so the Perf ledger is kernel-invariant by construction: scalar and
+   block kernels account identical flops for identical work. *)
+let block_flops_rotate = 47.
+let block_flops_advance = 23.
+
+let block_pass_flops () =
+  [ ("gather", Interpolator.flops_per_gather);
+    ("rotate", block_flops_rotate);
+    ("advance", block_flops_advance);
+    ("deposit", flops_per_segment) ]
+
+(* Inner-loop kernel selection: [Scalar] advances one particle at a
+   time; [Block] processes fixed-width lane blocks of a voxel run
+   through fused gather/rotate/advance/deposit passes, with cell
+   crossings masked out to the scalar path (bitwise-identical results,
+   see [advance]). *)
+type kernel = Scalar | Block of { width : int }
+
+let kernel_to_string = function
+  | Scalar -> "scalar"
+  | Block { width } -> "block" ^ string_of_int width
+
+let default_block_width = 8
+
 (* Particles stopped at a Domain face, packed 13 Float32 values each in a
    Bigarray so the buffer IS the wire format of the comm layer's
    persistent migrate ports — posting a mover batch is a flat f32 copy,
@@ -112,6 +140,8 @@ type stats = {
   reflected : int;
   refluxed : int;
   outbound : int;
+  block_lanes : int;
+  block_cleanup : int;
 }
 
 type kind = Boris | Vay | Higuera_cary
@@ -466,8 +496,13 @@ let walk env ~wk ~cell ~u ~cxc ~cyc ~czc =
   !status
 
 let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
-    ?interp ?accum ?rng ?(pusher = Boris) ?(region = `All) (s : Species.t) f
-    bc =
+    ?interp ?accum ?rng ?(pusher = Boris) ?(kernel = Scalar) ?(region = `All)
+    (s : Species.t) f bc =
+  (match kernel with
+  | Scalar -> ()
+  | Block { width } ->
+      if width < 1 || width > 16 then
+        invalid_arg "Push.advance: block width must be in [1,16]");
   let g = s.Species.grid in
   assert (g == f.Vpic_field.Em_field.grid);
   let gf = match gather_from with Some gf -> gf | None -> f in
@@ -570,6 +605,41 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
      per run, not once per particle. *)
   let lvox = ref min_int and lci = ref 0 and lcj = ref 0 and lck = ref 0 in
   let lshell = ref false in
+  (* Walk + settle/absorb/outbound tail of the scalar path: [cell], [u]
+     and [wk] must already hold the run decode, the pushed momenta and
+     the displacements.  Shared with the block kernel's cleanup lanes,
+     which arrive with all of these precomputed (bit-identically, by the
+     pass-1/2 expressions) and skip the redundant gather/rotate. *)
+  let walk_one n =
+    let w = unsafe_get sw n in
+    let qw = s.Species.q *. w in
+    let cxc = qw *. kx and cyc = qw *. ky and czc = qw *. kz in
+    match walk env ~wk ~cell ~u ~cxc ~cyc ~czc with
+    | Settled ->
+        (* wk holds f32-representable values (the walk rounded them), so
+           these stores are exact; u narrows to f32 here, once. *)
+        unsafe_set svox n
+          (Int32.of_int (Grid.voxel g cell.(0) cell.(1) cell.(2)));
+        unsafe_set sfx n wk.(0);
+        unsafe_set sfy n wk.(1);
+        unsafe_set sfz n wk.(2);
+        unsafe_set sux n u.(0);
+        unsafe_set suy n u.(1);
+        unsafe_set suz n u.(2)
+    | Absorbed ->
+        incr absorbed;
+        dead := n :: !dead
+    | Outbound -> begin
+        match movers with
+        | None ->
+            invalid_arg
+              "Push.advance: domain face crossed without a movers buffer"
+        | Some buf ->
+            Movers.push buf ~cell ~wk ~u ~w;
+            incr outbound;
+            dead := n :: !dead
+      end
+  in
   let push_one n =
     let vi = Int32.to_int (unsafe_get svox n) in
     if vi <> !lvox then begin
@@ -708,48 +778,320 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
     wk.(3) <- u.(0) *. inv_gamma *. dt *. inv_dx;
     wk.(4) <- u.(1) *. inv_gamma *. dt *. inv_dy;
     wk.(5) <- u.(2) *. inv_gamma *. dt *. inv_dz;
-    let w = unsafe_get sw n in
-    let qw = s.Species.q *. w in
-    let cxc = qw *. kx and cyc = qw *. ky and czc = qw *. kz in
-    match walk env ~wk ~cell ~u ~cxc ~cyc ~czc with
-    | Settled ->
-        (* wk holds f32-representable values (the walk rounded them), so
-           these stores are exact; u narrows to f32 here, once. *)
-        unsafe_set svox n
-          (Int32.of_int (Grid.voxel g cell.(0) cell.(1) cell.(2)));
-        unsafe_set sfx n wk.(0);
-        unsafe_set sfy n wk.(1);
-        unsafe_set sfz n wk.(2);
-        unsafe_set sux n u.(0);
-        unsafe_set suy n u.(1);
-        unsafe_set suz n u.(2)
-    | Absorbed ->
-        incr absorbed;
-        dead := n :: !dead
-    | Outbound -> begin
-        match movers with
-        | None ->
-            invalid_arg
-              "Push.advance: domain face crossed without a movers buffer"
-        | Some buf ->
-            Movers.push buf ~cell ~wk ~u ~w;
-            incr outbound;
-            dead := n :: !dead
-      end
+    walk_one n
     end
+  in
+  (* ---- block kernel ----------------------------------------------------
+     Voxel runs are scanned up front and processed in fixed-width lane
+     blocks against the run-cached 72-byte interpolator block, in three
+     fused passes: (1) gather + Boris rotate, (2) inverse gamma +
+     displacement + a branch-free cell-crossing mask, (3) an in-order
+     deposit/store pass whose unmasked lanes take one fused full-length
+     segment and whose masked lanes fall out to the scalar walk tail
+     ([walk_one]: the existing walk/mover machinery, unchanged), seeded
+     from the scratch lanes so the gather/rotate is never redone.
+
+     Bitwise contract with the scalar kernel: for a particle that
+     crosses no face the walk uses sfrac = 1.0, and 1.0 *. r = r
+     exactly, so the fused endpoint [clamp_offset (x1 +. r)] and the
+     deposited segment are bit-identical; masked lanes run the scalar
+     walk on the pass-1/2 values, which the scalar kernel's own
+     expressions produced (same arithmetic, same order — same bits).
+     The mask is a division-free over-approximation of the walk's
+     crossing predicate (axis face time t <= 1): it can never miss a
+     crossing, and a spurious flag only routes the lane through the
+     (identical) scalar path.  Lane order equals particle order in
+     pass 3, so f64 accumulator adds happen in the scalar kernel's
+     exact sequence. *)
+  let block_lanes = ref 0 and block_cleanup = ref 0 in
+  let run_blocks width =
+    let d = match idata with Some d -> d | None -> assert false in
+    let bfx = Array.make width 0. and bfy = Array.make width 0.
+    and bfz = Array.make width 0. in
+    let bux = Array.make width 0. and buy = Array.make width 0.
+    and buz = Array.make width 0. in
+    let brx = Array.make width 0. and bry = Array.make width 0.
+    and brz = Array.make width 0. in
+    let sq = s.Species.q in
+    let acc = env.acc in
+    (* crossing-mask slack: any value >= 1 + 2^-50 works, see pass 2 *)
+    let sl = 1. +. 1e-15 in
+    let n = ref first in
+    while !n <= last do
+      let vi = Int32.to_int (unsafe_get svox !n) in
+      (* Extent of the voxel run.  Safe to scan ahead: processing only
+         mutates the store slots of already-processed indices, and this
+         run's particles are read after the scan, before any of them is
+         pushed — exactly the values the scalar kernel would read. *)
+      let e = ref (!n + 1) in
+      while !e <= last && Int32.to_int (unsafe_get svox !e) = vi do
+        incr e
+      done;
+      if vi <> !lvox then begin
+        let ci, cj, ck = Grid.cell_of_voxel g vi in
+        lvox := vi;
+        lci := ci;
+        lcj := cj;
+        lck := ck;
+        lshell :=
+          ci = 1 || ci = snx || cj = 1 || cj = sny || ck = 1 || ck = snz;
+        incr runs;
+        let o = vi * Interpolator.coeffs_per_voxel in
+        for q = 0 to Interpolator.coeffs_per_voxel - 1 do
+          Array.unsafe_set icoef q (unsafe_get d (o + q))
+        done
+      end;
+      if skip_shell && !lshell then (
+        match defer with
+        | Some dl ->
+            for m = !n to !e - 1 do
+              Defer.add dl m
+            done
+        | None -> ())
+      else begin
+        (* hoist the run's coefficient block into unboxed locals *)
+        let c0 = Array.unsafe_get icoef 0
+        and c1 = Array.unsafe_get icoef 1
+        and c2 = Array.unsafe_get icoef 2
+        and c3 = Array.unsafe_get icoef 3
+        and c4 = Array.unsafe_get icoef 4
+        and c5 = Array.unsafe_get icoef 5
+        and c6 = Array.unsafe_get icoef 6
+        and c7 = Array.unsafe_get icoef 7
+        and c8 = Array.unsafe_get icoef 8
+        and c9 = Array.unsafe_get icoef 9
+        and c10 = Array.unsafe_get icoef 10
+        and c11 = Array.unsafe_get icoef 11
+        and c12 = Array.unsafe_get icoef 12
+        and c13 = Array.unsafe_get icoef 13
+        and c14 = Array.unsafe_get icoef 14
+        and c15 = Array.unsafe_get icoef 15
+        and c16 = Array.unsafe_get icoef 16
+        and c17 = Array.unsafe_get icoef 17 in
+        let o12 = vi * 12 in
+        let m0 = ref !n in
+        while !m0 < !e do
+          let len = if !e - !m0 < width then !e - !m0 else width in
+          let n0 = !m0 in
+          (* pass 1: gather E/B from the run's block and rotate (Boris);
+             same expressions, same order as the scalar fast path *)
+          for lane = 0 to len - 1 do
+            let p = n0 + lane in
+            let fx = unsafe_get sfx p
+            and fy = unsafe_get sfy p
+            and fz = unsafe_get sfz p in
+            let ex = c0 +. (fy *. c1) +. (fz *. (c2 +. (fy *. c3))) in
+            let ey = c4 +. (fz *. c5) +. (fx *. (c6 +. (fz *. c7))) in
+            let ez = c8 +. (fx *. c9) +. (fy *. (c10 +. (fx *. c11))) in
+            let bx = c12 +. (fx *. c13) in
+            let by = c14 +. (fy *. c15) in
+            let bz = c16 +. (fz *. c17) in
+            let ux = unsafe_get sux p +. (qdt_2m *. ex) in
+            let uy = unsafe_get suy p +. (qdt_2m *. ey) in
+            let uz = unsafe_get suz p +. (qdt_2m *. ez) in
+            let gamma_m =
+              sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz))
+            in
+            let f = qdt_2m /. gamma_m in
+            let tx = f *. bx and ty = f *. by and tz = f *. bz in
+            let t2 = (tx *. tx) +. (ty *. ty) +. (tz *. tz) in
+            let sx = 2. *. tx /. (1. +. t2) in
+            let sy = 2. *. ty /. (1. +. t2) in
+            let sz = 2. *. tz /. (1. +. t2) in
+            let px = ux +. ((uy *. tz) -. (uz *. ty)) in
+            let py = uy +. ((uz *. tx) -. (ux *. tz)) in
+            let pz = uz +. ((ux *. ty) -. (uy *. tx)) in
+            let ux = ux +. ((py *. sz) -. (pz *. sy)) in
+            let uy = uy +. ((pz *. sx) -. (px *. sz)) in
+            let uz = uz +. ((px *. sy) -. (py *. sx)) in
+            Array.unsafe_set bfx lane fx;
+            Array.unsafe_set bfy lane fy;
+            Array.unsafe_set bfz lane fz;
+            Array.unsafe_set bux lane (ux +. (qdt_2m *. ex));
+            Array.unsafe_set buy lane (uy +. (qdt_2m *. ey));
+            Array.unsafe_set buz lane (uz +. (qdt_2m *. ez))
+          done;
+          (* pass 2: displacement + branch-free crossing mask (the
+             walk's predicate: some axis has face time t <= 1) *)
+          let mask = ref 0 in
+          for lane = 0 to len - 1 do
+            let ux = Array.unsafe_get bux lane
+            and uy = Array.unsafe_get buy lane
+            and uz = Array.unsafe_get buz lane in
+            let inv_gamma =
+              1. /. sqrt (1. +. (ux *. ux) +. (uy *. uy) +. (uz *. uz))
+            in
+            let rx = ux *. inv_gamma *. dt *. inv_dx in
+            let ry = uy *. inv_gamma *. dt *. inv_dy in
+            let rz = uz *. inv_gamma *. dt *. inv_dz in
+            Array.unsafe_set brx lane rx;
+            Array.unsafe_set bry lane ry;
+            Array.unsafe_set brz lane rz;
+            let x = Array.unsafe_get bfx lane
+            and y = Array.unsafe_get bfy lane
+            and z = Array.unsafe_get bfz lane in
+            (* Division-free over-approximation of the walk's crossing
+               predicate (axis face time a /. b <= 1, a >= 0, b > 0):
+               a rounded quotient <= 1 implies exactly a < b*(1+2^-53),
+               and b*(1+2^-53) < fl(b *. sl) for sl >= 1+2^-50, so
+               `a <= b *. sl` can never miss a crossing the walk would
+               take.  The sliver it over-flags (a/b in (1, 1+eps])
+               only routes those lanes through the identical scalar
+               path.  Positions sit in [0, pred 1.0f32], so the
+               numerators are non-negative. *)
+            let c =
+              Bool.to_int (rx > 0.)
+              land Bool.to_int (1. -. x <= rx *. sl)
+              lor (Bool.to_int (rx < 0.)
+                  land Bool.to_int (x <= (-.rx) *. sl))
+              lor (Bool.to_int (ry > 0.)
+                  land Bool.to_int (1. -. y <= ry *. sl))
+              lor (Bool.to_int (ry < 0.)
+                  land Bool.to_int (y <= (-.ry) *. sl))
+              lor (Bool.to_int (rz > 0.)
+                  land Bool.to_int (1. -. z <= rz *. sl))
+              lor (Bool.to_int (rz < 0.)
+                  land Bool.to_int (z <= (-.rz) *. sl))
+            in
+            mask := !mask lor (c lsl lane)
+          done;
+          block_lanes := !block_lanes + len;
+          (* pass 3: deposit + store, lane order = particle order *)
+          let mk = !mask in
+          for lane = 0 to len - 1 do
+            if (mk lsr lane) land 1 <> 0 then begin
+              (* Cleanup lane: pass 1/2 already computed the pushed
+                 momenta and displacements with the scalar kernel's
+                 exact expressions, so seed the walk state from the
+                 scratch lanes and run only the walk tail — no
+                 redundant gather/rotate.  cell must be re-seeded per
+                 lane (a previous lane's walk mutates it). *)
+              incr block_cleanup;
+              incr pushed;
+              cell.(0) <- !lci;
+              cell.(1) <- !lcj;
+              cell.(2) <- !lck;
+              u.(0) <- Array.unsafe_get bux lane;
+              u.(1) <- Array.unsafe_get buy lane;
+              u.(2) <- Array.unsafe_get buz lane;
+              wk.(0) <- Array.unsafe_get bfx lane;
+              wk.(1) <- Array.unsafe_get bfy lane;
+              wk.(2) <- Array.unsafe_get bfz lane;
+              wk.(3) <- Array.unsafe_get brx lane;
+              wk.(4) <- Array.unsafe_get bry lane;
+              wk.(5) <- Array.unsafe_get brz lane;
+              walk_one (n0 + lane)
+            end
+            else begin
+              let p = n0 + lane in
+              incr pushed;
+              let x1 = Array.unsafe_get bfx lane
+              and y1 = Array.unsafe_get bfy lane
+              and z1 = Array.unsafe_get bfz lane in
+              let x2 = Store.clamp_offset (x1 +. Array.unsafe_get brx lane) in
+              let y2 = Store.clamp_offset (y1 +. Array.unsafe_get bry lane) in
+              let z2 = Store.clamp_offset (z1 +. Array.unsafe_get brz lane) in
+              let w = unsafe_get sw p in
+              let qw = sq *. w in
+              let cx = qw *. kx and cy = qw *. ky and cz = qw *. kz in
+              (match acc with
+              | Some a ->
+                  (* the single full-length segment, inlined with
+                     deposit_segment_acc's exact arithmetic (the zero
+                     guards matter bitwise: they keep -0. slots) *)
+                  let dx = x2 -. x1 and dy = y2 -. y1 and dz = z2 -. z1 in
+                  let xb = 0.5 *. (x1 +. x2) in
+                  let yb = 0.5 *. (y1 +. y2) in
+                  let zb = 0.5 *. (z1 +. z2) in
+                  (* direct read-modify-write sets (no add closure:
+                     a per-lane allocation and 12 indirect calls) *)
+                  let qx = cx *. dx in
+                  if qx <> 0. then begin
+                    let corr = dy *. dz /. 12. in
+                    unsafe_set a o12
+                      (unsafe_get a o12
+                      +. (qx *. (((1. -. yb) *. (1. -. zb)) +. corr)));
+                    unsafe_set a (o12 + 1)
+                      (unsafe_get a (o12 + 1)
+                      +. (qx *. ((yb *. (1. -. zb)) -. corr)));
+                    unsafe_set a (o12 + 2)
+                      (unsafe_get a (o12 + 2)
+                      +. (qx *. (((1. -. yb) *. zb) -. corr)));
+                    unsafe_set a (o12 + 3)
+                      (unsafe_get a (o12 + 3)
+                      +. (qx *. ((yb *. zb) +. corr)))
+                  end;
+                  let qy = cy *. dy in
+                  if qy <> 0. then begin
+                    let corr = dz *. dx /. 12. in
+                    unsafe_set a (o12 + 4)
+                      (unsafe_get a (o12 + 4)
+                      +. (qy *. (((1. -. zb) *. (1. -. xb)) +. corr)));
+                    unsafe_set a (o12 + 5)
+                      (unsafe_get a (o12 + 5)
+                      +. (qy *. ((zb *. (1. -. xb)) -. corr)));
+                    unsafe_set a (o12 + 6)
+                      (unsafe_get a (o12 + 6)
+                      +. (qy *. (((1. -. zb) *. xb) -. corr)));
+                    unsafe_set a (o12 + 7)
+                      (unsafe_get a (o12 + 7)
+                      +. (qy *. ((zb *. xb) +. corr)))
+                  end;
+                  let qz = cz *. dz in
+                  if qz <> 0. then begin
+                    let corr = dx *. dy /. 12. in
+                    unsafe_set a (o12 + 8)
+                      (unsafe_get a (o12 + 8)
+                      +. (qz *. (((1. -. xb) *. (1. -. yb)) +. corr)));
+                    unsafe_set a (o12 + 9)
+                      (unsafe_get a (o12 + 9)
+                      +. (qz *. ((xb *. (1. -. yb)) -. corr)));
+                    unsafe_set a (o12 + 10)
+                      (unsafe_get a (o12 + 10)
+                      +. (qz *. (((1. -. xb) *. yb) -. corr)));
+                    unsafe_set a (o12 + 11)
+                      (unsafe_get a (o12 + 11)
+                      +. (qz *. ((xb *. yb) +. corr)))
+                  end
+              | None ->
+                  deposit_segment env.jxa env.jya env.jza env.gx env.gxy vi
+                    ~x1 ~y1 ~z1 ~x2 ~y2 ~z2 ~cx ~cy ~cz);
+              incr segments;
+              (* voxel unchanged; wk-equivalents are f32-representable
+                 (clamp_offset rounded them), u narrows once, as in the
+                 scalar Settled arm *)
+              unsafe_set sfx p x2;
+              unsafe_set sfy p y2;
+              unsafe_set sfz p z2;
+              unsafe_set sux p (Array.unsafe_get bux lane);
+              unsafe_set suy p (Array.unsafe_get buy lane);
+              unsafe_set suz p (Array.unsafe_get buz lane)
+            end
+          done;
+          m0 := !m0 + len
+        done
+      end;
+      n := !e
+    done
   in
   (* An `Interior pass never removes particles (movers and walls need a
      shell cell), so the indices it defers stay valid for the `Deferred
-     pass that follows. *)
+     pass that follows.  The block kernel needs the Boris/interpolator
+     fast path; other configurations fall back to the scalar loop, and
+     the `Deferred boundary pass is always scalar (its indices are not
+     contiguous, so there are no runs to block over). *)
   (match region with
   | `Deferred d ->
       for m = 0 to Defer.count d - 1 do
         push_one (Defer.get d m)
       done
-  | `All | `Interior _ ->
-      for n = first to last do
-        push_one n
-      done);
+  | `All | `Interior _ -> (
+      match (kernel, pusher, idata) with
+      | Block { width }, Boris, Some _ -> run_blocks width
+      | _ ->
+          for n = first to last do
+            push_one n
+          done));
   (* Remove absorbed/outbound particles, highest index first so the
      swap-with-last removals stay valid (dead is in descending order). *)
   List.iter (fun n -> Species.remove s n) !dead;
@@ -780,7 +1122,9 @@ let advance ?(perf = Perf.global) ?(first = 0) ?count ?movers ?gather_from
     absorbed = !absorbed;
     reflected = !reflected;
     refluxed = !refluxed;
-    outbound = !outbound }
+    outbound = !outbound;
+    block_lanes = !block_lanes;
+    block_cleanup = !block_cleanup }
 
 (* ------------------------------------------------------- team driver ---- *)
 
@@ -809,7 +1153,9 @@ let zero_stats =
     absorbed = 0;
     reflected = 0;
     refluxed = 0;
-    outbound = 0 }
+    outbound = 0;
+    block_lanes = 0;
+    block_cleanup = 0 }
 
 let sum_stats a b =
   { advanced = a.advanced + b.advanced;
@@ -817,7 +1163,9 @@ let sum_stats a b =
     absorbed = a.absorbed + b.absorbed;
     reflected = a.reflected + b.reflected;
     refluxed = a.refluxed + b.refluxed;
-    outbound = a.outbound + b.outbound }
+    outbound = a.outbound + b.outbound;
+    block_lanes = a.block_lanes + b.block_lanes;
+    block_cleanup = a.block_cleanup + b.block_cleanup }
 
 (* The `Interior pass over [pool.tiles] contiguous particle chunks.
    Safe to fan out: an interior particle cannot reach a wall or a
@@ -832,15 +1180,16 @@ let sum_stats a b =
    so that configuration (and a 1-tile pool) takes the fused serial
    path. *)
 let advance_team ?(perf = Perf.global) ?gather_from ?interp ?accum ?rng
-    ?(pusher = Boris) ~pool ~scratch ~defer (s : Species.t) f bc =
+    ?(pusher = Boris) ?(kernel = Scalar) ~pool ~scratch ~defer (s : Species.t)
+    f bc =
   let module P = Vpic_util.Pool in
   let tiles = pool.P.tiles in
   match accum with
   | _ when tiles <= 1 ->
-      advance ~perf ?gather_from ?interp ?accum ?rng ~pusher
+      advance ~perf ?gather_from ?interp ?accum ?rng ~pusher ~kernel
         ~region:(`Interior defer) s f bc
   | None ->
-      advance ~perf ?gather_from ?interp ?rng ~pusher
+      advance ~perf ?gather_from ?interp ?rng ~pusher ~kernel
         ~region:(`Interior defer) s f bc
   | Some acc ->
       Team_scratch.sized scratch tiles;
@@ -857,7 +1206,7 @@ let advance_team ?(perf = Perf.global) ?gather_from ?interp ?accum ?rng
                 ~perf:scratch.Team_scratch.perfs.(tile)
                 ~first:lo ~count:(hi - lo) ?gather_from ?interp
                 ~accum:(Accumulator.slab acc ~n:tiles ~tile)
-                ?rng ~pusher
+                ?rng ~pusher ~kernel
                 ~region:(`Interior scratch.Team_scratch.defers.(tile))
                 s f bc);
       let total = ref zero_stats in

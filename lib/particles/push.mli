@@ -40,6 +40,32 @@ val flops_per_push : float
 val flops_per_segment : float
 (** one Villasenor–Buneman segment deposition *)
 
+val block_flops_rotate : float
+val block_flops_advance : float
+(** Per-lane flop split of the block kernel's fused passes: rotate
+    (Boris) + advance (inverse gamma, displacement, crossing mask) sum
+    to [flops_per_push]; gather and deposit reuse
+    [Interpolator.flops_per_gather] and [flops_per_segment].  The Perf
+    ledger is therefore identical across kernels. *)
+
+val block_pass_flops : unit -> (string * float) list
+(** [(pass, flops-per-lane)] rows of the block kernel, in pass order:
+    gather, rotate, advance, deposit (deposit is per segment). *)
+
+(** Inner-loop kernel: [Scalar] advances one particle at a time (the
+    historical path); [Block] streams fixed-width lane blocks of each
+    voxel run through fused gather/rotate/advance/deposit passes with a
+    branch-free cell-crossing mask — flagged lanes fall out to the
+    scalar cleanup path, so results are bitwise identical to [Scalar]
+    (only speed differs).  [Block] requires the Boris pusher and an
+    [interp]; other configurations silently run [Scalar]. *)
+type kernel = Scalar | Block of { width : int }
+
+val kernel_to_string : kernel -> string
+
+val default_block_width : int
+(** 8 — two SPE-style quadwords of f32 lanes per pass. *)
+
 (** Particles stopped at a [Domain] face, packed {!Movers.stride} Float32
     values each in a Bigarray: cell (i,j,k as exact integers), in-cell
     position (f32-exact by construction), momentum + weight (f32 —
@@ -83,7 +109,15 @@ type stats = {
   reflected : int;  (** specular reflections at conducting walls *)
   refluxed : int;   (** re-emitted thermally at refluxing walls *)
   outbound : int;   (** became movers (removed, waiting to migrate) *)
+  block_lanes : int;
+      (** particles that entered the block kernel's fused passes *)
+  block_cleanup : int;
+      (** fused lanes flagged as crossing, completed by the scalar
+          cleanup pass (subset of [block_lanes]) *)
 }
+
+val zero_stats : stats
+val sum_stats : stats -> stats -> stats
 
 (** [advance ?first ?count ?movers species fields bc] pushes the whole
     species by default, or the index block [first, first+count) — the
@@ -114,6 +148,7 @@ val advance :
   ?accum:Accumulator.t ->
   ?rng:Vpic_util.Rng.t ->
   ?pusher:kind ->
+  ?kernel:kernel ->
   ?region:[ `All | `Interior of Defer.t | `Deferred of Defer.t ] ->
   Species.t ->
   Vpic_field.Em_field.t ->
@@ -131,7 +166,14 @@ val advance :
     from the field the particles should feel).  [accum] redirects the
     current scatter into the {!Accumulator}'s per-voxel slots (identical
     arithmetic; the caller unloads once per step).  The two are
-    independent. *)
+    independent.
+
+    [kernel] selects the inner-loop shape (see {!kernel}); [Block] is
+    active on the Boris + [interp] configuration over [`All] and
+    [`Interior] regions (the [`Deferred] boundary pass has no
+    contiguous runs and always runs scalar) and is bitwise-identical
+    to [Scalar].  [stats.block_lanes]/[stats.block_cleanup] report its
+    fused-lane and scalar-cleanup counts. *)
 
 (** Reusable per-tile workspace (defer lists + flop ledgers) of
     {!advance_team}.  One per species, kept across steps. *)
@@ -161,6 +203,7 @@ val advance_team :
   ?accum:Accumulator.t ->
   ?rng:Vpic_util.Rng.t ->
   ?pusher:kind ->
+  ?kernel:kernel ->
   pool:Vpic_util.Pool.t ->
   scratch:Team_scratch.t ->
   defer:Defer.t ->

@@ -18,9 +18,15 @@ type t = {
 let row label measured modelled =
   { label; measured; modelled; ratio = measured /. modelled }
 
-let make ?(machine = Roadrunner.full)
-    ?(calibration = Perf_model.default_calibration) ~(totals : Scoreboard.totals)
-    ~workload () =
+let make ?(machine = Roadrunner.full) ?(kernel = `Spe) ?calibration
+    ~(totals : Scoreboard.totals) ~workload () =
+  (* The per-particle flop estimate follows the kernel the run actually
+     used, unless the caller supplies a full calibration. *)
+  let calibration =
+    match calibration with
+    | Some c -> c
+    | None -> Perf_model.calibration_for kernel
+  in
   let b = Perf_model.model machine workload calibration in
   let steps = float_of_int (max 1 totals.Scoreboard.steps) in
   let nr = float_of_int (max 1 totals.Scoreboard.nranks) in

@@ -21,11 +21,16 @@ type t = {
 }
 
 (** [make ~totals ~workload ()] models [workload] on [machine]
-    (default the full Roadrunner of the paper) with [calibration]
-    (default [Perf_model.default_calibration]) and lines it up against
-    the measured totals. *)
+    (default the full Roadrunner of the paper) and lines it up against
+    the measured totals.  The per-particle flop estimate defaults to
+    [Perf_model.calibration_for kernel] ([kernel] defaults to [`Spe],
+    the paper calibration); pass the kernel the run actually used —
+    e.g. [`Block 8] under [--push-kernel block] — so predicted-vs-
+    measured ratios compare like with like.  An explicit [calibration]
+    overrides the kernel-derived one. *)
 val make :
   ?machine:Vpic_cell.Roadrunner.t ->
+  ?kernel:Vpic_cell.Perf_model.push_kernel ->
   ?calibration:Vpic_cell.Perf_model.calibration ->
   totals:Scoreboard.totals ->
   workload:Vpic_cell.Perf_model.workload ->

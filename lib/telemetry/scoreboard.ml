@@ -37,6 +37,8 @@ type cum = {
   park : float;
   movers : float;
   mbytes : float;
+  blanes : float;
+  bclean : float;
 }
 
 type t = {
@@ -69,7 +71,9 @@ let read (metrics : Metrics.t) (perf : Perf.counters) =
     stp = phase_s step_ids;
     park = Metrics.value metrics "comm.park_s";
     movers = Metrics.value metrics "migrate.movers";
-    mbytes = Metrics.value metrics "migrate.bytes" }
+    mbytes = Metrics.value metrics "migrate.bytes";
+    blanes = Metrics.value metrics "push.block.lanes";
+    bclean = Metrics.value metrics "push.block.cleanup" }
 
 let worker_gauge lane = Printf.sprintf "team.worker.busy_s.w%d" lane
 
@@ -150,12 +154,27 @@ let worker_window t =
       Metrics.gauge_set t.metrics "team.push_imbalance" imb;
       imb
 
+(* Window fraction of block-kernel lanes that fell out to the scalar
+   cleanup pass (cell crossings and mask false-positives).  Local, not
+   reduced; published only when the run pushes with a block kernel —
+   the backend is a global run parameter, so the gauge name set stays
+   identical across ranks (the width gauge is set on every rank by the
+   push phase regardless of local particle count). *)
+let block_window t (c : cum) =
+  if Metrics.value t.metrics "push.block.width" > 0. then begin
+    let d_lanes = c.blanes -. t.prev.blanes in
+    let d_clean = c.bclean -. t.prev.bclean in
+    Metrics.gauge_set t.metrics "push.block.cleanup_frac"
+      (safe_div d_clean d_lanes)
+  end
+
 let sample t ~step =
   let worker_imbalance = worker_window t in
   let ( c, d_wall, d_flops, d_ps, d_vox, _d_push_sum, d_push_max, d_park,
         d_movers, d_mbytes, push_mean ) =
     rates t ~from:t.prev
   in
+  block_window t c;
   let s =
     { step;
       window_steps = step - t.prev_step;

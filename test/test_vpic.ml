@@ -16,4 +16,5 @@ let () =
       ("cell", Suite_cell.suite);
       ("lpi", Suite_lpi.suite);
       ("team", Suite_team.suite);
+      ("block_push", Suite_block_push.suite);
       ("campaign", Suite_campaign.suite) ]
